@@ -1,0 +1,85 @@
+// Example 1: the random-order assumption is necessary. On the paper's
+// trap network, an adversary that schedules the edge (u, v1) before any
+// other u-sourced edge forces Omega(n) walk segments to be updated by
+// that single arrival; under a random permutation of the very same edge
+// set, per-arrival work stays tiny.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fastppr/core/incremental_pagerank.h"
+#include "fastppr/graph/edge_stream.h"
+#include "fastppr/graph/generators.h"
+#include "fastppr/util/histogram.h"
+#include "fastppr/util/table_printer.h"
+
+using namespace fastppr;
+using namespace fastppr::bench;
+
+int main() {
+  Banner("Adversarial vs random-order arrivals on the trap network",
+         "Example 1 of Bahmani et al., VLDB 2010");
+
+  const std::size_t R = 5;
+  const double eps = 0.2;
+
+  CsvWriter csv;
+  const bool have_csv = OpenCsv(
+      "adversarial.csv",
+      {"n", "trap_arrival_updates", "random_mean_updates", "nR"}, &csv);
+
+  TablePrinter table({"n (nodes)", "updates at the trap arrival "
+                      "(adversarial)",
+                      "mean updates/arrival (random order)", "nR"});
+  for (std::size_t N : {200u, 500u, 1000u, 2000u}) {
+    TrapGraph trap = MakeTrapGraph(N);
+    MonteCarloOptions mc;
+    mc.walks_per_node = R;
+    mc.epsilon = eps;
+    mc.seed = N;
+
+    // Adversarial order: replay the stream verbatim; record the work of
+    // the u -> v1 arrival.
+    IncrementalPageRank adversarial(trap.num_nodes, mc);
+    uint64_t trap_updates = 0;
+    for (std::size_t i = 0; i < trap.adversarial_stream.size(); ++i) {
+      const Edge& e = trap.adversarial_stream[i];
+      if (!adversarial.AddEdge(e.src, e.dst).ok()) return 1;
+      if (i == trap.trap_edge_index) {
+        trap_updates = adversarial.last_event_stats().segments_updated;
+      }
+    }
+
+    // Random order of the same edges.
+    Rng rng(300 + N);
+    IncrementalPageRank random_order(trap.num_nodes, mc);
+    RandomPermutationStream stream(trap.adversarial_stream, &rng);
+    RunningStats updates;
+    while (auto ev = stream.Next()) {
+      if (!random_order.ApplyEvent(*ev).ok()) return 1;
+      updates.Add(static_cast<double>(
+          random_order.last_event_stats().segments_updated));
+    }
+
+    table.AddRow({std::to_string(trap.num_nodes),
+                  TablePrinter::Fmt(static_cast<uint64_t>(trap_updates)),
+                  TablePrinter::Fmt(updates.mean(), 3),
+                  TablePrinter::Fmt(
+                      static_cast<uint64_t>(trap.num_nodes * R))});
+    if (have_csv) {
+      csv.AddRow({std::to_string(trap.num_nodes),
+                  std::to_string(trap_updates),
+                  TablePrinter::Fmt(updates.mean(), 4),
+                  std::to_string(trap.num_nodes * R)});
+    }
+  }
+  table.Print();
+  std::printf("\nshape check: the adversarial arrival updates a constant "
+              "fraction of all nR segments (Omega(n)); random order stays "
+              "O(1) per arrival.\n"
+              "note: the trap requires u's out-edges to arrive after "
+              "(u, v1) — with u's full out-neighbourhood already in place "
+              "the coupling touches only O(R/eps) segments, which is why "
+              "the adversary also controls the order (see DESIGN.md).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef FASTPPR_BENCH_BENCH_COMMON_H_
+#define FASTPPR_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the figure/table reproduction harnesses.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fastppr/util/csv_writer.h"
+
+namespace fastppr::bench {
+
+/// Directory the CSV series are written to. Created on demand; harnesses
+/// keep running (stdout is the primary artifact) if it cannot be created.
+inline std::string ResultsDir() {
+  const char* env = std::getenv("FASTPPR_RESULTS_DIR");
+  std::string dir = env != nullptr ? env : "results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Opens a CSV in the results directory; returns false (and warns) on
+/// failure so harnesses degrade gracefully.
+inline bool OpenCsv(const std::string& name,
+                    const std::vector<std::string>& header, CsvWriter* w) {
+  Status s = CsvWriter::Open(ResultsDir() + "/" + name, header, w);
+  if (!s.ok()) {
+    std::fprintf(stderr, "warning: %s\n", s.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+inline void Banner(const char* title, const char* paper_ref) {
+  std::printf("==============================================================="
+              "=\n%s\n(reproduces %s)\n"
+              "================================================================"
+              "\n",
+              title, paper_ref);
+}
+
+}  // namespace fastppr::bench
+
+#endif  // FASTPPR_BENCH_BENCH_COMMON_H_

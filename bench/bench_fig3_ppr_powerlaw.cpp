@@ -1,0 +1,80 @@
+// Figure 3: personalized PageRank vectors of individual users follow
+// power laws (log-log rank plots for 6 random users with 20-30 friends).
+// The head of each vector (direct friends) follows a different law than
+// the bulk — the paper's Remark 3.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fastppr/analysis/power_law.h"
+#include "fastppr/baseline/power_iteration.h"
+#include "fastppr/graph/csr_graph.h"
+#include "fastppr/graph/generators.h"
+#include "fastppr/util/table_printer.h"
+
+using namespace fastppr;
+using namespace fastppr::bench;
+
+int main() {
+  Banner("Personalized PageRank power laws (6 random users)",
+         "Figure 3 of Bahmani et al., VLDB 2010");
+
+  const std::size_t n = 20000;
+  Rng rng(3);
+  ChungLuOptions gen;
+  gen.num_nodes = n;
+  gen.num_edges = 400000;
+  gen.alpha_in = 0.76;
+  gen.alpha_out = 0.6;
+  auto edges = ChungLuDirected(gen, &rng);
+  DiGraph dg(n);
+  for (const Edge& e : edges) {
+    if (!dg.AddEdge(e.src, e.dst).ok()) return 1;
+  }
+  CsrGraph g = CsrGraph::FromDiGraph(dg);
+
+  // Pick 6 users with a "reasonable number of friends" (20-30), as in the
+  // paper's experimental setup.
+  std::vector<NodeId> users;
+  while (users.size() < 6) {
+    NodeId u = static_cast<NodeId>(rng.UniformIndex(n));
+    const std::size_t f = g.OutDegree(u);
+    if (f >= 20 && f <= 30) users.push_back(u);
+  }
+
+  PowerIterationOptions opts;
+  opts.epsilon = 0.2;
+  opts.tolerance = 1e-12;
+
+  CsvWriter csv;
+  const bool have_csv = OpenCsv(
+      "fig3_ppr_powerlaw.csv", {"user", "friends", "rank", "ppr"}, &csv);
+
+  TablePrinter table({"user", "friends f", "alpha on [2f,20f]", "r^2"});
+  for (NodeId u : users) {
+    auto ppr = PersonalizedPageRank(g, u, opts);
+    std::vector<double> sorted = ppr.scores;
+    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    const std::size_t f = g.OutDegree(u);
+    // Remark 4: fit only the window [2f, 20f] — the application-relevant
+    // bulk, past the direct-friend head.
+    PowerLawFit fit = FitPowerLaw(sorted, 2 * f, 20 * f);
+    table.AddRow({std::to_string(u), std::to_string(f),
+                  TablePrinter::Fmt(fit.alpha, 3),
+                  TablePrinter::Fmt(fit.r_squared, 4)});
+    if (have_csv) {
+      for (const auto& [rank, value] : LogSpacedRankSeries(sorted, 12)) {
+        if (value <= 0.0) break;
+        csv.AddRow({std::to_string(u), std::to_string(f),
+                    std::to_string(rank), TablePrinter::Fmt(value, 10)});
+      }
+    }
+  }
+  table.Print();
+  std::printf("\npaper: each user's vector is a power law; the plot "
+              "headers in Fig. 3 are the friend counts (51, 60, 70, 92, "
+              "50, 92).\nrank series written to %s/fig3_ppr_powerlaw.csv\n",
+              ResultsDir().c_str());
+  return 0;
+}

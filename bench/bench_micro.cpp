@@ -1,0 +1,152 @@
+// Microbenchmarks (google-benchmark): the primitive operations whose
+// costs the paper's asymptotic analysis is built from — segment
+// generation, incremental edge insertion/deletion, estimate queries,
+// stitched-walk steps and fetch operations.
+
+#include <benchmark/benchmark.h>
+
+#include "fastppr/core/incremental_pagerank.h"
+#include "fastppr/core/ppr_walker.h"
+#include "fastppr/graph/generators.h"
+#include "fastppr/store/walk_store.h"
+
+namespace fastppr {
+namespace {
+
+DiGraph MakeGraph(std::size_t n, std::size_t m, uint64_t seed) {
+  Rng rng(seed);
+  ChungLuOptions gen;
+  gen.num_nodes = n;
+  gen.num_edges = m;
+  gen.alpha_in = 0.76;
+  gen.alpha_out = 0.6;
+  DiGraph g(n);
+  for (const Edge& e : ChungLuDirected(gen, &rng)) {
+    if (!g.AddEdge(e.src, e.dst).ok()) std::abort();
+  }
+  return g;
+}
+
+void BM_WalkStoreInit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  DiGraph g = MakeGraph(n, n * 15, 1);
+  for (auto _ : state) {
+    WalkStore store;
+    store.Init(g, 10, 0.2, 2);
+    benchmark::DoNotOptimize(store.TotalVisits());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n) * 10);
+}
+BENCHMARK(BM_WalkStoreInit)->Arg(1000)->Arg(10000);
+
+void BM_IncrementalAddEdge(benchmark::State& state) {
+  const std::size_t n = 20000;
+  DiGraph g = MakeGraph(n, n * 15, 3);
+  MonteCarloOptions mc;
+  mc.walks_per_node = 10;
+  mc.epsilon = 0.2;
+  IncrementalPageRank engine(g, mc);
+  Rng rng(4);
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(rng.UniformIndex(n));
+    NodeId v = static_cast<NodeId>(rng.UniformIndex(n));
+    if (u == v) v = (v + 1) % n;
+    benchmark::DoNotOptimize(engine.AddEdge(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalAddEdge);
+
+void BM_IncrementalAddRemoveCycle(benchmark::State& state) {
+  const std::size_t n = 20000;
+  DiGraph g = MakeGraph(n, n * 15, 5);
+  MonteCarloOptions mc;
+  mc.walks_per_node = 10;
+  mc.epsilon = 0.2;
+  IncrementalPageRank engine(g, mc);
+  Rng rng(6);
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(rng.UniformIndex(n));
+    NodeId v = static_cast<NodeId>(rng.UniformIndex(n));
+    if (u == v) v = (v + 1) % n;
+    benchmark::DoNotOptimize(engine.AddEdge(u, v));
+    benchmark::DoNotOptimize(engine.RemoveEdge(u, v));
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_IncrementalAddRemoveCycle);
+
+void BM_EstimateQuery(benchmark::State& state) {
+  const std::size_t n = 20000;
+  DiGraph g = MakeGraph(n, n * 15, 7);
+  MonteCarloOptions mc;
+  mc.walks_per_node = 10;
+  mc.epsilon = 0.2;
+  IncrementalPageRank engine(g, mc);
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.NormalizedEstimate(
+        static_cast<NodeId>(rng.UniformIndex(n))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EstimateQuery);
+
+void BM_TopK(benchmark::State& state) {
+  const std::size_t n = 20000;
+  DiGraph g = MakeGraph(n, n * 15, 9);
+  MonteCarloOptions mc;
+  mc.walks_per_node = 10;
+  mc.epsilon = 0.2;
+  IncrementalPageRank engine(g, mc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.TopK(static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_TopK)->Arg(10)->Arg(100);
+
+void BM_PersonalizedWalk(benchmark::State& state) {
+  const std::size_t n = 20000;
+  DiGraph g = MakeGraph(n, n * 15, 10);
+  MonteCarloOptions mc;
+  mc.walks_per_node = 10;
+  mc.epsilon = 0.2;
+  IncrementalPageRank engine(g, mc);
+  PersonalizedPageRankWalker walker(&engine.walk_store(),
+                                    &engine.social_store());
+  const uint64_t length = static_cast<uint64_t>(state.range(0));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    PersonalizedWalkResult result;
+    Status s = walker.Walk(static_cast<NodeId>(seed % n), length, ++seed,
+                           &result);
+    if (!s.ok()) std::abort();
+    benchmark::DoNotOptimize(result.fetches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(length));
+}
+BENCHMARK(BM_PersonalizedWalk)->Arg(1000)->Arg(10000);
+
+void BM_SegmentGeneration(benchmark::State& state) {
+  // One fresh segment: the 1/eps-step primitive every reroute pays.
+  DiGraph g = MakeGraph(5000, 75000, 11);
+  Rng rng(12);
+  for (auto _ : state) {
+    NodeId cur = static_cast<NodeId>(rng.UniformIndex(5000));
+    uint64_t visits = 1;
+    while (!rng.Bernoulli(0.2)) {
+      if (g.OutDegree(cur) == 0) break;
+      cur = g.RandomOutNeighbor(cur, &rng);
+      ++visits;
+    }
+    benchmark::DoNotOptimize(visits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentGeneration);
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,69 @@
+#include "fastppr/analysis/degree_cdf.h"
+
+#include <algorithm>
+#include <map>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+std::vector<DegreeCdfPoint> ComputeDegreeCdfs(
+    const DiGraph& snapshot,
+    const std::vector<std::size_t>& arrival_source_degrees) {
+  // Degree -> total out-edge mass at that degree.
+  std::map<std::size_t, double> existing_mass;
+  double total_mass = 0.0;
+  for (NodeId v = 0; v < snapshot.num_nodes(); ++v) {
+    const std::size_t d = snapshot.OutDegree(v);
+    if (d == 0) continue;
+    existing_mass[d] += static_cast<double>(d);
+    total_mass += static_cast<double>(d);
+  }
+  std::map<std::size_t, double> arrival_mass;
+  for (std::size_t d : arrival_source_degrees) arrival_mass[d] += 1.0;
+  const double total_arrivals =
+      static_cast<double>(arrival_source_degrees.size());
+
+  // Merge the degree axes and accumulate both CDFs.
+  std::vector<std::size_t> degrees;
+  for (const auto& [d, unused] : existing_mass) degrees.push_back(d);
+  for (const auto& [d, unused] : arrival_mass) degrees.push_back(d);
+  std::sort(degrees.begin(), degrees.end());
+  degrees.erase(std::unique(degrees.begin(), degrees.end()), degrees.end());
+
+  std::vector<DegreeCdfPoint> points;
+  double acc_existing = 0.0;
+  double acc_arrival = 0.0;
+  for (std::size_t d : degrees) {
+    auto it = existing_mass.find(d);
+    if (it != existing_mass.end()) acc_existing += it->second;
+    auto jt = arrival_mass.find(d);
+    if (jt != arrival_mass.end()) acc_arrival += jt->second;
+    DegreeCdfPoint p;
+    p.degree = d;
+    p.existing = total_mass > 0.0 ? acc_existing / total_mass : 0.0;
+    p.arrival = total_arrivals > 0.0 ? acc_arrival / total_arrivals : 0.0;
+    points.push_back(p);
+  }
+  return points;
+}
+
+double MeanMxStatistic(const std::vector<double>& pagerank,
+                       const std::vector<NodeId>& arrival_sources,
+                       const std::vector<std::size_t>& arrival_source_degrees,
+                       std::size_t num_edges) {
+  FASTPPR_CHECK(arrival_sources.size() == arrival_source_degrees.size());
+  if (arrival_sources.empty()) return 0.0;
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < arrival_sources.size(); ++i) {
+    const std::size_t d = arrival_source_degrees[i];
+    if (d == 0) continue;  // the paper drops edges from brand-new nodes
+    acc += static_cast<double>(num_edges) * pagerank[arrival_sources[i]] /
+           static_cast<double>(d);
+    ++counted;
+  }
+  return counted > 0 ? acc / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace fastppr

@@ -1,0 +1,47 @@
+#ifndef FASTPPR_ANALYSIS_DEGREE_CDF_H_
+#define FASTPPR_ANALYSIS_DEGREE_CDF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fastppr/graph/digraph.h"
+#include "fastppr/graph/types.h"
+
+namespace fastppr {
+
+/// The two cumulative distribution functions of Figure 1:
+///
+///  * existing-degree CDF e(d): the fraction of graph edge mass held by
+///    nodes of out-degree <= d, i.e. e(d) = s(d)/m where s(d) sums the
+///    out-degrees of all nodes with out-degree at most d;
+///  * arrival-degree CDF a(d): the fraction of newly arriving edges whose
+///    source had out-degree <= d at arrival time.
+///
+/// Under the paper's proportionality assumption (random-permutation
+/// arrivals) the two curves nearly coincide.
+struct DegreeCdfPoint {
+  std::size_t degree = 0;
+  double existing = 0.0;
+  double arrival = 0.0;
+};
+
+/// `arrival_source_degrees` holds, for each observed arrival, the
+/// out-degree of the source node just before the edge was applied;
+/// `snapshot` is the graph the CDF of existing edges is computed on.
+/// Points are emitted at every distinct degree present in either series.
+std::vector<DegreeCdfPoint> ComputeDegreeCdfs(
+    const DiGraph& snapshot,
+    const std::vector<std::size_t>& arrival_source_degrees);
+
+/// The validation statistic of Section 4.2(1): the mean over arrivals of
+/// m * pi_src / outdeg(src), where pi is a PageRank vector on the snapshot.
+/// Under the random-permutation model this is 1; the paper measured 0.81
+/// on Twitter.
+double MeanMxStatistic(const std::vector<double>& pagerank,
+                       const std::vector<NodeId>& arrival_sources,
+                       const std::vector<std::size_t>& arrival_source_degrees,
+                       std::size_t num_edges);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_ANALYSIS_DEGREE_CDF_H_

@@ -1,0 +1,72 @@
+#ifndef FASTPPR_ANALYSIS_LINK_PREDICTION_H_
+#define FASTPPR_ANALYSIS_LINK_PREDICTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fastppr/graph/csr_graph.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+
+/// The Appendix A experiment: two dated snapshots of a social stream; for
+/// users who grew their friend list between the dates, ask each method to
+/// rank candidate friends using only the date-1 graph and count how many
+/// of the actually-made friendships land in the top-100 / top-1000.
+struct LinkPredictionConfig {
+  /// Selection criteria, straight from the paper.
+  std::size_t num_users = 100;
+  std::size_t min_friends_t1 = 20;
+  std::size_t max_friends_t1 = 30;
+  double min_growth = 0.5;
+  double max_growth = 1.0;
+  std::size_t min_followers_target = 10;
+
+  std::size_t top_small = 100;
+  std::size_t top_large = 1000;
+
+  double epsilon = 0.2;          ///< reset probability for PPR / SALSA
+  std::size_t hits_iterations = 10;
+  double tolerance = 1e-9;
+  uint64_t seed = 7;
+};
+
+/// The dataset: date-1 graph plus, per selected user, the future friends
+/// that satisfy the paper's criteria.
+struct LinkPredictionDataset {
+  CsrGraph snapshot1;
+  std::vector<NodeId> users;
+  std::vector<std::vector<NodeId>> future_friends;  ///< parallel to users
+  std::size_t eligible_users = 0;  ///< before sampling down to num_users
+};
+
+/// Splits `stream` at `snapshot_fraction` into date-1 / date-2 and applies
+/// the selection criteria. Duplicate follow edges are ignored (a
+/// friendship is a set membership).
+LinkPredictionDataset BuildLinkPredictionDataset(
+    const std::vector<Edge>& stream, double snapshot_fraction,
+    const LinkPredictionConfig& config, Rng* rng);
+
+/// Average hits of one scoring method. `score_fn` must fill `scores` with
+/// the authority (relevance) score of every node for the given seed user.
+struct LinkPredictionScore {
+  double hits_top_small = 0.0;  ///< mean over users, Table 1 row "Top 100"
+  double hits_top_large = 0.0;  ///< mean over users, Table 1 row "Top 1000"
+};
+
+/// Table 1 for the four methods of the paper.
+struct LinkPredictionReport {
+  LinkPredictionScore hits;      ///< personalized HITS
+  LinkPredictionScore cosine;    ///< COSINE
+  LinkPredictionScore pagerank;  ///< personalized PageRank
+  LinkPredictionScore salsa;     ///< personalized SALSA
+};
+
+LinkPredictionReport EvaluateLinkPrediction(
+    const LinkPredictionDataset& dataset, const LinkPredictionConfig& config);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_ANALYSIS_LINK_PREDICTION_H_

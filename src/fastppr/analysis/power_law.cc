@@ -1,0 +1,82 @@
+#include "fastppr/analysis/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+PowerLawFit FitPowerLaw(const std::vector<double>& descending_values,
+                        std::size_t rank_lo, std::size_t rank_hi) {
+  PowerLawFit fit;
+  if (descending_values.empty()) return fit;
+  rank_lo = std::max<std::size_t>(rank_lo, 1);
+  if (rank_hi == 0 || rank_hi > descending_values.size()) {
+    rank_hi = descending_values.size();
+  }
+  if (rank_hi < rank_lo) return fit;
+
+  // Ordinary least squares on (log rank, log value), skipping zeros.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  std::size_t count = 0;
+  for (std::size_t j = rank_lo; j <= rank_hi; ++j) {
+    const double v = descending_values[j - 1];
+    if (v <= 0.0) continue;
+    const double x = std::log(static_cast<double>(j));
+    const double y = std::log(v);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+    ++count;
+  }
+  fit.points = count;
+  if (count < 2) return fit;
+  const double nn = static_cast<double>(count);
+  const double denom = nn * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  const double slope = (nn * sxy - sx * sy) / denom;
+  fit.alpha = -slope;
+  fit.intercept = (sy - slope * sx) / nn;
+  const double ss_tot = syy - sy * sy / nn;
+  const double ss_res =
+      syy - 2.0 * (slope * sxy + fit.intercept * sy) +
+      slope * slope * sxx + 2.0 * slope * fit.intercept * sx +
+      nn * fit.intercept * fit.intercept;
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+PowerLawFit FitPowerLawUnsorted(const std::vector<double>& values,
+                                std::size_t rank_lo, std::size_t rank_hi) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  return FitPowerLaw(sorted, rank_lo, rank_hi);
+}
+
+std::vector<std::pair<std::size_t, double>> LogSpacedRankSeries(
+    const std::vector<double>& descending_values,
+    std::size_t points_per_decade) {
+  std::vector<std::pair<std::size_t, double>> series;
+  if (descending_values.empty()) return series;
+  const double step = std::pow(10.0, 1.0 / static_cast<double>(
+                                          std::max<std::size_t>(
+                                              points_per_decade, 1)));
+  double r = 1.0;
+  std::size_t last = 0;
+  while (true) {
+    std::size_t rank = static_cast<std::size_t>(std::llround(r));
+    if (rank > descending_values.size()) break;
+    if (rank != last) {
+      series.emplace_back(rank, descending_values[rank - 1]);
+      last = rank;
+    }
+    r *= step;
+    if (rank == descending_values.size()) break;
+  }
+  return series;
+}
+
+}  // namespace fastppr

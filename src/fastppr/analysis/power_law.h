@@ -1,0 +1,39 @@
+#ifndef FASTPPR_ANALYSIS_POWER_LAW_H_
+#define FASTPPR_ANALYSIS_POWER_LAW_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fastppr {
+
+/// Least-squares fit of a rank-plot power law: given values sorted in
+/// descending order, fits  log(value_j) = intercept - alpha * log(j)
+/// over ranks [rank_lo, rank_hi] (1-based, inclusive). This is the
+/// exponent the paper fits for indegree / PageRank (Fig. 2, alpha ~ 0.76)
+/// and for personalized PageRank vectors over the window [2f, 20f]
+/// (Fig. 4, Remark 4).
+struct PowerLawFit {
+  double alpha = 0.0;      ///< rank exponent (positive for decaying tails)
+  double intercept = 0.0;  ///< log-space intercept
+  double r_squared = 0.0;  ///< goodness of fit in log-log space
+  std::size_t points = 0;  ///< samples used (zero values are skipped)
+};
+
+PowerLawFit FitPowerLaw(const std::vector<double>& descending_values,
+                        std::size_t rank_lo, std::size_t rank_hi);
+
+/// Convenience: sorts a copy descending and fits over [rank_lo, rank_hi]
+/// (rank_hi = 0 means "through the last positive value").
+PowerLawFit FitPowerLawUnsorted(const std::vector<double>& values,
+                                std::size_t rank_lo = 1,
+                                std::size_t rank_hi = 0);
+
+/// Log-spaced rank sample of a descending series, for figure output:
+/// returns (rank, value) pairs at ~points_per_decade ranks per decade.
+std::vector<std::pair<std::size_t, double>> LogSpacedRankSeries(
+    const std::vector<double>& descending_values,
+    std::size_t points_per_decade = 10);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_ANALYSIS_POWER_LAW_H_

@@ -1,0 +1,71 @@
+#include "fastppr/analysis/precision.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fastppr {
+
+PrecisionCurve InterpolatedPrecision(const std::vector<NodeId>& relevant,
+                                     const std::vector<NodeId>& ranked) {
+  PrecisionCurve curve{};
+  if (relevant.empty()) return curve;
+  std::unordered_set<NodeId> truth(relevant.begin(), relevant.end());
+
+  // precision/recall after each rank position where a relevant item lands.
+  std::vector<std::pair<double, double>> points;  // (recall, precision)
+  std::size_t found = 0;
+  for (std::size_t pos = 0; pos < ranked.size(); ++pos) {
+    if (!truth.count(ranked[pos])) continue;
+    ++found;
+    const double recall =
+        static_cast<double>(found) / static_cast<double>(truth.size());
+    const double precision =
+        static_cast<double>(found) / static_cast<double>(pos + 1);
+    points.emplace_back(recall, precision);
+  }
+  // Interpolated precision at level r = max precision at recall >= r.
+  for (int level = 10; level >= 0; --level) {
+    const double r = static_cast<double>(level) / 10.0;
+    double best = 0.0;
+    for (const auto& [recall, precision] : points) {
+      if (recall >= r) best = std::max(best, precision);
+    }
+    curve[static_cast<std::size_t>(level)] = best;
+  }
+  return curve;
+}
+
+PrecisionCurve AverageCurves(const std::vector<PrecisionCurve>& curves) {
+  PrecisionCurve avg{};
+  if (curves.empty()) return avg;
+  for (const PrecisionCurve& c : curves) {
+    for (std::size_t i = 0; i < avg.size(); ++i) avg[i] += c[i];
+  }
+  for (double& x : avg) x /= static_cast<double>(curves.size());
+  return avg;
+}
+
+double TopKOverlap(const std::vector<NodeId>& a, const std::vector<NodeId>& b,
+                   std::size_t k) {
+  if (k == 0) return 0.0;
+  std::unordered_set<NodeId> sa(a.begin(),
+                                a.begin() + std::min(k, a.size()));
+  std::size_t common = 0;
+  for (std::size_t i = 0; i < std::min(k, b.size()); ++i) {
+    if (sa.count(b[i])) ++common;
+  }
+  return static_cast<double>(common) / static_cast<double>(k);
+}
+
+double RecallAtDepth(const std::vector<NodeId>& relevant,
+                     const std::vector<NodeId>& ranked) {
+  if (relevant.empty()) return 0.0;
+  std::unordered_set<NodeId> truth(relevant.begin(), relevant.end());
+  std::size_t found = 0;
+  for (NodeId v : ranked) {
+    if (truth.count(v)) ++found;
+  }
+  return static_cast<double>(found) / static_cast<double>(truth.size());
+}
+
+}  // namespace fastppr

@@ -1,0 +1,37 @@
+#ifndef FASTPPR_ANALYSIS_PRECISION_H_
+#define FASTPPR_ANALYSIS_PRECISION_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "fastppr/graph/types.h"
+
+namespace fastppr {
+
+/// The 11-point interpolated average precision curve of Figure 5
+/// (Manning et al., Introduction to Information Retrieval): for recall
+/// levels 0.0, 0.1, ..., 1.0, the interpolated precision is the maximum
+/// precision attained at any recall >= that level.
+using PrecisionCurve = std::array<double, 11>;
+
+/// Computes the curve for one query: `relevant` is the truth set (the
+/// "true" top-100 of the long walk), `ranked` the retrieved ranking (the
+/// short walk's top-1000).
+PrecisionCurve InterpolatedPrecision(const std::vector<NodeId>& relevant,
+                                     const std::vector<NodeId>& ranked);
+
+/// Element-wise mean of per-query curves.
+PrecisionCurve AverageCurves(const std::vector<PrecisionCurve>& curves);
+
+/// |top-k(a) /\ top-k(b)| / k for two rankings (truncated to k).
+double TopKOverlap(const std::vector<NodeId>& a, const std::vector<NodeId>& b,
+                   std::size_t k);
+
+/// Fraction of `relevant` found anywhere in `ranked`.
+double RecallAtDepth(const std::vector<NodeId>& relevant,
+                     const std::vector<NodeId>& ranked);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_ANALYSIS_PRECISION_H_

@@ -1,0 +1,42 @@
+#include "fastppr/baseline/cosine.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+CosineResult CosineSimilarityScores(const CsrGraph& g, NodeId seed) {
+  FASTPPR_CHECK(seed < g.num_nodes());
+  const std::size_t n = g.num_nodes();
+  CosineResult result;
+  result.hub.assign(n, 0.0);
+  result.authority.assign(n, 0.0);
+
+  const double seed_deg = static_cast<double>(g.OutDegree(seed));
+  if (seed_deg == 0.0) return result;
+
+  // Co-following counts: |F(seed) /\ F(v)| for every v that shares at
+  // least one followee with the seed.
+  std::unordered_map<NodeId, double> common;
+  for (NodeId x : g.OutNeighbors(seed)) {
+    for (NodeId v : g.InNeighbors(x)) {
+      if (v != seed) common[v] += 1.0;
+    }
+  }
+  for (const auto& [v, cnt] : common) {
+    const double dv = static_cast<double>(g.OutDegree(v));
+    if (dv == 0.0) continue;
+    result.hub[v] = cnt / std::sqrt(seed_deg * dv);
+  }
+  for (const auto& [v, cnt] : common) {
+    (void)cnt;
+    const double hv = result.hub[v];
+    if (hv == 0.0) continue;
+    for (NodeId x : g.OutNeighbors(v)) result.authority[x] += hv;
+  }
+  return result;
+}
+
+}  // namespace fastppr

@@ -1,0 +1,28 @@
+#ifndef FASTPPR_BASELINE_COSINE_H_
+#define FASTPPR_BASELINE_COSINE_H_
+
+#include <vector>
+
+#include "fastppr/graph/csr_graph.h"
+#include "fastppr/graph/types.h"
+
+namespace fastppr {
+
+/// The COSINE link predictor of Appendix A: the hub score of v is the
+/// cosine similarity between the out-neighbour sets of the seed u and of v
+/// (as 0/1 vectors), and the authority score is
+///   a_x = sum_{(v,x) in E} h_v.
+///
+/// Computed sparsely: only nodes sharing at least one out-neighbour with
+/// the seed get a non-zero hub score, found by walking the in-lists of the
+/// seed's out-neighbours.
+struct CosineResult {
+  std::vector<double> hub;
+  std::vector<double> authority;
+};
+
+CosineResult CosineSimilarityScores(const CsrGraph& g, NodeId seed);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_BASELINE_COSINE_H_

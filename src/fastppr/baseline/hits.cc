@@ -1,0 +1,74 @@
+#include "fastppr/baseline/hits.h"
+
+#include <algorithm>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+namespace {
+
+void NormalizeL1(std::vector<double>* vec) {
+  double total = 0.0;
+  for (double x : *vec) total += x;
+  if (total > 0.0) {
+    for (double& x : *vec) x /= total;
+  }
+}
+
+}  // namespace
+
+HitsResult PersonalizedHits(const CsrGraph& g, NodeId seed,
+                            const HitsOptions& opts) {
+  FASTPPR_CHECK(seed < g.num_nodes());
+  const std::size_t n = g.num_nodes();
+  HitsResult result;
+  result.hub.assign(n, 0.0);
+  result.authority.assign(n, 0.0);
+  result.hub[seed] = 1.0;
+
+  for (std::size_t iter = 0; iter < opts.iterations; ++iter) {
+    // a_x = sum over in-edges of h_v.
+    std::fill(result.authority.begin(), result.authority.end(), 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      const double hv = result.hub[v];
+      if (hv == 0.0) continue;
+      for (NodeId x : g.OutNeighbors(v)) result.authority[x] += hv;
+    }
+    NormalizeL1(&result.authority);
+    // h_v = eps*delta + (1-eps) * sum over out-edges of a_x.
+    for (NodeId v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (NodeId x : g.OutNeighbors(v)) acc += result.authority[x];
+      result.hub[v] = (1.0 - opts.epsilon) * acc;
+    }
+    result.hub[seed] += opts.epsilon;
+    NormalizeL1(&result.hub);
+  }
+  return result;
+}
+
+HitsResult GlobalHits(const CsrGraph& g, std::size_t iterations) {
+  const std::size_t n = g.num_nodes();
+  HitsResult result;
+  result.hub.assign(n, 1.0 / static_cast<double>(n));
+  result.authority.assign(n, 0.0);
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    std::fill(result.authority.begin(), result.authority.end(), 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      const double hv = result.hub[v];
+      if (hv == 0.0) continue;
+      for (NodeId x : g.OutNeighbors(v)) result.authority[x] += hv;
+    }
+    NormalizeL1(&result.authority);
+    for (NodeId v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (NodeId x : g.OutNeighbors(v)) acc += result.authority[x];
+      result.hub[v] = acc;
+    }
+    NormalizeL1(&result.hub);
+  }
+  return result;
+}
+
+}  // namespace fastppr

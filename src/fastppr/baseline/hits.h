@@ -1,0 +1,38 @@
+#ifndef FASTPPR_BASELINE_HITS_H_
+#define FASTPPR_BASELINE_HITS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fastppr/graph/csr_graph.h"
+#include "fastppr/graph/types.h"
+
+namespace fastppr {
+
+/// Personalized HITS as defined in Appendix A of the paper:
+///
+///   h_v = eps * delta_{u,v} + (1 - eps) * sum_{(v,x) in E} a_x
+///   a_x = sum_{(v,x) in E} h_v
+///
+/// (no degree normalization, unlike SALSA). Scores are L1-normalized after
+/// every iteration to keep the iteration bounded; the paper runs 10
+/// iterations.
+struct HitsOptions {
+  double epsilon = 0.2;
+  std::size_t iterations = 10;
+};
+
+struct HitsResult {
+  std::vector<double> hub;
+  std::vector<double> authority;
+};
+
+HitsResult PersonalizedHits(const CsrGraph& g, NodeId seed,
+                            const HitsOptions& opts);
+
+/// Classical (global) HITS with the same normalization, for completeness.
+HitsResult GlobalHits(const CsrGraph& g, std::size_t iterations = 10);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_BASELINE_HITS_H_

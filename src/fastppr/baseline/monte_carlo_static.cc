@@ -1,0 +1,42 @@
+#include "fastppr/baseline/monte_carlo_static.h"
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+StaticMonteCarloResult StaticMonteCarloPageRank(const DiGraph& g,
+                                                std::size_t walks_per_node,
+                                                double epsilon, Rng* rng) {
+  FASTPPR_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  const std::size_t n = g.num_nodes();
+  StaticMonteCarloResult result;
+  result.visit_counts.assign(n, 0);
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t k = 0; k < walks_per_node; ++k) {
+      NodeId cur = u;
+      ++result.visit_counts[cur];
+      ++result.total_visits;
+      while (!rng->Bernoulli(epsilon)) {
+        if (g.OutDegree(cur) == 0) break;  // dangling exit = reset
+        cur = g.RandomOutNeighbor(cur, rng);
+        ++result.visit_counts[cur];
+        ++result.total_visits;
+        ++result.total_steps;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> NormalizeVisits(const StaticMonteCarloResult& result) {
+  std::vector<double> out(result.visit_counts.size(), 0.0);
+  if (result.total_visits == 0) return out;
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    out[v] = static_cast<double>(result.visit_counts[v]) /
+             static_cast<double>(result.total_visits);
+  }
+  return out;
+}
+
+}  // namespace fastppr

@@ -1,0 +1,32 @@
+#ifndef FASTPPR_BASELINE_MONTE_CARLO_STATIC_H_
+#define FASTPPR_BASELINE_MONTE_CARLO_STATIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fastppr/graph/digraph.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+
+/// The from-scratch Monte Carlo baseline (Avrachenkov et al. [3] in the
+/// paper): R fresh walk segments per node, visit counts, nothing stored.
+/// Recomputing this on every arrival is the Omega(mn/eps) straw man the
+/// incremental algorithm is compared against.
+struct StaticMonteCarloResult {
+  std::vector<int64_t> visit_counts;
+  uint64_t total_steps = 0;   ///< walk steps taken (the paper's work unit)
+  int64_t total_visits = 0;
+};
+
+StaticMonteCarloResult StaticMonteCarloPageRank(const DiGraph& g,
+                                                std::size_t walks_per_node,
+                                                double epsilon, Rng* rng);
+
+/// Normalized estimates (visit frequency; sums to 1).
+std::vector<double> NormalizeVisits(const StaticMonteCarloResult& result);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_BASELINE_MONTE_CARLO_STATIC_H_

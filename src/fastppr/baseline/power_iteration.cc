@@ -1,0 +1,85 @@
+#include "fastppr/baseline/power_iteration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+PowerIterationResult PageRankWithResetVector(
+    const CsrGraph& g, const std::vector<double>& reset,
+    const PowerIterationOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  FASTPPR_CHECK(reset.size() == n);
+  const double eps = opts.epsilon;
+
+  PowerIterationResult result;
+  std::vector<double>& cur = result.scores;
+  cur = reset;  // start at the reset distribution
+  std::vector<double> next(n, 0.0);
+
+  for (std::size_t iter = 0; iter < opts.max_iters; ++iter) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::size_t d = g.OutDegree(v);
+      if (d == 0) {
+        dangling += cur[v];
+        continue;
+      }
+      const double share = (1.0 - eps) * cur[v] / static_cast<double>(d);
+      for (NodeId w : g.OutNeighbors(v)) next[w] += share;
+    }
+    const double reinject = eps + (1.0 - eps) * dangling;
+    double diff = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] += reinject * reset[v];
+      diff += std::abs(next[v] - cur[v]);
+    }
+    cur.swap(next);
+    result.iterations = iter + 1;
+    result.residual = diff;
+    if (diff < opts.tolerance) break;
+  }
+  return result;
+}
+
+PowerIterationResult PageRankPowerIteration(
+    const CsrGraph& g, const PowerIterationOptions& opts) {
+  std::vector<double> uniform(g.num_nodes(),
+                              1.0 / static_cast<double>(g.num_nodes()));
+  return PageRankWithResetVector(g, uniform, opts);
+}
+
+PowerIterationResult PersonalizedPageRank(const CsrGraph& g, NodeId seed,
+                                          const PowerIterationOptions& opts) {
+  FASTPPR_CHECK(seed < g.num_nodes());
+  std::vector<double> reset(g.num_nodes(), 0.0);
+  reset[seed] = 1.0;
+  return PageRankWithResetVector(g, reset, opts);
+}
+
+std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
+                              std::size_t k,
+                              const std::vector<NodeId>& exclude) {
+  std::unordered_set<NodeId> skip(exclude.begin(), exclude.end());
+  std::vector<NodeId> order;
+  order.reserve(scores.size());
+  for (NodeId v = 0; v < scores.size(); ++v) {
+    if (!skip.count(v)) order.push_back(v);
+  }
+  const std::size_t take = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace fastppr

@@ -1,0 +1,52 @@
+#ifndef FASTPPR_BASELINE_POWER_ITERATION_H_
+#define FASTPPR_BASELINE_POWER_ITERATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fastppr/graph/csr_graph.h"
+#include "fastppr/graph/types.h"
+
+namespace fastppr {
+
+/// The linear-algebraic baseline of the paper's comparisons (equation (1)):
+/// repeated application of the PageRank update until the L1 change falls
+/// below `tolerance`. Each iteration costs O(m); recomputing after every
+/// arrival is the Omega(m^2 / ln(1/(1-eps))) straw man of Section 1.3.
+struct PowerIterationOptions {
+  double epsilon = 0.2;       ///< reset probability
+  double tolerance = 1e-12;   ///< L1 convergence threshold
+  std::size_t max_iters = 1000;
+};
+
+struct PowerIterationResult {
+  std::vector<double> scores;  ///< sums to 1
+  std::size_t iterations = 0;
+  double residual = 0.0;  ///< final L1 change
+};
+
+/// Global PageRank. Dangling mass is routed to the reset distribution
+/// (uniform), matching the Monte Carlo walk-segment semantics where a
+/// dangling node ends the session exactly like a reset.
+PowerIterationResult PageRankPowerIteration(const CsrGraph& g,
+                                            const PowerIterationOptions& opts);
+
+/// Personalized PageRank: all resets (and dangling exits) jump to `seed`.
+PowerIterationResult PersonalizedPageRank(const CsrGraph& g, NodeId seed,
+                                          const PowerIterationOptions& opts);
+
+/// Shared implementation: arbitrary reset distribution `reset` (must sum
+/// to 1 over g.num_nodes() entries).
+PowerIterationResult PageRankWithResetVector(
+    const CsrGraph& g, const std::vector<double>& reset,
+    const PowerIterationOptions& opts);
+
+/// Indices of the k largest scores, descending (ties by node id).
+/// `exclude` entries are skipped (e.g. the seed and its direct friends).
+std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
+                              std::size_t k,
+                              const std::vector<NodeId>& exclude = {});
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_BASELINE_POWER_ITERATION_H_

@@ -1,0 +1,94 @@
+#include "fastppr/baseline/salsa_exact.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+namespace {
+
+SalsaResult SalsaWithResetVector(const CsrGraph& g,
+                                 const std::vector<double>& reset,
+                                 const SalsaOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  const double eps = opts.epsilon;
+
+  // State: (hub, v) with mass h[v]; (authority, x) with mass a[x].
+  // From (hub, v): with prob eps -> (hub, reset); else if outdeg(v)==0
+  // -> (hub, reset); else -> (auth, x), x uniform out-neighbour.
+  // From (auth, x): if indeg(x)==0 -> (hub, reset) [unreachable guard];
+  // else -> (hub, v), v uniform over in-neighbours.
+  SalsaResult result;
+  std::vector<double> h = reset;
+  std::vector<double> a(n, 0.0);
+  std::vector<double> nh(n), na(n);
+
+  for (std::size_t iter = 0; iter < opts.max_iters; ++iter) {
+    std::fill(nh.begin(), nh.end(), 0.0);
+    std::fill(na.begin(), na.end(), 0.0);
+    double reinject = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (h[v] == 0.0) continue;
+      const std::size_t d = g.OutDegree(v);
+      if (d == 0) {
+        reinject += h[v];
+        continue;
+      }
+      reinject += eps * h[v];
+      const double share = (1.0 - eps) * h[v] / static_cast<double>(d);
+      for (NodeId x : g.OutNeighbors(v)) na[x] += share;
+    }
+    for (NodeId x = 0; x < n; ++x) {
+      if (a[x] == 0.0) continue;
+      const std::size_t d = g.InDegree(x);
+      if (d == 0) {
+        reinject += a[x];
+        continue;
+      }
+      const double share = a[x] / static_cast<double>(d);
+      for (NodeId v : g.InNeighbors(x)) nh[v] += share;
+    }
+    double diff = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      nh[v] += reinject * reset[v];
+      diff += std::abs(nh[v] - h[v]) + std::abs(na[v] - a[v]);
+    }
+    h.swap(nh);
+    a.swap(na);
+    result.iterations = iter + 1;
+    if (diff < opts.tolerance) break;
+  }
+
+  auto normalize = [](std::vector<double>* vec) {
+    double total = 0.0;
+    for (double x : *vec) total += x;
+    if (total > 0.0) {
+      for (double& x : *vec) x /= total;
+    }
+  };
+  normalize(&h);
+  normalize(&a);
+  result.hub = std::move(h);
+  result.authority = std::move(a);
+  return result;
+}
+
+}  // namespace
+
+SalsaResult SalsaExact(const CsrGraph& g, const SalsaOptions& opts) {
+  std::vector<double> uniform(g.num_nodes(),
+                              1.0 / static_cast<double>(g.num_nodes()));
+  return SalsaWithResetVector(g, uniform, opts);
+}
+
+SalsaResult PersonalizedSalsaExact(const CsrGraph& g, NodeId seed,
+                                   const SalsaOptions& opts) {
+  FASTPPR_CHECK(seed < g.num_nodes());
+  std::vector<double> reset(g.num_nodes(), 0.0);
+  reset[seed] = 1.0;
+  return SalsaWithResetVector(g, reset, opts);
+}
+
+}  // namespace fastppr

@@ -1,0 +1,151 @@
+#include "fastppr/core/incremental_pagerank.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fastppr/graph/graph_io.h"
+#include "fastppr/store/walk_store_io.h"
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+IncrementalPageRank::IncrementalPageRank(std::size_t num_nodes,
+                                         const MonteCarloOptions& opts)
+    : options_(opts), social_(num_nodes), rng_(opts.seed ^ 0x1CEB00DAULL) {
+  walks_.set_update_policy(opts.update_policy);
+  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed);
+}
+
+IncrementalPageRank::IncrementalPageRank(const DiGraph& initial,
+                                         const MonteCarloOptions& opts)
+    : options_(opts), social_(initial.num_nodes()),
+      rng_(opts.seed ^ 0x1CEB00DAULL) {
+  DiGraph* g = social_.mutable_graph();
+  for (NodeId u = 0; u < initial.num_nodes(); ++u) {
+    for (NodeId v : initial.OutNeighbors(u)) {
+      FASTPPR_CHECK(g->AddEdge(u, v).ok());
+    }
+  }
+  walks_.set_update_policy(opts.update_policy);
+  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed);
+}
+
+Status IncrementalPageRank::AddEdge(NodeId src, NodeId dst) {
+  FASTPPR_RETURN_IF_ERROR(social_.AddEdge(src, dst));
+  last_stats_ = walks_.OnEdgeInserted(social_.graph(), src, dst, &rng_);
+  lifetime_stats_.Accumulate(last_stats_);
+  ++arrivals_;
+  return Status::OK();
+}
+
+Status IncrementalPageRank::RemoveEdge(NodeId src, NodeId dst) {
+  FASTPPR_RETURN_IF_ERROR(social_.RemoveEdge(src, dst));
+  last_stats_ = walks_.OnEdgeRemoved(social_.graph(), src, dst, &rng_);
+  lifetime_stats_.Accumulate(last_stats_);
+  ++removals_;
+  return Status::OK();
+}
+
+Status IncrementalPageRank::ApplyEvent(const EdgeEvent& event) {
+  if (event.kind == EdgeEvent::Kind::kInsert) {
+    return AddEdge(event.edge.src, event.edge.dst);
+  }
+  return RemoveEdge(event.edge.src, event.edge.dst);
+}
+
+Status IncrementalPageRank::SaveSnapshot(
+    const std::string& directory) const {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return Status::IOError("cannot create " + directory);
+  FASTPPR_RETURN_IF_ERROR(
+      WriteSnapEdgeList(directory + "/graph.txt", graph().Edges()));
+  return SaveWalkStore(walks_, directory + "/walks.bin");
+}
+
+Status IncrementalPageRank::LoadSnapshot(
+    const std::string& directory, const MonteCarloOptions& opts,
+    std::unique_ptr<IncrementalPageRank>* engine) {
+  // Node ids inside an engine snapshot are already dense and must be
+  // preserved exactly (ReadSnapEdgeList would remap by first appearance),
+  // so read the raw pairs directly.
+  std::vector<Edge> edges;
+  {
+    std::ifstream in(directory + "/graph.txt");
+    if (!in.is_open()) {
+      return Status::IOError("cannot open " + directory + "/graph.txt");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      uint64_t src = 0, dst = 0;
+      if (!(ls >> src >> dst)) {
+        return Status::Corruption("malformed graph snapshot line");
+      }
+      edges.push_back(
+          Edge{static_cast<NodeId>(src), static_cast<NodeId>(dst)});
+    }
+  }
+  std::size_t num_nodes = 0;
+  for (const Edge& e : edges) {
+    num_nodes = std::max<std::size_t>(
+        num_nodes, std::max<std::size_t>(e.src, e.dst) + 1);
+  }
+
+  // Try loading the walks against graphs of growing size: the snapshot
+  // validates the node count itself.
+  auto attempt = [&](std::size_t n,
+                     std::unique_ptr<IncrementalPageRank>* out) {
+    MonteCarloOptions adjusted = opts;
+    auto candidate =
+        std::make_unique<IncrementalPageRank>(0, adjusted);
+    DiGraph* g = candidate->social_.mutable_graph();
+    g->EnsureNodes(n);
+    for (const Edge& e : edges) {
+      FASTPPR_RETURN_IF_ERROR(g->AddEdge(e.src, e.dst));
+    }
+    FASTPPR_RETURN_IF_ERROR(
+        LoadWalkStore(directory + "/walks.bin", *g, &candidate->walks_));
+    candidate->walks_.set_update_policy(opts.update_policy);
+    candidate->options_.walks_per_node = candidate->walks_.walks_per_node();
+    candidate->options_.epsilon = candidate->walks_.epsilon();
+    *out = std::move(candidate);
+    return Status::OK();
+  };
+  // First try with the edge-derived node count; if the stored universe
+  // was larger (isolated nodes), the walk loader reports the mismatch —
+  // retry with the count embedded in the walks snapshot.
+  Status s = attempt(num_nodes, engine);
+  if (s.ok()) return s;
+  if (!s.IsInvalidArgument()) return s;
+  // Parse the node count from the walks header for the retry.
+  std::ifstream in(directory + "/walks.bin", std::ios::binary);
+  if (!in.is_open()) return s;
+  in.seekg(sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint64_t) +
+           sizeof(double));
+  uint64_t stored_nodes = 0;
+  in.read(reinterpret_cast<char*>(&stored_nodes), sizeof(stored_nodes));
+  if (!in.good() || stored_nodes < num_nodes) return s;
+  return attempt(stored_nodes, engine);
+}
+
+std::vector<NodeId> IncrementalPageRank::TopK(std::size_t k) const {
+  std::vector<NodeId> order(num_nodes());
+  for (NodeId v = 0; v < order.size(); ++v) order[v] = v;
+  const std::size_t take = std::min(k, order.size());
+  const WalkStore& ws = walks_;
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&ws](NodeId a, NodeId b) {
+                      const int64_t xa = ws.VisitCount(a);
+                      const int64_t xb = ws.VisitCount(b);
+                      if (xa != xb) return xa > xb;
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace fastppr

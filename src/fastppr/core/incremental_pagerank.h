@@ -1,0 +1,114 @@
+#ifndef FASTPPR_CORE_INCREMENTAL_PAGERANK_H_
+#define FASTPPR_CORE_INCREMENTAL_PAGERANK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fastppr/graph/digraph.h"
+#include "fastppr/graph/edge_stream.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/store/social_store.h"
+#include "fastppr/store/walk_store.h"
+#include "fastppr/util/random.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr {
+
+/// Configuration for the Monte Carlo engines.
+struct MonteCarloOptions {
+  /// R: stored walk segments per node (2R total for SALSA). Theorem 1
+  /// gives sharp concentration already at R = 1; Section 3 wants
+  /// R > q ln n for the personalized fetch bounds.
+  std::size_t walks_per_node = 10;
+  /// Reset probability. The paper's experiments use 0.2.
+  double epsilon = 0.2;
+  /// Segment repair strategy (Section 2.2 offers both; see UpdatePolicy).
+  UpdatePolicy update_policy = UpdatePolicy::kRerouteFromVisit;
+  uint64_t seed = 42;
+};
+
+/// The paper's incremental PageRank system (Section 2): a SocialStore
+/// holding the evolving follow graph plus a WalkStore ("PageRank Store")
+/// holding R walk segments per node, kept consistent on every edge arrival
+/// and departure at O(nR ln m / eps^2) *total* cost under random-order
+/// arrivals (Theorem 4).
+class IncrementalPageRank {
+ public:
+  /// An engine over an initially empty graph with `num_nodes` nodes.
+  IncrementalPageRank(std::size_t num_nodes, const MonteCarloOptions& opts);
+
+  /// An engine bootstrapped from an existing graph (copies the edges; the
+  /// initialization cost is the nR/eps segment-generation cost).
+  IncrementalPageRank(const DiGraph& initial, const MonteCarloOptions& opts);
+
+  const MonteCarloOptions& options() const { return options_; }
+  std::size_t num_nodes() const { return social_.num_nodes(); }
+  std::size_t num_edges() const { return social_.num_edges(); }
+
+  /// Adds the edge to the Social Store and repairs the affected walk
+  /// segments. Returns the error of the underlying graph mutation if the
+  /// edge is invalid; the stats of the repair are in last_event_stats().
+  Status AddEdge(NodeId src, NodeId dst);
+
+  /// Removes the edge and repairs the affected segments.
+  Status RemoveEdge(NodeId src, NodeId dst);
+
+  Status ApplyEvent(const EdgeEvent& event);
+
+  /// pi~_v with the paper's nR/eps normalization (Theorem 1).
+  double Estimate(NodeId v) const { return walks_.Estimate(v); }
+  /// Visit-frequency estimate; sums to 1 and matches the power-iteration
+  /// baseline exactly in expectation (dangling handled as reset).
+  double NormalizedEstimate(NodeId v) const {
+    return walks_.NormalizedEstimate(v);
+  }
+  std::vector<double> NormalizedEstimates() const {
+    return walks_.NormalizedEstimates();
+  }
+
+  /// Nodes with the k highest PageRank estimates, descending.
+  std::vector<NodeId> TopK(std::size_t k) const;
+
+  /// Stats of the most recent AddEdge/RemoveEdge.
+  const WalkUpdateStats& last_event_stats() const { return last_stats_; }
+  /// Accumulated stats over the engine's lifetime.
+  const WalkUpdateStats& lifetime_stats() const { return lifetime_stats_; }
+  uint64_t arrivals() const { return arrivals_; }
+  uint64_t removals() const { return removals_; }
+
+  SocialStore& social_store() { return social_; }
+  const SocialStore& social_store() const { return social_; }
+  const WalkStore& walk_store() const { return walks_; }
+  const DiGraph& graph() const { return social_.graph(); }
+
+  /// Persists the engine (graph + walk segments) to `directory` as
+  /// `graph.txt` (SNAP edge list) and `walks.bin` (binary snapshot), so a
+  /// restart resumes incremental maintenance without re-initializing.
+  Status SaveSnapshot(const std::string& directory) const;
+
+  /// Restores an engine saved by SaveSnapshot. The options' R and epsilon
+  /// are taken from the snapshot; `opts.seed` seeds the post-restore
+  /// update randomness.
+  static Status LoadSnapshot(const std::string& directory,
+                             const MonteCarloOptions& opts,
+                             std::unique_ptr<IncrementalPageRank>* engine);
+
+  /// Test hook: full invariant audit.
+  void CheckConsistency() const { walks_.CheckConsistency(social_.graph()); }
+
+ private:
+  MonteCarloOptions options_;
+  SocialStore social_;
+  WalkStore walks_;
+  Rng rng_;
+  WalkUpdateStats last_stats_;
+  WalkUpdateStats lifetime_stats_;
+  uint64_t arrivals_ = 0;
+  uint64_t removals_ = 0;
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_CORE_INCREMENTAL_PAGERANK_H_

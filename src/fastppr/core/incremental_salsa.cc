@@ -1,0 +1,66 @@
+#include "fastppr/core/incremental_salsa.h"
+
+#include <algorithm>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+IncrementalSalsa::IncrementalSalsa(std::size_t num_nodes,
+                                   const MonteCarloOptions& opts)
+    : options_(opts), social_(num_nodes), rng_(opts.seed ^ 0x5A15AULL) {
+  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed);
+}
+
+IncrementalSalsa::IncrementalSalsa(const DiGraph& initial,
+                                   const MonteCarloOptions& opts)
+    : options_(opts), social_(initial.num_nodes()),
+      rng_(opts.seed ^ 0x5A15AULL) {
+  DiGraph* g = social_.mutable_graph();
+  for (NodeId u = 0; u < initial.num_nodes(); ++u) {
+    for (NodeId v : initial.OutNeighbors(u)) {
+      FASTPPR_CHECK(g->AddEdge(u, v).ok());
+    }
+  }
+  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed);
+}
+
+Status IncrementalSalsa::AddEdge(NodeId src, NodeId dst) {
+  FASTPPR_RETURN_IF_ERROR(social_.AddEdge(src, dst));
+  last_stats_ = walks_.OnEdgeInserted(social_.graph(), src, dst, &rng_);
+  lifetime_stats_.Accumulate(last_stats_);
+  ++arrivals_;
+  return Status::OK();
+}
+
+Status IncrementalSalsa::RemoveEdge(NodeId src, NodeId dst) {
+  FASTPPR_RETURN_IF_ERROR(social_.RemoveEdge(src, dst));
+  last_stats_ = walks_.OnEdgeRemoved(social_.graph(), src, dst, &rng_);
+  lifetime_stats_.Accumulate(last_stats_);
+  return Status::OK();
+}
+
+Status IncrementalSalsa::ApplyEvent(const EdgeEvent& event) {
+  if (event.kind == EdgeEvent::Kind::kInsert) {
+    return AddEdge(event.edge.src, event.edge.dst);
+  }
+  return RemoveEdge(event.edge.src, event.edge.dst);
+}
+
+std::vector<NodeId> IncrementalSalsa::TopKAuthorities(std::size_t k) const {
+  std::vector<NodeId> order(num_nodes());
+  for (NodeId v = 0; v < order.size(); ++v) order[v] = v;
+  const std::size_t take = std::min(k, order.size());
+  const SalsaWalkStore& ws = walks_;
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&ws](NodeId a, NodeId b) {
+                      const int64_t xa = ws.AuthorityVisits(a);
+                      const int64_t xb = ws.AuthorityVisits(b);
+                      if (xa != xb) return xa > xb;
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace fastppr

@@ -1,0 +1,66 @@
+#ifndef FASTPPR_CORE_INCREMENTAL_SALSA_H_
+#define FASTPPR_CORE_INCREMENTAL_SALSA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fastppr/core/incremental_pagerank.h"
+#include "fastppr/graph/digraph.h"
+#include "fastppr/graph/edge_stream.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/store/salsa_walk_store.h"
+#include "fastppr/store/social_store.h"
+#include "fastppr/util/random.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr {
+
+/// The SALSA counterpart of IncrementalPageRank (Section 2.3): maintains 2R
+/// alternating forward/backward walk segments per node under edge arrivals
+/// and departures; total update work over m arrivals is bounded by
+/// 16 nR ln m / eps^2 (Theorem 6).
+class IncrementalSalsa {
+ public:
+  IncrementalSalsa(std::size_t num_nodes, const MonteCarloOptions& opts);
+  IncrementalSalsa(const DiGraph& initial, const MonteCarloOptions& opts);
+
+  const MonteCarloOptions& options() const { return options_; }
+  std::size_t num_nodes() const { return social_.num_nodes(); }
+  std::size_t num_edges() const { return social_.num_edges(); }
+
+  Status AddEdge(NodeId src, NodeId dst);
+  Status RemoveEdge(NodeId src, NodeId dst);
+  Status ApplyEvent(const EdgeEvent& event);
+
+  /// Authority-side visit frequency (comparable to SalsaExact).
+  double AuthorityEstimate(NodeId v) const {
+    return walks_.NormalizedAuthority(v);
+  }
+  double HubEstimate(NodeId v) const { return walks_.NormalizedHub(v); }
+
+  /// Nodes with the k highest authority estimates, descending.
+  std::vector<NodeId> TopKAuthorities(std::size_t k) const;
+
+  const WalkUpdateStats& last_event_stats() const { return last_stats_; }
+  const WalkUpdateStats& lifetime_stats() const { return lifetime_stats_; }
+  uint64_t arrivals() const { return arrivals_; }
+
+  SocialStore& social_store() { return social_; }
+  const SalsaWalkStore& walk_store() const { return walks_; }
+  const DiGraph& graph() const { return social_.graph(); }
+
+  void CheckConsistency() const { walks_.CheckConsistency(social_.graph()); }
+
+ private:
+  MonteCarloOptions options_;
+  SocialStore social_;
+  SalsaWalkStore walks_;
+  Rng rng_;
+  WalkUpdateStats last_stats_;
+  WalkUpdateStats lifetime_stats_;
+  uint64_t arrivals_ = 0;
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_CORE_INCREMENTAL_SALSA_H_

@@ -1,0 +1,103 @@
+#ifndef FASTPPR_CORE_PPR_WALKER_H_
+#define FASTPPR_CORE_PPR_WALKER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fastppr/graph/types.h"
+#include "fastppr/store/social_store.h"
+#include "fastppr/store/walk_store.h"
+#include "fastppr/util/random.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr {
+
+/// What one "fetch" to the walk database returns (Remark 1 of the paper).
+enum class FetchMode {
+  /// Default: all R stored segments plus the full adjacency list; manual
+  /// steps after the segments are exhausted are then free.
+  kSegmentsAndAllEdges,
+  /// Memory-friendly variant: the first fetch returns the segments; every
+  /// manual step costs one more fetch (for one sampled out-edge). At most
+  /// a factor-2 more fetches (Remark 1).
+  kSegmentsAndOneEdge,
+};
+
+struct WalkerOptions {
+  FetchMode fetch_mode = FetchMode::kSegmentsAndAllEdges;
+  /// 0 = unlimited. Otherwise the walk aborts with ResourceExhausted once
+  /// the fetch budget is spent (failure-injection hook for tests).
+  uint64_t max_fetches = 0;
+};
+
+/// Outcome of one stitched personalized walk.
+struct PersonalizedWalkResult {
+  /// Visits per node over the whole walk (the seed's resets included).
+  std::unordered_map<NodeId, int64_t> visit_counts;
+  uint64_t length = 0;         ///< total positions appended
+  uint64_t fetches = 0;        ///< calls to the walk database (Figure 6)
+  uint64_t segments_used = 0;  ///< stored segments consumed
+  uint64_t manual_steps = 0;   ///< steps taken after segments ran out
+  uint64_t resets = 0;         ///< jumps back to the seed
+};
+
+/// A ranked recommendation.
+struct ScoredNode {
+  NodeId node = kInvalidNode;
+  int64_t visits = 0;
+  double score = 0.0;  ///< visit frequency within the walk
+};
+
+/// Algorithm 1 of the paper: a personalized PageRank walk from a seed that
+/// opportunistically consumes the stored walk segments (one use each) and
+/// falls back to manual steps on the fetched adjacency afterwards.
+///
+/// Distribution note: when an unused stored segment exists at the walk
+/// head, its tail is appended and the walk then resets to the seed — the
+/// stored segment already embodies the geometric reset draw, so no separate
+/// beta draw is made (this is distribution-identical to the paper's
+/// pseudocode and avoids biasing zero-length segments; see DESIGN.md).
+class PersonalizedPageRankWalker {
+ public:
+  PersonalizedPageRankWalker(const WalkStore* store, SocialStore* social,
+                             WalkerOptions options = WalkerOptions());
+
+  /// Runs a stitched walk of (at least) `length` positions from `seed`.
+  Status Walk(NodeId seed, uint64_t length, uint64_t rng_seed,
+              PersonalizedWalkResult* out) const;
+
+  /// Returns the k most-visited nodes of a stitched walk of the given
+  /// length, excluding the seed itself and (optionally) the seed's direct
+  /// out-neighbours — a recommender never recommends existing friends
+  /// (Remark 3 of the paper).
+  Status TopK(NodeId seed, std::size_t k, uint64_t length,
+              bool exclude_friends, uint64_t rng_seed,
+              std::vector<ScoredNode>* ranked,
+              PersonalizedWalkResult* walk_stats = nullptr) const;
+
+  /// TopK with the walk length chosen by equation (4) of the paper:
+  /// s_k = (c/(1-alpha)) * k * (n/k)^{1-alpha}, the length at which each
+  /// of the true top-k nodes is expected to be visited `c` times under
+  /// the power-law score model with exponent `alpha`.
+  Status TopKWithTheoryLength(NodeId seed, std::size_t k, double alpha,
+                              double c, bool exclude_friends,
+                              uint64_t rng_seed,
+                              std::vector<ScoredNode>* ranked,
+                              PersonalizedWalkResult* walk_stats =
+                                  nullptr) const;
+
+ private:
+  const WalkStore* store_;
+  SocialStore* social_;
+  WalkerOptions options_;
+};
+
+/// Ranks visit counts into ScoredNodes (shared by both walkers).
+std::vector<ScoredNode> RankVisits(
+    const std::unordered_map<NodeId, int64_t>& counts, std::size_t k,
+    uint64_t walk_length, const std::vector<NodeId>& exclude);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_CORE_PPR_WALKER_H_

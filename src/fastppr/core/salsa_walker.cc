@@ -1,0 +1,135 @@
+#include "fastppr/core/salsa_walker.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+PersonalizedSalsaWalker::PersonalizedSalsaWalker(const SalsaWalkStore* store,
+                                                 SocialStore* social,
+                                                 WalkerOptions options)
+    : store_(store), social_(social), options_(options) {
+  FASTPPR_CHECK(store_ != nullptr && social_ != nullptr);
+}
+
+Status PersonalizedSalsaWalker::Walk(NodeId seed, uint64_t length,
+                                     uint64_t rng_seed,
+                                     SalsaWalkResult* out) const {
+  if (seed >= social_->num_nodes()) {
+    return Status::InvalidArgument("seed node out of range");
+  }
+  *out = SalsaWalkResult{};
+  Rng rng(rng_seed);
+  const std::size_t R = store_->walks_per_node();
+  const double eps = store_->epsilon();
+  const DiGraph& g = social_->graph();
+
+  // Per-node consumed-segment counters, split by start direction.
+  // Presence in `fetched` == the node's segments + adjacency are local.
+  std::unordered_map<NodeId, uint32_t> used_fwd;
+  std::unordered_map<NodeId, uint32_t> used_bwd;
+  std::unordered_set<NodeId> fetched;
+
+  // Parity: true = hub side (a forward step is due), false = authority.
+  bool hub_side = true;
+  NodeId cur = seed;
+
+  auto visit = [out](NodeId v, bool hub) {
+    if (hub) {
+      ++out->hub_counts[v];
+    } else {
+      ++out->authority_counts[v];
+    }
+    ++out->length;
+  };
+  auto charge_fetch = [this, out]() -> bool {
+    ++out->fetches;
+    return options_.max_fetches == 0 || out->fetches <= options_.max_fetches;
+  };
+  auto reset_to_seed = [&]() {
+    visit(seed, /*hub=*/true);
+    ++out->resets;
+    cur = seed;
+    hub_side = true;
+  };
+
+  visit(seed, /*hub=*/true);
+  while (out->length < length) {
+    if (!fetched.count(cur)) {
+      if (!charge_fetch()) {
+        return Status::ResourceExhausted("fetch budget exhausted");
+      }
+      fetched.insert(cur);
+    }
+    auto& used = hub_side ? used_fwd : used_bwd;
+    uint32_t& consumed = used[cur];
+    if (consumed < R) {
+      // Stored segments with matching start direction: [0, R) are
+      // forward-start, [R, 2R) are backward-start.
+      const std::size_t slot = hub_side ? consumed : R + consumed;
+      const SalsaWalkStore::Segment& seg = store_->GetSegment(cur, slot);
+      ++consumed;
+      ++out->segments_used;
+      bool side = hub_side;
+      for (std::size_t p = 1;
+           p < seg.path.size() && out->length < length; ++p) {
+        side = !side;
+        visit(seg.path[p].node, side);
+      }
+      if (out->length < length) reset_to_seed();
+      continue;
+    }
+    // Manual simulation.
+    if (hub_side) {
+      if (rng.Bernoulli(eps)) {
+        reset_to_seed();
+        continue;
+      }
+      if (options_.fetch_mode == FetchMode::kSegmentsAndOneEdge &&
+          !charge_fetch()) {
+        return Status::ResourceExhausted("fetch budget exhausted");
+      }
+      if (g.OutDegree(cur) == 0) {
+        reset_to_seed();
+        continue;
+      }
+      cur = g.RandomOutNeighbor(cur, &rng);
+      hub_side = false;
+    } else {
+      if (options_.fetch_mode == FetchMode::kSegmentsAndOneEdge &&
+          !charge_fetch()) {
+        return Status::ResourceExhausted("fetch budget exhausted");
+      }
+      if (g.InDegree(cur) == 0) {
+        reset_to_seed();
+        continue;
+      }
+      cur = g.RandomInNeighbor(cur, &rng);
+      hub_side = true;
+    }
+    ++out->manual_steps;
+    visit(cur, hub_side);
+  }
+  return Status::OK();
+}
+
+Status PersonalizedSalsaWalker::TopKAuthorities(
+    NodeId seed, std::size_t k, uint64_t length, bool exclude_friends,
+    uint64_t rng_seed, std::vector<ScoredNode>* ranked,
+    SalsaWalkResult* walk_stats) const {
+  SalsaWalkResult walk;
+  FASTPPR_RETURN_IF_ERROR(Walk(seed, length, rng_seed, &walk));
+  std::vector<NodeId> exclude{seed};
+  if (exclude_friends) {
+    for (NodeId v : social_->graph().OutNeighbors(seed)) {
+      exclude.push_back(v);
+    }
+  }
+  *ranked = RankVisits(walk.authority_counts, k, walk.length, exclude);
+  if (walk_stats != nullptr) *walk_stats = std::move(walk);
+  return Status::OK();
+}
+
+}  // namespace fastppr

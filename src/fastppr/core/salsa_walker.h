@@ -1,0 +1,57 @@
+#ifndef FASTPPR_CORE_SALSA_WALKER_H_
+#define FASTPPR_CORE_SALSA_WALKER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fastppr/core/ppr_walker.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/store/salsa_walk_store.h"
+#include "fastppr/store/social_store.h"
+#include "fastppr/util/random.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr {
+
+/// Outcome of one stitched personalized SALSA walk. Hub-side and
+/// authority-side visits are tracked separately: a friend recommender
+/// ranks by authority score (relevance), Section 1.1 of the paper.
+struct SalsaWalkResult {
+  std::unordered_map<NodeId, int64_t> hub_counts;
+  std::unordered_map<NodeId, int64_t> authority_counts;
+  uint64_t length = 0;
+  uint64_t fetches = 0;
+  uint64_t segments_used = 0;
+  uint64_t manual_steps = 0;
+  uint64_t resets = 0;
+};
+
+/// Algorithm 1 adapted to personalized SALSA: the walk alternates forward
+/// and backward steps, resets (to the seed, in hub role) only before
+/// forward steps, and stitches the stored SalsaWalkStore segments whose
+/// start direction matches the walk's current parity.
+class PersonalizedSalsaWalker {
+ public:
+  PersonalizedSalsaWalker(const SalsaWalkStore* store, SocialStore* social,
+                          WalkerOptions options = WalkerOptions());
+
+  Status Walk(NodeId seed, uint64_t length, uint64_t rng_seed,
+              SalsaWalkResult* out) const;
+
+  /// k highest-authority nodes of a stitched walk, excluding the seed and
+  /// (optionally) its direct out-neighbours.
+  Status TopKAuthorities(NodeId seed, std::size_t k, uint64_t length,
+                         bool exclude_friends, uint64_t rng_seed,
+                         std::vector<ScoredNode>* ranked,
+                         SalsaWalkResult* walk_stats = nullptr) const;
+
+ private:
+  const SalsaWalkStore* store_;
+  SocialStore* social_;
+  WalkerOptions options_;
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_CORE_SALSA_WALKER_H_

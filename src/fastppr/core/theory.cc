@@ -1,0 +1,91 @@
+#include "fastppr/core/theory.h"
+
+#include <cmath>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+double PowerLawScore(std::size_t j, std::size_t n, double alpha) {
+  FASTPPR_CHECK(j >= 1 && n >= 1);
+  FASTPPR_CHECK(alpha > 0.0 && alpha < 1.0);
+  return (1.0 - alpha) * std::pow(static_cast<double>(j), -alpha) /
+         std::pow(static_cast<double>(n), 1.0 - alpha);
+}
+
+double WalkLengthForTopK(std::size_t k, std::size_t n, double alpha,
+                         double c) {
+  FASTPPR_CHECK(alpha > 0.0 && alpha < 1.0);
+  const double kk = static_cast<double>(k);
+  const double nn = static_cast<double>(n);
+  return c / (1.0 - alpha) * kk * std::pow(nn / kk, 1.0 - alpha);
+}
+
+double Theorem8FetchBound(double s, std::size_t n, std::size_t R,
+                          double alpha) {
+  FASTPPR_CHECK(alpha > 0.0 && alpha < 1.0);
+  const double nr = static_cast<double>(n) * static_cast<double>(R);
+  const double expo = (1.0 - alpha) / alpha;
+  return 1.0 + std::pow(2.0 * (1.0 - alpha) / nr, expo) *
+                   std::pow(s, 1.0 / alpha);
+}
+
+double Corollary9FetchBound(std::size_t k, std::size_t R, double alpha,
+                            double c) {
+  FASTPPR_CHECK(alpha > 0.0 && alpha < 1.0);
+  const double half_r = static_cast<double>(R) / 2.0;
+  return 1.0 + std::pow(c, 1.0 / alpha) /
+                   ((1.0 - alpha) * std::pow(half_r, 1.0 / alpha - 1.0)) *
+                   static_cast<double>(k);
+}
+
+double HarmonicNumber(std::size_t m) {
+  double h = 0.0;
+  for (std::size_t t = 1; t <= m; ++t) h += 1.0 / static_cast<double>(t);
+  return h;
+}
+
+double Theorem4SegmentsPerArrival(std::size_t n, std::size_t R, double eps,
+                                  std::size_t t) {
+  return static_cast<double>(n) * static_cast<double>(R) /
+         (static_cast<double>(t) * eps);
+}
+
+double Theorem4TotalWork(std::size_t n, std::size_t R, double eps,
+                         std::size_t m) {
+  return static_cast<double>(n) * static_cast<double>(R) / (eps * eps) *
+         HarmonicNumber(m);
+}
+
+double Proposition5DeletionWork(std::size_t n, std::size_t R, double eps,
+                                std::size_t m) {
+  return static_cast<double>(n) * static_cast<double>(R) /
+         (static_cast<double>(m) * eps * eps);
+}
+
+double DirichletTotalWork(std::size_t n, std::size_t R, double eps,
+                          std::size_t m) {
+  return static_cast<double>(n) * static_cast<double>(R) / (eps * eps) *
+         std::log(static_cast<double>(m + n) / static_cast<double>(n));
+}
+
+double Theorem6SalsaTotalWork(std::size_t n, std::size_t R, double eps,
+                              std::size_t m) {
+  return 16.0 * static_cast<double>(n) * static_cast<double>(R) /
+         (eps * eps) * std::log(static_cast<double>(m));
+}
+
+double NaivePowerIterationTotalWork(double eps, std::size_t m) {
+  const double per_unit = 1.0 / std::log(1.0 / (1.0 - eps));
+  const double mm = static_cast<double>(m);
+  // sum_{t=1..m} t / ln(1/(1-eps)) = m(m+1)/2 / ln(1/(1-eps)).
+  return mm * (mm + 1.0) / 2.0 * per_unit;
+}
+
+double NaiveMonteCarloTotalWork(std::size_t n, std::size_t R, double eps,
+                                std::size_t m) {
+  return static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(R) / eps;
+}
+
+}  // namespace fastppr

@@ -1,0 +1,69 @@
+#ifndef FASTPPR_CORE_THEORY_H_
+#define FASTPPR_CORE_THEORY_H_
+
+#include <cstddef>
+
+namespace fastppr {
+
+/// Closed forms from the paper, used by benches to overlay theoretical
+/// bounds on measured curves (Figure 6) and by tests to cross-check the
+/// numeric examples in the text (Remark 2).
+
+/// Equation (3): the j-th largest score under the power-law model,
+/// pi_j = (1 - alpha) j^{-alpha} / n^{1-alpha}.
+double PowerLawScore(std::size_t j, std::size_t n, double alpha);
+
+/// Equation (4): walk length s_k needed to see each of the top-k nodes c
+/// times in expectation: s_k = (c / (1-alpha)) * k * (n/k)^{1-alpha}.
+double WalkLengthForTopK(std::size_t k, std::size_t n, double alpha,
+                         double c);
+
+/// Theorem 8: expected fetches for a stitched walk of length s with R
+/// stored segments per node:
+/// E[F] <= 1 + (2(1-alpha)/(nR))^{(1-alpha)/alpha} * s^{1/alpha}.
+double Theorem8FetchBound(double s, std::size_t n, std::size_t R,
+                          double alpha);
+
+/// Corollary 9: expected fetches for the top-k query:
+/// E[F] <= 1 + c^{1/alpha} / ((1-alpha) (R/2)^{1/alpha - 1}) * k.
+double Corollary9FetchBound(std::size_t k, std::size_t R, double alpha,
+                            double c);
+
+/// H_m = sum_{t=1..m} 1/t.
+double HarmonicNumber(std::size_t m);
+
+/// Theorem 4: expected number of segments updated at arrival t is at most
+/// nR / (t * eps).
+double Theorem4SegmentsPerArrival(std::size_t n, std::size_t R, double eps,
+                                  std::size_t t);
+
+/// Theorem 4: expected total update *work* (walk steps) over m arrivals is
+/// at most (nR/eps^2) * H_m <= (nR/eps^2) ln m.
+double Theorem4TotalWork(std::size_t n, std::size_t R, double eps,
+                         std::size_t m);
+
+/// Proposition 5: expected work to process a random deletion when the
+/// graph has m edges: nR / (m eps^2).
+double Proposition5DeletionWork(std::size_t n, std::size_t R, double eps,
+                                std::size_t m);
+
+/// Section 2.2, Dirichlet arrival model: total work
+/// (nR/eps^2) * ln((m+n)/n).
+double DirichletTotalWork(std::size_t n, std::size_t R, double eps,
+                          std::size_t m);
+
+/// Theorem 6: SALSA total update work over m arrivals:
+/// 16 (nR/eps^2) ln m.
+double Theorem6SalsaTotalWork(std::size_t n, std::size_t R, double eps,
+                              std::size_t m);
+
+/// Naive baselines of Section 1.3, in the same work units.
+/// Power-iteration recompute per arrival: sum over t of t/ln(1/(1-eps)).
+double NaivePowerIterationTotalWork(double eps, std::size_t m);
+/// Monte Carlo recompute per arrival: m * n * R / eps.
+double NaiveMonteCarloTotalWork(std::size_t n, std::size_t R, double eps,
+                                std::size_t m);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_CORE_THEORY_H_

@@ -1,0 +1,39 @@
+#include "fastppr/graph/csr_graph.h"
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+CsrGraph CsrGraph::FromEdges(std::size_t num_nodes,
+                             const std::vector<Edge>& edges) {
+  CsrGraph g;
+  g.num_nodes_ = num_nodes;
+  g.out_offsets_.assign(num_nodes + 1, 0);
+  g.in_offsets_.assign(num_nodes + 1, 0);
+  for (const Edge& e : edges) {
+    FASTPPR_CHECK(e.src < num_nodes && e.dst < num_nodes);
+    ++g.out_offsets_[e.src + 1];
+    ++g.in_offsets_[e.dst + 1];
+  }
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.out_targets_.resize(edges.size());
+  g.in_sources_.resize(edges.size());
+  std::vector<uint64_t> out_fill(g.out_offsets_.begin(),
+                                 g.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_fill(g.in_offsets_.begin(),
+                                g.in_offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.out_targets_[out_fill[e.src]++] = e.dst;
+    g.in_sources_[in_fill[e.dst]++] = e.src;
+  }
+  return g;
+}
+
+CsrGraph CsrGraph::FromDiGraph(const DiGraph& g) {
+  return FromEdges(g.num_nodes(), g.Edges());
+}
+
+}  // namespace fastppr

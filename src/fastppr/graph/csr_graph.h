@@ -1,0 +1,55 @@
+#ifndef FASTPPR_GRAPH_CSR_GRAPH_H_
+#define FASTPPR_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fastppr/graph/digraph.h"
+#include "fastppr/graph/types.h"
+
+namespace fastppr {
+
+/// Immutable compressed-sparse-row snapshot of a directed graph, with both
+/// out- and in-adjacency. Built once from a DiGraph or an edge list; used
+/// by the linear-algebraic baselines (power iteration, exact SALSA, HITS)
+/// where sequential full sweeps dominate and cache locality matters.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Snapshot of `g` (O(n + m)).
+  static CsrGraph FromDiGraph(const DiGraph& g);
+
+  /// Builds from an edge list over `num_nodes` nodes.
+  static CsrGraph FromEdges(std::size_t num_nodes,
+                            const std::vector<Edge>& edges);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return out_targets_.size(); }
+
+  std::size_t OutDegree(NodeId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  std::size_t InDegree(NodeId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    return {out_targets_.data() + out_offsets_[v], OutDegree(v)};
+  }
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    return {in_sources_.data() + in_offsets_[v], InDegree(v)};
+  }
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::vector<uint64_t> out_offsets_{0};
+  std::vector<NodeId> out_targets_;
+  std::vector<uint64_t> in_offsets_{0};
+  std::vector<NodeId> in_sources_;
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_GRAPH_CSR_GRAPH_H_

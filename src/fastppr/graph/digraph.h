@@ -1,0 +1,72 @@
+#ifndef FASTPPR_GRAPH_DIGRAPH_H_
+#define FASTPPR_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fastppr/graph/types.h"
+#include "fastppr/util/random.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr {
+
+/// Dynamic directed multigraph over a fixed node universe [0, n).
+///
+/// This is the in-memory "social graph": both out- and in-adjacency are
+/// maintained so that forward (PageRank) and alternating forward/backward
+/// (SALSA) walks have O(1) random-neighbour sampling, and edge removal is
+/// O(degree). Parallel edges are allowed (a user may be followed through
+/// several products); self-loops are allowed but generators avoid them.
+class DiGraph {
+ public:
+  /// An empty graph over `num_nodes` nodes.
+  explicit DiGraph(std::size_t num_nodes = 0);
+
+  std::size_t num_nodes() const { return out_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Grows the node universe to at least `num_nodes`.
+  void EnsureNodes(std::size_t num_nodes);
+
+  /// Adds edge src->dst. Returns InvalidArgument if either endpoint is out
+  /// of range.
+  Status AddEdge(NodeId src, NodeId dst);
+
+  /// Removes one occurrence of src->dst (O(outdeg(src) + indeg(dst))).
+  /// Returns NotFound if the edge is not present.
+  Status RemoveEdge(NodeId src, NodeId dst);
+
+  bool HasEdge(NodeId src, NodeId dst) const;
+
+  std::size_t OutDegree(NodeId v) const { return out_[v].size(); }
+  std::size_t InDegree(NodeId v) const { return in_[v].size(); }
+
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    return {out_[v].data(), out_[v].size()};
+  }
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    return {in_[v].data(), in_[v].size()};
+  }
+
+  /// Uniformly random out-neighbour; kInvalidNode if outdegree is 0.
+  NodeId RandomOutNeighbor(NodeId v, Rng* rng) const;
+
+  /// Uniformly random in-neighbour; kInvalidNode if indegree is 0.
+  NodeId RandomInNeighbor(NodeId v, Rng* rng) const;
+
+  /// All edges in unspecified order (materialized; O(m)).
+  std::vector<Edge> Edges() const;
+
+  /// Number of dangling (outdegree-0) nodes.
+  std::size_t CountDangling() const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_GRAPH_DIGRAPH_H_

@@ -1,0 +1,101 @@
+#include "fastppr/graph/edge_stream.h"
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+RandomPermutationStream::RandomPermutationStream(std::vector<Edge> edges,
+                                                 Rng* rng)
+    : edges_(std::move(edges)) {
+  rng->Shuffle(&edges_);
+}
+
+std::optional<EdgeEvent> RandomPermutationStream::Next() {
+  if (pos_ >= edges_.size()) return std::nullopt;
+  return EdgeEvent{EdgeEvent::Kind::kInsert, edges_[pos_++]};
+}
+
+std::optional<EdgeEvent> AdversarialStream::Next() {
+  if (pos_ >= edges_.size()) return std::nullopt;
+  return EdgeEvent{EdgeEvent::Kind::kInsert, edges_[pos_++]};
+}
+
+DirichletStream::DirichletStream(std::size_t num_nodes,
+                                 std::size_t num_events, Rng* rng)
+    : num_nodes_(num_nodes), num_events_(num_events), rng_(rng->Fork()) {
+  FASTPPR_CHECK(num_nodes_ >= 2);
+}
+
+std::optional<EdgeEvent> DirichletStream::Next() {
+  if (produced_ >= num_events_) return std::nullopt;
+  // Pr[u] = (outdeg_u + 1) / (t - 1 + n): with probability
+  // t-1 / (t-1+n) pick an existing edge endpoint (prop. to outdeg),
+  // otherwise a uniform node (the "+1" smoothing).
+  auto sample = [&](const std::vector<NodeId>& endpoints) {
+    double t_minus_1 = static_cast<double>(endpoints.size());
+    double denom = t_minus_1 + static_cast<double>(num_nodes_);
+    if (!endpoints.empty() && rng_.NextDouble() * denom < t_minus_1) {
+      return endpoints[rng_.UniformIndex(endpoints.size())];
+    }
+    return static_cast<NodeId>(rng_.UniformIndex(num_nodes_));
+  };
+  NodeId src = sample(out_endpoints_);
+  NodeId dst = sample(in_endpoints_);
+  int attempts = 0;
+  while (dst == src && attempts++ < 32) dst = sample(in_endpoints_);
+  if (dst == src) dst = static_cast<NodeId>((src + 1) % num_nodes_);
+  out_endpoints_.push_back(src);
+  in_endpoints_.push_back(dst);
+  ++produced_;
+  return EdgeEvent{EdgeEvent::Kind::kInsert, Edge{src, dst}};
+}
+
+ChurnStream::ChurnStream(std::vector<Edge> edges, double p_delete,
+                         std::size_t warmup, Rng* rng)
+    : pending_(std::move(edges)), p_delete_(p_delete), warmup_(warmup),
+      rng_(rng->Fork()) {
+  rng_.Shuffle(&pending_);
+  // Treat pending_ as a stack: reverse so pop_back() yields shuffled order.
+}
+
+std::optional<EdgeEvent> ChurnStream::Next() {
+  const bool can_delete = inserted_ > warmup_ && !live_.empty();
+  if (can_delete && rng_.Bernoulli(p_delete_)) {
+    std::size_t i = rng_.UniformIndex(live_.size());
+    Edge victim = live_[i];
+    live_[i] = live_.back();
+    live_.pop_back();
+    reinsert_.push_back(victim);
+    return EdgeEvent{EdgeEvent::Kind::kDelete, victim};
+  }
+  Edge e;
+  if (!pending_.empty()) {
+    e = pending_.back();
+    pending_.pop_back();
+  } else if (!reinsert_.empty()) {
+    e = reinsert_.back();
+    reinsert_.pop_back();
+  } else {
+    return std::nullopt;
+  }
+  live_.push_back(e);
+  ++inserted_;
+  return EdgeEvent{EdgeEvent::Kind::kInsert, e};
+}
+
+std::vector<EdgeEvent> ApplyAll(EdgeStream* stream, DiGraph* graph) {
+  std::vector<EdgeEvent> applied;
+  while (auto ev = stream->Next()) {
+    graph->EnsureNodes(
+        std::max<std::size_t>(ev->edge.src, ev->edge.dst) + 1);
+    if (ev->kind == EdgeEvent::Kind::kInsert) {
+      FASTPPR_CHECK(graph->AddEdge(ev->edge.src, ev->edge.dst).ok());
+    } else {
+      FASTPPR_CHECK(graph->RemoveEdge(ev->edge.src, ev->edge.dst).ok());
+    }
+    applied.push_back(*ev);
+  }
+  return applied;
+}
+
+}  // namespace fastppr

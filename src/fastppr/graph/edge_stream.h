@@ -1,0 +1,112 @@
+#ifndef FASTPPR_GRAPH_EDGE_STREAM_H_
+#define FASTPPR_GRAPH_EDGE_STREAM_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "fastppr/graph/digraph.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+
+/// An edge-arrival (or departure) event in a dynamic graph stream.
+struct EdgeEvent {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  Edge edge;
+};
+
+/// Abstract edge-arrival process. Section 2.2 of the paper analyses three
+/// models: random permutation (the main theorem), Dirichlet, and
+/// adversarial; each is a subclass here.
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+
+  /// Next event, or nullopt when the stream is exhausted.
+  virtual std::optional<EdgeEvent> Next() = 0;
+
+  /// Total events this stream will produce, if known (0 = unknown).
+  virtual std::size_t size() const = 0;
+};
+
+/// The paper's main model: m adversarially chosen edges arriving in a
+/// uniformly random order.
+class RandomPermutationStream : public EdgeStream {
+ public:
+  RandomPermutationStream(std::vector<Edge> edges, Rng* rng);
+
+  std::optional<EdgeEvent> Next() override;
+  std::size_t size() const override { return edges_.size(); }
+
+ private:
+  std::vector<Edge> edges_;
+  std::size_t pos_ = 0;
+};
+
+/// Fixed (adversary-chosen) arrival order: replays the edge list verbatim.
+class AdversarialStream : public EdgeStream {
+ public:
+  explicit AdversarialStream(std::vector<Edge> edges)
+      : edges_(std::move(edges)) {}
+
+  std::optional<EdgeEvent> Next() override;
+  std::size_t size() const override { return edges_.size(); }
+
+ private:
+  std::vector<Edge> edges_;
+  std::size_t pos_ = 0;
+};
+
+/// The Dirichlet arrival model of Section 2.2: at time t the source of the
+/// arriving edge is u with probability [outdeg_u(t-1) + 1] / [t - 1 + n].
+/// The destination is sampled preferentially by indegree + 1 (the model in
+/// the paper leaves the destination unconstrained; preferential targets
+/// keep the graph power-law). Generates `num_events` insertions on the fly.
+class DirichletStream : public EdgeStream {
+ public:
+  DirichletStream(std::size_t num_nodes, std::size_t num_events, Rng* rng);
+
+  std::optional<EdgeEvent> Next() override;
+  std::size_t size() const override { return num_events_; }
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t num_events_;
+  std::size_t produced_ = 0;
+  Rng rng_;
+  std::vector<NodeId> out_endpoints_;  // node repeated once per out-edge
+  std::vector<NodeId> in_endpoints_;   // node repeated once per in-edge
+};
+
+/// Mixed insert/delete stream: replays `edges` in random order, and after a
+/// warmup prefix interleaves deletions of uniformly random live edges with
+/// probability `p_delete` per step (deleted edges are re-inserted later so
+/// the final graph equals the input set). Used by the deletion benches.
+class ChurnStream : public EdgeStream {
+ public:
+  ChurnStream(std::vector<Edge> edges, double p_delete, std::size_t warmup,
+              Rng* rng);
+
+  std::optional<EdgeEvent> Next() override;
+  std::size_t size() const override { return 0; }  // unknown: churn added
+
+ private:
+  std::vector<Edge> pending_;            // not yet inserted (reversed order)
+  std::vector<Edge> live_;               // currently inserted
+  std::vector<Edge> reinsert_;           // deleted, to be re-inserted
+  double p_delete_;
+  std::size_t warmup_;
+  std::size_t inserted_ = 0;
+  Rng rng_;
+};
+
+/// Drains a stream into a DiGraph, returning the events applied. Utility
+/// for tests and benches that do not need per-event hooks.
+std::vector<EdgeEvent> ApplyAll(EdgeStream* stream, DiGraph* graph);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_GRAPH_EDGE_STREAM_H_

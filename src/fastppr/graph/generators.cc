@@ -1,0 +1,330 @@
+#include "fastppr/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+namespace {
+
+/// Weighted sampler over dynamically growing discrete weights, implemented
+/// as the classic "repeat-edge-endpoint" trick generalized with an
+/// attractiveness term: maintain a flat multiset where node v appears once
+/// per unit of integer weight, plus rejection for the fractional
+/// attractiveness component. For our use (attractiveness >= 0, integer
+/// degree part) we keep it simple: a vector of endpoints (degree part) and
+/// uniform node choice for the attractiveness part, mixing the two streams
+/// proportionally.
+class DegreePlusASampler {
+ public:
+  DegreePlusASampler(std::size_t active_nodes, double a)
+      : active_(active_nodes), a_(a) {}
+
+  void SetActive(std::size_t active_nodes) { active_ = active_nodes; }
+  void RecordHit(NodeId v) { endpoints_.push_back(v); }
+
+  /// Samples v with probability proportional to hits(v) + a over the active
+  /// node range [0, active).
+  NodeId Sample(Rng* rng) const {
+    double total_degree = static_cast<double>(endpoints_.size());
+    double total_a = a_ * static_cast<double>(active_);
+    double u = rng->NextDouble() * (total_degree + total_a);
+    if (u < total_degree && !endpoints_.empty()) {
+      return endpoints_[rng->UniformIndex(endpoints_.size())];
+    }
+    return static_cast<NodeId>(rng->UniformIndex(active_));
+  }
+
+ private:
+  std::size_t active_;
+  double a_;
+  std::vector<NodeId> endpoints_;
+};
+
+}  // namespace
+
+std::vector<Edge> ErdosRenyi(std::size_t n, std::size_t m, Rng* rng) {
+  FASTPPR_CHECK(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  std::unordered_set<Edge, EdgeHash> seen;
+  const bool dedup = m < n * (n - 1) / 2;
+  while (edges.size() < m) {
+    NodeId src = static_cast<NodeId>(rng->UniformIndex(n));
+    NodeId dst = static_cast<NodeId>(rng->UniformIndex(n));
+    if (src == dst) continue;
+    Edge e{src, dst};
+    if (dedup && !seen.insert(e).second) continue;
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+std::vector<Edge> PreferentialAttachment(
+    const PreferentialAttachmentOptions& opts, Rng* rng) {
+  const std::size_t n = opts.num_nodes;
+  const std::size_t k = opts.out_per_node;
+  const std::size_t core = std::max<std::size_t>(2, opts.seed_clique);
+  FASTPPR_CHECK(n > core);
+
+  std::vector<Edge> edges;
+  edges.reserve(n * k);
+  DegreePlusASampler in_sampler(core, opts.attractiveness);
+  DegreePlusASampler out_sampler(core, 1.0);
+
+  // Bootstrap clique.
+  for (NodeId i = 0; i < core; ++i) {
+    for (NodeId j = 0; j < core; ++j) {
+      if (i == j) continue;
+      edges.push_back(Edge{i, j});
+      in_sampler.RecordHit(j);
+      out_sampler.RecordHit(i);
+    }
+  }
+
+  for (NodeId v = static_cast<NodeId>(core); v < n; ++v) {
+    in_sampler.SetActive(v);
+    out_sampler.SetActive(v);
+    for (std::size_t e = 0; e < k; ++e) {
+      NodeId src = v;
+      if (rng->Bernoulli(opts.p_internal)) {
+        src = out_sampler.Sample(rng);
+      }
+      NodeId dst = in_sampler.Sample(rng);
+      // Reject self-loops with a bounded retry budget; fall back to a
+      // uniform target so the stream length stays exactly n*k edges.
+      int attempts = 0;
+      while (dst == src && attempts++ < 16) dst = in_sampler.Sample(rng);
+      if (dst == src) {
+        dst = static_cast<NodeId>(rng->UniformIndex(v));
+        if (dst == src) dst = (src + 1) % v;
+      }
+      edges.push_back(Edge{src, dst});
+      in_sampler.RecordHit(dst);
+      out_sampler.RecordHit(src);
+    }
+    // The new node itself becomes attachable after issuing its edges.
+    in_sampler.SetActive(v + 1);
+    out_sampler.SetActive(v + 1);
+  }
+  return edges;
+}
+
+std::vector<Edge> ChungLuDirected(const ChungLuOptions& opts, Rng* rng) {
+  const std::size_t n = opts.num_nodes;
+  FASTPPR_CHECK(n >= 2);
+  FASTPPR_CHECK(opts.alpha_in > 0.0 && opts.alpha_in < 1.0);
+  FASTPPR_CHECK(opts.alpha_out > 0.0 && opts.alpha_out < 1.0);
+
+  // Random node relabelings so that in- and out-weight ranks are
+  // independent and node id carries no degree signal.
+  std::vector<std::size_t> in_label(n), out_label(n);
+  for (std::size_t i = 0; i < n; ++i) in_label[i] = out_label[i] = i;
+  if (opts.relabel) {
+    rng->Shuffle(&in_label);
+    rng->Shuffle(&out_label);
+  }
+
+  auto make_cdf = [n](double alpha, const std::vector<std::size_t>& label) {
+    std::vector<double> cdf(n);
+    double acc = 0.0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      acc += std::pow(static_cast<double>(rank + 1), -alpha);
+      cdf[rank] = acc;
+    }
+    (void)label;
+    return cdf;
+  };
+  // cdf[rank]; node with in-rank r is in_label[r].
+  std::vector<double> in_cdf = make_cdf(opts.alpha_in, in_label);
+  std::vector<double> out_cdf = make_cdf(opts.alpha_out, out_label);
+
+  std::vector<Edge> edges;
+  edges.reserve(opts.num_edges);
+  while (edges.size() < opts.num_edges) {
+    NodeId src = static_cast<NodeId>(out_label[SampleFromCdf(out_cdf, rng)]);
+    NodeId dst = static_cast<NodeId>(in_label[SampleFromCdf(in_cdf, rng)]);
+    if (src == dst) continue;
+    edges.push_back(Edge{src, dst});
+  }
+  return edges;
+}
+
+std::vector<Edge> TriadicClosureStream(const TriadicStreamOptions& opts,
+                                       Rng* rng) {
+  const std::size_t n = opts.num_nodes;
+  const std::size_t k = opts.out_per_node;
+  const std::size_t core = std::max<std::size_t>(2, opts.seed_clique);
+  FASTPPR_CHECK(n > core);
+
+  std::vector<std::vector<NodeId>> out(n);
+  std::vector<std::vector<NodeId>> in(n);
+  std::vector<std::size_t> indeg(n, 0);
+  std::vector<Edge> edges;
+  edges.reserve(n * k);
+  DegreePlusASampler in_sampler(core, opts.attractiveness);
+
+  auto add_edge = [&](NodeId s, NodeId d) {
+    edges.push_back(Edge{s, d});
+    out[s].push_back(d);
+    in[d].push_back(s);
+    ++indeg[d];
+    in_sampler.RecordHit(d);
+  };
+
+  // One friend-of-friend draw: a uniformly random followee's uniformly
+  // random followee, or kInvalidNode if the chain dead-ends.
+  auto draw_fof = [&](NodeId src) {
+    if (out[src].empty()) return kInvalidNode;
+    NodeId mid = out[src][rng->UniformIndex(out[src].size())];
+    if (out[mid].empty()) return kInvalidNode;
+    return out[mid][rng->UniformIndex(out[mid].size())];
+  };
+
+  // One co-follower draw (forward-backward-forward): a follower of one of
+  // src's followees, and then that co-follower's followee.
+  auto draw_cofollower = [&](NodeId src) {
+    if (out[src].empty()) return kInvalidNode;
+    NodeId x = out[src][rng->UniformIndex(out[src].size())];
+    if (in[x].empty()) return kInvalidNode;
+    NodeId v = in[x][rng->UniformIndex(in[x].size())];
+    if (v == src || out[v].empty()) return kInvalidNode;
+    return out[v][rng->UniformIndex(out[v].size())];
+  };
+
+  for (NodeId i = 0; i < core; ++i) {
+    for (NodeId j = 0; j < core; ++j) {
+      if (i != j) add_edge(i, j);
+    }
+  }
+
+  auto already_follows = [&](NodeId s, NodeId d) {
+    const auto& list = out[s];
+    return std::find(list.begin(), list.end(), d) != list.end();
+  };
+
+  for (NodeId v = static_cast<NodeId>(core); v < n; ++v) {
+    in_sampler.SetActive(v);
+    for (std::size_t e = 0; e < k; ++e) {
+      NodeId src = v;
+      if (rng->Bernoulli(opts.p_internal)) {
+        src = static_cast<NodeId>(rng->UniformIndex(v));
+      }
+      NodeId dst = kInvalidNode;
+      const int max_attempts = opts.avoid_duplicates ? 8 : 1;
+      for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        NodeId cand = kInvalidNode;
+        if (rng->Bernoulli(opts.p_triadic)) {
+          // Neighbourhood closure. With closure_candidates > 1, a
+          // candidate hit by several independent draws wins — multi-path
+          // (locally popular) accounts attract the follows.
+          const bool cofollow = rng->Bernoulli(opts.p_cofollower);
+          NodeId draws[8];
+          std::size_t k_draws =
+              std::min<std::size_t>(8,
+                                    std::max<std::size_t>(
+                                        1, opts.closure_candidates));
+          std::size_t got = 0;
+          for (std::size_t c = 0; c < k_draws; ++c) {
+            NodeId w = cofollow ? draw_cofollower(src) : draw_fof(src);
+            if (w != kInvalidNode) draws[got++] = w;
+          }
+          std::size_t best_count = 0;
+          for (std::size_t a = 0; a < got; ++a) {
+            std::size_t count = 0;
+            for (std::size_t b = 0; b < got; ++b) {
+              if (draws[b] == draws[a]) ++count;
+            }
+            if (count > best_count) {
+              best_count = count;
+              cand = draws[a];
+            }
+          }
+        }
+        if (cand == kInvalidNode) cand = in_sampler.Sample(rng);
+        if (cand == src) continue;
+        dst = cand;
+        if (!opts.avoid_duplicates || !already_follows(src, cand)) break;
+      }
+      if (dst == kInvalidNode || dst == src) {
+        dst = static_cast<NodeId>(rng->UniformIndex(n));
+        if (dst == src) dst = (src + 1) % static_cast<NodeId>(n);
+      }
+      add_edge(src, dst);
+      if (rng->Bernoulli(opts.p_reciprocal) && !already_follows(dst, src)) {
+        add_edge(dst, src);
+      }
+    }
+    in_sampler.SetActive(v + 1);
+  }
+  return edges;
+}
+
+TrapGraph MakeTrapGraph(std::size_t cycle_len) {
+  FASTPPR_CHECK(cycle_len >= 2);
+  const std::size_t nn = cycle_len;
+  TrapGraph trap;
+  trap.num_nodes = 3 * nn + 1;
+  // Layout: v_1..v_N = [0, N), u = N, x_1..x_N = [N+1, 2N+1),
+  // y_1..y_N = [2N+1, 3N+1).
+  auto v_node = [](std::size_t j) { return static_cast<NodeId>(j); };
+  const NodeId u = static_cast<NodeId>(nn);
+  auto x_node = [nn](std::size_t j) { return static_cast<NodeId>(nn + 1 + j); };
+  auto y_node = [nn](std::size_t j) {
+    return static_cast<NodeId>(2 * nn + 1 + j);
+  };
+  trap.u = u;
+  trap.v1 = v_node(0);
+
+  std::vector<Edge>& s = trap.adversarial_stream;
+  for (std::size_t j = 0; j < nn; ++j) {
+    s.push_back(Edge{v_node(j), v_node((j + 1) % nn)});  // cycle
+    s.push_back(Edge{v_node(j), u});                     // v_j -> u
+    s.push_back(Edge{x_node(j), u});                     // x_j -> u
+    s.push_back(Edge{v_node(0), y_node(j)});             // v_1 -> y_j
+    s.push_back(Edge{y_node(j), v_node(0)});             // y_j -> v_1
+  }
+  trap.trap_edge_index = s.size();
+  s.push_back(Edge{u, v_node(0)});  // the adversarial arrival
+  for (std::size_t j = 0; j < nn; ++j) {
+    s.push_back(Edge{u, x_node(j)});  // u -> x_j, arriving last
+  }
+  return trap;
+}
+
+std::vector<Edge> DirectedCycle(std::size_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    edges.push_back(
+        Edge{static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n)});
+  }
+  return edges;
+}
+
+std::vector<Edge> StarInto(std::size_t n_leaves) {
+  std::vector<Edge> edges;
+  edges.reserve(n_leaves);
+  for (std::size_t i = 1; i <= n_leaves; ++i) {
+    edges.push_back(Edge{static_cast<NodeId>(i), 0});
+  }
+  return edges;
+}
+
+std::vector<Edge> CompleteDigraph(std::size_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n * (n - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        edges.push_back(Edge{static_cast<NodeId>(i), static_cast<NodeId>(j)});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace fastppr

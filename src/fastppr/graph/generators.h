@@ -1,0 +1,134 @@
+#ifndef FASTPPR_GRAPH_GENERATORS_H_
+#define FASTPPR_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fastppr/graph/types.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+
+/// Synthetic social-graph generators. Every generator returns an edge list
+/// in *creation order* (a timestamped stream); callers that want the paper's
+/// random-permutation arrival model shuffle the list (see edge_stream.h).
+///
+/// These stand in for the Twitter follow graph: the paper's analyses depend
+/// only on power-law in-degree / score vectors (exponent alpha < 1) and the
+/// arrival-order model, both of which are directly controlled here.
+
+/// G(n, m): m uniformly random directed edges, no self-loops. Parallel
+/// edges are avoided via rejection when m is small relative to n^2.
+std::vector<Edge> ErdosRenyi(std::size_t n, std::size_t m, Rng* rng);
+
+/// Directed preferential attachment with initial attractiveness.
+///
+/// Nodes arrive one at a time; each new node issues `out_per_node` edges to
+/// targets sampled with probability proportional to (indegree + a). With
+/// probability `p_internal`, an edge instead originates from an existing
+/// node sampled proportional to (outdegree + 1) — this densifies the graph
+/// the way real follow graphs densify and makes the arrival-degree CDF of
+/// Fig. 1 meaningful.
+///
+/// In-degree tail exponent: gamma = 2 + a / out_per_node (for p_internal=0),
+/// i.e. rank-plot exponent alpha = 1 / (gamma - 1). For the paper's
+/// alpha ~= 0.76 use e.g. out_per_node=10, a=3.
+struct PreferentialAttachmentOptions {
+  std::size_t num_nodes = 10000;
+  std::size_t out_per_node = 10;
+  double attractiveness = 3.0;
+  double p_internal = 0.0;
+  std::size_t seed_clique = 5;  ///< fully-connected bootstrap core
+};
+std::vector<Edge> PreferentialAttachment(
+    const PreferentialAttachmentOptions& opts, Rng* rng);
+
+/// Directed Chung-Lu: node j (after a random relabeling) receives in-weight
+/// proportional to (j+1)^{-alpha_in} and out-weight proportional to
+/// (j+1)^{-alpha_out}; m edges sample src ~ out-weights and dst ~ in-weights
+/// independently (self-loops rejected). Gives *exact* control of the
+/// rank-plot exponent used throughout Section 3 of the paper.
+struct ChungLuOptions {
+  std::size_t num_nodes = 10000;
+  std::size_t num_edges = 100000;
+  double alpha_in = 0.76;
+  double alpha_out = 0.55;
+  bool relabel = true;  ///< shuffle node labels so id order carries no signal
+};
+std::vector<Edge> ChungLuDirected(const ChungLuOptions& opts, Rng* rng);
+
+/// Social stream with triadic closure: each new edge either (a) closes a
+/// triangle — pick a random out-neighbour v of the source, then a random
+/// out-neighbour w of v, and add src->w — with probability `p_triadic`, or
+/// (b) attaches preferentially like PreferentialAttachment. Triadic closure
+/// creates the local neighbourhood structure that random-walk link
+/// predictors exploit (Appendix A of the paper).
+struct TriadicStreamOptions {
+  std::size_t num_nodes = 10000;
+  std::size_t out_per_node = 10;
+  double attractiveness = 3.0;
+  double p_triadic = 0.5;
+  /// Probability that a new follow u -> v is reciprocated by v -> u.
+  /// Without reciprocity, heavily-followed early nodes never gain
+  /// out-edges and random walks get absorbed into them.
+  double p_reciprocal = 0.3;
+  /// Probability that a follow originates from a uniformly random
+  /// *existing* user instead of the newly arrived one. This spreads each
+  /// user's follow activity over the whole stream — required for the
+  /// two-snapshot link-prediction experiment, where users must keep
+  /// growing their friend lists between the dates.
+  double p_internal = 0.0;
+  /// Number of independent friend-of-friend draws per closure; a
+  /// candidate that shows up in more than one draw wins (ties keep the
+  /// first draw). 1 = uniform closure. Larger values bias new follows
+  /// toward accounts reachable by *many 2-hop paths* — locally popular but
+  /// not necessarily globally popular — which is precisely the signal
+  /// walk-based link predictors exploit and global-popularity rankings
+  /// miss (Appendix A of the paper).
+  std::size_t closure_candidates = 1;
+  /// Fraction of closures that use the *co-follower* mechanism instead of
+  /// friend-of-friend: u follows w because some v that shares a followee
+  /// with u follows w (u -> x, back to v, forward to w). This is the
+  /// forward-backward-forward structure that SALSA's alternating walk
+  /// captures (homophily: "users like you also follow w").
+  double p_cofollower = 0.0;
+  /// Retry target selection (a few times) when the source already follows
+  /// the candidate, so concentrated closure mass lands on *new*
+  /// friendships instead of duplicate follow events.
+  bool avoid_duplicates = false;
+  std::size_t seed_clique = 5;
+};
+std::vector<Edge> TriadicClosureStream(const TriadicStreamOptions& opts,
+                                       Rng* rng);
+
+/// Example 1 of the paper: the adversarial "trap" network.
+///
+/// Nodes: directed N-cycle v_1..v_N, a hub u, x_1..x_N, y_1..y_N
+/// (3N+1 nodes total). Edges: v_j -> u for all j; u -> x_j for all j;
+/// x_j -> u for all j; v_1 -> y_j for all j; y_j -> v_1 for all j; plus the
+/// cycle edges v_j -> v_{j+1}, v_N -> v_1.
+///
+/// The returned stream is in *adversarial order*: every edge not sourced at
+/// u arrives first, then u -> v_1, then u -> x_1..x_N. When u -> v_1
+/// arrives, u has outdegree 0 and Theta(n) stored walk segments terminate at
+/// u as dangling, so all of them must be extended: Omega(n) update work for
+/// a single arrival, exactly the paper's point that the random-order
+/// assumption is necessary.
+struct TrapGraph {
+  std::size_t num_nodes = 0;
+  std::vector<Edge> adversarial_stream;
+  /// Index into adversarial_stream of the u -> v_1 edge.
+  std::size_t trap_edge_index = 0;
+  NodeId u = kInvalidNode;
+  NodeId v1 = kInvalidNode;
+};
+TrapGraph MakeTrapGraph(std::size_t cycle_len);
+
+/// Deterministic small graphs used by tests.
+std::vector<Edge> DirectedCycle(std::size_t n);
+std::vector<Edge> StarInto(std::size_t n_leaves);  ///< leaves -> center 0
+std::vector<Edge> CompleteDigraph(std::size_t n);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_GRAPH_GENERATORS_H_

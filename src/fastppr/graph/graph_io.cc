@@ -1,0 +1,49 @@
+#include "fastppr/graph/graph_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace fastppr {
+
+Status ReadSnapEdgeList(const std::string& path, std::vector<Edge>* edges,
+                        std::size_t* num_nodes) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  edges->clear();
+  std::unordered_map<uint64_t, NodeId> remap;
+  auto intern = [&remap](uint64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t raw_src, raw_dst;
+    if (!(ls >> raw_src >> raw_dst)) {
+      return Status::Corruption("malformed line " + std::to_string(lineno) +
+                                " in " + path);
+    }
+    edges->push_back(Edge{intern(raw_src), intern(raw_dst)});
+  }
+  *num_nodes = remap.size();
+  return Status::OK();
+}
+
+Status WriteSnapEdgeList(const std::string& path,
+                         const std::vector<Edge>& edges) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out << "# Directed edge list (fastppr)\n# src\tdst\n";
+  for (const Edge& e : edges) out << e.src << '\t' << e.dst << '\n';
+  if (!out.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace fastppr

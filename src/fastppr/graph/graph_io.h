@@ -1,0 +1,25 @@
+#ifndef FASTPPR_GRAPH_GRAPH_IO_H_
+#define FASTPPR_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "fastppr/graph/types.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr {
+
+/// Reads a SNAP-format edge list: whitespace-separated "src dst" pairs, one
+/// per line, '#' comment lines ignored. Node ids are remapped to a dense
+/// [0, n) range in first-appearance order. On success fills `edges` and
+/// `num_nodes`.
+Status ReadSnapEdgeList(const std::string& path, std::vector<Edge>* edges,
+                        std::size_t* num_nodes);
+
+/// Writes an edge list in SNAP format with a provenance comment header.
+Status WriteSnapEdgeList(const std::string& path,
+                         const std::vector<Edge>& edges);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_GRAPH_GRAPH_IO_H_

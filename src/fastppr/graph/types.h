@@ -1,0 +1,35 @@
+#ifndef FASTPPR_GRAPH_TYPES_H_
+#define FASTPPR_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace fastppr {
+
+/// Node identifier. Nodes are dense integers in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// A directed edge src -> dst.
+struct Edge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+struct EdgeHash {
+  std::size_t operator()(const Edge& e) const {
+    uint64_t k = (static_cast<uint64_t>(e.src) << 32) | e.dst;
+    // SplitMix64 finalizer.
+    k = (k ^ (k >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    k = (k ^ (k >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(k ^ (k >> 31));
+  }
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_GRAPH_TYPES_H_

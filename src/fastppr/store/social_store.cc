@@ -1,0 +1,47 @@
+#include "fastppr/store/social_store.h"
+
+namespace fastppr {
+
+SocialStore::SocialStore(std::size_t num_nodes, Options options)
+    : options_(options), graph_(num_nodes),
+      shard_reads_(options.num_shards, 0) {}
+
+Status SocialStore::AddEdge(NodeId src, NodeId dst) {
+  Status s = graph_.AddEdge(src, dst);
+  if (s.ok()) ++writes_;
+  return s;
+}
+
+Status SocialStore::RemoveEdge(NodeId src, NodeId dst) {
+  Status s = graph_.RemoveEdge(src, dst);
+  if (s.ok()) ++writes_;
+  return s;
+}
+
+std::span<const NodeId> SocialStore::GetOutNeighbors(NodeId v) {
+  CountRead(v);
+  return graph_.OutNeighbors(v);
+}
+
+std::span<const NodeId> SocialStore::GetInNeighbors(NodeId v) {
+  CountRead(v);
+  return graph_.InNeighbors(v);
+}
+
+std::size_t SocialStore::GetOutDegree(NodeId v) {
+  CountRead(v);
+  return graph_.OutDegree(v);
+}
+
+std::size_t SocialStore::GetInDegree(NodeId v) {
+  CountRead(v);
+  return graph_.InDegree(v);
+}
+
+void SocialStore::ResetStats() {
+  reads_ = 0;
+  writes_ = 0;
+  shard_reads_.assign(shard_reads_.size(), 0);
+}
+
+}  // namespace fastppr

@@ -1,0 +1,85 @@
+#ifndef FASTPPR_STORE_SOCIAL_STORE_H_
+#define FASTPPR_STORE_SOCIAL_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fastppr/graph/digraph.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr {
+
+/// The "Social Store" of the paper: the FlockDB-like service holding the
+/// follow graph in distributed shared memory with random-access reads.
+///
+/// We emulate it with an in-memory DiGraph partitioned into hash shards and
+/// instrument every access: the paper's cost model counts *calls to the
+/// store*, not bytes or wall-clock, so per-shard read/write counters are the
+/// measured quantity (Figure 6 reports exactly "number of fetches to
+/// FlockDB"). An optional per-call simulated latency accumulator lets
+/// benches convert call counts into a modelled service time.
+class SocialStore {
+ public:
+  struct Options {
+    std::size_t num_shards = 16;
+    /// Modelled cost of one remote call, in microseconds (accumulated, not
+    /// slept).
+    double simulated_call_micros = 500.0;
+  };
+
+  explicit SocialStore(std::size_t num_nodes, Options options);
+  explicit SocialStore(std::size_t num_nodes)
+      : SocialStore(num_nodes, Options{}) {}
+
+  std::size_t num_nodes() const { return graph_.num_nodes(); }
+  std::size_t num_edges() const { return graph_.num_edges(); }
+
+  /// Write path: counted per shard of the source node.
+  Status AddEdge(NodeId src, NodeId dst);
+  Status RemoveEdge(NodeId src, NodeId dst);
+
+  /// Read path: counted per shard of the queried node.
+  std::span<const NodeId> GetOutNeighbors(NodeId v);
+  std::span<const NodeId> GetInNeighbors(NodeId v);
+  std::size_t GetOutDegree(NodeId v);
+  std::size_t GetInDegree(NodeId v);
+
+  /// Uncounted local access for algorithms that are explicitly modelled as
+  /// owning a local replica (e.g. offline baselines). Incremental engines
+  /// use the counted accessors.
+  const DiGraph& graph() const { return graph_; }
+  DiGraph* mutable_graph() { return &graph_; }
+
+  std::size_t shard_of(NodeId v) const { return v % options_.num_shards; }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t shard_reads(std::size_t shard) const {
+    return shard_reads_[shard];
+  }
+  /// Modelled total service time of all counted calls, microseconds.
+  double simulated_micros() const {
+    return static_cast<double>(reads_ + writes_) *
+           options_.simulated_call_micros;
+  }
+
+  void ResetStats();
+
+ private:
+  void CountRead(NodeId v) {
+    ++reads_;
+    ++shard_reads_[shard_of(v)];
+  }
+
+  Options options_;
+  DiGraph graph_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  std::vector<uint64_t> shard_reads_;
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_STORE_SOCIAL_STORE_H_

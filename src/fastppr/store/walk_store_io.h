@@ -1,0 +1,32 @@
+#ifndef FASTPPR_STORE_WALK_STORE_IO_H_
+#define FASTPPR_STORE_WALK_STORE_IO_H_
+
+#include <string>
+
+#include "fastppr/graph/digraph.h"
+#include "fastppr/store/walk_store.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr {
+
+/// Persistence for the PageRank Store. A production deployment snapshots
+/// the walk segments so a restart resumes incremental maintenance instead
+/// of paying the nR/eps initialization again.
+///
+/// Format (little-endian binary): magic, version, R, epsilon, n, segment
+/// count, then per segment [end reason, length, node ids]. The inverted
+/// visit index and the counters are rebuilt on load (they are derived
+/// state), and every stored hop is re-validated against the provided
+/// graph, so a snapshot can only be loaded against the graph it was taken
+/// from.
+Status SaveWalkStore(const WalkStore& store, const std::string& path);
+
+/// Loads a snapshot saved by SaveWalkStore. `g` must be the same graph
+/// the snapshot was taken against (hop validation fails with Corruption
+/// otherwise).
+Status LoadWalkStore(const std::string& path, const DiGraph& g,
+                     WalkStore* store);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_STORE_WALK_STORE_IO_H_

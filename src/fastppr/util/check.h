@@ -1,0 +1,30 @@
+#ifndef FASTPPR_UTIL_CHECK_H_
+#define FASTPPR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checking used for programmer errors (as opposed to recoverable
+/// Status conditions). Always on, including release builds: walk-store index
+/// corruption must fail fast rather than silently skew estimates.
+#define FASTPPR_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "FASTPPR_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                           \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define FASTPPR_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "FASTPPR_CHECK failed at %s:%d: %s (%s)\n",   \
+                   __FILE__, __LINE__, #cond, msg);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define FASTPPR_DCHECK(cond) FASTPPR_CHECK(cond)
+
+#endif  // FASTPPR_UTIL_CHECK_H_

@@ -1,0 +1,33 @@
+#include "fastppr/util/csv_writer.h"
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+Status CsvWriter::Open(const std::string& path,
+                       const std::vector<std::string>& header,
+                       CsvWriter* out) {
+  out->file_.open(path, std::ios::out | std::ios::trunc);
+  if (!out->file_.is_open()) {
+    return Status::IOError("cannot open " + path);
+  }
+  out->columns_ = header.size();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out->file_ << ',';
+    out->file_ << header[i];
+  }
+  out->file_ << '\n';
+  return Status::OK();
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  FASTPPR_CHECK(cells.size() == columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) file_ << ',';
+    file_ << cells[i];
+  }
+  file_ << '\n';
+  ++rows_written_;
+}
+
+}  // namespace fastppr

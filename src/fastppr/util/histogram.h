@@ -1,0 +1,64 @@
+#ifndef FASTPPR_UTIL_HISTOGRAM_H_
+#define FASTPPR_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastppr {
+
+/// Streaming summary statistics (count/mean/variance via Welford, min/max)
+/// plus exact percentiles from retained samples. Used by bench harnesses to
+/// report per-arrival update work and fetch counts.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi) with linear bins; values outside the
+/// range are clamped to the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  uint64_t bin_count(std::size_t i) const { return counts_[i]; }
+  double bin_lo(std::size_t i) const;
+  uint64_t total() const { return total_; }
+
+  /// Approximate quantile q in [0,1] from the binned data.
+  double Quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_UTIL_HISTOGRAM_H_

@@ -1,0 +1,125 @@
+#include "fastppr/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformUint64(uint64_t bound) {
+  FASTPPR_CHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::Geometric(double p) {
+  FASTPPR_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  double u = NextDouble();
+  // Avoid log(0); NextDouble() is in [0,1) so 1-u is in (0,1].
+  double g = std::floor(std::log1p(-u) / std::log1p(-p));
+  if (g < 0.0) g = 0.0;
+  return static_cast<uint64_t>(g);
+}
+
+uint64_t Rng::Binomial(uint64_t n, double p) {
+  if (p <= 0.0 || n == 0) return 0;
+  if (p >= 1.0) return n;
+  if (n <= 64) {
+    uint64_t k = 0;
+    for (uint64_t i = 0; i < n; ++i) k += Bernoulli(p) ? 1 : 0;
+    return k;
+  }
+  // Count successes by skipping geometric gaps between them; runtime is
+  // O(np + 1), fine for the visit-count gating use case.
+  uint64_t k = 0;
+  uint64_t pos = 0;
+  while (true) {
+    pos += Geometric(p) + 1;
+    if (pos > n) break;
+    ++k;
+  }
+  return k;
+}
+
+double Rng::Normal() {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<std::size_t> Rng::Permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  Shuffle(&perm);
+  return perm;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+std::size_t SampleFromCdf(const std::vector<double>& cdf, Rng* rng) {
+  FASTPPR_CHECK(!cdf.empty());
+  double total = cdf.back();
+  FASTPPR_CHECK(total > 0.0);
+  double u = rng->NextDouble() * total;
+  auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+  if (it == cdf.end()) --it;
+  return static_cast<std::size_t>(it - cdf.begin());
+}
+
+}  // namespace fastppr

@@ -1,0 +1,78 @@
+#ifndef FASTPPR_UTIL_RANDOM_H_
+#define FASTPPR_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fastppr {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256++ seeded via
+/// SplitMix64). All randomized components of the library take an explicit
+/// seed so that every experiment in the paper reproduction is replayable.
+///
+/// Not thread-safe; use one Rng per thread.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` using SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform in [0, bound) as size_t, convenience for container indexing.
+  std::size_t UniformIndex(std::size_t bound) {
+    return static_cast<std::size_t>(UniformUint64(bound));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double NextDouble();
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Number of failures before the first success for success probability
+  /// `p` in (0, 1]: geometric on {0, 1, 2, ...} with mean (1-p)/p.
+  /// Sampled via the inversion method, O(1).
+  uint64_t Geometric(double p);
+
+  /// Binomial(n, p) sample. Uses O(n) Bernoulli trials below a small n and
+  /// the BTPE-free inversion otherwise; adequate for the library's use
+  /// (gating decisions where n = visit counts).
+  uint64_t Binomial(uint64_t n, double p);
+
+  /// Standard normal via Box-Muller (no caching; amortized cost fine here).
+  double Normal();
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->size() < 2) return;
+    for (std::size_t i = v->size() - 1; i > 0; --i) {
+      std::size_t j = UniformIndex(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// A random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> Permutation(std::size_t n);
+
+  /// Derives an independent child generator; used to give each node /
+  /// each walk its own replayable stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples an index from a discrete distribution given cumulative weights
+/// `cdf` (non-decreasing, cdf.back() = total mass), by binary search.
+/// Returns an index in [0, cdf.size()).
+std::size_t SampleFromCdf(const std::vector<double>& cdf, Rng* rng);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_UTIL_RANDOM_H_

@@ -1,0 +1,80 @@
+#ifndef FASTPPR_UTIL_STATUS_H_
+#define FASTPPR_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace fastppr {
+
+/// A RocksDB-style status object for fallible operations.
+///
+/// Library invariant violations use CHECK macros (check.h); recoverable
+/// conditions (bad input, missing files, malformed data) return a Status.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound = 1,
+    kInvalidArgument = 2,
+    kCorruption = 3,
+    kIOError = 4,
+    kOutOfRange = 5,
+    kResourceExhausted = 6,
+  };
+
+  /// Default-constructed status is OK.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable representation, e.g. "InvalidArgument: bad node id".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define FASTPPR_RETURN_IF_ERROR(expr)         \
+  do {                                        \
+    ::fastppr::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_UTIL_STATUS_H_

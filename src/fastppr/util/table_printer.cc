@@ -1,0 +1,57 @@
+#include "fastppr/util/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FASTPPR_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  FASTPPR_CHECK_MSG(cells.size() == headers_.size(),
+                    "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << value;
+  return os.str();
+}
+
+std::string TablePrinter::Fmt(uint64_t value) { return std::to_string(value); }
+std::string TablePrinter::Fmt(int64_t value) { return std::to_string(value); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace fastppr

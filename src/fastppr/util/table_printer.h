@@ -1,0 +1,36 @@
+#ifndef FASTPPR_UTIL_TABLE_PRINTER_H_
+#define FASTPPR_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace fastppr {
+
+/// Renders aligned ASCII tables for bench harness output, mirroring the
+/// rows/series format of the paper's tables and figures.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double value, int precision = 4);
+  static std::string Fmt(uint64_t value);
+  static std::string Fmt(int64_t value);
+
+  /// The rendered table (header, separator, rows).
+  std::string ToString() const;
+
+  /// Prints the rendered table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_UTIL_TABLE_PRINTER_H_

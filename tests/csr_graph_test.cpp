@@ -1,0 +1,70 @@
+#include "fastppr/graph/csr_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fastppr {
+namespace {
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph g = CsrGraph::FromEdges(3, {});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.OutDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(2), 0u);
+}
+
+TEST(CsrGraphTest, FromEdgesDegreesAndNeighbors) {
+  std::vector<Edge> edges{{0, 1}, {0, 2}, {2, 1}, {1, 0}};
+  CsrGraph g = CsrGraph::FromEdges(3, edges);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  std::set<NodeId> outs(g.OutNeighbors(0).begin(), g.OutNeighbors(0).end());
+  EXPECT_EQ(outs, (std::set<NodeId>{1, 2}));
+  std::set<NodeId> ins(g.InNeighbors(1).begin(), g.InNeighbors(1).end());
+  EXPECT_EQ(ins, (std::set<NodeId>{0, 2}));
+}
+
+TEST(CsrGraphTest, FromDiGraphMatches) {
+  DiGraph d(4);
+  ASSERT_TRUE(d.AddEdge(0, 3).ok());
+  ASSERT_TRUE(d.AddEdge(3, 2).ok());
+  ASSERT_TRUE(d.AddEdge(3, 1).ok());
+  CsrGraph g = CsrGraph::FromDiGraph(d);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g.OutDegree(v), d.OutDegree(v)) << v;
+    EXPECT_EQ(g.InDegree(v), d.InDegree(v)) << v;
+  }
+}
+
+TEST(CsrGraphTest, ParallelEdgesPreserved) {
+  std::vector<Edge> edges{{0, 1}, {0, 1}};
+  CsrGraph g = CsrGraph::FromEdges(2, edges);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+}
+
+TEST(CsrGraphTest, NeighborSpansConsistentWithEdgeCount) {
+  std::vector<Edge> edges;
+  const std::size_t n = 50;
+  for (NodeId i = 0; i < n; ++i) {
+    edges.push_back(Edge{i, static_cast<NodeId>((i + 1) % n)});
+    edges.push_back(Edge{i, static_cast<NodeId>((i + 7) % n)});
+  }
+  CsrGraph g = CsrGraph::FromEdges(n, edges);
+  std::size_t total_out = 0, total_in = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    total_out += g.OutNeighbors(v).size();
+    total_in += g.InNeighbors(v).size();
+  }
+  EXPECT_EQ(total_out, edges.size());
+  EXPECT_EQ(total_in, edges.size());
+}
+
+}  // namespace
+}  // namespace fastppr

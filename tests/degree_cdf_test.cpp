@@ -1,0 +1,114 @@
+#include "fastppr/analysis/degree_cdf.h"
+
+#include <gtest/gtest.h>
+
+#include "fastppr/graph/generators.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+namespace {
+
+TEST(DegreeCdfTest, HandComputedExistingCdf) {
+  // Node degrees: 0->2, 1->1, 2->1, 3->0. m = 4.
+  DiGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  auto points = ComputeDegreeCdfs(g, {});
+  // e(1) = (1+1)/4 = 0.5; e(2) = 1.0.
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].degree, 1u);
+  EXPECT_DOUBLE_EQ(points[0].existing, 0.5);
+  EXPECT_EQ(points[1].degree, 2u);
+  EXPECT_DOUBLE_EQ(points[1].existing, 1.0);
+}
+
+TEST(DegreeCdfTest, ArrivalCdfFromObservedDegrees) {
+  DiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  std::vector<std::size_t> arrivals{1, 1, 3, 5};
+  auto points = ComputeDegreeCdfs(g, arrivals);
+  // Arrival degrees present: 1 (x2), 3, 5.
+  double a1 = 0, a3 = 0, a5 = 0;
+  for (const auto& p : points) {
+    if (p.degree == 1) a1 = p.arrival;
+    if (p.degree == 3) a3 = p.arrival;
+    if (p.degree == 5) a5 = p.arrival;
+  }
+  EXPECT_DOUBLE_EQ(a1, 0.5);
+  EXPECT_DOUBLE_EQ(a3, 0.75);
+  EXPECT_DOUBLE_EQ(a5, 1.0);
+}
+
+TEST(DegreeCdfTest, CdfsNondecreasingAndEndAtOne) {
+  Rng rng(1);
+  auto edges = ErdosRenyi(200, 2000, &rng);
+  DiGraph g(200);
+  std::vector<std::size_t> arrival_degrees;
+  for (const Edge& e : edges) {
+    arrival_degrees.push_back(g.OutDegree(e.src));
+    ASSERT_TRUE(g.AddEdge(e.src, e.dst).ok());
+  }
+  auto points = ComputeDegreeCdfs(g, arrival_degrees);
+  ASSERT_FALSE(points.empty());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].existing, points[i - 1].existing);
+    EXPECT_GE(points[i].arrival, points[i - 1].arrival);
+  }
+  EXPECT_DOUBLE_EQ(points.back().existing, 1.0);
+  EXPECT_DOUBLE_EQ(points.back().arrival, 1.0);
+}
+
+TEST(DegreeCdfTest, RandomPermutationArrivalsTrackExistingCdf) {
+  // The Figure 1 claim: replaying a fixed edge set in random order, the
+  // arrival-degree CDF approximates the existing-degree CDF.
+  // Power-law out-degrees (like the paper's Twitter data) so the CDF is
+  // smooth; observe the last 10% of arrivals so the snapshot drift stays
+  // small.
+  Rng rng(2);
+  ChungLuOptions gen;
+  gen.num_nodes = 3000;
+  gen.num_edges = 60000;
+  gen.alpha_out = 0.7;
+  auto edges = ChungLuDirected(gen, &rng);
+  rng.Shuffle(&edges);
+  DiGraph g(3000);
+  std::vector<std::size_t> arrival_degrees;
+  const std::size_t cut = edges.size() * 9 / 10;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i >= cut) arrival_degrees.push_back(g.OutDegree(edges[i].src));
+    ASSERT_TRUE(g.AddEdge(edges[i].src, edges[i].dst).ok());
+  }
+  auto points = ComputeDegreeCdfs(g, arrival_degrees);
+  double max_gap = 0.0;
+  for (const auto& p : points) {
+    max_gap = std::max(max_gap, std::abs(p.existing - p.arrival));
+  }
+  EXPECT_LT(max_gap, 0.12);
+}
+
+TEST(MeanMxStatisticTest, UniformCaseIsOne) {
+  // On a cycle every node has pi = 1/n and outdeg 1, so m*pi/d = m/n; with
+  // m = n the statistic is exactly 1 for any arrival set.
+  const std::size_t n = 50;
+  std::vector<double> pagerank(n, 1.0 / static_cast<double>(n));
+  std::vector<NodeId> sources{0, 5, 10};
+  std::vector<std::size_t> degrees{1, 1, 1};
+  EXPECT_NEAR(MeanMxStatistic(pagerank, sources, degrees, n), 1.0, 1e-12);
+}
+
+TEST(MeanMxStatisticTest, DropsZeroDegreeSources) {
+  std::vector<double> pagerank{0.5, 0.5};
+  std::vector<NodeId> sources{0, 1};
+  std::vector<std::size_t> degrees{0, 1};  // first is a brand-new node
+  // Only the second arrival counts: 2 * 0.5 / 1 = 1.
+  EXPECT_NEAR(MeanMxStatistic(pagerank, sources, degrees, 2), 1.0, 1e-12);
+}
+
+TEST(MeanMxStatisticTest, EmptyArrivals) {
+  EXPECT_DOUBLE_EQ(MeanMxStatistic({1.0}, {}, {}, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,155 @@
+#include "fastppr/graph/digraph.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+namespace {
+
+TEST(DiGraphTest, EmptyGraph) {
+  DiGraph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.OutDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(4), 0u);
+  EXPECT_EQ(g.CountDangling(), 5u);
+}
+
+TEST(DiGraphTest, AddEdgeUpdatesBothAdjacencies) {
+  DiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1).ok());
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(DiGraphTest, AddEdgeOutOfRange) {
+  DiGraph g(2);
+  EXPECT_TRUE(g.AddEdge(0, 5).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(5, 0).IsInvalidArgument());
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DiGraphTest, ParallelEdgesAllowed) {
+  DiGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(DiGraphTest, SelfLoop) {
+  DiGraph g(2);
+  ASSERT_TRUE(g.AddEdge(1, 1).ok());
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+  EXPECT_TRUE(g.HasEdge(1, 1));
+}
+
+TEST(DiGraphTest, RemoveEdge) {
+  DiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.InDegree(1), 0u);
+}
+
+TEST(DiGraphTest, RemoveMissingEdge) {
+  DiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.RemoveEdge(1, 0).IsNotFound());
+  EXPECT_TRUE(g.RemoveEdge(0, 2).IsNotFound());
+  EXPECT_TRUE(g.RemoveEdge(9, 0).IsInvalidArgument());
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DiGraphTest, RemoveOneOfParallelEdges) {
+  DiGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(DiGraphTest, EnsureNodesGrows) {
+  DiGraph g(2);
+  g.EnsureNodes(10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  g.EnsureNodes(5);  // never shrinks
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_TRUE(g.AddEdge(9, 0).ok());
+}
+
+TEST(DiGraphTest, RandomNeighborUniform) {
+  DiGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  Rng rng(99);
+  std::vector<int> counts(4, 0);
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) ++counts[g.RandomOutNeighbor(0, &rng)];
+  EXPECT_EQ(counts[0], 0);
+  for (int v = 1; v <= 3; ++v) {
+    EXPECT_NEAR(counts[v] / static_cast<double>(trials), 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(DiGraphTest, RandomNeighborOfDanglingIsInvalid) {
+  DiGraph g(2);
+  Rng rng(1);
+  EXPECT_EQ(g.RandomOutNeighbor(0, &rng), kInvalidNode);
+  EXPECT_EQ(g.RandomInNeighbor(0, &rng), kInvalidNode);
+}
+
+TEST(DiGraphTest, RandomInNeighborRespectsMultiplicity) {
+  DiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  Rng rng(77);
+  int zero = 0;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    if (g.RandomInNeighbor(2, &rng) == 0) ++zero;
+  }
+  EXPECT_NEAR(zero / static_cast<double>(trials), 2.0 / 3.0, 0.02);
+}
+
+TEST(DiGraphTest, EdgesMaterializesAll) {
+  DiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  auto edges = g.Edges();
+  EXPECT_EQ(edges.size(), 3u);
+  std::set<std::pair<NodeId, NodeId>> s;
+  for (const Edge& e : edges) s.emplace(e.src, e.dst);
+  EXPECT_TRUE(s.count({0, 1}));
+  EXPECT_TRUE(s.count({1, 2}));
+  EXPECT_TRUE(s.count({2, 0}));
+}
+
+TEST(DiGraphTest, CountDangling) {
+  DiGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_EQ(g.CountDangling(), 2u);  // nodes 2 and 3
+}
+
+}  // namespace
+}  // namespace fastppr

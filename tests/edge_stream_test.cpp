@@ -1,0 +1,116 @@
+#include "fastppr/graph/edge_stream.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/graph/generators.h"
+
+namespace fastppr {
+namespace {
+
+TEST(RandomPermutationStreamTest, EachEdgeExactlyOnce) {
+  Rng rng(1);
+  auto edges = DirectedCycle(50);
+  RandomPermutationStream stream(edges, &rng);
+  EXPECT_EQ(stream.size(), 50u);
+  std::multiset<std::pair<NodeId, NodeId>> seen;
+  while (auto ev = stream.Next()) {
+    EXPECT_EQ(ev->kind, EdgeEvent::Kind::kInsert);
+    seen.emplace(ev->edge.src, ev->edge.dst);
+  }
+  EXPECT_EQ(seen.size(), 50u);
+  for (const Edge& e : edges) {
+    EXPECT_EQ(seen.count({e.src, e.dst}), 1u);
+  }
+}
+
+TEST(RandomPermutationStreamTest, OrderActuallyShuffled) {
+  Rng rng(2);
+  auto edges = DirectedCycle(200);
+  RandomPermutationStream stream(edges, &rng);
+  std::size_t fixed_points = 0;
+  std::size_t i = 0;
+  while (auto ev = stream.Next()) {
+    if (ev->edge == edges[i]) ++fixed_points;
+    ++i;
+  }
+  EXPECT_LT(fixed_points, 20u);  // expected ~1 fixed point
+}
+
+TEST(AdversarialStreamTest, ReplaysVerbatim) {
+  auto edges = DirectedCycle(10);
+  AdversarialStream stream(edges);
+  std::size_t i = 0;
+  while (auto ev = stream.Next()) {
+    EXPECT_EQ(ev->edge, edges[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, 10u);
+}
+
+TEST(DirichletStreamTest, ProducesRequestedEvents) {
+  Rng rng(3);
+  DirichletStream stream(100, 1000, &rng);
+  std::size_t count = 0;
+  while (auto ev = stream.Next()) {
+    EXPECT_EQ(ev->kind, EdgeEvent::Kind::kInsert);
+    EXPECT_LT(ev->edge.src, 100u);
+    EXPECT_LT(ev->edge.dst, 100u);
+    EXPECT_NE(ev->edge.src, ev->edge.dst);
+    ++count;
+  }
+  EXPECT_EQ(count, 1000u);
+}
+
+TEST(DirichletStreamTest, PreferentialSources) {
+  // With the Dirichlet model, sources with accumulated out-degree are more
+  // likely to be picked again; node activity should be highly skewed.
+  Rng rng(4);
+  DirichletStream stream(1000, 20000, &rng);
+  std::map<NodeId, std::size_t> out_count;
+  while (auto ev = stream.Next()) ++out_count[ev->edge.src];
+  std::vector<std::size_t> counts;
+  for (const auto& [node, c] : out_count) counts.push_back(c);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  // The most active source should far exceed the mean (20000/1000 = 20).
+  EXPECT_GT(counts.front(), 60u);
+}
+
+TEST(ChurnStreamTest, FinalGraphEqualsInputSet) {
+  Rng rng(5);
+  auto edges = DirectedCycle(100);
+  ChurnStream stream(edges, /*p_delete=*/0.2, /*warmup=*/20, &rng);
+  DiGraph g(100);
+  std::size_t deletions = 0;
+  std::size_t insertions = 0;
+  while (auto ev = stream.Next()) {
+    if (ev->kind == EdgeEvent::Kind::kDelete) {
+      ++deletions;
+      ASSERT_TRUE(g.RemoveEdge(ev->edge.src, ev->edge.dst).ok());
+    } else {
+      ++insertions;
+      ASSERT_TRUE(g.AddEdge(ev->edge.src, ev->edge.dst).ok());
+    }
+  }
+  EXPECT_GT(deletions, 0u);
+  EXPECT_EQ(insertions - deletions, 100u);
+  EXPECT_EQ(g.num_edges(), 100u);
+  for (const Edge& e : edges) EXPECT_TRUE(g.HasEdge(e.src, e.dst));
+}
+
+TEST(ApplyAllTest, BuildsGraphAndGrowsNodes) {
+  Rng rng(6);
+  auto edges = DirectedCycle(30);
+  RandomPermutationStream stream(edges, &rng);
+  DiGraph g(0);
+  auto applied = ApplyAll(&stream, &g);
+  EXPECT_EQ(applied.size(), 30u);
+  EXPECT_EQ(g.num_nodes(), 30u);
+  EXPECT_EQ(g.num_edges(), 30u);
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,179 @@
+#include "fastppr/graph/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/analysis/power_law.h"
+#include "fastppr/graph/digraph.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+namespace {
+
+DiGraph Materialize(std::size_t n, const std::vector<Edge>& edges) {
+  DiGraph g(n);
+  for (const Edge& e : edges) EXPECT_TRUE(g.AddEdge(e.src, e.dst).ok());
+  return g;
+}
+
+TEST(ErdosRenyiTest, CountAndNoSelfLoops) {
+  Rng rng(1);
+  auto edges = ErdosRenyi(100, 500, &rng);
+  EXPECT_EQ(edges.size(), 500u);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Edge& e : edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_LT(e.src, 100u);
+    EXPECT_LT(e.dst, 100u);
+    EXPECT_TRUE(seen.emplace(e.src, e.dst).second) << "duplicate edge";
+  }
+}
+
+TEST(PreferentialAttachmentTest, StreamShape) {
+  Rng rng(2);
+  PreferentialAttachmentOptions opts;
+  opts.num_nodes = 500;
+  opts.out_per_node = 5;
+  opts.seed_clique = 4;
+  auto edges = PreferentialAttachment(opts, &rng);
+  // Clique edges + k per non-core node.
+  EXPECT_EQ(edges.size(), 4u * 3u + (500u - 4u) * 5u);
+  for (const Edge& e : edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_LT(e.src, 500u);
+    EXPECT_LT(e.dst, 500u);
+  }
+}
+
+TEST(PreferentialAttachmentTest, RichGetRicher) {
+  Rng rng(3);
+  PreferentialAttachmentOptions opts;
+  opts.num_nodes = 3000;
+  opts.out_per_node = 5;
+  opts.attractiveness = 1.0;
+  auto edges = PreferentialAttachment(opts, &rng);
+  DiGraph g = Materialize(3000, edges);
+  // Early nodes should accumulate far more in-degree than late ones.
+  std::size_t early = 0, late = 0;
+  for (NodeId v = 0; v < 100; ++v) early += g.InDegree(v);
+  for (NodeId v = 2900; v < 3000; ++v) late += g.InDegree(v);
+  EXPECT_GT(early, 5 * late);
+}
+
+TEST(PreferentialAttachmentTest, InternalEdgesComeFromExistingNodes) {
+  Rng rng(4);
+  PreferentialAttachmentOptions opts;
+  opts.num_nodes = 400;
+  opts.out_per_node = 4;
+  opts.p_internal = 0.5;
+  auto edges = PreferentialAttachment(opts, &rng);
+  EXPECT_EQ(edges.size(), opts.seed_clique * (opts.seed_clique - 1) +
+                              (400 - opts.seed_clique) * 4);
+}
+
+TEST(ChungLuTest, ExponentRecovery) {
+  Rng rng(5);
+  ChungLuOptions opts;
+  opts.num_nodes = 20000;
+  opts.num_edges = 400000;
+  opts.alpha_in = 0.7;
+  auto edges = ChungLuDirected(opts, &rng);
+  EXPECT_EQ(edges.size(), opts.num_edges);
+  DiGraph g = Materialize(opts.num_nodes, edges);
+  std::vector<double> indeg(opts.num_nodes);
+  for (NodeId v = 0; v < opts.num_nodes; ++v) {
+    indeg[v] = static_cast<double>(g.InDegree(v));
+  }
+  // Rank-plot exponent over the head of the distribution should recover
+  // alpha_in (sampling noise flattens the deep tail).
+  PowerLawFit fit = FitPowerLawUnsorted(indeg, 5, 500);
+  EXPECT_NEAR(fit.alpha, 0.7, 0.12);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(ChungLuTest, NoSelfLoops) {
+  Rng rng(6);
+  ChungLuOptions opts;
+  opts.num_nodes = 100;
+  opts.num_edges = 2000;
+  auto edges = ChungLuDirected(opts, &rng);
+  for (const Edge& e : edges) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(TriadicClosureTest, StreamShapeAndClosure) {
+  Rng rng(7);
+  TriadicStreamOptions opts;
+  opts.num_nodes = 2000;
+  opts.out_per_node = 8;
+  opts.p_triadic = 0.6;
+  opts.p_reciprocal = 0.0;
+  auto edges = TriadicClosureStream(opts, &rng);
+  EXPECT_EQ(edges.size(), opts.seed_clique * (opts.seed_clique - 1) +
+                              (2000 - opts.seed_clique) * 8);
+  for (const Edge& e : edges) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(TriadicClosureTest, ReciprocityAddsBackEdges) {
+  Rng rng(8);
+  TriadicStreamOptions opts;
+  opts.num_nodes = 2000;
+  opts.out_per_node = 8;
+  opts.p_reciprocal = 0.4;
+  auto edges = TriadicClosureStream(opts, &rng);
+  const std::size_t base = opts.seed_clique * (opts.seed_clique - 1) +
+                           (2000 - opts.seed_clique) * 8;
+  // ~40% extra reciprocal edges.
+  EXPECT_GT(edges.size(), base + base / 4);
+  EXPECT_LT(edges.size(), base + base / 2 + base / 10);
+  // Reciprocity gives heavily-followed nodes out-edges too, so random
+  // walks cannot be absorbed into the bootstrap clique.
+  DiGraph g = Materialize(2000, edges);
+  std::size_t clique_out = 0;
+  for (NodeId v = 0; v < opts.seed_clique; ++v) {
+    clique_out += g.OutDegree(v);
+  }
+  EXPECT_GT(clique_out, 10 * opts.seed_clique * (opts.seed_clique - 1));
+}
+
+TEST(TrapGraphTest, MatchesPaperConstruction) {
+  const std::size_t N = 10;
+  TrapGraph trap = MakeTrapGraph(N);
+  EXPECT_EQ(trap.num_nodes, 3 * N + 1);
+  DiGraph g(trap.num_nodes);
+  for (const Edge& e : trap.adversarial_stream) {
+    ASSERT_TRUE(g.AddEdge(e.src, e.dst).ok());
+  }
+  const NodeId u = trap.u;
+  const NodeId v1 = trap.v1;
+  // v_j -> u for all j; u -> x_j; x_j -> u; v_1 <-> y_j; cycle.
+  EXPECT_EQ(g.InDegree(u), 2 * N);            // from v_j and x_j
+  EXPECT_EQ(g.OutDegree(u), N + 1);           // x_j plus the trap edge
+  EXPECT_TRUE(g.HasEdge(u, v1));
+  EXPECT_EQ(g.OutDegree(v1), N + 2);          // cycle + u + y_j
+  EXPECT_EQ(g.InDegree(v1), N + 2);           // y_j + cycle + u
+  // The trap edge is u -> v1 and arrives before any other u-sourced edge.
+  EXPECT_EQ(trap.adversarial_stream[trap.trap_edge_index],
+            (Edge{u, v1}));
+  for (std::size_t i = 0; i < trap.trap_edge_index; ++i) {
+    EXPECT_NE(trap.adversarial_stream[i].src, u);
+  }
+}
+
+TEST(DeterministicGraphsTest, CycleStarComplete) {
+  auto cyc = DirectedCycle(5);
+  EXPECT_EQ(cyc.size(), 5u);
+  EXPECT_EQ(cyc[4], (Edge{4, 0}));
+
+  auto star = StarInto(4);
+  EXPECT_EQ(star.size(), 4u);
+  for (const Edge& e : star) EXPECT_EQ(e.dst, 0u);
+
+  auto comp = CompleteDigraph(4);
+  EXPECT_EQ(comp.size(), 12u);
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,78 @@
+#include "fastppr/graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace fastppr {
+namespace {
+
+TEST(GraphIoTest, WriteReadRoundtrip) {
+  const std::string path = testing::TempDir() + "/graph_io_roundtrip.txt";
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}, {0, 2}};
+  ASSERT_TRUE(WriteSnapEdgeList(path, edges).ok());
+
+  std::vector<Edge> read;
+  std::size_t n = 0;
+  ASSERT_TRUE(ReadSnapEdgeList(path, &read, &n).ok());
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(read, edges);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = testing::TempDir() + "/graph_io_comments.txt";
+  {
+    std::ofstream out(path);
+    out << "# SNAP header\n\n10 20\n# another comment\n20 30\n";
+  }
+  std::vector<Edge> read;
+  std::size_t n = 0;
+  ASSERT_TRUE(ReadSnapEdgeList(path, &read, &n).ok());
+  EXPECT_EQ(read.size(), 2u);
+  EXPECT_EQ(n, 3u);
+  // Raw ids remapped densely in first-appearance order: 10->0, 20->1,
+  // 30->2.
+  EXPECT_EQ(read[0], (Edge{0, 1}));
+  EXPECT_EQ(read[1], (Edge{1, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MalformedLineIsCorruption) {
+  const std::string path = testing::TempDir() + "/graph_io_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "1 2\nnot-a-number 3\n";
+  }
+  std::vector<Edge> read;
+  std::size_t n = 0;
+  Status s = ReadSnapEdgeList(path, &read, &n);
+  EXPECT_TRUE(s.IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileIsIOError) {
+  std::vector<Edge> read;
+  std::size_t n = 0;
+  EXPECT_TRUE(
+      ReadSnapEdgeList("/no/such/file.txt", &read, &n).IsIOError());
+}
+
+TEST(GraphIoTest, WriteToBadPathIsIOError) {
+  EXPECT_TRUE(WriteSnapEdgeList("/no/such/dir/file.txt", {}).IsIOError());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundtrip) {
+  const std::string path = testing::TempDir() + "/graph_io_empty.txt";
+  ASSERT_TRUE(WriteSnapEdgeList(path, {}).ok());
+  std::vector<Edge> read;
+  std::size_t n = 0;
+  ASSERT_TRUE(ReadSnapEdgeList(path, &read, &n).ok());
+  EXPECT_TRUE(read.empty());
+  EXPECT_EQ(n, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fastppr

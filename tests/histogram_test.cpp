@@ -1,0 +1,83 @@
+#include "fastppr/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace fastppr {
+namespace {
+
+TEST(RunningStatsTest, EmptyStats) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, /7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, ToStringMentionsFields) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(3.0);
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("n=2"), std::string::npos);
+  EXPECT_NE(str.find("mean=2"), std::string::npos);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);    // bin 0
+  h.Add(9.99);   // bin 9
+  h.Add(-5.0);   // clamped to bin 0
+  h.Add(100.0);  // clamped to bin 9
+  h.Add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.bin_count(3), 0u);
+}
+
+TEST(HistogramTest, BinBoundaries) {
+  Histogram h(0.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  h.Add(1.0);  // exactly on a boundary goes to bin 1
+  EXPECT_EQ(h.bin_count(1), 1u);
+}
+
+TEST(HistogramTest, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i));
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.0), 0.5, 1.0);
+}
+
+TEST(HistogramTest, QuantileOnEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,110 @@
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/baseline/cosine.h"
+#include "fastppr/baseline/hits.h"
+#include "fastppr/graph/generators.h"
+
+namespace fastppr {
+namespace {
+
+TEST(PersonalizedHitsTest, ScoresNormalizedAndNonNegative) {
+  CsrGraph g = CsrGraph::FromEdges(
+      5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}, {4, 2}});
+  auto result = PersonalizedHits(g, 0, HitsOptions{});
+  double hub_sum = std::accumulate(result.hub.begin(), result.hub.end(),
+                                   0.0);
+  double auth_sum = std::accumulate(result.authority.begin(),
+                                    result.authority.end(), 0.0);
+  EXPECT_NEAR(hub_sum, 1.0, 1e-9);
+  EXPECT_NEAR(auth_sum, 1.0, 1e-9);
+  for (double x : result.hub) EXPECT_GE(x, 0.0);
+  for (double x : result.authority) EXPECT_GE(x, 0.0);
+}
+
+TEST(PersonalizedHitsTest, SeedNeighborsGetAuthority) {
+  CsrGraph g = CsrGraph::FromEdges(4, {{0, 1}, {0, 2}, {3, 2}});
+  auto result = PersonalizedHits(g, 0, HitsOptions{});
+  EXPECT_GT(result.authority[1], 0.0);
+  EXPECT_GT(result.authority[2], 0.0);
+  EXPECT_NEAR(result.authority[0], 0.0, 1e-12);
+  // Node 2 has two hubs pointing at it, node 1 only the seed.
+  EXPECT_GT(result.authority[2], result.authority[1]);
+}
+
+TEST(PersonalizedHitsTest, SpreadsThroughCoCitation) {
+  // Seed 0 follows 1; hub 2 also follows 1 and additionally follows 3.
+  // Authority flows 0 -> a(1) -> h(2) -> a(3): node 3 is reachable but
+  // must stay below the directly-endorsed node 1.
+  CsrGraph g = CsrGraph::FromEdges(4, {{0, 1}, {2, 1}, {2, 3}});
+  HitsOptions opts;
+  opts.epsilon = 0.2;
+  auto result = PersonalizedHits(g, 0, opts);
+  EXPECT_GT(result.authority[3], 0.0);
+  EXPECT_GT(result.authority[1], result.authority[3]);
+}
+
+TEST(PersonalizedHitsTest, NoDegreeNormalizationFavorsDenseBlocks) {
+  // Unlike SALSA, HITS has no 1/degree damping: a hub following many
+  // members of a dense block funnels disproportionate authority into it.
+  // Seed and hubs 1, 2 co-follow anchor 7; hub 1 also follows the single
+  // node 3; hub 2 also follows the mutually-linked block {4,5,6}.
+  CsrGraph g = CsrGraph::FromEdges(8, {{0, 7},
+                                       {1, 7},
+                                       {1, 3},
+                                       {2, 7},
+                                       {2, 4},
+                                       {2, 5},
+                                       {2, 6},
+                                       {4, 5},
+                                       {5, 6},
+                                       {6, 4}});
+  HitsOptions opts;
+  opts.epsilon = 0.2;
+  auto result = PersonalizedHits(g, 0, opts);
+  EXPECT_GT(result.authority[3], 0.0);
+  EXPECT_GT(result.authority[4] + result.authority[5] + result.authority[6],
+            result.authority[3]);
+}
+
+TEST(GlobalHitsTest, AuthorityPrefersHighlyLinked) {
+  CsrGraph g = CsrGraph::FromEdges(5, {{0, 4}, {1, 4}, {2, 4}, {3, 0}});
+  auto result = GlobalHits(g);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_GE(result.authority[4], result.authority[v]);
+  }
+}
+
+TEST(CosineTest, ExactSimilarityValues) {
+  // Seed 0 follows {1,2}; node 3 follows {1,2,4}: cos = 2/sqrt(2*3).
+  // Node 5 follows {2}: cos = 1/sqrt(2*1).
+  CsrGraph g = CsrGraph::FromEdges(
+      6, {{0, 1}, {0, 2}, {3, 1}, {3, 2}, {3, 4}, {5, 2}});
+  auto result = CosineSimilarityScores(g, 0);
+  EXPECT_NEAR(result.hub[3], 2.0 / std::sqrt(6.0), 1e-12);
+  EXPECT_NEAR(result.hub[5], 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(result.hub[0], 0.0);  // seed excluded
+  // Authority flows from similar hubs: node 4 is followed by hub 3.
+  EXPECT_NEAR(result.authority[4], result.hub[3], 1e-12);
+  // Node 2 gets authority from both hubs 3 and 5.
+  EXPECT_NEAR(result.authority[2], result.hub[3] + result.hub[5], 1e-12);
+}
+
+TEST(CosineTest, SeedWithNoFriendsGivesZeros) {
+  CsrGraph g = CsrGraph::FromEdges(3, {{1, 2}});
+  auto result = CosineSimilarityScores(g, 0);
+  for (double x : result.hub) EXPECT_EQ(x, 0.0);
+  for (double x : result.authority) EXPECT_EQ(x, 0.0);
+}
+
+TEST(CosineTest, DisjointNeighborhoodsScoreZero) {
+  CsrGraph g = CsrGraph::FromEdges(4, {{0, 1}, {2, 3}});
+  auto result = CosineSimilarityScores(g, 0);
+  EXPECT_EQ(result.hub[2], 0.0);
+  EXPECT_EQ(result.authority[3], 0.0);
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,207 @@
+#include "fastppr/core/incremental_pagerank.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/baseline/power_iteration.h"
+#include "fastppr/core/theory.h"
+#include "fastppr/graph/csr_graph.h"
+#include "fastppr/graph/generators.h"
+
+namespace fastppr {
+namespace {
+
+MonteCarloOptions Opts(std::size_t R, double eps, uint64_t seed) {
+  MonteCarloOptions o;
+  o.walks_per_node = R;
+  o.epsilon = eps;
+  o.seed = seed;
+  return o;
+}
+
+TEST(IncrementalPageRankTest, EmptyGraphUniformEstimates) {
+  IncrementalPageRank engine(20, Opts(5, 0.2, 1));
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_NEAR(engine.NormalizedEstimate(v), 0.05, 1e-9);
+  }
+  engine.CheckConsistency();
+}
+
+TEST(IncrementalPageRankTest, AddEdgeErrors) {
+  IncrementalPageRank engine(3, Opts(2, 0.2, 2));
+  EXPECT_TRUE(engine.AddEdge(0, 9).IsInvalidArgument());
+  EXPECT_TRUE(engine.RemoveEdge(0, 1).IsNotFound());
+  EXPECT_EQ(engine.arrivals(), 0u);
+}
+
+TEST(IncrementalPageRankTest, StreamMatchesPowerIteration) {
+  Rng rng(3);
+  auto edges = ErdosRenyi(120, 1000, &rng);
+  IncrementalPageRank engine(120, Opts(50, 0.2, 4));
+  for (const Edge& e : edges) ASSERT_TRUE(engine.AddEdge(e.src, e.dst).ok());
+  engine.CheckConsistency();
+  EXPECT_EQ(engine.arrivals(), 1000u);
+  EXPECT_EQ(engine.num_edges(), 1000u);
+
+  PowerIterationOptions opts;
+  opts.epsilon = 0.2;
+  auto exact =
+      PageRankPowerIteration(CsrGraph::FromDiGraph(engine.graph()), opts);
+  double l1 = 0.0;
+  for (NodeId v = 0; v < 120; ++v) {
+    l1 += std::abs(engine.NormalizedEstimate(v) - exact.scores[v]);
+  }
+  EXPECT_LT(l1, 0.12);
+}
+
+TEST(IncrementalPageRankTest, BootstrapFromGraphMatchesStreaming) {
+  // Starting from a prebuilt graph and from the same edges streamed must
+  // produce statistically equivalent estimates.
+  Rng rng(5);
+  auto edges = ErdosRenyi(80, 600, &rng);
+  DiGraph g(80);
+  for (const Edge& e : edges) ASSERT_TRUE(g.AddEdge(e.src, e.dst).ok());
+
+  IncrementalPageRank boot(g, Opts(40, 0.2, 6));
+  IncrementalPageRank streamed(80, Opts(40, 0.2, 7));
+  for (const Edge& e : edges) {
+    ASSERT_TRUE(streamed.AddEdge(e.src, e.dst).ok());
+  }
+  double l1 = 0.0;
+  for (NodeId v = 0; v < 80; ++v) {
+    l1 += std::abs(boot.NormalizedEstimate(v) -
+                   streamed.NormalizedEstimate(v));
+  }
+  EXPECT_LT(l1, 0.15);
+}
+
+TEST(IncrementalPageRankTest, TopKOrderedByVisitCount) {
+  IncrementalPageRank engine(5, Opts(20, 0.2, 8));
+  ASSERT_TRUE(engine.AddEdge(1, 0).ok());
+  ASSERT_TRUE(engine.AddEdge(2, 0).ok());
+  ASSERT_TRUE(engine.AddEdge(3, 0).ok());
+  ASSERT_TRUE(engine.AddEdge(0, 4).ok());
+  auto top = engine.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  // Node 4 absorbs the star centre's mass (every visit to 0 continues to
+  // 4 w.p. 1-eps) on top of its own segments, so it ranks first; the
+  // centre is second.
+  EXPECT_EQ(top[0], 4u);
+  EXPECT_EQ(top[1], 0u);
+  // Scores of the returned prefix are non-increasing.
+  EXPECT_GE(engine.walk_store().VisitCount(top[1]),
+            engine.walk_store().VisitCount(top[2]));
+}
+
+TEST(IncrementalPageRankTest, LifetimeStatsAccumulate) {
+  Rng rng(9);
+  auto edges = ErdosRenyi(40, 300, &rng);
+  IncrementalPageRank engine(40, Opts(10, 0.2, 10));
+  uint64_t manual_total = 0;
+  for (const Edge& e : edges) {
+    ASSERT_TRUE(engine.AddEdge(e.src, e.dst).ok());
+    manual_total += engine.last_event_stats().walk_steps;
+  }
+  EXPECT_EQ(engine.lifetime_stats().walk_steps, manual_total);
+  EXPECT_GT(engine.lifetime_stats().segments_updated, 0u);
+}
+
+TEST(IncrementalPageRankTest, UpdateWorkShrinksWithTime) {
+  // Theorem 4's shape: the per-arrival segment updates decay like
+  // nR/(t eps). Compare average update counts of the first and the last
+  // quartile of a random-order stream.
+  Rng rng(11);
+  auto edges = ErdosRenyi(100, 2000, &rng);
+  Rng shuffle_rng(12);
+  shuffle_rng.Shuffle(&edges);
+  IncrementalPageRank engine(100, Opts(10, 0.2, 13));
+  double early = 0.0, late = 0.0;
+  for (std::size_t t = 0; t < edges.size(); ++t) {
+    ASSERT_TRUE(engine.AddEdge(edges[t].src, edges[t].dst).ok());
+    const double m =
+        static_cast<double>(engine.last_event_stats().segments_updated);
+    if (t < 500) {
+      early += m;
+    } else if (t >= 1500) {
+      late += m;
+    }
+  }
+  EXPECT_GT(early, 2.0 * late);
+}
+
+TEST(IncrementalPageRankTest, AdversarialTrapForcesLinearWork) {
+  // Example 1 of the paper: with the adversary choosing the order so the
+  // edge (u, v1) arrives while u still has no other out-edge, Omega(n)
+  // segments must be updated in that single arrival.
+  const std::size_t N = 60;  // 3N+1 = 181 nodes
+  TrapGraph trap = MakeTrapGraph(N);
+  IncrementalPageRank engine(trap.num_nodes, Opts(5, 0.2, 14));
+  for (std::size_t i = 0; i < trap.trap_edge_index; ++i) {
+    const Edge& e = trap.adversarial_stream[i];
+    ASSERT_TRUE(engine.AddEdge(e.src, e.dst).ok());
+  }
+  const Edge& trap_edge = trap.adversarial_stream[trap.trap_edge_index];
+  ASSERT_TRUE(engine.AddEdge(trap_edge.src, trap_edge.dst).ok());
+  const double updated =
+      static_cast<double>(engine.last_event_stats().segments_updated);
+  // A constant fraction of all nR segments funnels into u and dangles
+  // there; they all must resume. nR = 181*5 = 905.
+  EXPECT_GT(updated, 0.1 * static_cast<double>(trap.num_nodes) * 5.0);
+  engine.CheckConsistency();
+}
+
+TEST(IncrementalPageRankTest, RemovalsTrackedSeparately) {
+  IncrementalPageRank engine(10, Opts(5, 0.2, 15));
+  ASSERT_TRUE(engine.AddEdge(0, 1).ok());
+  ASSERT_TRUE(engine.AddEdge(1, 2).ok());
+  ASSERT_TRUE(engine.RemoveEdge(0, 1).ok());
+  EXPECT_EQ(engine.arrivals(), 2u);
+  EXPECT_EQ(engine.removals(), 1u);
+  EXPECT_EQ(engine.num_edges(), 1u);
+  engine.CheckConsistency();
+}
+
+TEST(IncrementalPageRankTest, ApplyEventDispatches) {
+  IncrementalPageRank engine(4, Opts(3, 0.2, 16));
+  EdgeEvent ins{EdgeEvent::Kind::kInsert, Edge{0, 1}};
+  EdgeEvent del{EdgeEvent::Kind::kDelete, Edge{0, 1}};
+  ASSERT_TRUE(engine.ApplyEvent(ins).ok());
+  EXPECT_EQ(engine.num_edges(), 1u);
+  ASSERT_TRUE(engine.ApplyEvent(del).ok());
+  EXPECT_EQ(engine.num_edges(), 0u);
+}
+
+class IncrementalParamTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(IncrementalParamTest, AccuracyAcrossConfigs) {
+  const int R = std::get<0>(GetParam());
+  const double eps = std::get<1>(GetParam());
+  Rng rng(17);
+  auto edges = ErdosRenyi(60, 500, &rng);
+  IncrementalPageRank engine(60, Opts(R, eps, 18));
+  for (const Edge& e : edges) ASSERT_TRUE(engine.AddEdge(e.src, e.dst).ok());
+  engine.CheckConsistency();
+
+  PowerIterationOptions opts;
+  opts.epsilon = eps;
+  auto exact =
+      PageRankPowerIteration(CsrGraph::FromDiGraph(engine.graph()), opts);
+  double l1 = 0.0;
+  for (NodeId v = 0; v < 60; ++v) {
+    l1 += std::abs(engine.NormalizedEstimate(v) - exact.scores[v]);
+  }
+  // Error scales like sqrt(n eps / (nR)) in L1; generous cap per config.
+  const double budget =
+      3.0 * std::sqrt(60.0 * eps / (60.0 * static_cast<double>(R))) + 0.05;
+  EXPECT_LT(l1, budget) << "R=" << R << " eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IncrementalParamTest,
+    ::testing::Combine(::testing::Values(8, 32, 64),
+                       ::testing::Values(0.1, 0.2, 0.4)));
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,123 @@
+#include "fastppr/analysis/link_prediction.h"
+
+#include <gtest/gtest.h>
+
+#include "fastppr/graph/generators.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+namespace {
+
+TEST(LinkPredictionDatasetTest, SelectionCriteriaApplied) {
+  Rng rng(1);
+  TriadicStreamOptions gen;
+  gen.num_nodes = 3000;
+  gen.out_per_node = 12;
+  gen.p_triadic = 0.5;
+  auto stream = TriadicClosureStream(gen, &rng);
+
+  LinkPredictionConfig config;
+  config.num_users = 20;
+  config.min_friends_t1 = 5;
+  config.max_friends_t1 = 12;
+  config.min_growth = 0.2;
+  config.max_growth = 3.0;
+  config.min_followers_target = 3;
+  Rng sample_rng(2);
+  auto dataset =
+      BuildLinkPredictionDataset(stream, 0.8, config, &sample_rng);
+
+  EXPECT_LE(dataset.users.size(), 20u);
+  EXPECT_EQ(dataset.users.size(), dataset.future_friends.size());
+  EXPECT_GE(dataset.eligible_users, dataset.users.size());
+  for (std::size_t i = 0; i < dataset.users.size(); ++i) {
+    const NodeId u = dataset.users[i];
+    const std::size_t f1 = dataset.snapshot1.OutDegree(u);
+    EXPECT_GE(f1, config.min_friends_t1);
+    EXPECT_LE(f1, config.max_friends_t1);
+    const double growth = static_cast<double>(
+                              dataset.future_friends[i].size()) /
+                          static_cast<double>(f1);
+    EXPECT_GE(growth, config.min_growth);
+    EXPECT_LE(growth, config.max_growth);
+    // Future friends are not date-1 friends.
+    for (NodeId v : dataset.future_friends[i]) {
+      for (NodeId fr : dataset.snapshot1.OutNeighbors(u)) {
+        EXPECT_NE(v, fr);
+      }
+    }
+  }
+}
+
+TEST(LinkPredictionDatasetTest, FutureFriendsHaveEnoughFollowers) {
+  Rng rng(3);
+  TriadicStreamOptions gen;
+  gen.num_nodes = 2000;
+  gen.out_per_node = 10;
+  auto stream = TriadicClosureStream(gen, &rng);
+
+  LinkPredictionConfig config;
+  config.num_users = 10;
+  config.min_friends_t1 = 4;
+  config.max_friends_t1 = 10;
+  config.min_growth = 0.1;
+  config.max_growth = 5.0;
+  config.min_followers_target = 8;
+  Rng sample_rng(4);
+  auto dataset =
+      BuildLinkPredictionDataset(stream, 0.8, config, &sample_rng);
+  for (std::size_t i = 0; i < dataset.users.size(); ++i) {
+    for (NodeId v : dataset.future_friends[i]) {
+      EXPECT_GE(dataset.snapshot1.InDegree(v), 8u);
+    }
+  }
+}
+
+TEST(LinkPredictionEvalTest, ReportBoundsAndMonotonicity) {
+  Rng rng(5);
+  TriadicStreamOptions gen;
+  gen.num_nodes = 1500;
+  gen.out_per_node = 10;
+  gen.p_triadic = 0.6;
+  gen.p_internal = 0.4;  // users keep following between the snapshots
+  auto stream = TriadicClosureStream(gen, &rng);
+
+  LinkPredictionConfig config;
+  config.num_users = 8;
+  config.min_friends_t1 = 5;
+  config.max_friends_t1 = 15;
+  config.min_growth = 0.1;
+  config.max_growth = 3.0;
+  config.min_followers_target = 3;
+  config.top_small = 20;
+  config.top_large = 200;
+  config.tolerance = 1e-6;
+  Rng sample_rng(6);
+  auto dataset =
+      BuildLinkPredictionDataset(stream, 0.8, config, &sample_rng);
+  ASSERT_FALSE(dataset.users.empty());
+
+  auto report = EvaluateLinkPrediction(dataset, config);
+  for (const LinkPredictionScore* s :
+       {&report.hits, &report.cosine, &report.pagerank, &report.salsa}) {
+    EXPECT_GE(s->hits_top_small, 0.0);
+    // A deeper cutoff can only add hits.
+    EXPECT_GE(s->hits_top_large, s->hits_top_small);
+    EXPECT_LE(s->hits_top_large, static_cast<double>(config.top_large));
+  }
+  // The walk-based methods should beat HITS on a triadic-closure stream
+  // (the qualitative Table 1 ordering).
+  EXPECT_GE(report.salsa.hits_top_large + report.pagerank.hits_top_large,
+            report.hits.hits_top_large);
+}
+
+TEST(LinkPredictionEvalTest, EmptyDatasetYieldsZeroReport) {
+  LinkPredictionDataset dataset;
+  LinkPredictionConfig config;
+  auto report = EvaluateLinkPrediction(dataset, config);
+  EXPECT_EQ(report.salsa.hits_top_small, 0.0);
+  EXPECT_EQ(report.hits.hits_top_large, 0.0);
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,65 @@
+#include "fastppr/baseline/monte_carlo_static.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/baseline/power_iteration.h"
+#include "fastppr/graph/csr_graph.h"
+#include "fastppr/graph/generators.h"
+
+namespace fastppr {
+namespace {
+
+TEST(StaticMonteCarloTest, MatchesPowerIteration) {
+  Rng rng(1);
+  auto edges = ErdosRenyi(100, 800, &rng);
+  DiGraph g(100);
+  for (const Edge& e : edges) ASSERT_TRUE(g.AddEdge(e.src, e.dst).ok());
+
+  Rng walk_rng(2);
+  auto mc = StaticMonteCarloPageRank(g, 80, 0.2, &walk_rng);
+  auto est = NormalizeVisits(mc);
+
+  PowerIterationOptions opts;
+  opts.epsilon = 0.2;
+  auto exact = PageRankPowerIteration(CsrGraph::FromDiGraph(g), opts);
+  double l1 = 0.0;
+  for (NodeId v = 0; v < 100; ++v) l1 += std::abs(est[v] - exact.scores[v]);
+  EXPECT_LT(l1, 0.12);
+}
+
+TEST(StaticMonteCarloTest, WorkIsAboutNROverEps) {
+  DiGraph g(50);
+  for (const Edge& e : DirectedCycle(50)) {
+    ASSERT_TRUE(g.AddEdge(e.src, e.dst).ok());
+  }
+  Rng rng(3);
+  auto mc = StaticMonteCarloPageRank(g, 20, 0.2, &rng);
+  // total visits ~ nR/eps = 50*20/0.2 = 5000.
+  EXPECT_NEAR(static_cast<double>(mc.total_visits), 5000.0, 800.0);
+  // steps = visits - nR (each segment's first node is free).
+  EXPECT_EQ(mc.total_steps,
+            static_cast<uint64_t>(mc.total_visits) - 50u * 20u);
+}
+
+TEST(StaticMonteCarloTest, EmptyGraphAllMassAtSources) {
+  DiGraph g(10);
+  Rng rng(4);
+  auto mc = StaticMonteCarloPageRank(g, 5, 0.2, &rng);
+  EXPECT_EQ(mc.total_steps, 0u);
+  EXPECT_EQ(mc.total_visits, 50);
+  auto est = NormalizeVisits(mc);
+  for (double x : est) EXPECT_NEAR(x, 0.1, 1e-9);
+}
+
+TEST(StaticMonteCarloTest, NormalizeEmptyResult) {
+  StaticMonteCarloResult r;
+  r.visit_counts.assign(4, 0);
+  auto est = NormalizeVisits(r);
+  for (double x : est) EXPECT_EQ(x, 0.0);
+}
+
+}  // namespace
+}  // namespace fastppr

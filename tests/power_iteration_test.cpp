@@ -1,0 +1,132 @@
+#include "fastppr/baseline/power_iteration.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/graph/generators.h"
+
+namespace fastppr {
+namespace {
+
+TEST(PowerIterationTest, TwoCycleIsUniform) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}, {1, 0}});
+  PowerIterationOptions opts;
+  auto result = PageRankPowerIteration(g, opts);
+  EXPECT_NEAR(result.scores[0], 0.5, 1e-9);
+  EXPECT_NEAR(result.scores[1], 0.5, 1e-9);
+  EXPECT_LT(result.residual, opts.tolerance);
+}
+
+TEST(PowerIterationTest, ScoresSumToOne) {
+  CsrGraph g = CsrGraph::FromEdges(
+      5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}, {3, 1}});
+  auto result = PageRankPowerIteration(g, PowerIterationOptions{});
+  double sum = std::accumulate(result.scores.begin(), result.scores.end(),
+                               0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PowerIterationTest, StarCenterHandComputed) {
+  // Star: leaves 1..4 -> 0; node 0 dangling (dangling mass -> uniform).
+  // pi satisfies: pi_leaf = r/n where r = eps + (1-eps) pi_0, and
+  // pi_0 = r/n + (1-eps) * 4 * pi_leaf.
+  CsrGraph g = CsrGraph::FromEdges(5, StarInto(4));
+  PowerIterationOptions opts;
+  opts.epsilon = 0.2;
+  auto result = PageRankPowerIteration(g, opts);
+  const double eps = 0.2;
+  // Solve the 2-unknown system exactly.
+  // pi_leaf = r/5;  pi_0 = r/5 + 0.8*4*r/5 = r/5 * (1 + 3.2)
+  // Normalization: 4*pi_leaf + pi_0 = 1 -> r/5 * (4 + 4.2) = 1.
+  const double r_over_5 = 1.0 / 8.2;
+  EXPECT_NEAR(result.scores[1], r_over_5, 1e-9);
+  EXPECT_NEAR(result.scores[0], r_over_5 * 4.2, 1e-9);
+  // Consistency of the implied reset mass.
+  const double r = eps + (1 - eps) * result.scores[0];
+  EXPECT_NEAR(result.scores[1], r / 5.0, 1e-9);
+}
+
+TEST(PowerIterationTest, CycleIsUniformRegardlessOfEps) {
+  CsrGraph g = CsrGraph::FromEdges(7, DirectedCycle(7));
+  for (double eps : {0.05, 0.2, 0.5}) {
+    PowerIterationOptions opts;
+    opts.epsilon = eps;
+    auto result = PageRankPowerIteration(g, opts);
+    for (double s : result.scores) EXPECT_NEAR(s, 1.0 / 7.0, 1e-9);
+  }
+}
+
+TEST(PowerIterationTest, HigherIndegreeHigherScore) {
+  CsrGraph g = CsrGraph::FromEdges(
+      4, {{0, 3}, {1, 3}, {2, 3}, {3, 0}, {0, 1}, {1, 0}});
+  auto result = PageRankPowerIteration(g, PowerIterationOptions{});
+  EXPECT_GT(result.scores[3], result.scores[2]);
+  EXPECT_GT(result.scores[0], result.scores[2]);
+}
+
+TEST(PersonalizedPageRankTest, SeedGetsResetMass) {
+  CsrGraph g = CsrGraph::FromEdges(4, DirectedCycle(4));
+  PowerIterationOptions opts;
+  opts.epsilon = 0.3;
+  auto result = PersonalizedPageRank(g, 0, opts);
+  // On a cycle, personalized PageRank decays geometrically downstream of
+  // the seed: pi_0 > pi_1 > pi_2 > pi_3.
+  EXPECT_GT(result.scores[0], result.scores[1]);
+  EXPECT_GT(result.scores[1], result.scores[2]);
+  EXPECT_GT(result.scores[2], result.scores[3]);
+  double sum = std::accumulate(result.scores.begin(), result.scores.end(),
+                               0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Closed form on a cycle: pi_{k} = eps (1-eps)^k / (1 - (1-eps)^4).
+  const double eps = 0.3;
+  const double denom = 1.0 - std::pow(1 - eps, 4);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(result.scores[k], eps * std::pow(1 - eps, k) / denom, 1e-9);
+  }
+}
+
+TEST(PersonalizedPageRankTest, DanglingMassReturnsToSeed) {
+  // 0 -> 1, 1 dangling: all mass cycles between seed and 1.
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 1}});
+  PowerIterationOptions opts;
+  opts.epsilon = 0.2;
+  auto result = PersonalizedPageRank(g, 0, opts);
+  // pi_1 = (1-eps) pi_0; pi_0 + pi_1 = 1.
+  EXPECT_NEAR(result.scores[0], 1.0 / 1.8, 1e-9);
+  EXPECT_NEAR(result.scores[1], 0.8 / 1.8, 1e-9);
+}
+
+TEST(PowerIterationTest, IterationCountReported) {
+  CsrGraph g = CsrGraph::FromEdges(3, DirectedCycle(3));
+  PowerIterationOptions opts;
+  opts.max_iters = 3;
+  opts.tolerance = 0.0;  // force running to the cap
+  auto result = PageRankPowerIteration(g, opts);
+  EXPECT_EQ(result.iterations, 3u);
+}
+
+TEST(TopKNodesTest, OrderingAndExclusion) {
+  std::vector<double> scores{0.1, 0.5, 0.3, 0.5, 0.0};
+  auto top = TopKNodes(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // ties break by node id
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+
+  auto excl = TopKNodes(scores, 3, {1});
+  EXPECT_EQ(excl[0], 3u);
+  EXPECT_EQ(excl[1], 2u);
+  EXPECT_EQ(excl[2], 0u);
+}
+
+TEST(TopKNodesTest, KLargerThanCandidates) {
+  std::vector<double> scores{0.2, 0.8};
+  auto top = TopKNodes(scores, 10);
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+}
+
+}  // namespace
+}  // namespace fastppr

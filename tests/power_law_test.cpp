@@ -1,0 +1,100 @@
+#include "fastppr/analysis/power_law.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/core/theory.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+namespace {
+
+TEST(PowerLawFitTest, RecoversExactExponent) {
+  // Values generated exactly from equation (3) must fit with the same
+  // exponent and r^2 = 1.
+  const std::size_t n = 5000;
+  const double alpha = 0.76;
+  std::vector<double> values(n);
+  for (std::size_t j = 1; j <= n; ++j) {
+    values[j - 1] = PowerLawScore(j, n, alpha);
+  }
+  PowerLawFit fit = FitPowerLaw(values, 1, n);
+  EXPECT_NEAR(fit.alpha, alpha, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_EQ(fit.points, n);
+}
+
+TEST(PowerLawFitTest, WindowRestrictsRanks) {
+  // A curve that is power-law only in the middle: fit the window.
+  std::vector<double> values(1000);
+  for (std::size_t j = 1; j <= 1000; ++j) {
+    values[j - 1] = std::pow(static_cast<double>(j), -0.5);
+  }
+  // Corrupt the head.
+  values[0] = 100.0;
+  values[1] = 50.0;
+  PowerLawFit fit = FitPowerLaw(values, 10, 500);
+  EXPECT_NEAR(fit.alpha, 0.5, 1e-9);
+}
+
+TEST(PowerLawFitTest, SkipsZeros) {
+  std::vector<double> values{1.0, 0.5, 0.0, 0.25, 0.0};
+  PowerLawFit fit = FitPowerLaw(values, 1, 5);
+  EXPECT_EQ(fit.points, 3u);
+}
+
+TEST(PowerLawFitTest, NoisyDataStillClose) {
+  Rng rng(1);
+  const double alpha = 0.7;
+  std::vector<double> values(2000);
+  for (std::size_t j = 1; j <= 2000; ++j) {
+    const double noise = 1.0 + 0.1 * (rng.NextDouble() - 0.5);
+    values[j - 1] = std::pow(static_cast<double>(j), -alpha) * noise;
+  }
+  PowerLawFit fit = FitPowerLaw(values, 1, 2000);
+  EXPECT_NEAR(fit.alpha, alpha, 0.02);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(PowerLawFitTest, DegenerateInputs) {
+  EXPECT_EQ(FitPowerLaw({}, 1, 10).points, 0u);
+  EXPECT_EQ(FitPowerLaw({1.0}, 1, 1).points, 1u);
+  EXPECT_EQ(FitPowerLaw({1.0}, 1, 1).alpha, 0.0);  // needs >= 2 points
+  EXPECT_EQ(FitPowerLaw({1.0, 0.5}, 5, 3).points, 0u);  // empty window
+}
+
+TEST(PowerLawFitTest, UnsortedConvenience) {
+  std::vector<double> values;
+  for (std::size_t j = 1; j <= 100; ++j) {
+    values.push_back(std::pow(static_cast<double>(j), -0.6));
+  }
+  Rng rng(2);
+  rng.Shuffle(&values);
+  PowerLawFit fit = FitPowerLawUnsorted(values);
+  EXPECT_NEAR(fit.alpha, 0.6, 1e-9);
+}
+
+TEST(LogSpacedRankSeriesTest, CoversRangeWithoutDuplicates) {
+  std::vector<double> values(100000);
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    values[j] = 1.0 / static_cast<double>(j + 1);
+  }
+  auto series = LogSpacedRankSeries(values, 10);
+  ASSERT_FALSE(series.empty());
+  EXPECT_EQ(series.front().first, 1u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].first, series[i - 1].first);
+  }
+  EXPECT_LE(series.back().first, 100000u);
+  // ~10 points per decade over 5 decades.
+  EXPECT_GT(series.size(), 30u);
+  EXPECT_LT(series.size(), 80u);
+}
+
+TEST(LogSpacedRankSeriesTest, EmptyInput) {
+  EXPECT_TRUE(LogSpacedRankSeries({}, 10).empty());
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,80 @@
+#include "fastppr/analysis/precision.h"
+
+#include <gtest/gtest.h>
+
+namespace fastppr {
+namespace {
+
+TEST(InterpolatedPrecisionTest, PerfectRankingIsAllOnes) {
+  std::vector<NodeId> relevant{1, 2, 3};
+  std::vector<NodeId> ranked{1, 2, 3, 4, 5};
+  auto curve = InterpolatedPrecision(relevant, ranked);
+  for (double p : curve) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(InterpolatedPrecisionTest, NothingRetrievedIsAllZeros) {
+  std::vector<NodeId> relevant{1, 2};
+  std::vector<NodeId> ranked{7, 8, 9};
+  auto curve = InterpolatedPrecision(relevant, ranked);
+  for (double p : curve) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(InterpolatedPrecisionTest, HandComputedCase) {
+  // Relevant {a,b}; ranking: [x, a, y, b]. Hits at positions 2 and 4:
+  // (recall .5, precision .5), (recall 1, precision .5).
+  std::vector<NodeId> relevant{10, 20};
+  std::vector<NodeId> ranked{1, 10, 2, 20};
+  auto curve = InterpolatedPrecision(relevant, ranked);
+  // Interpolated precision is 0.5 at every level (max precision at any
+  // recall >= r is 0.5 everywhere).
+  for (double p : curve) EXPECT_DOUBLE_EQ(p, 0.5);
+}
+
+TEST(InterpolatedPrecisionTest, EarlyHitLiftsLowRecallLevels) {
+  // Relevant {a,b}; ranking: [a, x, x, x, b, ...].
+  std::vector<NodeId> relevant{1, 2};
+  std::vector<NodeId> ranked{1, 9, 8, 7, 2};
+  auto curve = InterpolatedPrecision(relevant, ranked);
+  // recall .5 reached at pos 1 (precision 1.0); recall 1.0 at pos 5
+  // (precision .4).
+  EXPECT_DOUBLE_EQ(curve[0], 1.0);   // level 0.0
+  EXPECT_DOUBLE_EQ(curve[5], 1.0);   // level 0.5
+  EXPECT_DOUBLE_EQ(curve[6], 0.4);   // level 0.6
+  EXPECT_DOUBLE_EQ(curve[10], 0.4);  // level 1.0
+}
+
+TEST(InterpolatedPrecisionTest, EmptyRelevantGivesZeros) {
+  auto curve = InterpolatedPrecision({}, {1, 2, 3});
+  for (double p : curve) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(AverageCurvesTest, ElementwiseMean) {
+  PrecisionCurve a{};
+  PrecisionCurve b{};
+  for (std::size_t i = 0; i < 11; ++i) {
+    a[i] = 1.0;
+    b[i] = 0.0;
+  }
+  auto avg = AverageCurves({a, b});
+  for (double p : avg) EXPECT_DOUBLE_EQ(p, 0.5);
+  EXPECT_DOUBLE_EQ(AverageCurves({})[0], 0.0);
+}
+
+TEST(TopKOverlapTest, CountsIntersection) {
+  std::vector<NodeId> a{1, 2, 3, 4};
+  std::vector<NodeId> b{3, 2, 9, 8};
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 4), 0.5);
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 2), 0.5);  // {1,2} vs {3,2}
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, a, 4), 1.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 0), 0.0);
+}
+
+TEST(RecallAtDepthTest, FractionFound) {
+  std::vector<NodeId> relevant{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RecallAtDepth(relevant, {1, 9, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtDepth(relevant, {}), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtDepth({}, {1}), 0.0);
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,177 @@
+#include "fastppr/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fastppr {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformCoversSupport) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformUint64(6));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMean) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.015);
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory) {
+  // Mean of Geometric(p) on {0,1,...} is (1-p)/p.
+  Rng rng(17);
+  for (double p : {0.2, 0.5, 0.9}) {
+    double sum = 0.0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i) {
+      sum += static_cast<double>(rng.Geometric(p));
+    }
+    const double expected = (1.0 - p) / p;
+    EXPECT_NEAR(sum / trials, expected, expected * 0.1 + 0.02) << "p=" << p;
+  }
+}
+
+TEST(RngTest, GeometricOfOneIsZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, BinomialSmallAndLargeN) {
+  Rng rng(23);
+  // Small n path (Bernoulli loop).
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Binomial(10, 0.25);
+  EXPECT_NEAR(sum / 20000.0, 2.5, 0.1);
+  // Large n path (geometric skipping).
+  sum = 0.0;
+  for (int i = 0; i < 5000; ++i) sum += rng.Binomial(1000, 0.01);
+  EXPECT_NEAR(sum / 5000.0, 10.0, 0.5);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(29);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.Binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.Binomial(100, 1.0), 100u);
+}
+
+TEST(RngTest, BinomialNeverExceedsN) {
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LE(rng.Binomial(100, 0.9), 100u);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(37);
+  double sum = 0.0, sumsq = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / trials, 1.0, 0.05);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(41);
+  auto perm = rng.Permutation(100);
+  std::vector<std::size_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 2, 3, 5, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(47);
+  Rng child = parent.Fork();
+  // Forking must not replay the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SampleFromCdfTest, RespectsWeights) {
+  Rng rng(53);
+  std::vector<double> cdf{1.0, 1.0, 4.0};  // weights 1, 0, 3
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[SampleFromCdf(cdf, &rng)];
+  EXPECT_NEAR(counts[0] / 40000.0, 0.25, 0.02);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 40000.0, 0.75, 0.02);
+}
+
+TEST(SampleFromCdfTest, SingleBucket) {
+  Rng rng(59);
+  std::vector<double> cdf{2.5};
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(SampleFromCdf(cdf, &rng), 0u);
+}
+
+}  // namespace
+}  // namespace fastppr

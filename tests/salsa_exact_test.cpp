@@ -1,0 +1,93 @@
+#include "fastppr/baseline/salsa_exact.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/graph/generators.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+namespace {
+
+TEST(SalsaExactTest, HubAndAuthoritySumToOne) {
+  CsrGraph g = CsrGraph::FromEdges(
+      5, {{0, 1}, {1, 2}, {2, 0}, {3, 1}, {4, 1}, {1, 4}});
+  auto result = SalsaExact(g, SalsaOptions{});
+  EXPECT_NEAR(std::accumulate(result.hub.begin(), result.hub.end(), 0.0),
+              1.0, 1e-9);
+  EXPECT_NEAR(std::accumulate(result.authority.begin(),
+                              result.authority.end(), 0.0),
+              1.0, 1e-9);
+}
+
+TEST(SalsaExactTest, SmallEpsAuthorityIsIndegreeOverM) {
+  Rng rng(3);
+  auto edges = ErdosRenyi(30, 200, &rng);
+  DiGraph d(30);
+  for (const Edge& e : edges) ASSERT_TRUE(d.AddEdge(e.src, e.dst).ok());
+  CsrGraph g = CsrGraph::FromDiGraph(d);
+  SalsaOptions opts;
+  opts.epsilon = 0.001;
+  auto result = SalsaExact(g, opts);
+  const double m = static_cast<double>(g.num_edges());
+  for (NodeId v = 0; v < 30; ++v) {
+    EXPECT_NEAR(result.authority[v],
+                static_cast<double>(g.InDegree(v)) / m, 0.01)
+        << "node " << v;
+  }
+}
+
+TEST(SalsaExactTest, SmallEpsHubIsOutdegreeOverM) {
+  Rng rng(5);
+  auto edges = ErdosRenyi(25, 150, &rng);
+  DiGraph d(25);
+  for (const Edge& e : edges) ASSERT_TRUE(d.AddEdge(e.src, e.dst).ok());
+  CsrGraph g = CsrGraph::FromDiGraph(d);
+  SalsaOptions opts;
+  opts.epsilon = 0.001;
+  auto result = SalsaExact(g, opts);
+  const double m = static_cast<double>(g.num_edges());
+  for (NodeId v = 0; v < 25; ++v) {
+    EXPECT_NEAR(result.hub[v], static_cast<double>(g.OutDegree(v)) / m,
+                0.01);
+  }
+}
+
+TEST(PersonalizedSalsaTest, MassConcentratesNearSeed) {
+  // Two disconnected 2-cycles; personalization on node 0 must give zero
+  // authority to the other component.
+  CsrGraph g = CsrGraph::FromEdges(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}});
+  SalsaOptions opts;
+  opts.epsilon = 0.2;
+  auto result = PersonalizedSalsaExact(g, 0, opts);
+  EXPECT_GT(result.authority[1], 0.4);
+  EXPECT_NEAR(result.authority[2], 0.0, 1e-9);
+  EXPECT_NEAR(result.authority[3], 0.0, 1e-9);
+  EXPECT_GT(result.hub[0], 0.4);
+}
+
+TEST(PersonalizedSalsaTest, AuthorityFavorsCoFollowedNodes) {
+  // Seed 0 follows 1 and 2. Node 3 also follows 1 and 2 and follows 4.
+  // Node 4 should get authority through the forward-backward walk
+  // (0 -> 1 -> back to 3 -> forward to 4).
+  CsrGraph g = CsrGraph::FromEdges(
+      6, {{0, 1}, {0, 2}, {3, 1}, {3, 2}, {3, 4}, {5, 4}, {4, 5}, {1, 0}});
+  SalsaOptions opts;
+  opts.epsilon = 0.2;
+  auto result = PersonalizedSalsaExact(g, 0, opts);
+  EXPECT_GT(result.authority[4], 0.0);
+  EXPECT_GT(result.authority[1], result.authority[4]);
+}
+
+TEST(SalsaExactTest, ConvergesWithinIterationCap) {
+  CsrGraph g = CsrGraph::FromEdges(4, DirectedCycle(4));
+  SalsaOptions opts;
+  opts.tolerance = 1e-10;
+  auto result = SalsaExact(g, opts);
+  EXPECT_LT(result.iterations, opts.max_iters);
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,129 @@
+#include "fastppr/core/salsa_walker.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/baseline/salsa_exact.h"
+#include "fastppr/graph/csr_graph.h"
+#include "fastppr/graph/generators.h"
+
+namespace fastppr {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t n, std::size_t m, std::size_t R, double eps,
+                   uint64_t seed)
+      : social(n) {
+    Rng rng(seed);
+    auto edges = ErdosRenyi(n, m, &rng);
+    for (const Edge& e : edges) {
+      EXPECT_TRUE(social.AddEdge(e.src, e.dst).ok());
+    }
+    store.Init(social.graph(), R, eps, seed + 1);
+  }
+  SocialStore social;
+  SalsaWalkStore store;
+};
+
+TEST(SalsaWalkerTest, WalkReachesLengthAndCountsSplitBySide) {
+  Fixture f(40, 300, 5, 0.2, 1);
+  PersonalizedSalsaWalker walker(&f.store, &f.social);
+  SalsaWalkResult result;
+  ASSERT_TRUE(walker.Walk(2, 8000, 2, &result).ok());
+  EXPECT_GE(result.length, 8000u);
+  int64_t hub_total = 0, auth_total = 0;
+  for (const auto& [node, c] : result.hub_counts) hub_total += c;
+  for (const auto& [node, c] : result.authority_counts) auth_total += c;
+  EXPECT_EQ(static_cast<uint64_t>(hub_total + auth_total), result.length);
+  // Alternating walk: the two sides are roughly balanced.
+  EXPECT_NEAR(static_cast<double>(hub_total) /
+                  static_cast<double>(result.length),
+              0.5, 0.15);
+}
+
+TEST(SalsaWalkerTest, MatchesExactPersonalizedSalsa) {
+  Fixture f(30, 250, 10, 0.2, 3);
+  PersonalizedSalsaWalker walker(&f.store, &f.social);
+  SalsaWalkResult result;
+  const NodeId seed = 5;
+  ASSERT_TRUE(walker.Walk(seed, 400000, 4, &result).ok());
+
+  SalsaOptions opts;
+  opts.epsilon = 0.2;
+  auto exact = PersonalizedSalsaExact(
+      CsrGraph::FromDiGraph(f.social.graph()), seed, opts);
+  int64_t auth_total = 0;
+  for (const auto& [node, c] : result.authority_counts) auth_total += c;
+  double l1 = 0.0;
+  for (NodeId v = 0; v < 30; ++v) {
+    auto it = result.authority_counts.find(v);
+    const double freq =
+        (it == result.authority_counts.end() || auth_total == 0)
+            ? 0.0
+            : static_cast<double>(it->second) /
+                  static_cast<double>(auth_total);
+    l1 += std::abs(freq - exact.authority[v]);
+  }
+  EXPECT_LT(l1, 0.06);
+}
+
+TEST(SalsaWalkerTest, TopKAuthoritiesExcludesFriends) {
+  Fixture f(30, 250, 5, 0.2, 5);
+  PersonalizedSalsaWalker walker(&f.store, &f.social);
+  std::vector<ScoredNode> ranked;
+  const NodeId seed = 9;
+  ASSERT_TRUE(walker
+                  .TopKAuthorities(seed, 8, 20000, /*exclude_friends=*/true,
+                                   6, &ranked)
+                  .ok());
+  for (const ScoredNode& s : ranked) {
+    EXPECT_NE(s.node, seed);
+    for (NodeId fr : f.social.graph().OutNeighbors(seed)) {
+      EXPECT_NE(s.node, fr);
+    }
+  }
+}
+
+TEST(SalsaWalkerTest, FetchBudgetRespected) {
+  Fixture f(50, 400, 2, 0.2, 7);
+  WalkerOptions opts;
+  opts.max_fetches = 2;
+  PersonalizedSalsaWalker walker(&f.store, &f.social, opts);
+  SalsaWalkResult result;
+  EXPECT_TRUE(walker.Walk(0, 100000, 8, &result).IsResourceExhausted());
+}
+
+TEST(SalsaWalkerTest, InvalidSeed) {
+  Fixture f(10, 60, 2, 0.2, 9);
+  PersonalizedSalsaWalker walker(&f.store, &f.social);
+  SalsaWalkResult result;
+  EXPECT_TRUE(walker.Walk(50, 100, 10, &result).IsInvalidArgument());
+}
+
+TEST(SalsaWalkerTest, IsolatedSeedProducesSeedOnlyWalk) {
+  SocialStore social(4);
+  ASSERT_TRUE(social.AddEdge(1, 2).ok());
+  SalsaWalkStore store;
+  store.Init(social.graph(), 3, 0.2, 11);
+  PersonalizedSalsaWalker walker(&store, &social);
+  SalsaWalkResult result;
+  ASSERT_TRUE(walker.Walk(0, 50, 12, &result).ok());
+  EXPECT_EQ(result.hub_counts.at(0), static_cast<int64_t>(result.length));
+  EXPECT_TRUE(result.authority_counts.empty());
+}
+
+TEST(SalsaWalkerTest, OneEdgeModeNeverCheaper) {
+  Fixture f(40, 350, 3, 0.2, 13);
+  PersonalizedSalsaWalker all_mode(&f.store, &f.social);
+  WalkerOptions one_opts;
+  one_opts.fetch_mode = FetchMode::kSegmentsAndOneEdge;
+  PersonalizedSalsaWalker one_mode(&f.store, &f.social, one_opts);
+  SalsaWalkResult a, b;
+  ASSERT_TRUE(all_mode.Walk(1, 15000, 14, &a).ok());
+  ASSERT_TRUE(one_mode.Walk(1, 15000, 14, &b).ok());
+  EXPECT_GE(b.fetches, a.fetches);
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,75 @@
+#include "fastppr/store/social_store.h"
+
+#include <gtest/gtest.h>
+
+namespace fastppr {
+namespace {
+
+TEST(SocialStoreTest, CountsReadsAndWrites) {
+  SocialStore store(10);
+  EXPECT_TRUE(store.AddEdge(0, 1).ok());
+  EXPECT_TRUE(store.AddEdge(1, 2).ok());
+  EXPECT_EQ(store.writes(), 2u);
+  EXPECT_EQ(store.reads(), 0u);
+
+  auto outs = store.GetOutNeighbors(0);
+  EXPECT_EQ(outs.size(), 1u);
+  store.GetInNeighbors(2);
+  store.GetOutDegree(1);
+  store.GetInDegree(1);
+  EXPECT_EQ(store.reads(), 4u);
+}
+
+TEST(SocialStoreTest, FailedWriteNotCounted) {
+  SocialStore store(2);
+  EXPECT_TRUE(store.AddEdge(0, 9).IsInvalidArgument());
+  EXPECT_TRUE(store.RemoveEdge(0, 1).IsNotFound());
+  EXPECT_EQ(store.writes(), 0u);
+}
+
+TEST(SocialStoreTest, ShardAccounting) {
+  SocialStore::Options opts;
+  opts.num_shards = 4;
+  SocialStore store(16, opts);
+  ASSERT_TRUE(store.AddEdge(0, 1).ok());
+  ASSERT_TRUE(store.AddEdge(4, 1).ok());
+  store.GetOutNeighbors(0);  // shard 0
+  store.GetOutNeighbors(4);  // shard 0
+  store.GetOutNeighbors(1);  // shard 1
+  EXPECT_EQ(store.shard_of(0), 0u);
+  EXPECT_EQ(store.shard_of(5), 1u);
+  EXPECT_EQ(store.shard_reads(0), 2u);
+  EXPECT_EQ(store.shard_reads(1), 1u);
+  EXPECT_EQ(store.shard_reads(2), 0u);
+}
+
+TEST(SocialStoreTest, SimulatedLatencyModel) {
+  SocialStore::Options opts;
+  opts.simulated_call_micros = 100.0;
+  SocialStore store(4, opts);
+  ASSERT_TRUE(store.AddEdge(0, 1).ok());
+  store.GetOutNeighbors(0);
+  EXPECT_DOUBLE_EQ(store.simulated_micros(), 200.0);  // 1 write + 1 read
+}
+
+TEST(SocialStoreTest, ResetStats) {
+  SocialStore store(4);
+  ASSERT_TRUE(store.AddEdge(0, 1).ok());
+  store.GetOutNeighbors(0);
+  store.ResetStats();
+  EXPECT_EQ(store.reads(), 0u);
+  EXPECT_EQ(store.writes(), 0u);
+  EXPECT_EQ(store.shard_reads(0), 0u);
+  // Graph contents unaffected.
+  EXPECT_EQ(store.num_edges(), 1u);
+}
+
+TEST(SocialStoreTest, UncountedLocalAccess) {
+  SocialStore store(4);
+  ASSERT_TRUE(store.AddEdge(0, 1).ok());
+  EXPECT_EQ(store.graph().OutDegree(0), 1u);
+  EXPECT_EQ(store.reads(), 0u);
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,59 @@
+#include "fastppr/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fastppr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCodesAndPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+  EXPECT_FALSE(Status::NotFound("x").IsIOError());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad node id");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad node id");
+  EXPECT_EQ(s.message(), "bad node id");
+}
+
+TEST(StatusTest, EmptyMessageToString) {
+  EXPECT_EQ(Status::Corruption("").ToString(), "Corruption");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = []() { return Status::NotFound("gone"); };
+  auto outer = [&]() -> Status {
+    FASTPPR_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPassesOk) {
+  auto inner = []() { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    FASTPPR_RETURN_IF_ERROR(inner());
+    return Status::Corruption("reached");
+  };
+  EXPECT_TRUE(outer().IsCorruption());
+}
+
+}  // namespace
+}  // namespace fastppr

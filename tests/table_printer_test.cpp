@@ -1,0 +1,44 @@
+#include "fastppr/util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace fastppr {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"method", "hits"});
+  t.AddRow({"SALSA", "6.29"});
+  t.AddRow({"HITS", "0.25"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| method | hits |"), std::string::npos);
+  EXPECT_NE(out.find("| SALSA  | 6.29 |"), std::string::npos);
+  EXPECT_NE(out.find("| HITS   | 0.25 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, WidensForLongCells) {
+  TablePrinter t({"x"});
+  t.AddRow({"longer-cell"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| x           |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-cell |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRowPresent) {
+  TablePrinter t({"a", "b"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("|---|---|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<uint64_t>(42)), "42");
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<int64_t>(-7)), "-7");
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,98 @@
+#include "fastppr/core/theory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fastppr {
+namespace {
+
+TEST(TheoryTest, PowerLawScoreNormalizes) {
+  // Equation (3) is the continuous approximation of a normalized vector:
+  // the sum over j of pi_j should be close to 1.
+  const std::size_t n = 100000;
+  const double alpha = 0.75;
+  // The integral approximation of equation (3) under-normalizes by the
+  // zeta-function correction (~5% at alpha=0.75), exactly as the paper
+  // notes ("we ignore the very small error in estimating the summation
+  // with integration").
+  double sum = 0.0;
+  for (std::size_t j = 1; j <= n; ++j) sum += PowerLawScore(j, n, alpha);
+  EXPECT_NEAR(sum, 1.0, 0.06);
+}
+
+TEST(TheoryTest, PowerLawScoreDecreasing) {
+  EXPECT_GT(PowerLawScore(1, 1000, 0.7), PowerLawScore(2, 1000, 0.7));
+  EXPECT_GT(PowerLawScore(10, 1000, 0.7), PowerLawScore(100, 1000, 0.7));
+}
+
+TEST(TheoryTest, Remark2WalkLength) {
+  // alpha = 0.75, c = 5, R = 10, k = 100, n = 1e8: the paper reports
+  // "632k = 63200" (rounded); the exact value is 20*100*(1e6)^{1/4}.
+  const double s = WalkLengthForTopK(100, 100000000, 0.75, 5.0);
+  EXPECT_NEAR(s, 63245.55, 1.0);
+  EXPECT_NEAR(s / 100.0, 632.46, 0.01);  // "632 per k"
+}
+
+TEST(TheoryTest, Remark2FetchBound) {
+  // Same parameters: corollary 9 gives 1 + 20k = 2001.
+  const double f = Corollary9FetchBound(100, 10, 0.75, 5.0);
+  EXPECT_NEAR(f, 2001.0, 0.5);
+}
+
+TEST(TheoryTest, Theorem8MatchesCorollary9AtSk) {
+  // Plugging s_k of equation (4) into Theorem 8 must reproduce
+  // Corollary 9 (that is how the corollary is derived).
+  const std::size_t n = 1000000, R = 10, k = 50;
+  const double alpha = 0.8, c = 4.0;
+  const double sk = WalkLengthForTopK(k, n, alpha, c);
+  const double via_thm8 = Theorem8FetchBound(sk, n, R, alpha);
+  const double via_cor9 = Corollary9FetchBound(k, R, alpha, c);
+  EXPECT_NEAR(via_thm8, via_cor9, via_cor9 * 0.01);
+}
+
+TEST(TheoryTest, Theorem8MonotoneInWalkLengthAndR) {
+  EXPECT_LT(Theorem8FetchBound(1000, 100000, 10, 0.75),
+            Theorem8FetchBound(10000, 100000, 10, 0.75));
+  EXPECT_GT(Theorem8FetchBound(10000, 100000, 5, 0.75),
+            Theorem8FetchBound(10000, 100000, 20, 0.75));
+}
+
+TEST(TheoryTest, HarmonicNumber) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_NEAR(HarmonicNumber(2), 1.5, 1e-12);
+  EXPECT_NEAR(HarmonicNumber(1000), std::log(1000.0) + 0.5772, 0.001);
+}
+
+TEST(TheoryTest, Theorem4Bounds) {
+  // Per-arrival: nR/(t eps); total: (nR/eps^2) H_m.
+  EXPECT_NEAR(Theorem4SegmentsPerArrival(100, 10, 0.2, 50), 100.0, 1e-9);
+  const double total = Theorem4TotalWork(100, 10, 0.2, 1000);
+  EXPECT_NEAR(total, 100.0 * 10.0 / 0.04 * HarmonicNumber(1000), 1e-6);
+}
+
+TEST(TheoryTest, DeletionAndDirichletBounds) {
+  EXPECT_NEAR(Proposition5DeletionWork(100, 10, 0.2, 1000),
+              100.0 * 10.0 / (1000.0 * 0.04), 1e-9);
+  // Dirichlet total work with m = (e-1) n equals nR/eps^2.
+  const std::size_t n = 1000;
+  const std::size_t m = static_cast<std::size_t>((std::exp(1.0) - 1.0) * n);
+  EXPECT_NEAR(DirichletTotalWork(n, 1, 1.0, m), 1000.0, 10.0);
+}
+
+TEST(TheoryTest, SalsaIsSixteenTimesPageRankBound) {
+  const double pr = 100.0 * 10.0 / 0.04 * std::log(1000.0);
+  EXPECT_NEAR(Theorem6SalsaTotalWork(100, 10, 0.2, 1000), 16.0 * pr,
+              pr * 0.2);  // H_m vs ln m slack
+}
+
+TEST(TheoryTest, NaiveBaselinesDominateIncremental) {
+  const std::size_t n = 1000, R = 10, m = 100000;
+  const double eps = 0.2;
+  const double incremental = Theorem4TotalWork(n, R, eps, m);
+  EXPECT_GT(NaivePowerIterationTotalWork(eps, m), 100.0 * incremental);
+  EXPECT_GT(NaiveMonteCarloTotalWork(n, R, eps, m), 100.0 * incremental);
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,331 @@
+#include "fastppr/store/walk_store.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/baseline/power_iteration.h"
+#include "fastppr/graph/csr_graph.h"
+#include "fastppr/graph/generators.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+namespace {
+
+DiGraph BuildGraph(std::size_t n, const std::vector<Edge>& edges) {
+  DiGraph g(n);
+  for (const Edge& e : edges) EXPECT_TRUE(g.AddEdge(e.src, e.dst).ok());
+  return g;
+}
+
+double L1Error(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) err += std::abs(a[i] - b[i]);
+  return err;
+}
+
+TEST(WalkStoreTest, InitInvariantsOnCycle) {
+  DiGraph g = BuildGraph(20, DirectedCycle(20));
+  WalkStore store;
+  store.Init(g, /*walks_per_node=*/5, /*epsilon=*/0.2, /*seed=*/1);
+  EXPECT_EQ(store.num_segments(), 100u);
+  store.CheckConsistency(g);
+  // Every node of a cycle is symmetric: visit counts should be roughly
+  // uniform and total visits ~ nR/eps.
+  EXPECT_NEAR(static_cast<double>(store.TotalVisits()), 20 * 5 / 0.2,
+              20 * 5 / 0.2 * 0.25);
+}
+
+TEST(WalkStoreTest, SegmentLengthIsGeometric) {
+  // On a graph with no dangling nodes, the mean segment node count must be
+  // 1/eps.
+  DiGraph g = BuildGraph(50, DirectedCycle(50));
+  WalkStore store;
+  const double eps = 0.25;
+  store.Init(g, 40, eps, 7);
+  double total_len = 0.0;
+  for (NodeId u = 0; u < 50; ++u) {
+    for (std::size_t k = 0; k < 40; ++k) {
+      total_len += static_cast<double>(store.GetSegment(u, k).path.size());
+    }
+  }
+  const double mean = total_len / (50.0 * 40.0);
+  EXPECT_NEAR(mean, 1.0 / eps, 0.15);
+}
+
+TEST(WalkStoreTest, SegmentsStartAtSourceAndFollowEdges) {
+  Rng rng(3);
+  auto edges = ErdosRenyi(30, 200, &rng);
+  DiGraph g = BuildGraph(30, edges);
+  WalkStore store;
+  store.Init(g, 3, 0.2, 11);
+  for (NodeId u = 0; u < 30; ++u) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      const auto& seg = store.GetSegment(u, k);
+      ASSERT_FALSE(seg.path.empty());
+      EXPECT_EQ(seg.path[0].node, u);
+      for (std::size_t p = 0; p + 1 < seg.path.size(); ++p) {
+        EXPECT_TRUE(g.HasEdge(seg.path[p].node, seg.path[p + 1].node));
+      }
+    }
+  }
+}
+
+TEST(WalkStoreTest, EstimatesMatchPowerIterationOnStaticGraph) {
+  Rng rng(5);
+  auto edges = ErdosRenyi(150, 1200, &rng);
+  DiGraph g = BuildGraph(150, edges);
+  WalkStore store;
+  store.Init(g, 60, 0.2, 13);
+
+  PowerIterationOptions opts;
+  opts.epsilon = 0.2;
+  auto exact = PageRankPowerIteration(CsrGraph::FromDiGraph(g), opts);
+  EXPECT_LT(L1Error(store.NormalizedEstimates(), exact.scores), 0.12);
+}
+
+TEST(WalkStoreTest, PaperEstimatorOnDanglingFreeGraph) {
+  // With no dangling nodes the paper's nR/eps normalization agrees with
+  // the visit normalization up to sampling noise in the total.
+  DiGraph g = BuildGraph(40, DirectedCycle(40));
+  WalkStore store;
+  store.Init(g, 30, 0.2, 17);
+  double paper_sum = 0.0;
+  for (NodeId v = 0; v < 40; ++v) paper_sum += store.Estimate(v);
+  EXPECT_NEAR(paper_sum, 1.0, 0.1);
+}
+
+TEST(WalkStoreTest, DanglingNodesAreDanglingTerminals) {
+  // Star into node 0: node 0 has no out-edges, every segment visiting it
+  // must terminate there (reset or dangling).
+  DiGraph g = BuildGraph(10, StarInto(9));
+  WalkStore store;
+  store.Init(g, 10, 0.2, 19);
+  store.CheckConsistency(g);
+  EXPECT_EQ(store.StepVisitCount(0), 0u);
+  EXPECT_GT(store.DanglingCount(0), 0u);
+  // Leaves have one out-edge each; their single step either resets or
+  // lands on 0.
+  EXPECT_GT(store.VisitCount(0), store.VisitCount(1));
+}
+
+TEST(WalkStoreTest, InsertMaintainsInvariantsAndDistribution) {
+  // Build the graph incrementally, edge by edge, and compare the final
+  // estimates against power iteration on the final graph.
+  Rng rng(7);
+  auto edges = ErdosRenyi(100, 900, &rng);
+  DiGraph g(100);
+  WalkStore store;
+  store.Init(g, 50, 0.2, 23);
+  Rng update_rng(29);
+  for (const Edge& e : edges) {
+    ASSERT_TRUE(g.AddEdge(e.src, e.dst).ok());
+    store.OnEdgeInserted(g, e.src, e.dst, &update_rng);
+  }
+  store.CheckConsistency(g);
+
+  PowerIterationOptions opts;
+  opts.epsilon = 0.2;
+  auto exact = PageRankPowerIteration(CsrGraph::FromDiGraph(g), opts);
+  EXPECT_LT(L1Error(store.NormalizedEstimates(), exact.scores), 0.12);
+}
+
+TEST(WalkStoreTest, FirstOutEdgeResumesDanglingSegments) {
+  DiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  WalkStore store;
+  store.Init(g, 200, 0.2, 31);
+  const std::size_t dangling_before = store.DanglingCount(0);
+  EXPECT_GT(dangling_before, 0u);
+
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  Rng rng(37);
+  auto stats = store.OnEdgeInserted(g, 0, 1, &rng);
+  // Every dangling segment at 0 must resume.
+  EXPECT_EQ(stats.segments_updated, dangling_before);
+  EXPECT_EQ(store.DanglingCount(0), 0u);
+  EXPECT_EQ(stats.store_called, 1u);
+  store.CheckConsistency(g);
+}
+
+TEST(WalkStoreTest, InsertSwitchRateMatchesCoupling) {
+  // On a cycle, adding an edge (0, target) with new outdegree 2 should
+  // reroute about 1/2 of the step visits at node 0.
+  DiGraph g = BuildGraph(30, DirectedCycle(30));
+  WalkStore store;
+  store.Init(g, 400, 0.2, 41);
+  const double w = static_cast<double>(store.StepVisitCount(0));
+  ASSERT_TRUE(g.AddEdge(0, 15).ok());
+  Rng rng(43);
+  auto stats = store.OnEdgeInserted(g, 0, 15, &rng);
+  // Marks ~ Binomial(w, 1/2); grouped-by-segment count is slightly lower.
+  EXPECT_GT(static_cast<double>(stats.segments_updated), 0.3 * w);
+  EXPECT_LT(static_cast<double>(stats.segments_updated), 0.6 * w);
+  store.CheckConsistency(g);
+}
+
+TEST(WalkStoreTest, RemoveRestoresPriorDistribution) {
+  // Insert then remove an edge: estimates must again match power
+  // iteration on the original graph.
+  Rng rng(11);
+  auto edges = ErdosRenyi(80, 700, &rng);
+  DiGraph g = BuildGraph(80, edges);
+  WalkStore store;
+  store.Init(g, 50, 0.2, 47);
+  Rng update_rng(53);
+
+  ASSERT_TRUE(g.AddEdge(3, 77).ok());
+  store.OnEdgeInserted(g, 3, 77, &update_rng);
+  ASSERT_TRUE(g.RemoveEdge(3, 77).ok());
+  store.OnEdgeRemoved(g, 3, 77, &update_rng);
+  store.CheckConsistency(g);
+
+  PowerIterationOptions opts;
+  opts.epsilon = 0.2;
+  auto exact = PageRankPowerIteration(CsrGraph::FromDiGraph(g), opts);
+  EXPECT_LT(L1Error(store.NormalizedEstimates(), exact.scores), 0.15);
+}
+
+TEST(WalkStoreTest, RemovingLastOutEdgeMakesSegmentsDangle) {
+  DiGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());
+  WalkStore store;
+  store.Init(g, 100, 0.2, 59);
+  EXPECT_EQ(store.DanglingCount(0), 0u);
+
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  Rng rng(61);
+  auto stats = store.OnEdgeRemoved(g, 0, 1, &rng);
+  EXPECT_GT(stats.segments_updated, 0u);
+  EXPECT_GT(store.DanglingCount(0), 0u);
+  EXPECT_EQ(store.StepVisitCount(0), 0u);
+  store.CheckConsistency(g);
+}
+
+TEST(WalkStoreTest, ParallelEdgeRemovalOnlyRewiresBrokenShare) {
+  // Node 0 has two parallel edges to 1; nothing returns to 0, so each
+  // segment from 0 visits it exactly once. Removing one parallel copy must
+  // re-draw each stored step with probability exactly 1/2 (the coupling of
+  // the multigraph case), and the distribution is unchanged (all steps
+  // still go to node 1).
+  DiGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  WalkStore store;
+  store.Init(g, 2000, 0.2, 67);
+  const auto visits_before = store.VisitCount(1);
+  const double w = static_cast<double>(store.StepVisitCount(0));
+  EXPECT_GT(w, 1000.0);  // ~ (1-eps) * R
+
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  Rng rng(71);
+  auto stats = store.OnEdgeRemoved(g, 0, 1, &rng);
+  store.CheckConsistency(g);
+  // Exactly-once visits: rerouted segments / visits ~ Binomial mean 1/2.
+  EXPECT_NEAR(static_cast<double>(stats.segments_updated) / w, 0.5, 0.05);
+  // Distribution unchanged: every step still goes to node 1.
+  EXPECT_EQ(store.VisitCount(1), visits_before);
+}
+
+TEST(WalkStoreTest, GatingSkipsStoreCallWhenNoSwitches) {
+  // A node with huge outdegree but tiny visit count (nothing points at
+  // it): W(u)/d is far below 1, so the 1-(1-1/d)^W gating should skip the
+  // store call on almost every arrival.
+  DiGraph g(300);
+  for (NodeId v = 1; v < 290; ++v) {
+    ASSERT_TRUE(g.AddEdge(0, v).ok());
+  }
+  // Keep the targets non-dangling so re-simulations stay cheap.
+  for (NodeId v = 1; v < 299; ++v) {
+    ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  }
+  ASSERT_TRUE(g.AddEdge(299, 1).ok());
+  WalkStore store;
+  store.Init(g, 2, 0.2, 73);
+  // Only node 0's own segments visit node 0: W is at most R = 2.
+  ASSERT_LE(store.StepVisitCount(0), 2u);
+  Rng rng(79);
+  uint64_t calls = 0;
+  uint64_t no_call_updates = 0;
+  const int trials = 20;
+  for (int i = 0; i < trials; ++i) {
+    // Re-adding parallel copies of an existing edge keeps d large.
+    ASSERT_TRUE(g.AddEdge(0, static_cast<NodeId>(1 + i)).ok());
+    auto stats = store.OnEdgeInserted(g, 0, static_cast<NodeId>(1 + i),
+                                      &rng);
+    calls += stats.store_called;
+    if (stats.store_called == 0) no_call_updates += stats.segments_updated;
+  }
+  // P(call) ~ 1-(1-1/290)^2 ~ 0.7%; 20 trials should nearly all skip.
+  EXPECT_LE(calls, 2u);
+  EXPECT_EQ(no_call_updates, 0u);
+  store.CheckConsistency(g);
+}
+
+TEST(WalkStoreTest, VisitCountsNonNegativeAndSumToTotal) {
+  Rng rng(83);
+  auto edges = ErdosRenyi(60, 300, &rng);
+  DiGraph g(60);
+  WalkStore store;
+  store.Init(g, 10, 0.3, 89);
+  Rng update_rng(97);
+  for (const Edge& e : edges) {
+    ASSERT_TRUE(g.AddEdge(e.src, e.dst).ok());
+    store.OnEdgeInserted(g, e.src, e.dst, &update_rng);
+  }
+  int64_t sum = 0;
+  for (NodeId v = 0; v < 60; ++v) {
+    ASSERT_GE(store.VisitCount(v), 0);
+    sum += store.VisitCount(v);
+  }
+  EXPECT_EQ(sum, store.TotalVisits());
+  // Normalized estimates sum to exactly 1.
+  auto est = store.NormalizedEstimates();
+  EXPECT_NEAR(std::accumulate(est.begin(), est.end(), 0.0), 1.0, 1e-9);
+}
+
+// Property sweep: invariants must hold across (R, eps) after a random
+// interleaving of insertions and deletions.
+class WalkStoreParamTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(WalkStoreParamTest, ChurnPreservesInvariants) {
+  const int R = std::get<0>(GetParam());
+  const double eps = std::get<1>(GetParam());
+  Rng rng(101);
+  auto edges = ErdosRenyi(40, 250, &rng);
+  DiGraph g(40);
+  WalkStore store;
+  store.Init(g, R, eps, 103);
+  Rng update_rng(107);
+
+  std::vector<Edge> live;
+  for (const Edge& e : edges) {
+    ASSERT_TRUE(g.AddEdge(e.src, e.dst).ok());
+    store.OnEdgeInserted(g, e.src, e.dst, &update_rng);
+    live.push_back(e);
+    if (live.size() > 30 && update_rng.Bernoulli(0.3)) {
+      std::size_t i = update_rng.UniformIndex(live.size());
+      Edge victim = live[i];
+      live[i] = live.back();
+      live.pop_back();
+      ASSERT_TRUE(g.RemoveEdge(victim.src, victim.dst).ok());
+      store.OnEdgeRemoved(g, victim.src, victim.dst, &update_rng);
+    }
+  }
+  store.CheckConsistency(g);
+  EXPECT_EQ(store.num_segments(), 40u * static_cast<std::size_t>(R));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WalkStoreParamTest,
+    ::testing::Combine(::testing::Values(1, 4, 16),
+                       ::testing::Values(0.1, 0.2, 0.5)));
+
+}  // namespace
+}  // namespace fastppr
