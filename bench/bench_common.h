@@ -5,7 +5,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fastppr/util/csv_writer.h"
@@ -33,6 +35,59 @@ inline bool OpenCsv(const std::string& name,
   }
   return true;
 }
+
+/// Returns the value following `--json` in argv, or `fallback` when the
+/// flag is absent. Harnesses use this to redirect their machine-readable
+/// report; an empty return means "do not write one".
+inline std::string JsonPathFromArgs(int argc, char** argv,
+                                    const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  if (argc > 1 && std::string(argv[argc - 1]) == "--json") {
+    std::fprintf(stderr,
+                 "warning: --json given without a path; writing %s\n",
+                 fallback.c_str());
+  }
+  return fallback;
+}
+
+/// Minimal machine-readable metric report: a flat {"name": ..., "metrics":
+/// {key: number, ...}} JSON object. The perf trajectory across PRs is
+/// diffed from these files, so keys must stay stable once published.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Writes the report; warns (and keeps the process alive) on failure,
+  /// matching OpenCsv's degrade-gracefully contract. No-op when `path`
+  /// is empty.
+  void WriteTo(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\n  \"name\": \"" << name_ << "\",\n  \"metrics\": {\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", metrics_[i].second);
+      out << "    \"" << metrics_[i].first << "\": " << buf
+          << (i + 1 < metrics_.size() ? ",\n" : "\n");
+    }
+    out << "  }\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 inline void Banner(const char* title, const char* paper_ref) {
   std::printf("==============================================================="

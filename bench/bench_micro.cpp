@@ -2,13 +2,27 @@
 // costs the paper's asymptotic analysis is built from — segment
 // generation, incremental edge insertion/deletion, estimate queries,
 // stitched-walk steps and fetch operations.
+//
+// In addition to the google-benchmark suite, main() always runs a
+// power-law ingestion throughput measurement (slab store vs the frozen
+// pre-slab legacy layout, sequential and batched) and writes it as
+// machine-readable JSON — results/BENCH_micro.json by default,
+// overridable with --json <path> — so every future PR has a perf
+// trajectory to compare against.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
 #include "fastppr/core/incremental_pagerank.h"
 #include "fastppr/core/ppr_walker.h"
 #include "fastppr/graph/generators.h"
 #include "fastppr/store/walk_store.h"
+#include "fastppr/util/timer.h"
+#include "legacy/legacy_walk_store.h"
 
 namespace fastppr {
 namespace {
@@ -57,6 +71,32 @@ void BM_IncrementalAddEdge(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_IncrementalAddEdge);
+
+void BM_IncrementalApplyEventsBatch(benchmark::State& state) {
+  const std::size_t n = 20000;
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  DiGraph g = MakeGraph(n, n * 15, 3);
+  MonteCarloOptions mc;
+  mc.walks_per_node = 10;
+  mc.epsilon = 0.2;
+  IncrementalPageRank engine(g, mc);
+  Rng rng(4);
+  std::vector<EdgeEvent> events(batch);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (EdgeEvent& ev : events) {
+      NodeId u = static_cast<NodeId>(rng.UniformIndex(n));
+      NodeId v = static_cast<NodeId>(rng.UniformIndex(n));
+      if (u == v) v = (v + 1) % n;
+      ev = EdgeEvent{EdgeEvent::Kind::kInsert, Edge{u, v}};
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.ApplyEvents(events));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_IncrementalApplyEventsBatch)->Arg(64)->Arg(1024);
 
 void BM_IncrementalAddRemoveCycle(benchmark::State& state) {
   const std::size_t n = 20000;
@@ -148,5 +188,126 @@ void BM_SegmentGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SegmentGeneration);
 
+// ---- power-law ingestion throughput (machine-readable) ---------------
+
+std::vector<Edge> PowerLawStream(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  PreferentialAttachmentOptions gen;
+  gen.num_nodes = n;
+  gen.out_per_node = 10;
+  auto edges = PreferentialAttachment(gen, &rng);
+  rng.Shuffle(&edges);
+  return edges;
+}
+
+void WriteThroughputJson(const std::string& json_path) {
+  const std::size_t n = 10000;
+  const std::size_t R = 5;
+  const double eps = 0.2;
+  const std::size_t kBatch = 4096;
+  const auto edges = PowerLawStream(n, 21);
+  const double m = static_cast<double>(edges.size());
+
+  // Pre-slab layout, sequential (the PR-1 "before" side).
+  auto run_legacy = [&]() {
+    DiGraph g(n);
+    legacy::WalkStore store;
+    store.Init(g, R, eps, 33);
+    Rng rng(34);
+    WallTimer timer;
+    for (const Edge& e : edges) {
+      if (!g.AddEdge(e.src, e.dst).ok()) std::abort();
+      store.OnEdgeInserted(g, e.src, e.dst, &rng);
+    }
+    return m / timer.ElapsedSeconds();
+  };
+
+  // Slab layout; batch = 1 is the classic one-event-at-a-time path.
+  double steps_per_event = 0.0;
+  double batched_steps_per_event = 0.0;
+  auto run_slab = [&](std::size_t batch, double* steps_out) {
+    DiGraph g(n);
+    WalkStore store;
+    store.Init(g, R, eps, 33);
+    Rng rng(34);
+    WalkUpdateStats stats;
+    WallTimer timer;
+    if (batch <= 1) {
+      for (const Edge& e : edges) {
+        if (!g.AddEdge(e.src, e.dst).ok()) std::abort();
+        stats.Accumulate(store.OnEdgeInserted(g, e.src, e.dst, &rng));
+      }
+    } else {
+      for (std::size_t lo = 0; lo < edges.size(); lo += batch) {
+        const std::size_t hi = std::min(edges.size(), lo + batch);
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (!g.AddEdge(edges[i].src, edges[i].dst).ok()) std::abort();
+        }
+        stats.Accumulate(store.OnEdgesInserted(
+            g, std::span<const Edge>(edges.data() + lo, hi - lo), &rng));
+      }
+    }
+    *steps_out = static_cast<double>(stats.walk_steps) / m;
+    return m / timer.ElapsedSeconds();
+  };
+
+  // Best of two runs apiece (noisy-box drift resistance).
+  auto best2 = [](double a, double b) { return a > b ? a : b; };
+  const double legacy_eps_sec = best2(run_legacy(), run_legacy());
+  const double slab_eps_sec = best2(run_slab(1, &steps_per_event),
+                                    run_slab(1, &steps_per_event));
+  const double batched_eps_sec =
+      best2(run_slab(kBatch, &batched_steps_per_event),
+            run_slab(kBatch, &batched_steps_per_event));
+
+  std::printf("power-law ingestion (n=%zu, m=%.0f, R=%zu, eps=%.2f):\n"
+              "  legacy sequential : %12.0f events/sec\n"
+              "  slab sequential   : %12.0f events/sec (%.2fx)\n"
+              "  slab batch=%-5zu  : %12.0f events/sec (%.2fx)\n"
+              "  walk steps/event  : %.3f sequential, %.3f batched\n",
+              n, m, R, eps, legacy_eps_sec, slab_eps_sec,
+              slab_eps_sec / legacy_eps_sec, kBatch, batched_eps_sec,
+              batched_eps_sec / legacy_eps_sec, steps_per_event,
+              batched_steps_per_event);
+
+  bench::JsonReport report("micro");
+  report.Add("num_nodes", static_cast<double>(n));
+  report.Add("num_events", m);
+  report.Add("walks_per_node", static_cast<double>(R));
+  report.Add("epsilon", eps);
+  report.Add("legacy_seq_events_per_sec", legacy_eps_sec);
+  report.Add("slab_seq_events_per_sec", slab_eps_sec);
+  report.Add("slab_batched_events_per_sec", batched_eps_sec);
+  report.Add("batch_size", static_cast<double>(kBatch));
+  report.Add("seq_speedup_vs_legacy", slab_eps_sec / legacy_eps_sec);
+  report.Add("batched_speedup_vs_legacy",
+             batched_eps_sec / legacy_eps_sec);
+  report.Add("walk_steps_per_event_seq", steps_per_event);
+  report.Add("walk_steps_per_event_batched", batched_steps_per_event);
+  report.WriteTo(json_path);
+}
+
 }  // namespace
 }  // namespace fastppr
+
+int main(int argc, char** argv) {
+  const std::string json_path = fastppr::bench::JsonPathFromArgs(
+      argc, argv, fastppr::bench::ResultsDir() + "/BENCH_micro.json");
+  // Strip --json [<path>] before handing argv to google-benchmark.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 < argc) ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+
+  fastppr::WriteThroughputJson(json_path);
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

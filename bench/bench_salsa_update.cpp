@@ -12,11 +12,55 @@
 #include "fastppr/core/theory.h"
 #include "fastppr/graph/generators.h"
 #include "fastppr/util/table_printer.h"
+#include "fastppr/util/timer.h"
+#include "legacy/legacy_salsa_walk_store.h"
 
 using namespace fastppr;
 using namespace fastppr::bench;
 
-int main() {
+namespace {
+
+/// Streams `edges` through a SALSA walk store in `batch`-sized windows
+/// and returns events/sec (store driven directly; see
+/// bench_incremental_work for the PageRank twin).
+template <typename Store>
+double MeasureSalsaIngest(std::size_t n, std::size_t R, double eps,
+                          const std::vector<Edge>& edges,
+                          std::size_t batch) {
+  DiGraph g(n);
+  Store store;
+  store.Init(g, R, eps, 55);
+  Rng rng(56);
+  WallTimer timer;
+  if (batch <= 1) {
+    for (const Edge& e : edges) {
+      if (!g.AddEdge(e.src, e.dst).ok()) std::abort();
+      store.OnEdgeInserted(g, e.src, e.dst, &rng);
+    }
+  } else {
+    // The frozen legacy layout predates the batched API.
+    if constexpr (requires {
+                    store.OnEdgesInserted(g, std::span<const Edge>{},
+                                          &rng);
+                  }) {
+      for (std::size_t lo = 0; lo < edges.size(); lo += batch) {
+        const std::size_t hi = std::min(edges.size(), lo + batch);
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (!g.AddEdge(edges[i].src, edges[i].dst).ok()) std::abort();
+        }
+        store.OnEdgesInserted(
+            g, std::span<const Edge>(edges.data() + lo, hi - lo), &rng);
+      }
+    } else {
+      std::abort();
+    }
+  }
+  return static_cast<double>(edges.size()) / timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   Banner("SALSA vs PageRank incremental update cost",
          "Theorem 6 of Bahmani et al., VLDB 2010 (16x bound)");
 
@@ -82,5 +126,46 @@ int main() {
                 TablePrinter::Fmt(Theorem6SalsaTotalWork(n, R, eps, m),
                                   0)});
   }
+
+  // Event throughput, before/after the slab refactor (same stream, SALSA
+  // store driven directly; legacy = the frozen pre-slab seed layout).
+  // Best of two runs per layout (frequency-drift resistance).
+  auto best2 = [](double a, double b) { return a > b ? a : b; };
+  const double legacy_seq = best2(
+      MeasureSalsaIngest<legacy::SalsaWalkStore>(n, R, eps, edges, 1),
+      MeasureSalsaIngest<legacy::SalsaWalkStore>(n, R, eps, edges, 1));
+  const double slab_seq =
+      best2(MeasureSalsaIngest<SalsaWalkStore>(n, R, eps, edges, 1),
+            MeasureSalsaIngest<SalsaWalkStore>(n, R, eps, edges, 1));
+  std::printf("\nSALSA event throughput (store driven directly; batched "
+              "windows repair each\nsegment once per window, so throughput "
+              "scales with the window):\n");
+  TablePrinter layout({"layout", "events/sec", "speedup vs pre-slab"});
+  layout.AddRow({"pre-slab (seed PR0), sequential",
+                 TablePrinter::Fmt(legacy_seq, 0), "1.00x"});
+  layout.AddRow({"slab arenas, sequential", TablePrinter::Fmt(slab_seq, 0),
+                 TablePrinter::Fmt(slab_seq / legacy_seq, 2) + "x"});
+
+  JsonReport report("salsa_update");
+  report.Add("num_nodes", static_cast<double>(n));
+  report.Add("num_events", static_cast<double>(m));
+  report.Add("legacy_seq_events_per_sec", legacy_seq);
+  report.Add("slab_seq_events_per_sec", slab_seq);
+  report.Add("seq_speedup_vs_legacy", slab_seq / legacy_seq);
+  for (std::size_t batch : {1024ul, 4096ul, 16384ul}) {
+    const double slab_batched = best2(
+        MeasureSalsaIngest<SalsaWalkStore>(n, R, eps, edges, batch),
+        MeasureSalsaIngest<SalsaWalkStore>(n, R, eps, edges, batch));
+    layout.AddRow({"slab arenas, batch=" + std::to_string(batch),
+                   TablePrinter::Fmt(slab_batched, 0),
+                   TablePrinter::Fmt(slab_batched / legacy_seq, 2) + "x"});
+    report.Add("slab_batch" + std::to_string(batch) + "_events_per_sec",
+               slab_batched);
+    report.Add("batch" + std::to_string(batch) + "_speedup_vs_legacy",
+               slab_batched / legacy_seq);
+  }
+  layout.Print();
+  report.WriteTo(JsonPathFromArgs(
+      argc, argv, ResultsDir() + "/BENCH_salsa_update.json"));
   return 0;
 }

@@ -1,0 +1,347 @@
+#include "legacy_salsa_walk_store.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr::legacy {
+
+void SalsaWalkStore::Init(const DiGraph& g, std::size_t walks_per_node,
+                          double epsilon, uint64_t seed) {
+  FASTPPR_CHECK(walks_per_node >= 1);
+  FASTPPR_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  walks_per_node_ = walks_per_node;
+  epsilon_ = epsilon;
+  rng_ = Rng(seed);
+
+  const std::size_t n = g.num_nodes();
+  segments_.assign(n * 2 * walks_per_node, Segment{});
+  step_fwd_.assign(n, {});
+  step_bwd_.assign(n, {});
+  dangling_fwd_.assign(n, {});
+  dangling_bwd_.assign(n, {});
+  hub_visits_.assign(n, 0);
+  auth_visits_.assign(n, 0);
+  total_hub_ = 0;
+  total_auth_ = 0;
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t k = 0; k < 2 * walks_per_node; ++k) {
+      uint64_t seg = SegId(u, k);
+      segments_[seg].forward_start = k < walks_per_node;
+      segments_[seg].path.push_back(PathEntry{u, kNoSlot});
+      AddVisitCounters(u, StepDirection(seg, 0), +1);
+      ExtendFromTail(g, seg, kInvalidNode, &rng_);
+    }
+  }
+}
+
+double SalsaWalkStore::NormalizedAuthority(NodeId v) const {
+  if (total_auth_ == 0) return 0.0;
+  return static_cast<double>(auth_visits_[v]) /
+         static_cast<double>(total_auth_);
+}
+
+double SalsaWalkStore::NormalizedHub(NodeId v) const {
+  if (total_hub_ == 0) return 0.0;
+  return static_cast<double>(hub_visits_[v]) /
+         static_cast<double>(total_hub_);
+}
+
+void SalsaWalkStore::AddVisitCounters(NodeId node, Direction side,
+                                      int64_t delta) {
+  // Hub-side positions are those about to step forward.
+  if (side == Direction::kForward) {
+    hub_visits_[node] += delta;
+    total_hub_ += delta;
+  } else {
+    auth_visits_[node] += delta;
+    total_auth_ += delta;
+  }
+}
+
+void SalsaWalkStore::RegisterStep(uint64_t seg, uint32_t pos) {
+  PathEntry& e = segments_[seg].path[pos];
+  auto& list = StepList(StepDirection(seg, pos), e.node);
+  e.slot = static_cast<uint32_t>(list.size());
+  list.push_back(VisitRef{seg, pos});
+}
+
+void SalsaWalkStore::UnregisterStep(uint64_t seg, uint32_t pos) {
+  PathEntry& e = segments_[seg].path[pos];
+  auto& list = StepList(StepDirection(seg, pos), e.node);
+  FASTPPR_CHECK(e.slot < list.size());
+  FASTPPR_CHECK(list[e.slot].seg == seg && list[e.slot].pos == pos);
+  VisitRef moved = list.back();
+  list[e.slot] = moved;
+  list.pop_back();
+  if (moved.seg != seg || moved.pos != pos) {
+    segments_[moved.seg].path[moved.pos].slot = e.slot;
+  }
+  e.slot = kNoSlot;
+}
+
+void SalsaWalkStore::RegisterDangling(uint64_t seg, uint32_t pos) {
+  PathEntry& e = segments_[seg].path[pos];
+  auto& list = DanglingList(segments_[seg].end, e.node);
+  e.slot = static_cast<uint32_t>(list.size());
+  list.push_back(VisitRef{seg, pos});
+}
+
+void SalsaWalkStore::UnregisterDangling(uint64_t seg, uint32_t pos) {
+  PathEntry& e = segments_[seg].path[pos];
+  auto& list = DanglingList(segments_[seg].end, e.node);
+  FASTPPR_CHECK(e.slot < list.size());
+  FASTPPR_CHECK(list[e.slot].seg == seg && list[e.slot].pos == pos);
+  VisitRef moved = list.back();
+  list[e.slot] = moved;
+  list.pop_back();
+  if (moved.seg != seg || moved.pos != pos) {
+    segments_[moved.seg].path[moved.pos].slot = e.slot;
+  }
+  e.slot = kNoSlot;
+}
+
+void SalsaWalkStore::TruncateAfter(uint64_t seg, uint32_t keep_pos) {
+  Segment& s = segments_[seg];
+  FASTPPR_CHECK(keep_pos < s.path.size());
+  const uint32_t last = static_cast<uint32_t>(s.path.size()) - 1;
+  for (uint32_t q = last; q > keep_pos; --q) {
+    PathEntry& e = s.path[q];
+    if (q == last) {
+      if (s.end != EndReason::kReset) UnregisterDangling(seg, q);
+    } else {
+      UnregisterStep(seg, q);
+    }
+    AddVisitCounters(e.node, StepDirection(seg, q), -1);
+    s.path.pop_back();
+  }
+}
+
+uint64_t SalsaWalkStore::ExtendFromTail(const DiGraph& g, uint64_t seg,
+                                        NodeId forced, Rng* rng) {
+  Segment& s = segments_[seg];
+  uint64_t steps = 0;
+  while (true) {
+    const uint32_t tail_pos = static_cast<uint32_t>(s.path.size()) - 1;
+    const NodeId cur = s.path[tail_pos].node;
+    const Direction dir = StepDirection(seg, tail_pos);
+    NodeId next;
+    if (forced != kInvalidNode) {
+      next = forced;
+      forced = kInvalidNode;
+    } else if (dir == Direction::kForward) {
+      // Resets are drawn only before forward steps.
+      if (rng->Bernoulli(epsilon_)) {
+        s.end = EndReason::kReset;
+        s.path[tail_pos].slot = kNoSlot;
+        return steps;
+      }
+      if (g.OutDegree(cur) == 0) {
+        s.end = EndReason::kDanglingFwd;
+        RegisterDangling(seg, tail_pos);
+        return steps;
+      }
+      next = g.RandomOutNeighbor(cur, rng);
+    } else {
+      if (g.InDegree(cur) == 0) {
+        s.end = EndReason::kDanglingBwd;
+        RegisterDangling(seg, tail_pos);
+        return steps;
+      }
+      next = g.RandomInNeighbor(cur, rng);
+    }
+    RegisterStep(seg, tail_pos);
+    s.path.push_back(PathEntry{next, kNoSlot});
+    AddVisitCounters(next, StepDirection(seg, tail_pos + 1), +1);
+    ++steps;
+  }
+}
+
+void SalsaWalkStore::CollectInsertSide(Direction dir, NodeId pivot,
+                                       NodeId forced_target,
+                                       std::size_t new_degree, Rng* rng,
+                                       WalkUpdateStats* stats,
+                                       PendingMap* pending) {
+  auto offer = [pending](uint64_t seg, const PendingReroute& cand) {
+    auto [it, inserted] = pending->emplace(seg, cand);
+    if (!inserted && cand.pos < it->second.pos) it->second = cand;
+  };
+
+  if (new_degree == 1) {
+    const EndReason reason = dir == Direction::kForward
+                                 ? EndReason::kDanglingFwd
+                                 : EndReason::kDanglingBwd;
+    for (const VisitRef& ref : DanglingList(reason, pivot)) {
+      offer(ref.seg, PendingReroute{ref.pos, forced_target, true, dir});
+    }
+    return;
+  }
+
+  auto& visits = StepList(dir, pivot);
+  const std::size_t w = visits.size();
+  if (w == 0) return;
+  const uint64_t marks =
+      rng->Binomial(w, 1.0 / static_cast<double>(new_degree));
+  if (marks == 0) return;
+
+  std::unordered_set<std::size_t> picked;
+  for (std::size_t j = w - marks; j < w; ++j) {
+    std::size_t t = rng->UniformIndex(j + 1);
+    if (!picked.insert(t).second) picked.insert(j);
+  }
+  stats->entries_scanned += picked.size();
+  for (std::size_t idx : picked) {
+    const VisitRef& ref = visits[idx];
+    offer(ref.seg, PendingReroute{ref.pos, forced_target, false, dir});
+  }
+}
+
+WalkUpdateStats SalsaWalkStore::OnEdgeInserted(const DiGraph& g, NodeId u,
+                                               NodeId v, Rng* rng) {
+  WalkUpdateStats stats;
+  FASTPPR_CHECK_MSG(g.OutDegree(u) >= 1,
+                    "graph must already contain the new edge");
+  // Collect switch decisions from both endpoints *before* mutating: a
+  // suffix re-simulated for one endpoint is already correct for the new
+  // graph and must not be switched again by the other endpoint.
+  PendingMap pending;
+  CollectInsertSide(Direction::kForward, u, v, g.OutDegree(u), rng, &stats,
+                    &pending);
+  CollectInsertSide(Direction::kBackward, v, u, g.InDegree(v), rng, &stats,
+                    &pending);
+  if (pending.empty()) return stats;
+  stats.store_called = 1;
+
+  for (const auto& [seg, plan] : pending) {
+    if (plan.from_dangling) {
+      UnregisterDangling(seg, plan.pos);
+    } else {
+      TruncateAfter(seg, plan.pos);
+      UnregisterStep(seg, plan.pos);
+    }
+    stats.walk_steps += ExtendFromTail(g, seg, plan.forced, rng);
+    ++stats.segments_updated;
+  }
+  return stats;
+}
+
+void SalsaWalkStore::CollectRemoveSide(const DiGraph& g, Direction dir,
+                                       NodeId pivot, NodeId old_target,
+                                       Rng* rng, WalkUpdateStats* stats,
+                                       PendingMap* pending) {
+  const bool forward = dir == Direction::kForward;
+  std::size_t remaining = 0;
+  auto neighbors = forward ? g.OutNeighbors(pivot) : g.InNeighbors(pivot);
+  for (NodeId w : neighbors) {
+    if (w == old_target) ++remaining;
+  }
+  const double p_broken = 1.0 / static_cast<double>(remaining + 1);
+
+  auto& visits = StepList(dir, pivot);
+  stats->entries_scanned += visits.size();
+  for (const VisitRef& ref : visits) {
+    const Segment& s = segments_[ref.seg];
+    FASTPPR_CHECK(ref.pos + 1 < s.path.size());
+    if (s.path[ref.pos + 1].node != old_target) continue;
+    if (!rng->Bernoulli(p_broken)) continue;  // used a surviving copy
+    PendingReroute cand{ref.pos, kInvalidNode, false, dir};
+    auto [it, inserted] = pending->emplace(ref.seg, cand);
+    if (!inserted && cand.pos < it->second.pos) it->second = cand;
+  }
+}
+
+WalkUpdateStats SalsaWalkStore::OnEdgeRemoved(const DiGraph& g, NodeId u,
+                                              NodeId v, Rng* rng) {
+  WalkUpdateStats stats;
+  PendingMap pending;
+  CollectRemoveSide(g, Direction::kForward, u, v, rng, &stats, &pending);
+  CollectRemoveSide(g, Direction::kBackward, v, u, rng, &stats, &pending);
+  if (pending.empty()) return stats;
+  stats.store_called = 1;
+
+  for (const auto& [seg, plan] : pending) {
+    TruncateAfter(seg, plan.pos);
+    UnregisterStep(seg, plan.pos);
+    const bool forward = plan.dir == Direction::kForward;
+    const NodeId pivot = segments_[seg].path[plan.pos].node;
+    const std::size_t degree_after =
+        forward ? g.OutDegree(pivot) : g.InDegree(pivot);
+    if (degree_after == 0) {
+      segments_[seg].end =
+          forward ? EndReason::kDanglingFwd : EndReason::kDanglingBwd;
+      RegisterDangling(seg, plan.pos);
+    } else {
+      NodeId fresh = forward ? g.RandomOutNeighbor(pivot, rng)
+                             : g.RandomInNeighbor(pivot, rng);
+      stats.walk_steps += ExtendFromTail(g, seg, fresh, rng);
+    }
+    ++stats.segments_updated;
+  }
+  return stats;
+}
+
+void SalsaWalkStore::CheckConsistency(const DiGraph& g) const {
+  std::vector<int64_t> hub_recount(num_nodes(), 0);
+  std::vector<int64_t> auth_recount(num_nodes(), 0);
+  for (uint64_t seg = 0; seg < segments_.size(); ++seg) {
+    const Segment& s = segments_[seg];
+    FASTPPR_CHECK(!s.path.empty());
+    FASTPPR_CHECK(s.path[0].node ==
+                  static_cast<NodeId>(seg / (2 * walks_per_node_)));
+    for (uint32_t p = 0; p < s.path.size(); ++p) {
+      const PathEntry& e = s.path[p];
+      const Direction dir = StepDirection(seg, p);
+      if (dir == Direction::kForward) {
+        ++hub_recount[e.node];
+      } else {
+        ++auth_recount[e.node];
+      }
+      const bool terminal = (p + 1 == s.path.size());
+      if (!terminal) {
+        const NodeId next = s.path[p + 1].node;
+        if (dir == Direction::kForward) {
+          FASTPPR_CHECK_MSG(g.HasEdge(e.node, next),
+                            "stored forward hop is not an edge");
+        } else {
+          FASTPPR_CHECK_MSG(g.HasEdge(next, e.node),
+                            "stored backward hop is not an edge");
+        }
+        const auto& list =
+            dir == Direction::kForward ? step_fwd_[e.node] : step_bwd_[e.node];
+        FASTPPR_CHECK(e.slot < list.size());
+        FASTPPR_CHECK(list[e.slot].seg == seg && list[e.slot].pos == p);
+      } else if (s.end == EndReason::kReset) {
+        FASTPPR_CHECK(e.slot == kNoSlot);
+        FASTPPR_CHECK(dir == Direction::kForward);
+      } else {
+        const bool fwd_dangle = s.end == EndReason::kDanglingFwd;
+        FASTPPR_CHECK(fwd_dangle == (dir == Direction::kForward));
+        if (fwd_dangle) {
+          FASTPPR_CHECK(g.OutDegree(e.node) == 0);
+          FASTPPR_CHECK(e.slot < dangling_fwd_[e.node].size());
+          const VisitRef& ref = dangling_fwd_[e.node][e.slot];
+          FASTPPR_CHECK(ref.seg == seg && ref.pos == p);
+        } else {
+          FASTPPR_CHECK(g.InDegree(e.node) == 0);
+          FASTPPR_CHECK(e.slot < dangling_bwd_[e.node].size());
+          const VisitRef& ref = dangling_bwd_[e.node][e.slot];
+          FASTPPR_CHECK(ref.seg == seg && ref.pos == p);
+        }
+      }
+    }
+  }
+  int64_t hub_total = 0;
+  int64_t auth_total = 0;
+  for (NodeId vtx = 0; vtx < num_nodes(); ++vtx) {
+    FASTPPR_CHECK(hub_recount[vtx] == hub_visits_[vtx]);
+    FASTPPR_CHECK(auth_recount[vtx] == auth_visits_[vtx]);
+    hub_total += hub_recount[vtx];
+    auth_total += auth_recount[vtx];
+  }
+  FASTPPR_CHECK(hub_total == total_hub_);
+  FASTPPR_CHECK(auth_total == total_auth_);
+}
+
+}  // namespace fastppr::legacy

@@ -1,0 +1,171 @@
+// Frozen copy of the pre-slab (PR 0 seed) walk-store layout: one heap-
+// allocated std::vector per segment path and per inverted-index row.
+// Kept ONLY as the "before" side of the before/after throughput
+// comparison in the benches; never linked into the library. Do not
+// maintain feature parity here.
+#ifndef FASTPPR_BENCH_LEGACY_SALSA_WALK_STORE_H_
+#define FASTPPR_BENCH_LEGACY_SALSA_WALK_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fastppr/graph/digraph.h"
+#include "fastppr/graph/types.h"
+#include "legacy_walk_store.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr::legacy {
+
+/// Walk-segment store for SALSA (Section 2.3 of the paper).
+///
+/// SALSA's random walk alternates forward (out-edge) and backward (in-edge)
+/// steps; resets are drawn only before forward steps, so the mean segment
+/// length is 2/eps. Each node stores 2R segments: R beginning with a
+/// forward step (the node in *hub* role) and R beginning with a backward
+/// step (the node in *authority* role).
+///
+/// A position's role is determined by parity: positions about to take a
+/// forward step are hub-side, positions about to take a backward step are
+/// authority-side. Authority scores are estimated from authority-side visit
+/// frequencies (as eps -> 0 the global authority score converges to
+/// indegree/m); hub scores from hub-side frequencies.
+///
+/// Incremental maintenance mirrors WalkStore, but an arriving edge (u, v)
+/// can reroute walks at *both* endpoints: forward steps at u (switch
+/// probability 1/outdeg(u)) and backward steps at v (switch probability
+/// 1/indeg(v)) — this is one of the factors behind Theorem 6's 16x constant.
+class SalsaWalkStore {
+ public:
+  static constexpr uint32_t kNoSlot = WalkStore::kNoSlot;
+
+  enum class Direction : uint8_t { kForward, kBackward };
+
+  enum class EndReason : uint8_t {
+    kReset,        ///< reset fired before a forward step
+    kDanglingFwd,  ///< tail has no out-edge (forward step impossible)
+    kDanglingBwd,  ///< tail has no in-edge (backward step impossible)
+  };
+
+  struct PathEntry {
+    NodeId node = kInvalidNode;
+    uint32_t slot = kNoSlot;
+  };
+
+  struct Segment {
+    std::vector<PathEntry> path;
+    EndReason end = EndReason::kReset;
+    bool forward_start = true;
+  };
+
+  struct VisitRef {
+    uint64_t seg = 0;
+    uint32_t pos = 0;
+  };
+
+  /// One scheduled segment repair. Collected for *both* endpoints of an
+  /// updated edge before any mutation: a suffix re-simulated for one
+  /// endpoint is already distributed for the new graph and must not be
+  /// switched again by the other endpoint.
+  struct PendingReroute {
+    uint32_t pos = 0;
+    NodeId forced = kInvalidNode;  ///< kInvalidNode = re-draw at apply time
+    bool from_dangling = false;
+    Direction dir = Direction::kForward;
+  };
+
+  SalsaWalkStore() = default;
+
+  /// Generates R forward-start and R backward-start segments per node.
+  void Init(const DiGraph& g, std::size_t walks_per_node, double epsilon,
+            uint64_t seed);
+
+  std::size_t walks_per_node() const { return walks_per_node_; }
+  double epsilon() const { return epsilon_; }
+  std::size_t num_nodes() const { return hub_visits_.size(); }
+  std::size_t num_segments() const { return segments_.size(); }
+
+  int64_t HubVisits(NodeId v) const { return hub_visits_[v]; }
+  int64_t AuthorityVisits(NodeId v) const { return auth_visits_[v]; }
+
+  /// Authority-side visit frequency (sums to 1 over all nodes).
+  double NormalizedAuthority(NodeId v) const;
+  /// Hub-side visit frequency (sums to 1 over all nodes).
+  double NormalizedHub(NodeId v) const;
+
+  /// Direction of the step taken at position `pos` of segment `seg`
+  /// (terminal positions report the direction the step would have had).
+  Direction StepDirection(uint64_t seg, uint32_t pos) const {
+    const bool fwd_start = segments_[seg].forward_start;
+    const bool even = (pos % 2 == 0);
+    return (even == fwd_start) ? Direction::kForward : Direction::kBackward;
+  }
+
+  /// k < walks_per_node: forward-start segment; k in [R, 2R): backward.
+  const Segment& GetSegment(NodeId u, std::size_t k) const {
+    return segments_[SegId(u, k)];
+  }
+
+  /// Graph must already contain (u, v).
+  WalkUpdateStats OnEdgeInserted(const DiGraph& g, NodeId u, NodeId v,
+                                 Rng* rng);
+  /// Graph must no longer contain (u, v).
+  WalkUpdateStats OnEdgeRemoved(const DiGraph& g, NodeId u, NodeId v,
+                                Rng* rng);
+
+  /// Full invariant audit; test-only. Aborts on violation.
+  void CheckConsistency(const DiGraph& g) const;
+
+ private:
+  uint64_t SegId(NodeId u, std::size_t k) const {
+    return static_cast<uint64_t>(u) * 2 * walks_per_node_ + k;
+  }
+
+  std::vector<VisitRef>& StepList(Direction d, NodeId v) {
+    return d == Direction::kForward ? step_fwd_[v] : step_bwd_[v];
+  }
+  std::vector<VisitRef>& DanglingList(EndReason r, NodeId v) {
+    return r == EndReason::kDanglingFwd ? dangling_fwd_[v]
+                                        : dangling_bwd_[v];
+  }
+
+  void RegisterStep(uint64_t seg, uint32_t pos);
+  void UnregisterStep(uint64_t seg, uint32_t pos);
+  void RegisterDangling(uint64_t seg, uint32_t pos);
+  void UnregisterDangling(uint64_t seg, uint32_t pos);
+  void AddVisitCounters(NodeId node, Direction side, int64_t delta);
+
+  void TruncateAfter(uint64_t seg, uint32_t keep_pos);
+  uint64_t ExtendFromTail(const DiGraph& g, uint64_t seg, NodeId forced,
+                          Rng* rng);
+
+  /// Earliest pending repair per segment id.
+  using PendingMap = std::unordered_map<uint64_t, PendingReroute>;
+
+  /// Collects the switch decisions for one endpoint of an insertion.
+  void CollectInsertSide(Direction dir, NodeId pivot, NodeId forced_target,
+                         std::size_t new_degree, Rng* rng,
+                         WalkUpdateStats* stats, PendingMap* pending);
+  /// Collects the broken-hop repairs for one endpoint of a removal.
+  void CollectRemoveSide(const DiGraph& g, Direction dir, NodeId pivot,
+                         NodeId old_target, Rng* rng, WalkUpdateStats* stats,
+                         PendingMap* pending);
+
+  std::size_t walks_per_node_ = 0;
+  double epsilon_ = 0.2;
+  Rng rng_{0};
+
+  std::vector<Segment> segments_;
+  std::vector<std::vector<VisitRef>> step_fwd_;
+  std::vector<std::vector<VisitRef>> step_bwd_;
+  std::vector<std::vector<VisitRef>> dangling_fwd_;
+  std::vector<std::vector<VisitRef>> dangling_bwd_;
+  std::vector<int64_t> hub_visits_;
+  std::vector<int64_t> auth_visits_;
+  int64_t total_hub_ = 0;
+  int64_t total_auth_ = 0;
+};
+
+}  // namespace fastppr::legacy
+
+#endif  // FASTPPR_BENCH_LEGACY_SALSA_WALK_STORE_H_

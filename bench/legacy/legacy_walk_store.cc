@@ -1,0 +1,388 @@
+#include "legacy_walk_store.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr::legacy {
+
+void WalkStore::Init(const DiGraph& g, std::size_t walks_per_node,
+                     double epsilon, uint64_t seed) {
+  FASTPPR_CHECK(walks_per_node >= 1);
+  FASTPPR_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  walks_per_node_ = walks_per_node;
+  epsilon_ = epsilon;
+  rng_ = Rng(seed);
+
+  const std::size_t n = g.num_nodes();
+  segments_.assign(n * walks_per_node, Segment{});
+  step_visits_.assign(n, {});
+  dangling_.assign(n, {});
+  visit_count_.assign(n, 0);
+  total_visits_ = 0;
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t k = 0; k < walks_per_node; ++k) {
+      uint64_t seg = SegId(u, k);
+      segments_[seg].path.push_back(PathEntry{u, kNoSlot});
+      ++visit_count_[u];
+      ++total_visits_;
+      ExtendFromTail(g, seg, kInvalidNode, &rng_);
+    }
+  }
+}
+
+Status WalkStore::InitFromSegments(
+    const DiGraph& g, std::size_t walks_per_node, double epsilon,
+    uint64_t seed, const std::vector<std::vector<NodeId>>& paths,
+    const std::vector<EndReason>& ends) {
+  if (walks_per_node < 1 || epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument("bad walk-store parameters");
+  }
+  const std::size_t n = g.num_nodes();
+  if (paths.size() != n * walks_per_node || ends.size() != paths.size()) {
+    return Status::InvalidArgument("segment count must be n * R");
+  }
+  // Validate before mutating any state.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto& path = paths[i];
+    if (path.empty()) return Status::Corruption("empty segment");
+    const NodeId source = static_cast<NodeId>(i / walks_per_node);
+    if (path[0] != source) {
+      return Status::Corruption("segment does not start at its source");
+    }
+    for (std::size_t p = 0; p < path.size(); ++p) {
+      if (path[p] >= n) return Status::Corruption("node id out of range");
+      if (p + 1 < path.size() && !g.HasEdge(path[p], path[p + 1])) {
+        return Status::Corruption("stored hop is not an edge");
+      }
+    }
+    if (ends[i] == EndReason::kDangling &&
+        g.OutDegree(path.back()) != 0) {
+      return Status::Corruption("dangling tail at a node with out-edges");
+    }
+  }
+
+  walks_per_node_ = walks_per_node;
+  epsilon_ = epsilon;
+  rng_ = Rng(seed);
+  segments_.assign(paths.size(), Segment{});
+  step_visits_.assign(n, {});
+  dangling_.assign(n, {});
+  visit_count_.assign(n, 0);
+  total_visits_ = 0;
+
+  for (uint64_t seg = 0; seg < paths.size(); ++seg) {
+    Segment& s = segments_[seg];
+    s.end = ends[seg];
+    s.path.reserve(paths[seg].size());
+    for (std::size_t p = 0; p < paths[seg].size(); ++p) {
+      s.path.push_back(PathEntry{paths[seg][p], kNoSlot});
+      ++visit_count_[paths[seg][p]];
+      ++total_visits_;
+      if (p + 1 < paths[seg].size()) continue;
+      // Terminal entry: register dangles; reset tails stay unindexed.
+      if (s.end == EndReason::kDangling) {
+        RegisterDangling(seg, static_cast<uint32_t>(p));
+      }
+    }
+    for (uint32_t p = 0; p + 1 < s.path.size(); ++p) RegisterStep(seg, p);
+  }
+  return Status::OK();
+}
+
+double WalkStore::Estimate(NodeId v) const {
+  double denom = static_cast<double>(num_nodes()) *
+                 static_cast<double>(walks_per_node_) / epsilon_;
+  return static_cast<double>(visit_count_[v]) / denom;
+}
+
+double WalkStore::NormalizedEstimate(NodeId v) const {
+  if (total_visits_ == 0) return 0.0;
+  return static_cast<double>(visit_count_[v]) /
+         static_cast<double>(total_visits_);
+}
+
+std::vector<double> WalkStore::NormalizedEstimates() const {
+  std::vector<double> out(num_nodes());
+  for (NodeId v = 0; v < out.size(); ++v) out[v] = NormalizedEstimate(v);
+  return out;
+}
+
+void WalkStore::RegisterStep(uint64_t seg, uint32_t pos) {
+  PathEntry& e = segments_[seg].path[pos];
+  e.slot = static_cast<uint32_t>(step_visits_[e.node].size());
+  step_visits_[e.node].push_back(VisitRef{seg, pos});
+}
+
+void WalkStore::UnregisterStep(uint64_t seg, uint32_t pos) {
+  PathEntry& e = segments_[seg].path[pos];
+  auto& list = step_visits_[e.node];
+  FASTPPR_CHECK(e.slot < list.size());
+  FASTPPR_CHECK(list[e.slot].seg == seg && list[e.slot].pos == pos);
+  VisitRef moved = list.back();
+  list[e.slot] = moved;
+  list.pop_back();
+  if (moved.seg != seg || moved.pos != pos) {
+    segments_[moved.seg].path[moved.pos].slot = e.slot;
+  }
+  e.slot = kNoSlot;
+}
+
+void WalkStore::RegisterDangling(uint64_t seg, uint32_t pos) {
+  PathEntry& e = segments_[seg].path[pos];
+  e.slot = static_cast<uint32_t>(dangling_[e.node].size());
+  dangling_[e.node].push_back(VisitRef{seg, pos});
+}
+
+void WalkStore::UnregisterDangling(uint64_t seg, uint32_t pos) {
+  PathEntry& e = segments_[seg].path[pos];
+  auto& list = dangling_[e.node];
+  FASTPPR_CHECK(e.slot < list.size());
+  FASTPPR_CHECK(list[e.slot].seg == seg && list[e.slot].pos == pos);
+  VisitRef moved = list.back();
+  list[e.slot] = moved;
+  list.pop_back();
+  if (moved.seg != seg || moved.pos != pos) {
+    segments_[moved.seg].path[moved.pos].slot = e.slot;
+  }
+  e.slot = kNoSlot;
+}
+
+void WalkStore::TruncateAfter(uint64_t seg, uint32_t keep_pos) {
+  Segment& s = segments_[seg];
+  FASTPPR_CHECK(keep_pos < s.path.size());
+  const uint32_t last = static_cast<uint32_t>(s.path.size()) - 1;
+  for (uint32_t q = last; q > keep_pos; --q) {
+    PathEntry& e = s.path[q];
+    if (q == last) {
+      // Terminal entry: in the dangling list or nowhere.
+      if (s.end == EndReason::kDangling) UnregisterDangling(seg, q);
+    } else {
+      UnregisterStep(seg, q);
+    }
+    --visit_count_[e.node];
+    --total_visits_;
+    s.path.pop_back();
+  }
+}
+
+void WalkStore::ResetSegmentToSource(uint64_t seg) {
+  Segment& s = segments_[seg];
+  const bool was_multi = s.path.size() > 1;
+  TruncateAfter(seg, 0);
+  if (was_multi) {
+    UnregisterStep(seg, 0);
+  } else if (s.end == EndReason::kDangling) {
+    UnregisterDangling(seg, 0);
+  }
+  // A reset-terminal singleton already has a pending (kNoSlot) tail.
+}
+
+uint64_t WalkStore::ExtendFromTail(const DiGraph& g, uint64_t seg,
+                                   NodeId forced, Rng* rng) {
+  Segment& s = segments_[seg];
+  uint64_t steps = 0;
+  while (true) {
+    const uint32_t tail_pos = static_cast<uint32_t>(s.path.size()) - 1;
+    const NodeId cur = s.path[tail_pos].node;
+    NodeId next;
+    if (forced != kInvalidNode) {
+      next = forced;
+      forced = kInvalidNode;
+    } else {
+      if (rng->Bernoulli(epsilon_)) {
+        s.end = EndReason::kReset;
+        s.path[tail_pos].slot = kNoSlot;
+        return steps;
+      }
+      if (g.OutDegree(cur) == 0) {
+        s.end = EndReason::kDangling;
+        RegisterDangling(seg, tail_pos);
+        return steps;
+      }
+      next = g.RandomOutNeighbor(cur, rng);
+    }
+    RegisterStep(seg, tail_pos);
+    s.path.push_back(PathEntry{next, kNoSlot});
+    ++visit_count_[next];
+    ++total_visits_;
+    ++steps;
+  }
+}
+
+WalkUpdateStats WalkStore::OnEdgeInserted(const DiGraph& g, NodeId u,
+                                          NodeId v, Rng* rng) {
+  WalkUpdateStats stats;
+  const std::size_t d = g.OutDegree(u);
+  FASTPPR_CHECK_MSG(d >= 1, "graph must already contain the new edge");
+
+  if (d == 1) {
+    // u had no out-edge: every segment dangling at u resumes through v.
+    // (The terminal visit already survived its reset draw, so the step to
+    // the unique out-edge is unconditional.)
+    // Dangling resumes are always handled exactly (even under
+    // kRedoFromSource): the terminal visit has already survived its reset
+    // draw, and re-rolling that draw would make reset-terminated segments
+    // an absorbing state that repeated dangle/resume cycles over-populate.
+    if (!dangling_[u].empty()) stats.store_called = 1;
+    while (!dangling_[u].empty()) {
+      VisitRef ref = dangling_[u].back();
+      UnregisterDangling(ref.seg, ref.pos);
+      stats.walk_steps += ExtendFromTail(g, ref.seg, v, rng);
+      ++stats.segments_updated;
+    }
+    return stats;
+  }
+
+  // Coupling step (Proposition 2): each stored visit at u with an outgoing
+  // step switches its next hop to v independently with probability 1/d.
+  const std::size_t w = step_visits_[u].size();
+  if (w == 0) return stats;
+  const uint64_t marks = rng->Binomial(w, 1.0 / static_cast<double>(d));
+  if (marks == 0) return stats;  // gating: store not called at all
+  stats.store_called = 1;
+
+  // Choose `marks` distinct visit indices uniformly (Floyd's algorithm),
+  // then keep the earliest marked position per segment: re-simulating from
+  // the earliest switch freshly redraws everything after it.
+  std::unordered_set<std::size_t> picked;
+  for (std::size_t j = w - marks; j < w; ++j) {
+    std::size_t t = rng->UniformIndex(j + 1);
+    if (!picked.insert(t).second) picked.insert(j);
+  }
+  std::unordered_map<uint64_t, uint32_t> earliest;
+  for (std::size_t idx : picked) {
+    VisitRef ref = step_visits_[u][idx];
+    auto [it, inserted] = earliest.emplace(ref.seg, ref.pos);
+    if (!inserted && ref.pos < it->second) it->second = ref.pos;
+  }
+  stats.entries_scanned = picked.size();
+
+  for (const auto& [seg, pos] : earliest) {
+    if (policy_ == UpdatePolicy::kRedoFromSource) {
+      ResetSegmentToSource(seg);
+      stats.walk_steps += ExtendFromTail(g, seg, kInvalidNode, rng);
+    } else {
+      TruncateAfter(seg, pos);
+      UnregisterStep(seg, pos);  // tail becomes pending for re-extension
+      stats.walk_steps += ExtendFromTail(g, seg, v, rng);
+    }
+    ++stats.segments_updated;
+  }
+  return stats;
+}
+
+WalkUpdateStats WalkStore::OnEdgeRemoved(const DiGraph& g, NodeId u,
+                                         NodeId v, Rng* rng) {
+  WalkUpdateStats stats;
+  const std::size_t d_after = g.OutDegree(u);
+  // Multiplicity of u->v remaining after the removal: a stored step to v
+  // chose uniformly among (remaining + 1) parallel copies, so it chose the
+  // removed copy with probability 1 / (remaining + 1).
+  std::size_t remaining = 0;
+  for (NodeId w : g.OutNeighbors(u)) {
+    if (w == v) ++remaining;
+  }
+  const double p_broken = 1.0 / static_cast<double>(remaining + 1);
+
+  // Scan the visits at u for stored steps into v. The scan is O(W(u)) cheap
+  // index reads (entries_scanned); only actual re-simulation counts as walk
+  // work, matching the paper's accounting.
+  std::unordered_map<uint64_t, uint32_t> earliest;
+  const auto& visits = step_visits_[u];
+  stats.entries_scanned = visits.size();
+  for (const VisitRef& ref : visits) {
+    const Segment& s = segments_[ref.seg];
+    FASTPPR_CHECK(ref.pos + 1 < s.path.size());
+    if (s.path[ref.pos + 1].node != v) continue;
+    if (!rng->Bernoulli(p_broken)) continue;  // used a surviving copy
+    auto [it, inserted] = earliest.emplace(ref.seg, ref.pos);
+    if (!inserted && ref.pos < it->second) it->second = ref.pos;
+  }
+  if (earliest.empty()) return stats;
+  stats.store_called = 1;
+
+  for (const auto& [seg, pos] : earliest) {
+    if (policy_ == UpdatePolicy::kRedoFromSource) {
+      ResetSegmentToSource(seg);
+      stats.walk_steps += ExtendFromTail(g, seg, kInvalidNode, rng);
+      ++stats.segments_updated;
+      continue;
+    }
+    TruncateAfter(seg, pos);
+    UnregisterStep(seg, pos);
+    if (d_after == 0) {
+      // The visit survived its reset draw but u is now dangling.
+      segments_[seg].end = EndReason::kDangling;
+      RegisterDangling(seg, pos);
+    } else {
+      // Re-draw the step among the remaining out-edges, then continue
+      // with fresh randomness (no reset draw: the original one survived).
+      NodeId fresh = g.RandomOutNeighbor(u, rng);
+      stats.walk_steps += ExtendFromTail(g, seg, fresh, rng);
+    }
+    ++stats.segments_updated;
+  }
+  return stats;
+}
+
+void WalkStore::CheckConsistency(const DiGraph& g) const {
+  std::vector<int64_t> recount(num_nodes(), 0);
+  int64_t total = 0;
+  for (uint64_t seg = 0; seg < segments_.size(); ++seg) {
+    const Segment& s = segments_[seg];
+    FASTPPR_CHECK(!s.path.empty());
+    // Source of segment seg is seg / R.
+    FASTPPR_CHECK(s.path[0].node ==
+                  static_cast<NodeId>(seg / walks_per_node_));
+    for (uint32_t p = 0; p < s.path.size(); ++p) {
+      const PathEntry& e = s.path[p];
+      ++recount[e.node];
+      ++total;
+      const bool terminal = (p + 1 == s.path.size());
+      if (!terminal) {
+        // Hop must be a real edge and the entry must be indexed.
+        FASTPPR_CHECK_MSG(g.HasEdge(e.node, s.path[p + 1].node),
+                          "stored hop is not an edge");
+        FASTPPR_CHECK(e.slot < step_visits_[e.node].size());
+        const VisitRef& ref = step_visits_[e.node][e.slot];
+        FASTPPR_CHECK(ref.seg == seg && ref.pos == p);
+      } else if (s.end == EndReason::kDangling) {
+        FASTPPR_CHECK_MSG(g.OutDegree(e.node) == 0,
+                          "dangling tail at a node with out-edges");
+        FASTPPR_CHECK(e.slot < dangling_[e.node].size());
+        const VisitRef& ref = dangling_[e.node][e.slot];
+        FASTPPR_CHECK(ref.seg == seg && ref.pos == p);
+      } else {
+        FASTPPR_CHECK(e.slot == kNoSlot);
+      }
+    }
+  }
+  for (NodeId vtx = 0; vtx < num_nodes(); ++vtx) {
+    FASTPPR_CHECK(recount[vtx] == visit_count_[vtx]);
+  }
+  FASTPPR_CHECK(total == total_visits_);
+  // Every index entry must point back at a matching path position.
+  for (NodeId vtx = 0; vtx < num_nodes(); ++vtx) {
+    for (uint32_t slot = 0; slot < step_visits_[vtx].size(); ++slot) {
+      const VisitRef& ref = step_visits_[vtx][slot];
+      const Segment& s = segments_[ref.seg];
+      FASTPPR_CHECK(ref.pos < s.path.size());
+      FASTPPR_CHECK(s.path[ref.pos].node == vtx);
+      FASTPPR_CHECK(s.path[ref.pos].slot == slot);
+    }
+    for (uint32_t slot = 0; slot < dangling_[vtx].size(); ++slot) {
+      const VisitRef& ref = dangling_[vtx][slot];
+      const Segment& s = segments_[ref.seg];
+      FASTPPR_CHECK(ref.pos + 1 == s.path.size());
+      FASTPPR_CHECK(s.path[ref.pos].node == vtx);
+      FASTPPR_CHECK(s.path[ref.pos].slot == slot);
+      FASTPPR_CHECK(s.end == EndReason::kDangling);
+    }
+  }
+}
+
+}  // namespace fastppr::legacy

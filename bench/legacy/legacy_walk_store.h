@@ -1,0 +1,227 @@
+// Frozen copy of the pre-slab (PR 0 seed) walk-store layout: one heap-
+// allocated std::vector per segment path and per inverted-index row.
+// Kept ONLY as the "before" side of the before/after throughput
+// comparison in the benches; never linked into the library. Do not
+// maintain feature parity here.
+#ifndef FASTPPR_BENCH_LEGACY_WALK_STORE_H_
+#define FASTPPR_BENCH_LEGACY_WALK_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fastppr/graph/digraph.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/util/random.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr::legacy {
+
+/// Counters describing the cost of one incremental update, in the units the
+/// paper's theorems are stated in.
+struct WalkUpdateStats {
+  /// Number of walk segments rerouted or extended (the paper's M_t).
+  uint64_t segments_updated = 0;
+  /// Number of fresh random-walk steps taken while re-simulating suffixes
+  /// (each reroute costs ~1/epsilon of these; Theorem 4 bounds their total).
+  uint64_t walk_steps = 0;
+  /// 1 if the PageRank Store was actually called for this event (the
+  /// 1-(1-1/d)^W gating of Section 2.2 decided the call was needed).
+  uint64_t store_called = 0;
+  /// Cheap index entries examined (deletion scans; reported separately
+  /// because the paper's cost model does not charge for local scans).
+  uint64_t entries_scanned = 0;
+
+  void Accumulate(const WalkUpdateStats& other) {
+    segments_updated += other.segments_updated;
+    walk_steps += other.walk_steps;
+    store_called += other.store_called;
+    entries_scanned += other.entries_scanned;
+  }
+};
+
+/// How an affected segment is repaired (Section 2.2: "we can redo the walk
+/// starting at the updated node, or even more simply starting at the
+/// corresponding source node").
+enum class UpdatePolicy {
+  /// Re-simulate only the suffix after the switched visit (exact: the
+  /// resulting ensemble is distributed precisely as fresh new-graph
+  /// walks, via the coupling argument).
+  kRerouteFromVisit,
+  /// Throw the whole affected segment away and regenerate it from its
+  /// source (the paper's "even more simply" option, implemented for the
+  /// switch/breakage repairs; dangling resumes are always handled exactly
+  /// since their terminal visit already survived a reset draw).
+  ///
+  /// REPRODUCTION FINDING: this option is *not* distribution-preserving
+  /// over long streams. A redo re-rolls the segment's reset draws, and a
+  /// segment that comes out short (early reset) carries fewer step visits,
+  /// so it is less likely to ever be selected for repair again —
+  /// short-segment states are nearly absorbing, and over thousands of
+  /// arrivals the stored ensemble drifts toward short walks (measurably
+  /// inflated L1 error in the ablation bench). Use kRerouteFromVisit (the
+  /// exact coupling) for production; this policy exists to quantify the
+  /// paper's remark.
+  kRedoFromSource,
+};
+
+/// The "PageRank Store" of Section 2: R random-walk segments per node, each
+/// continued until its first epsilon-reset, plus an inverted visit index so
+/// that the segments crossing an updated node can be found and rerouted in
+/// time proportional to the number that actually change.
+///
+/// Segment semantics (see DESIGN.md): a segment from u is [u, x1, ..., xT]
+/// where at each node the walk stops with probability epsilon ("reset"),
+/// stops if the node has no out-edge ("dangling exit", equivalent to a
+/// reset), and otherwise moves to a uniformly random out-neighbour. T is
+/// geometric with mean (1-eps)/eps, so the expected node count is 1/eps.
+///
+/// Incremental maintenance implements the coupling argument of
+/// Proposition 2 exactly:
+///  * insert (u,v), new outdegree d >= 2: every stored visit at u with an
+///    outgoing step independently switches its next hop to v with
+///    probability 1/d; switched suffixes are re-simulated. Work is
+///    proportional to the number of switches (sampled as a Binomial), not
+///    to the number of visits.
+///  * insert (u,v), new outdegree 1: every segment that terminated at u as
+///    dangling resumes through v (this is where Example 1's adversarial
+///    Omega(n) cost lives).
+///  * delete (u,v): every stored step u->v re-draws among the remaining
+///    out-edges (visits at u are scanned; scans are counted separately).
+class WalkStore {
+ public:
+  static constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
+
+  /// One visited position of a stored segment. `slot` is the backpointer
+  /// into the per-node visit list holding this position (kNoSlot for a
+  /// reset-terminated tail).
+  struct PathEntry {
+    NodeId node = kInvalidNode;
+    uint32_t slot = kNoSlot;
+  };
+
+  enum class EndReason : uint8_t {
+    kReset,     ///< the geometric reset fired
+    kDangling,  ///< the tail node had no out-edge
+  };
+
+  struct Segment {
+    std::vector<PathEntry> path;
+    EndReason end = EndReason::kReset;
+  };
+
+  /// (segment id, position) reference used by the inverted index.
+  struct VisitRef {
+    uint64_t seg = 0;
+    uint32_t pos = 0;
+  };
+
+  WalkStore() = default;
+
+  /// Generates R segments per node of `g`. Estimates are maintained
+  /// incrementally afterwards via OnEdgeInserted / OnEdgeRemoved.
+  void Init(const DiGraph& g, std::size_t walks_per_node, double epsilon,
+            uint64_t seed);
+
+  /// Selects the repair strategy (default kRerouteFromVisit).
+  void set_update_policy(UpdatePolicy policy) { policy_ = policy; }
+  UpdatePolicy update_policy() const { return policy_; }
+
+  /// Rebuilds the store from externally supplied segment paths (the
+  /// persistence layer, walk_store_io.h). Every hop is validated against
+  /// `g`; the inverted index and counters are derived state and rebuilt
+  /// here. Returns InvalidArgument/Corruption on any mismatch, leaving
+  /// the store empty.
+  Status InitFromSegments(const DiGraph& g, std::size_t walks_per_node,
+                          double epsilon, uint64_t seed,
+                          const std::vector<std::vector<NodeId>>& paths,
+                          const std::vector<EndReason>& ends);
+
+  std::size_t walks_per_node() const { return walks_per_node_; }
+  double epsilon() const { return epsilon_; }
+  std::size_t num_nodes() const { return visit_count_.size(); }
+  std::size_t num_segments() const { return segments_.size(); }
+
+  /// X_v: total visits to v across all stored segments.
+  int64_t VisitCount(NodeId v) const { return visit_count_[v]; }
+  int64_t TotalVisits() const { return total_visits_; }
+
+  /// The paper's estimator pi~_v = X_v / (nR/eps)  (Theorem 1).
+  double Estimate(NodeId v) const;
+  /// X_v / total visits: sums to exactly 1 and matches the power-iteration
+  /// baseline's dangling-to-reset semantics even on graphs with dangling
+  /// nodes.
+  double NormalizedEstimate(NodeId v) const;
+  /// All normalized estimates (O(n)).
+  std::vector<double> NormalizedEstimates() const;
+
+  /// Number of stored-walk visits at v that have an outgoing step; this is
+  /// the W(v) counter of Section 2.2 used for the store-call gating.
+  std::size_t StepVisitCount(NodeId v) const {
+    return step_visits_[v].size();
+  }
+  std::size_t DanglingCount(NodeId v) const { return dangling_[v].size(); }
+
+  /// Read access to the k-th stored segment of node u (k < R).
+  const Segment& GetSegment(NodeId u, std::size_t k) const {
+    return segments_[SegId(u, k)];
+  }
+
+  /// Must be called after `g` already contains the new edge (u, v).
+  /// `rng` drives the coupling randomness.
+  WalkUpdateStats OnEdgeInserted(const DiGraph& g, NodeId u, NodeId v,
+                                 Rng* rng);
+
+  /// Must be called after the edge (u, v) has already been removed from
+  /// `g`.
+  WalkUpdateStats OnEdgeRemoved(const DiGraph& g, NodeId u, NodeId v,
+                                Rng* rng);
+
+  /// Full invariant audit (index/backpointer/counter consistency and edge
+  /// validity of every stored hop). O(n + total visits); test-only.
+  /// Aborts via FASTPPR_CHECK on violation.
+  void CheckConsistency(const DiGraph& g) const;
+
+ private:
+  uint64_t SegId(NodeId u, std::size_t k) const {
+    return static_cast<uint64_t>(u) * walks_per_node_ + k;
+  }
+
+  /// Registers the entry at `pos` of `seg` into step_visits_[node].
+  void RegisterStep(uint64_t seg, uint32_t pos);
+  /// Removes a step registration (swap-remove with backpointer fixup).
+  void UnregisterStep(uint64_t seg, uint32_t pos);
+  void RegisterDangling(uint64_t seg, uint32_t pos);
+  void UnregisterDangling(uint64_t seg, uint32_t pos);
+
+  /// Drops all path entries with index > keep_pos (counters + index).
+  void TruncateAfter(uint64_t seg, uint32_t keep_pos);
+
+  /// Truncates the segment to its bare source node with a pending tail
+  /// (kRedoFromSource repairs).
+  void ResetSegmentToSource(uint64_t seg);
+
+  /// Continues the segment from its tail. Precondition: the tail entry is
+  /// unregistered (pending). If `forced` != kInvalidNode the first step
+  /// goes there without a reset draw (the original draw already survived).
+  /// Returns the number of fresh walk steps taken.
+  uint64_t ExtendFromTail(const DiGraph& g, uint64_t seg, NodeId forced,
+                          Rng* rng);
+
+  std::size_t walks_per_node_ = 0;
+  double epsilon_ = 0.2;
+  UpdatePolicy policy_ = UpdatePolicy::kRerouteFromVisit;
+  Rng rng_{0};
+
+  std::vector<Segment> segments_;
+  /// Inverted index: non-terminal visits at each node.
+  std::vector<std::vector<VisitRef>> step_visits_;
+  /// Segments terminally dangling at each node.
+  std::vector<std::vector<VisitRef>> dangling_;
+  std::vector<int64_t> visit_count_;
+  int64_t total_visits_ = 0;
+};
+
+}  // namespace fastppr::legacy
+
+#endif  // FASTPPR_BENCH_LEGACY_WALK_STORE_H_

@@ -64,11 +64,16 @@ PowerIterationResult PersonalizedPageRank(const CsrGraph& g, NodeId seed,
 std::vector<NodeId> TopKNodes(const std::vector<double>& scores,
                               std::size_t k,
                               const std::vector<NodeId>& exclude) {
-  std::unordered_set<NodeId> skip(exclude.begin(), exclude.end());
   std::vector<NodeId> order;
   order.reserve(scores.size());
-  for (NodeId v = 0; v < scores.size(); ++v) {
-    if (!skip.count(v)) order.push_back(v);
+  if (exclude.empty()) {
+    // Common path (plain TopK queries): no exclusion set to build.
+    for (NodeId v = 0; v < scores.size(); ++v) order.push_back(v);
+  } else {
+    std::unordered_set<NodeId> skip(exclude.begin(), exclude.end());
+    for (NodeId v = 0; v < scores.size(); ++v) {
+      if (!skip.count(v)) order.push_back(v);
+    }
   }
   const std::size_t take = std::min(k, order.size());
   std::partial_sort(order.begin(), order.begin() + take, order.end(),

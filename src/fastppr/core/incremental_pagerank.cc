@@ -55,6 +55,54 @@ Status IncrementalPageRank::ApplyEvent(const EdgeEvent& event) {
   return RemoveEdge(event.edge.src, event.edge.dst);
 }
 
+Status IncrementalPageRank::ApplyEvents(std::span<const EdgeEvent> events) {
+  WalkUpdateStats batch_stats;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    // Chunk: maximal run of same-kind events. Within a chunk the graph is
+    // mutated first and the walk repairs are grouped by source; across
+    // chunks the order of the stream is preserved exactly.
+    std::size_t j = i;
+    while (j < events.size() && events[j].kind == events[i].kind) ++j;
+    const bool insert = events[i].kind == EdgeEvent::Kind::kInsert;
+
+    chunk_scratch_.clear();
+    Status failure = Status::OK();
+    for (std::size_t t = i; t < j; ++t) {
+      const Edge& e = events[t].edge;
+      Status s = insert ? social_.AddEdge(e.src, e.dst)
+                        : social_.RemoveEdge(e.src, e.dst);
+      if (!s.ok()) {
+        failure = s;
+        break;
+      }
+      chunk_scratch_.push_back(e);
+    }
+    if (!chunk_scratch_.empty()) {
+      const WalkUpdateStats stats =
+          insert ? walks_.OnEdgesInserted(social_.graph(), chunk_scratch_,
+                                          &rng_)
+                 : walks_.OnEdgesRemoved(social_.graph(), chunk_scratch_,
+                                         &rng_);
+      batch_stats.Accumulate(stats);
+      lifetime_stats_.Accumulate(stats);
+      if (insert) {
+        arrivals_ += chunk_scratch_.size();
+      } else {
+        removals_ += chunk_scratch_.size();
+      }
+    }
+    if (!failure.ok()) {
+      // The applied prefix is already repaired and consistent.
+      last_stats_ = batch_stats;
+      return failure;
+    }
+    i = j;
+  }
+  last_stats_ = batch_stats;
+  return Status::OK();
+}
+
 Status IncrementalPageRank::SaveSnapshot(
     const std::string& directory) const {
   std::error_code ec;

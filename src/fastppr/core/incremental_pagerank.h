@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,17 @@ class IncrementalPageRank {
 
   Status ApplyEvent(const EdgeEvent& event);
 
+  /// Batched ingestion: applies the events in order, amortizing RNG and
+  /// index maintenance across runs of same-kind events. Consecutive
+  /// same-kind events are mutated into the Social Store together, grouped
+  /// by source node, and repaired with one Binomial draw per
+  /// (node, degree-change) group — distributionally identical to applying
+  /// them one at a time, and bit-identical (same RNG stream) for a
+  /// 1-event span. On a failed mutation the successfully applied prefix
+  /// is repaired before the error is returned. last_event_stats() holds
+  /// the accumulated stats of the whole batch afterwards.
+  Status ApplyEvents(std::span<const EdgeEvent> events);
+
   /// pi~_v with the paper's nR/eps normalization (Theorem 1).
   double Estimate(NodeId v) const { return walks_.Estimate(v); }
   /// Visit-frequency estimate; sums to 1 and matches the power-iteration
@@ -107,6 +119,7 @@ class IncrementalPageRank {
   WalkUpdateStats lifetime_stats_;
   uint64_t arrivals_ = 0;
   uint64_t removals_ = 0;
+  std::vector<Edge> chunk_scratch_;
 };
 
 }  // namespace fastppr

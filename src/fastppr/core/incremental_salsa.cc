@@ -37,6 +37,7 @@ Status IncrementalSalsa::RemoveEdge(NodeId src, NodeId dst) {
   FASTPPR_RETURN_IF_ERROR(social_.RemoveEdge(src, dst));
   last_stats_ = walks_.OnEdgeRemoved(social_.graph(), src, dst, &rng_);
   lifetime_stats_.Accumulate(last_stats_);
+  ++removals_;
   return Status::OK();
 }
 
@@ -45,6 +46,50 @@ Status IncrementalSalsa::ApplyEvent(const EdgeEvent& event) {
     return AddEdge(event.edge.src, event.edge.dst);
   }
   return RemoveEdge(event.edge.src, event.edge.dst);
+}
+
+Status IncrementalSalsa::ApplyEvents(std::span<const EdgeEvent> events) {
+  WalkUpdateStats batch_stats;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    std::size_t j = i;
+    while (j < events.size() && events[j].kind == events[i].kind) ++j;
+    const bool insert = events[i].kind == EdgeEvent::Kind::kInsert;
+
+    chunk_scratch_.clear();
+    Status failure = Status::OK();
+    for (std::size_t t = i; t < j; ++t) {
+      const Edge& e = events[t].edge;
+      Status s = insert ? social_.AddEdge(e.src, e.dst)
+                        : social_.RemoveEdge(e.src, e.dst);
+      if (!s.ok()) {
+        failure = s;
+        break;
+      }
+      chunk_scratch_.push_back(e);
+    }
+    if (!chunk_scratch_.empty()) {
+      const WalkUpdateStats stats =
+          insert ? walks_.OnEdgesInserted(social_.graph(), chunk_scratch_,
+                                          &rng_)
+                 : walks_.OnEdgesRemoved(social_.graph(), chunk_scratch_,
+                                         &rng_);
+      batch_stats.Accumulate(stats);
+      lifetime_stats_.Accumulate(stats);
+      if (insert) {
+        arrivals_ += chunk_scratch_.size();
+      } else {
+        removals_ += chunk_scratch_.size();
+      }
+    }
+    if (!failure.ok()) {
+      last_stats_ = batch_stats;
+      return failure;
+    }
+    i = j;
+  }
+  last_stats_ = batch_stats;
+  return Status::OK();
 }
 
 std::vector<NodeId> IncrementalSalsa::TopKAuthorities(std::size_t k) const {

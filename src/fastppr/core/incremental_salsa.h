@@ -2,6 +2,7 @@
 #define FASTPPR_CORE_INCREMENTAL_SALSA_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fastppr/core/incremental_pagerank.h"
@@ -32,6 +33,12 @@ class IncrementalSalsa {
   Status RemoveEdge(NodeId src, NodeId dst);
   Status ApplyEvent(const EdgeEvent& event);
 
+  /// Batched ingestion twin of IncrementalPageRank::ApplyEvents: runs of
+  /// same-kind events are mutated together and repaired with one Binomial
+  /// draw per (pivot, degree-change) group on both endpoints. A 1-event
+  /// span is bit-identical to the sequential call.
+  Status ApplyEvents(std::span<const EdgeEvent> events);
+
   /// Authority-side visit frequency (comparable to SalsaExact).
   double AuthorityEstimate(NodeId v) const {
     return walks_.NormalizedAuthority(v);
@@ -44,6 +51,7 @@ class IncrementalSalsa {
   const WalkUpdateStats& last_event_stats() const { return last_stats_; }
   const WalkUpdateStats& lifetime_stats() const { return lifetime_stats_; }
   uint64_t arrivals() const { return arrivals_; }
+  uint64_t removals() const { return removals_; }
 
   SocialStore& social_store() { return social_; }
   const SalsaWalkStore& walk_store() const { return walks_; }
@@ -59,6 +67,8 @@ class IncrementalSalsa {
   WalkUpdateStats last_stats_;
   WalkUpdateStats lifetime_stats_;
   uint64_t arrivals_ = 0;
+  uint64_t removals_ = 0;
+  std::vector<Edge> chunk_scratch_;
 };
 
 }  // namespace fastppr

@@ -54,12 +54,11 @@ Status PersonalizedPageRankWalker::Walk(NodeId seed, uint64_t length,
     if (it->second < R) {
       // Consume one stored segment: append its tail, then the session is
       // over and the walk resets to the seed.
-      const WalkStore::Segment& seg = store_->GetSegment(cur, it->second);
+      const WalkStore::SegmentView seg = store_->GetSegment(cur, it->second);
       ++it->second;
       ++out->segments_used;
-      for (std::size_t p = 1;
-           p < seg.path.size() && out->length < length; ++p) {
-        visit(seg.path[p].node);
+      for (std::size_t p = 1; p < seg.size() && out->length < length; ++p) {
+        visit(seg.node(p));
       }
       if (out->length < length) {
         visit(seed);

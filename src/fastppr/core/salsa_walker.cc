@@ -69,14 +69,13 @@ Status PersonalizedSalsaWalker::Walk(NodeId seed, uint64_t length,
       // Stored segments with matching start direction: [0, R) are
       // forward-start, [R, 2R) are backward-start.
       const std::size_t slot = hub_side ? consumed : R + consumed;
-      const SalsaWalkStore::Segment& seg = store_->GetSegment(cur, slot);
+      const SalsaWalkStore::SegmentView seg = store_->GetSegment(cur, slot);
       ++consumed;
       ++out->segments_used;
       bool side = hub_side;
-      for (std::size_t p = 1;
-           p < seg.path.size() && out->length < length; ++p) {
+      for (std::size_t p = 1; p < seg.size() && out->length < length; ++p) {
         side = !side;
-        visit(seg.path[p].node, side);
+        visit(seg.node(p), side);
       }
       if (out->length < length) reset_to_seed();
       continue;

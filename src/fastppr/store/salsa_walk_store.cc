@@ -1,7 +1,6 @@
 #include "fastppr/store/salsa_walk_store.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
 
 #include "fastppr/util/check.h"
 
@@ -16,25 +15,112 @@ void SalsaWalkStore::Init(const DiGraph& g, std::size_t walks_per_node,
   rng_ = Rng(seed);
 
   const std::size_t n = g.num_nodes();
-  segments_.assign(n * 2 * walks_per_node, Segment{});
-  step_fwd_.assign(n, {});
-  step_bwd_.assign(n, {});
-  dangling_fwd_.assign(n, {});
-  dangling_bwd_.assign(n, {});
+  const std::size_t num_segs = n * 2 * walks_per_node;
+  FASTPPR_CHECK(num_segs < slab::kHiLimit);
+  seg_fwd_.assign(num_segs, 0);
+  for (std::size_t seg = 0; seg < num_segs; ++seg) {
+    seg_fwd_[seg] =
+        (seg % (2 * walks_per_node)) < walks_per_node ? 1 : 0;
+  }
+
+  // Phase 1: simulate every segment into flat scratch (exact-fit layout
+  // afterwards; see WalkStore::Init).
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(
+      static_cast<double>(num_segs) * 2.0 / epsilon * 1.1) + 16);
+  std::vector<uint32_t> lengths(num_segs, 0);
+  std::vector<uint8_t> ends(num_segs,
+                            static_cast<uint8_t>(EndReason::kReset));
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t k = 0; k < 2 * walks_per_node; ++k) {
+      const uint64_t seg = SegId(u, k);
+      NodeId cur = u;
+      nodes.push_back(cur);
+      uint32_t len = 1;
+      while (true) {
+        const Direction dir = StepDirection(seg, len - 1);
+        if (dir == Direction::kForward) {
+          // Resets are drawn only before forward steps.
+          if (rng_.Bernoulli(epsilon_)) {
+            ends[seg] = static_cast<uint8_t>(EndReason::kReset);
+            break;
+          }
+          if (g.OutDegree(cur) == 0) {
+            ends[seg] = static_cast<uint8_t>(EndReason::kDanglingFwd);
+            break;
+          }
+          cur = g.RandomOutNeighbor(cur, &rng_);
+        } else {
+          if (g.InDegree(cur) == 0) {
+            ends[seg] = static_cast<uint8_t>(EndReason::kDanglingBwd);
+            break;
+          }
+          cur = g.RandomInNeighbor(cur, &rng_);
+        }
+        nodes.push_back(cur);
+        ++len;
+      }
+      lengths[seg] = len;
+    }
+  }
+
+  // Phase 2: exact-fit pools.
+  seg_end_ = ends;
   hub_visits_.assign(n, 0);
   auth_visits_.assign(n, 0);
   total_hub_ = 0;
   total_auth_ = 0;
 
-  for (NodeId u = 0; u < n; ++u) {
-    for (std::size_t k = 0; k < 2 * walks_per_node; ++k) {
-      uint64_t seg = SegId(u, k);
-      segments_[seg].forward_start = k < walks_per_node;
-      segments_[seg].path.push_back(PathEntry{u, kNoSlot});
-      AddVisitCounters(u, StepDirection(seg, 0), +1);
-      ExtendFromTail(g, seg, kInvalidNode, &rng_);
+  std::vector<uint32_t> fwd_count(n, 0);
+  std::vector<uint32_t> bwd_count(n, 0);
+  std::vector<uint32_t> dang_fwd_count(n, 0);
+  std::vector<uint32_t> dang_bwd_count(n, 0);
+  {
+    std::size_t at = 0;
+    for (std::size_t seg = 0; seg < num_segs; ++seg) {
+      const uint32_t len = lengths[seg];
+      for (uint32_t p = 0; p + 1 < len; ++p) {
+        if (StepDirection(seg, p) == Direction::kForward) {
+          ++fwd_count[nodes[at + p]];
+        } else {
+          ++bwd_count[nodes[at + p]];
+        }
+      }
+      const EndReason end = static_cast<EndReason>(ends[seg]);
+      if (end == EndReason::kDanglingFwd) {
+        ++dang_fwd_count[nodes[at + len - 1]];
+      } else if (end == EndReason::kDanglingBwd) {
+        ++dang_bwd_count[nodes[at + len - 1]];
+      }
+      at += len;
     }
   }
+  step_fwd_.ResetWithCapacities(fwd_count, /*headroom=*/true);
+  step_bwd_.ResetWithCapacities(bwd_count, /*headroom=*/true);
+  dangling_fwd_.ResetWithCapacities(dang_fwd_count, /*headroom=*/true);
+  dangling_bwd_.ResetWithCapacities(dang_bwd_count, /*headroom=*/true);
+  paths_.ResetWithCapacities(lengths, /*headroom=*/true);
+
+  // Phase 3: fill paths, counters and indexes.
+  std::size_t at = 0;
+  for (std::size_t seg = 0; seg < num_segs; ++seg) {
+    const uint32_t len = lengths[seg];
+    FASTPPR_CHECK(len < kNoSlot);  // positions must fit the 24-bit field
+    for (uint32_t p = 0; p < len; ++p) {
+      const NodeId v = nodes[at + p];
+      paths_.PushBack(seg, slab::Pack(v, kNoSlot));
+      AddVisitCounters(v, StepDirection(seg, p), +1);
+    }
+    for (uint32_t p = 0; p + 1 < len; ++p) RegisterStep(seg, p);
+    if (static_cast<EndReason>(ends[seg]) != EndReason::kReset) {
+      RegisterDangling(seg, len - 1);
+    }
+    at += len;
+  }
+
+  pending_.clear();
+  pending_meta_.assign(num_segs, 0);
+  epoch_ = 0;
 }
 
 double SalsaWalkStore::NormalizedAuthority(NodeId v) const {
@@ -62,71 +148,78 @@ void SalsaWalkStore::AddVisitCounters(NodeId node, Direction side,
 }
 
 void SalsaWalkStore::RegisterStep(uint64_t seg, uint32_t pos) {
-  PathEntry& e = segments_[seg].path[pos];
-  auto& list = StepList(StepDirection(seg, pos), e.node);
-  e.slot = static_cast<uint32_t>(list.size());
-  list.push_back(VisitRef{seg, pos});
+  const NodeId node = PathNode(seg, pos);
+  slab::SlabPool& pool = StepPool(StepDirection(seg, pos));
+  const uint32_t slot = pool.PushBack(node, slab::Pack(seg, pos));
+  FASTPPR_CHECK(slot < kNoSlot);
+  SetPathSlot(seg, pos, slot);
+}
+
+void SalsaWalkStore::RemoveIndexAt(slab::SlabPool* pool, NodeId node,
+                                   uint32_t slot, uint64_t seg,
+                                   uint32_t pos) {
+  const uint64_t here = slab::Pack(seg, pos);
+  const uint64_t moved = pool->VerifiedSwapRemove(node, slot, here);
+  if (moved != here) {
+    SetPathSlot(slab::Hi(moved), slab::Lo(moved), slot);
+  }
 }
 
 void SalsaWalkStore::UnregisterStep(uint64_t seg, uint32_t pos) {
-  PathEntry& e = segments_[seg].path[pos];
-  auto& list = StepList(StepDirection(seg, pos), e.node);
-  FASTPPR_CHECK(e.slot < list.size());
-  FASTPPR_CHECK(list[e.slot].seg == seg && list[e.slot].pos == pos);
-  VisitRef moved = list.back();
-  list[e.slot] = moved;
-  list.pop_back();
-  if (moved.seg != seg || moved.pos != pos) {
-    segments_[moved.seg].path[moved.pos].slot = e.slot;
-  }
-  e.slot = kNoSlot;
+  const NodeId node = PathNode(seg, pos);
+  RemoveIndexAt(&StepPool(StepDirection(seg, pos)), node,
+                PathSlot(seg, pos), seg, pos);
+  SetPathSlot(seg, pos, kNoSlot);
 }
 
 void SalsaWalkStore::RegisterDangling(uint64_t seg, uint32_t pos) {
-  PathEntry& e = segments_[seg].path[pos];
-  auto& list = DanglingList(segments_[seg].end, e.node);
-  e.slot = static_cast<uint32_t>(list.size());
-  list.push_back(VisitRef{seg, pos});
+  const NodeId node = PathNode(seg, pos);
+  slab::SlabPool& pool = DanglingPool(End(seg));
+  const uint32_t slot = pool.PushBack(node, slab::Pack(seg, pos));
+  FASTPPR_CHECK(slot < kNoSlot);
+  SetPathSlot(seg, pos, slot);
 }
 
 void SalsaWalkStore::UnregisterDangling(uint64_t seg, uint32_t pos) {
-  PathEntry& e = segments_[seg].path[pos];
-  auto& list = DanglingList(segments_[seg].end, e.node);
-  FASTPPR_CHECK(e.slot < list.size());
-  FASTPPR_CHECK(list[e.slot].seg == seg && list[e.slot].pos == pos);
-  VisitRef moved = list.back();
-  list[e.slot] = moved;
-  list.pop_back();
-  if (moved.seg != seg || moved.pos != pos) {
-    segments_[moved.seg].path[moved.pos].slot = e.slot;
-  }
-  e.slot = kNoSlot;
+  const NodeId node = PathNode(seg, pos);
+  RemoveIndexAt(&DanglingPool(End(seg)), node, PathSlot(seg, pos), seg,
+                pos);
+  SetPathSlot(seg, pos, kNoSlot);
 }
 
 void SalsaWalkStore::TruncateAfter(uint64_t seg, uint32_t keep_pos) {
-  Segment& s = segments_[seg];
-  FASTPPR_CHECK(keep_pos < s.path.size());
-  const uint32_t last = static_cast<uint32_t>(s.path.size()) - 1;
+  const uint32_t len = PathLen(seg);
+  FASTPPR_CHECK(keep_pos < len);
+  const uint32_t last = len - 1;
+  // Entries are re-read each iteration: swap-remove fixups may retarget
+  // doomed entries' slot fields; those fields are never cleared — the
+  // row shrinks past them in one O(1) Truncate at the end.
   for (uint32_t q = last; q > keep_pos; --q) {
-    PathEntry& e = s.path[q];
+    const uint64_t word = paths_.Get(seg, q);
+    const NodeId node = static_cast<NodeId>(slab::Hi(word));
+    const uint32_t slot = slab::Lo(word);
     if (q == last) {
-      if (s.end != EndReason::kReset) UnregisterDangling(seg, q);
+      if (End(seg) != EndReason::kReset) {
+        RemoveIndexAt(&DanglingPool(End(seg)), node, slot, seg, q);
+      }
     } else {
-      UnregisterStep(seg, q);
+      RemoveIndexAt(&StepPool(StepDirection(seg, q)), node, slot, seg, q);
     }
-    AddVisitCounters(e.node, StepDirection(seg, q), -1);
-    s.path.pop_back();
+    AddVisitCounters(node, StepDirection(seg, q), -1);
   }
+  paths_.Truncate(seg, keep_pos + 1);
 }
 
 uint64_t SalsaWalkStore::ExtendFromTail(const DiGraph& g, uint64_t seg,
                                         NodeId forced, Rng* rng) {
-  Segment& s = segments_[seg];
-  uint64_t steps = 0;
+  // Phase 1: pure simulation (see WalkStore::ExtendFromTail); identical
+  // RNG stream to registering inline.
+  const uint32_t start = PathLen(seg) - 1;  // pending (unindexed) tail
+  EndReason end_reason = EndReason::kReset;
+  NodeId cur = PathNode(seg, start);
+  uint32_t pos = start;
   while (true) {
-    const uint32_t tail_pos = static_cast<uint32_t>(s.path.size()) - 1;
-    const NodeId cur = s.path[tail_pos].node;
-    const Direction dir = StepDirection(seg, tail_pos);
+    const Direction dir = StepDirection(seg, pos);
     NodeId next;
     if (forced != kInvalidNode) {
       next = forced;
@@ -134,143 +227,310 @@ uint64_t SalsaWalkStore::ExtendFromTail(const DiGraph& g, uint64_t seg,
     } else if (dir == Direction::kForward) {
       // Resets are drawn only before forward steps.
       if (rng->Bernoulli(epsilon_)) {
-        s.end = EndReason::kReset;
-        s.path[tail_pos].slot = kNoSlot;
-        return steps;
+        end_reason = EndReason::kReset;
+        break;
       }
       if (g.OutDegree(cur) == 0) {
-        s.end = EndReason::kDanglingFwd;
-        RegisterDangling(seg, tail_pos);
-        return steps;
+        end_reason = EndReason::kDanglingFwd;
+        break;
       }
       next = g.RandomOutNeighbor(cur, rng);
     } else {
       if (g.InDegree(cur) == 0) {
-        s.end = EndReason::kDanglingBwd;
-        RegisterDangling(seg, tail_pos);
-        return steps;
+        end_reason = EndReason::kDanglingBwd;
+        break;
       }
       next = g.RandomInNeighbor(cur, rng);
     }
-    RegisterStep(seg, tail_pos);
-    s.path.push_back(PathEntry{next, kNoSlot});
-    AddVisitCounters(next, StepDirection(seg, tail_pos + 1), +1);
-    ++steps;
+    FASTPPR_CHECK(PathLen(seg) < kNoSlot);
+    paths_.PushBack(seg, slab::Pack(next, kNoSlot));
+    cur = next;
+    ++pos;
+  }
+  const uint32_t end = PathLen(seg);
+  seg_end_[seg] = static_cast<uint8_t>(end_reason);
+
+  // Phase 2: register and count the fresh suffix in one sweep.
+  for (uint32_t p = start; p + 1 < end; ++p) RegisterStep(seg, p);
+  for (uint32_t p = start + 1; p < end; ++p) {
+    AddVisitCounters(PathNode(seg, p), StepDirection(seg, p), +1);
+  }
+  if (end_reason != EndReason::kReset) RegisterDangling(seg, end - 1);
+  // A reset tail keeps its pending kNoSlot slot.
+  return end - 1 - start;
+}
+
+void SalsaWalkStore::BeginEpoch() {
+  pending_.clear();
+  if (epoch_ == static_cast<uint32_t>(-1)) {
+    std::fill(pending_meta_.begin(), pending_meta_.end(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+}
+
+void SalsaWalkStore::Offer(const PendingRepair& cand) {
+  uint64_t& meta = pending_meta_[cand.seg];
+  if ((meta >> 32) != epoch_) {
+    meta = (static_cast<uint64_t>(epoch_) << 32) | pending_.size();
+    pending_.push_back(cand);
+    return;
+  }
+  PendingRepair& have = pending_[static_cast<uint32_t>(meta)];
+  if (cand.pos < have.pos) have = cand;
+}
+
+void SalsaWalkStore::SampleDistinct(std::size_t w, uint64_t marks,
+                                    Rng* rng) {
+  if (pick_epoch_.size() < w) pick_epoch_.resize(w, 0);
+  if (pick_epoch_counter_ == static_cast<uint32_t>(-1)) {
+    std::fill(pick_epoch_.begin(), pick_epoch_.end(), 0);
+    pick_epoch_counter_ = 0;
+  }
+  ++pick_epoch_counter_;
+  picked_list_.clear();
+  auto try_pick = [&](std::size_t idx) {
+    if (pick_epoch_[idx] == pick_epoch_counter_) return false;
+    pick_epoch_[idx] = pick_epoch_counter_;
+    picked_list_.push_back(idx);
+    return true;
+  };
+  for (std::size_t j = w - marks; j < w; ++j) {
+    std::size_t t = rng->UniformIndex(j + 1);
+    if (!try_pick(t)) try_pick(j);
   }
 }
 
-void SalsaWalkStore::CollectInsertSide(Direction dir, NodeId pivot,
-                                       NodeId forced_target,
-                                       std::size_t new_degree, Rng* rng,
-                                       WalkUpdateStats* stats,
-                                       PendingMap* pending) {
-  auto offer = [pending](uint64_t seg, const PendingReroute& cand) {
-    auto [it, inserted] = pending->emplace(seg, cand);
-    if (!inserted && cand.pos < it->second.pos) it->second = cand;
-  };
-
-  if (new_degree == 1) {
+void SalsaWalkStore::CollectInsertGroup(Direction dir, NodeId pivot,
+                                        uint32_t group, uint32_t k,
+                                        std::size_t new_degree, Rng* rng,
+                                        WalkUpdateStats* stats) {
+  if (new_degree == k) {
+    // The pivot had no edge on this side before the batch: every segment
+    // dangling here resumes through a (uniformly chosen) new edge. The
+    // terminal visit already survived its reset draw, so the step is
+    // unconditional.
     const EndReason reason = dir == Direction::kForward
                                  ? EndReason::kDanglingFwd
                                  : EndReason::kDanglingBwd;
-    for (const VisitRef& ref : DanglingList(reason, pivot)) {
-      offer(ref.seg, PendingReroute{ref.pos, forced_target, true, dir});
+    slab::SlabPool& pool = DanglingPool(reason);
+    for (const uint64_t word : pool.RowSpan(pivot)) {
+      Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group, k, dir,
+                          true});
     }
     return;
   }
 
-  auto& visits = StepList(dir, pivot);
-  const std::size_t w = visits.size();
+  const std::size_t w = StepPool(dir).Size(pivot);
   if (w == 0) return;
-  const uint64_t marks =
-      rng->Binomial(w, 1.0 / static_cast<double>(new_degree));
+  const uint64_t marks = rng->Binomial(
+      w, static_cast<double>(k) / static_cast<double>(new_degree));
   if (marks == 0) return;
 
-  std::unordered_set<std::size_t> picked;
-  for (std::size_t j = w - marks; j < w; ++j) {
-    std::size_t t = rng->UniformIndex(j + 1);
-    if (!picked.insert(t).second) picked.insert(j);
-  }
-  stats->entries_scanned += picked.size();
-  for (std::size_t idx : picked) {
-    const VisitRef& ref = visits[idx];
-    offer(ref.seg, PendingReroute{ref.pos, forced_target, false, dir});
+  SampleDistinct(w, marks, rng);
+  stats->entries_scanned += picked_list_.size();
+  for (std::size_t idx : picked_list_) {
+    const uint64_t word =
+        StepPool(dir).Get(pivot, static_cast<uint32_t>(idx));
+    Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group, k, dir,
+                        false});
   }
 }
 
 WalkUpdateStats SalsaWalkStore::OnEdgeInserted(const DiGraph& g, NodeId u,
                                                NodeId v, Rng* rng) {
+  const Edge e{u, v};
+  return OnEdgesInserted(g, std::span<const Edge>(&e, 1), rng);
+}
+
+WalkUpdateStats SalsaWalkStore::OnEdgeRemoved(const DiGraph& g, NodeId u,
+                                              NodeId v, Rng* rng) {
+  const Edge e{u, v};
+  return OnEdgesRemoved(g, std::span<const Edge>(&e, 1), rng);
+}
+
+WalkUpdateStats SalsaWalkStore::OnEdgesInserted(const DiGraph& g,
+                                                std::span<const Edge> edges,
+                                                Rng* rng) {
   WalkUpdateStats stats;
-  FASTPPR_CHECK_MSG(g.OutDegree(u) >= 1,
-                    "graph must already contain the new edge");
-  // Collect switch decisions from both endpoints *before* mutating: a
-  // suffix re-simulated for one endpoint is already correct for the new
-  // graph and must not be switched again by the other endpoint.
-  PendingMap pending;
-  CollectInsertSide(Direction::kForward, u, v, g.OutDegree(u), rng, &stats,
-                    &pending);
-  CollectInsertSide(Direction::kBackward, v, u, g.InDegree(v), rng, &stats,
-                    &pending);
-  if (pending.empty()) return stats;
+  if (edges.empty()) return stats;
+  by_src_.assign(edges.begin(), edges.end());
+  by_dst_.assign(edges.begin(), edges.end());
+  if (edges.size() > 1) {
+    std::stable_sort(by_src_.begin(), by_src_.end(),
+                     [](const Edge& a, const Edge& b) {
+                       return a.src < b.src;
+                     });
+    std::stable_sort(by_dst_.begin(), by_dst_.end(),
+                     [](const Edge& a, const Edge& b) {
+                       return a.dst < b.dst;
+                     });
+  }
+
+  // Collect switch decisions from both endpoints of every edge *before*
+  // mutating: a suffix re-simulated for one pivot is already correct for
+  // the new graph and must not be switched again by another.
+  BeginEpoch();
+  for (std::size_t lo = 0; lo < by_src_.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < by_src_.size() && by_src_[hi].src == by_src_[lo].src) ++hi;
+    const NodeId u = by_src_[lo].src;
+    const std::size_t d = g.OutDegree(u);
+    FASTPPR_CHECK_MSG(d >= hi - lo,
+                      "graph must already contain the new edges");
+    CollectInsertGroup(Direction::kForward, u, static_cast<uint32_t>(lo),
+                       static_cast<uint32_t>(hi - lo), d, rng, &stats);
+    lo = hi;
+  }
+  for (std::size_t lo = 0; lo < by_dst_.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < by_dst_.size() && by_dst_[hi].dst == by_dst_[lo].dst) ++hi;
+    const NodeId v = by_dst_[lo].dst;
+    const std::size_t d = g.InDegree(v);
+    FASTPPR_CHECK_MSG(d >= hi - lo,
+                      "graph must already contain the new edges");
+    CollectInsertGroup(Direction::kBackward, v, static_cast<uint32_t>(lo),
+                       static_cast<uint32_t>(hi - lo), d, rng, &stats);
+    lo = hi;
+  }
+  if (pending_.empty()) return stats;
   stats.store_called = 1;
 
-  for (const auto& [seg, plan] : pending) {
+  if (pending_.size() > 32) {
+    std::sort(pending_.begin(), pending_.end(),
+              [](const PendingRepair& a, const PendingRepair& b) {
+                return a.seg < b.seg;
+              });
+  }
+  for (const PendingRepair& plan : pending_) {
+    const uint64_t seg = plan.seg;
+    // A switched hop lands uniformly on the group's new edges; a forward
+    // group's targets are destinations, a backward group's are sources.
+    // No draw for singleton groups (sequential RNG-stream parity).
+    auto draw_target = [&]() -> NodeId {
+      const std::size_t i =
+          plan.group_size == 1 ? 0 : rng->UniformIndex(plan.group_size);
+      return plan.dir == Direction::kForward
+                 ? by_src_[plan.group + i].dst
+                 : by_dst_[plan.group + i].src;
+    };
     if (plan.from_dangling) {
       UnregisterDangling(seg, plan.pos);
     } else {
       TruncateAfter(seg, plan.pos);
       UnregisterStep(seg, plan.pos);
     }
-    stats.walk_steps += ExtendFromTail(g, seg, plan.forced, rng);
+    stats.walk_steps += ExtendFromTail(g, seg, draw_target(), rng);
     ++stats.segments_updated;
   }
   return stats;
 }
 
-void SalsaWalkStore::CollectRemoveSide(const DiGraph& g, Direction dir,
-                                       NodeId pivot, NodeId old_target,
-                                       Rng* rng, WalkUpdateStats* stats,
-                                       PendingMap* pending) {
-  const bool forward = dir == Direction::kForward;
-  std::size_t remaining = 0;
-  auto neighbors = forward ? g.OutNeighbors(pivot) : g.InNeighbors(pivot);
-  for (NodeId w : neighbors) {
-    if (w == old_target) ++remaining;
-  }
-  const double p_broken = 1.0 / static_cast<double>(remaining + 1);
-
-  auto& visits = StepList(dir, pivot);
-  stats->entries_scanned += visits.size();
-  for (const VisitRef& ref : visits) {
-    const Segment& s = segments_[ref.seg];
-    FASTPPR_CHECK(ref.pos + 1 < s.path.size());
-    if (s.path[ref.pos + 1].node != old_target) continue;
-    if (!rng->Bernoulli(p_broken)) continue;  // used a surviving copy
-    PendingReroute cand{ref.pos, kInvalidNode, false, dir};
-    auto [it, inserted] = pending->emplace(ref.seg, cand);
-    if (!inserted && cand.pos < it->second.pos) it->second = cand;
-  }
-}
-
-WalkUpdateStats SalsaWalkStore::OnEdgeRemoved(const DiGraph& g, NodeId u,
-                                              NodeId v, Rng* rng) {
+WalkUpdateStats SalsaWalkStore::OnEdgesRemoved(const DiGraph& g,
+                                               std::span<const Edge> edges,
+                                               Rng* rng) {
   WalkUpdateStats stats;
-  PendingMap pending;
-  CollectRemoveSide(g, Direction::kForward, u, v, rng, &stats, &pending);
-  CollectRemoveSide(g, Direction::kBackward, v, u, rng, &stats, &pending);
-  if (pending.empty()) return stats;
+  if (edges.empty()) return stats;
+  by_src_.assign(edges.begin(), edges.end());
+  by_dst_.assign(edges.begin(), edges.end());
+  if (edges.size() > 1) {
+    std::stable_sort(by_src_.begin(), by_src_.end(),
+                     [](const Edge& a, const Edge& b) {
+                       return a.src < b.src;
+                     });
+    std::stable_sort(by_dst_.begin(), by_dst_.end(),
+                     [](const Edge& a, const Edge& b) {
+                       return a.dst < b.dst;
+                     });
+  }
+
+  std::vector<RemovedTarget>& targets = removed_scratch_;
+  // Collect the broken-hop repairs for one pivot group: a stored step to
+  // a target with `removed` copies gone out of (removed + remaining)
+  // chose a removed copy with probability removed / (removed + remaining).
+  auto collect_group = [&](Direction dir, NodeId pivot, std::size_t lo,
+                           std::size_t hi) {
+    const bool forward = dir == Direction::kForward;
+    const std::vector<Edge>& chunk = forward ? by_src_ : by_dst_;
+    targets.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId t = forward ? chunk[i].dst : chunk[i].src;
+      bool found = false;
+      for (RemovedTarget& have : targets) {
+        if (have.node == t) {
+          ++have.removed;
+          found = true;
+          break;
+        }
+      }
+      if (!found) targets.push_back(RemovedTarget{t, 1, 0});
+    }
+    auto neighbors = forward ? g.OutNeighbors(pivot) : g.InNeighbors(pivot);
+    for (NodeId w : neighbors) {
+      for (RemovedTarget& have : targets) {
+        if (have.node == w) {
+          ++have.remaining;
+          break;
+        }
+      }
+    }
+    const auto row = StepPool(dir).RowSpan(pivot);
+    stats.entries_scanned += row.size();
+    for (const uint64_t word : row) {
+      const uint64_t seg = slab::Hi(word);
+      const uint32_t pos = slab::Lo(word);
+      FASTPPR_CHECK(pos + 1 < PathLen(seg));
+      const NodeId next = PathNode(seg, pos + 1);
+      const RemovedTarget* t = nullptr;
+      for (const RemovedTarget& cand : targets) {
+        if (cand.node == next) {
+          t = &cand;
+          break;
+        }
+      }
+      if (t == nullptr) continue;
+      const double p_broken =
+          static_cast<double>(t->removed) /
+          static_cast<double>(t->remaining + t->removed);
+      if (!rng->Bernoulli(p_broken)) continue;  // used a surviving copy
+      Offer(PendingRepair{seg, pos, static_cast<uint32_t>(lo),
+                          static_cast<uint32_t>(hi - lo), dir, false});
+    }
+  };
+
+  BeginEpoch();
+  for (std::size_t lo = 0; lo < by_src_.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < by_src_.size() && by_src_[hi].src == by_src_[lo].src) ++hi;
+    collect_group(Direction::kForward, by_src_[lo].src, lo, hi);
+    lo = hi;
+  }
+  for (std::size_t lo = 0; lo < by_dst_.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < by_dst_.size() && by_dst_[hi].dst == by_dst_[lo].dst) ++hi;
+    collect_group(Direction::kBackward, by_dst_[lo].dst, lo, hi);
+    lo = hi;
+  }
+  if (pending_.empty()) return stats;
   stats.store_called = 1;
 
-  for (const auto& [seg, plan] : pending) {
+  if (pending_.size() > 32) {
+    std::sort(pending_.begin(), pending_.end(),
+              [](const PendingRepair& a, const PendingRepair& b) {
+                return a.seg < b.seg;
+              });
+  }
+  for (const PendingRepair& plan : pending_) {
+    const uint64_t seg = plan.seg;
+    const NodeId pivot = PathNode(seg, plan.pos);
     TruncateAfter(seg, plan.pos);
     UnregisterStep(seg, plan.pos);
     const bool forward = plan.dir == Direction::kForward;
-    const NodeId pivot = segments_[seg].path[plan.pos].node;
     const std::size_t degree_after =
         forward ? g.OutDegree(pivot) : g.InDegree(pivot);
     if (degree_after == 0) {
-      segments_[seg].end =
-          forward ? EndReason::kDanglingFwd : EndReason::kDanglingBwd;
+      seg_end_[seg] = static_cast<uint8_t>(
+          forward ? EndReason::kDanglingFwd : EndReason::kDanglingBwd);
       RegisterDangling(seg, plan.pos);
     } else {
       NodeId fresh = forward ? g.RandomOutNeighbor(pivot, rng)
@@ -285,50 +545,48 @@ WalkUpdateStats SalsaWalkStore::OnEdgeRemoved(const DiGraph& g, NodeId u,
 void SalsaWalkStore::CheckConsistency(const DiGraph& g) const {
   std::vector<int64_t> hub_recount(num_nodes(), 0);
   std::vector<int64_t> auth_recount(num_nodes(), 0);
-  for (uint64_t seg = 0; seg < segments_.size(); ++seg) {
-    const Segment& s = segments_[seg];
-    FASTPPR_CHECK(!s.path.empty());
-    FASTPPR_CHECK(s.path[0].node ==
+  for (uint64_t seg = 0; seg < num_segments(); ++seg) {
+    const uint32_t len = PathLen(seg);
+    FASTPPR_CHECK(len > 0);
+    FASTPPR_CHECK(PathNode(seg, 0) ==
                   static_cast<NodeId>(seg / (2 * walks_per_node_)));
-    for (uint32_t p = 0; p < s.path.size(); ++p) {
-      const PathEntry& e = s.path[p];
+    for (uint32_t p = 0; p < len; ++p) {
+      const NodeId node = PathNode(seg, p);
+      const uint32_t slot = PathSlot(seg, p);
       const Direction dir = StepDirection(seg, p);
       if (dir == Direction::kForward) {
-        ++hub_recount[e.node];
+        ++hub_recount[node];
       } else {
-        ++auth_recount[e.node];
+        ++auth_recount[node];
       }
-      const bool terminal = (p + 1 == s.path.size());
+      const bool terminal = (p + 1 == len);
       if (!terminal) {
-        const NodeId next = s.path[p + 1].node;
+        const NodeId next = PathNode(seg, p + 1);
         if (dir == Direction::kForward) {
-          FASTPPR_CHECK_MSG(g.HasEdge(e.node, next),
+          FASTPPR_CHECK_MSG(g.HasEdge(node, next),
                             "stored forward hop is not an edge");
         } else {
-          FASTPPR_CHECK_MSG(g.HasEdge(next, e.node),
+          FASTPPR_CHECK_MSG(g.HasEdge(next, node),
                             "stored backward hop is not an edge");
         }
-        const auto& list =
-            dir == Direction::kForward ? step_fwd_[e.node] : step_bwd_[e.node];
-        FASTPPR_CHECK(e.slot < list.size());
-        FASTPPR_CHECK(list[e.slot].seg == seg && list[e.slot].pos == p);
-      } else if (s.end == EndReason::kReset) {
-        FASTPPR_CHECK(e.slot == kNoSlot);
+        const slab::SlabPool& pool = StepPool(dir);
+        FASTPPR_CHECK(slot < pool.Size(node));
+        FASTPPR_CHECK(pool.Get(node, slot) == slab::Pack(seg, p));
+      } else if (End(seg) == EndReason::kReset) {
+        FASTPPR_CHECK(slot == kNoSlot);
         FASTPPR_CHECK(dir == Direction::kForward);
       } else {
-        const bool fwd_dangle = s.end == EndReason::kDanglingFwd;
+        const bool fwd_dangle = End(seg) == EndReason::kDanglingFwd;
         FASTPPR_CHECK(fwd_dangle == (dir == Direction::kForward));
+        const slab::SlabPool& pool =
+            fwd_dangle ? dangling_fwd_ : dangling_bwd_;
         if (fwd_dangle) {
-          FASTPPR_CHECK(g.OutDegree(e.node) == 0);
-          FASTPPR_CHECK(e.slot < dangling_fwd_[e.node].size());
-          const VisitRef& ref = dangling_fwd_[e.node][e.slot];
-          FASTPPR_CHECK(ref.seg == seg && ref.pos == p);
+          FASTPPR_CHECK(g.OutDegree(node) == 0);
         } else {
-          FASTPPR_CHECK(g.InDegree(e.node) == 0);
-          FASTPPR_CHECK(e.slot < dangling_bwd_[e.node].size());
-          const VisitRef& ref = dangling_bwd_[e.node][e.slot];
-          FASTPPR_CHECK(ref.seg == seg && ref.pos == p);
+          FASTPPR_CHECK(g.InDegree(node) == 0);
         }
+        FASTPPR_CHECK(slot < pool.Size(node));
+        FASTPPR_CHECK(pool.Get(node, slot) == slab::Pack(seg, p));
       }
     }
   }

@@ -2,11 +2,12 @@
 #define FASTPPR_STORE_SALSA_WALK_STORE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "fastppr/graph/digraph.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/store/walk_slab.h"
 #include "fastppr/store/walk_store.h"
 #include "fastppr/util/random.h"
 
@@ -26,13 +27,23 @@ namespace fastppr {
 /// frequencies (as eps -> 0 the global authority score converges to
 /// indegree/m); hub scores from hub-side frequencies.
 ///
+/// Storage uses the same slab layout as WalkStore (DESIGN.md): packed
+/// 8-byte path words in one arena with per-segment spans, and pooled flat
+/// inverted-index rows (forward/backward steps, forward/backward dangling)
+/// with swap-remove semantics.
+///
 /// Incremental maintenance mirrors WalkStore, but an arriving edge (u, v)
 /// can reroute walks at *both* endpoints: forward steps at u (switch
 /// probability 1/outdeg(u)) and backward steps at v (switch probability
-/// 1/indeg(v)) — this is one of the factors behind Theorem 6's 16x constant.
+/// 1/indeg(v)) — this is one of the factors behind Theorem 6's 16x
+/// constant. Batched ingestion groups a chunk of same-kind events by
+/// forward pivot (source) and backward pivot (destination), draws one
+/// Binomial per (pivot, degree-change) group, and collects every switch
+/// decision before re-simulating any suffix; a 1-edge batch consumes the
+/// identical RNG stream as the sequential OnEdgeInserted/OnEdgeRemoved.
 class SalsaWalkStore {
  public:
-  static constexpr uint32_t kNoSlot = WalkStore::kNoSlot;
+  static constexpr uint32_t kNoSlot = slab::kNoLo;
 
   enum class Direction : uint8_t { kForward, kBackward };
 
@@ -42,31 +53,26 @@ class SalsaWalkStore {
     kDanglingBwd,  ///< tail has no in-edge (backward step impossible)
   };
 
-  struct PathEntry {
-    NodeId node = kInvalidNode;
-    uint32_t slot = kNoSlot;
-  };
+  /// Read-only view of one stored segment (see WalkStore::SegmentView).
+  class SegmentView {
+   public:
+    SegmentView(std::span<const uint64_t> words, EndReason end,
+                bool forward_start)
+        : words_(words), end_(end), forward_start_(forward_start) {}
 
-  struct Segment {
-    std::vector<PathEntry> path;
-    EndReason end = EndReason::kReset;
-    bool forward_start = true;
-  };
+    std::size_t size() const { return words_.size(); }
+    bool empty() const { return words_.empty(); }
+    NodeId node(std::size_t p) const {
+      return static_cast<NodeId>(slab::Hi(words_[p]));
+    }
+    uint32_t slot(std::size_t p) const { return slab::Lo(words_[p]); }
+    EndReason end() const { return end_; }
+    bool forward_start() const { return forward_start_; }
 
-  struct VisitRef {
-    uint64_t seg = 0;
-    uint32_t pos = 0;
-  };
-
-  /// One scheduled segment repair. Collected for *both* endpoints of an
-  /// updated edge before any mutation: a suffix re-simulated for one
-  /// endpoint is already distributed for the new graph and must not be
-  /// switched again by the other endpoint.
-  struct PendingReroute {
-    uint32_t pos = 0;
-    NodeId forced = kInvalidNode;  ///< kInvalidNode = re-draw at apply time
-    bool from_dangling = false;
-    Direction dir = Direction::kForward;
+   private:
+    std::span<const uint64_t> words_;
+    EndReason end_;
+    bool forward_start_;
   };
 
   SalsaWalkStore() = default;
@@ -78,7 +84,7 @@ class SalsaWalkStore {
   std::size_t walks_per_node() const { return walks_per_node_; }
   double epsilon() const { return epsilon_; }
   std::size_t num_nodes() const { return hub_visits_.size(); }
-  std::size_t num_segments() const { return segments_.size(); }
+  std::size_t num_segments() const { return paths_.num_rows(); }
 
   int64_t HubVisits(NodeId v) const { return hub_visits_[v]; }
   int64_t AuthorityVisits(NodeId v) const { return auth_visits_[v]; }
@@ -91,14 +97,18 @@ class SalsaWalkStore {
   /// Direction of the step taken at position `pos` of segment `seg`
   /// (terminal positions report the direction the step would have had).
   Direction StepDirection(uint64_t seg, uint32_t pos) const {
-    const bool fwd_start = segments_[seg].forward_start;
     const bool even = (pos % 2 == 0);
-    return (even == fwd_start) ? Direction::kForward : Direction::kBackward;
+    return (even == ForwardStart(seg)) ? Direction::kForward
+                                       : Direction::kBackward;
   }
 
   /// k < walks_per_node: forward-start segment; k in [R, 2R): backward.
-  const Segment& GetSegment(NodeId u, std::size_t k) const {
-    return segments_[SegId(u, k)];
+  /// The view is invalidated by any subsequent mutation of the store.
+  SegmentView GetSegment(NodeId u, std::size_t k) const {
+    const uint64_t seg = SegId(u, k);
+    return SegmentView(paths_.RowSpan(seg),
+                       static_cast<EndReason>(seg_end_[seg]),
+                       ForwardStart(seg));
   }
 
   /// Graph must already contain (u, v).
@@ -108,6 +118,14 @@ class SalsaWalkStore {
   WalkUpdateStats OnEdgeRemoved(const DiGraph& g, NodeId u, NodeId v,
                                 Rng* rng);
 
+  /// Batched twins (see WalkStore::OnEdgesInserted): `g` must already
+  /// reflect every edge of the span; a 1-edge span is bit-identical to
+  /// the sequential call.
+  WalkUpdateStats OnEdgesInserted(const DiGraph& g,
+                                  std::span<const Edge> edges, Rng* rng);
+  WalkUpdateStats OnEdgesRemoved(const DiGraph& g,
+                                 std::span<const Edge> edges, Rng* rng);
+
   /// Full invariant audit; test-only. Aborts on violation.
   void CheckConsistency(const DiGraph& g) const;
 
@@ -115,50 +133,106 @@ class SalsaWalkStore {
   uint64_t SegId(NodeId u, std::size_t k) const {
     return static_cast<uint64_t>(u) * 2 * walks_per_node_ + k;
   }
+  /// Stored (not derived): StepDirection sits on every hot path and a
+  /// modulo by 2R here costs a hardware divide per walk step.
+  bool ForwardStart(uint64_t seg) const { return seg_fwd_[seg] != 0; }
 
-  std::vector<VisitRef>& StepList(Direction d, NodeId v) {
-    return d == Direction::kForward ? step_fwd_[v] : step_bwd_[v];
+  NodeId PathNode(uint64_t seg, uint32_t pos) const {
+    return static_cast<NodeId>(slab::Hi(paths_.Get(seg, pos)));
   }
-  std::vector<VisitRef>& DanglingList(EndReason r, NodeId v) {
-    return r == EndReason::kDanglingFwd ? dangling_fwd_[v]
-                                        : dangling_bwd_[v];
+  uint32_t PathSlot(uint64_t seg, uint32_t pos) const {
+    return slab::Lo(paths_.Get(seg, pos));
+  }
+  void SetPathSlot(uint64_t seg, uint32_t pos, uint32_t slot) {
+    paths_.SetLo(seg, pos, slot);
+  }
+  uint32_t PathLen(uint64_t seg) const { return paths_.Size(seg); }
+  EndReason End(uint64_t seg) const {
+    return static_cast<EndReason>(seg_end_[seg]);
+  }
+
+  slab::SlabPool& StepPool(Direction d) {
+    return d == Direction::kForward ? step_fwd_ : step_bwd_;
+  }
+  const slab::SlabPool& StepPool(Direction d) const {
+    return d == Direction::kForward ? step_fwd_ : step_bwd_;
+  }
+  slab::SlabPool& DanglingPool(EndReason r) {
+    return r == EndReason::kDanglingFwd ? dangling_fwd_ : dangling_bwd_;
   }
 
   void RegisterStep(uint64_t seg, uint32_t pos);
   void UnregisterStep(uint64_t seg, uint32_t pos);
   void RegisterDangling(uint64_t seg, uint32_t pos);
   void UnregisterDangling(uint64_t seg, uint32_t pos);
+  /// Swap-removes index entry (node, slot) referencing (seg, pos) with
+  /// backpointer fixup; does not clear the removed path word's slot
+  /// field (see WalkStore::RemoveIndexAt).
+  void RemoveIndexAt(slab::SlabPool* pool, NodeId node, uint32_t slot,
+                     uint64_t seg, uint32_t pos);
   void AddVisitCounters(NodeId node, Direction side, int64_t delta);
 
   void TruncateAfter(uint64_t seg, uint32_t keep_pos);
   uint64_t ExtendFromTail(const DiGraph& g, uint64_t seg, NodeId forced,
                           Rng* rng);
 
-  /// Earliest pending repair per segment id.
-  using PendingMap = std::unordered_map<uint64_t, PendingReroute>;
+  /// One scheduled segment repair; earliest position per segment wins.
+  /// Collected for *both* endpoints of every updated edge before any
+  /// mutation: a suffix re-simulated for one endpoint is already
+  /// distributed for the new graph and must not be switched again.
+  struct PendingRepair {
+    uint64_t seg = 0;
+    uint32_t pos = 0;
+    uint32_t group = 0;       ///< start of the pivot group in the scratch
+    uint32_t group_size = 0;  ///< edges in that group
+    Direction dir = Direction::kForward;
+    bool from_dangling = false;
+  };
+  struct RemovedTarget {
+    NodeId node;
+    uint32_t removed;
+    uint32_t remaining;
+  };
 
-  /// Collects the switch decisions for one endpoint of an insertion.
-  void CollectInsertSide(Direction dir, NodeId pivot, NodeId forced_target,
-                         std::size_t new_degree, Rng* rng,
-                         WalkUpdateStats* stats, PendingMap* pending);
-  /// Collects the broken-hop repairs for one endpoint of a removal.
-  void CollectRemoveSide(const DiGraph& g, Direction dir, NodeId pivot,
-                         NodeId old_target, Rng* rng, WalkUpdateStats* stats,
-                         PendingMap* pending);
+  void BeginEpoch();
+  void Offer(const PendingRepair& cand);
+  /// Samples `marks` distinct indices in [0, w) into picked_list_
+  /// (Floyd's algorithm; epoch-stamped membership, zero allocation).
+  void SampleDistinct(std::size_t w, uint64_t marks, Rng* rng);
+
+  /// Collects the switch decisions for one pivot group of an insertion
+  /// chunk (pivot gained `k` edges; its final degree is `new_degree`).
+  void CollectInsertGroup(Direction dir, NodeId pivot, uint32_t group,
+                          uint32_t k, std::size_t new_degree, Rng* rng,
+                          WalkUpdateStats* stats);
 
   std::size_t walks_per_node_ = 0;
   double epsilon_ = 0.2;
   Rng rng_{0};
 
-  std::vector<Segment> segments_;
-  std::vector<std::vector<VisitRef>> step_fwd_;
-  std::vector<std::vector<VisitRef>> step_bwd_;
-  std::vector<std::vector<VisitRef>> dangling_fwd_;
-  std::vector<std::vector<VisitRef>> dangling_bwd_;
+  slab::SlabPool paths_;
+  std::vector<uint8_t> seg_end_;
+  std::vector<uint8_t> seg_fwd_;  ///< 1 = forward-start segment
+  slab::SlabPool step_fwd_;
+  slab::SlabPool step_bwd_;
+  slab::SlabPool dangling_fwd_;
+  slab::SlabPool dangling_bwd_;
   std::vector<int64_t> hub_visits_;
   std::vector<int64_t> auth_visits_;
   int64_t total_hub_ = 0;
   int64_t total_auth_ = 0;
+
+  // Reusable batched-update scratch: zero steady-state allocation.
+  std::vector<PendingRepair> pending_;
+  /// Per segment: (collection epoch << 32) | slot into pending_.
+  std::vector<uint64_t> pending_meta_;
+  uint32_t epoch_ = 0;
+  std::vector<Edge> by_src_;  ///< chunk sorted by source (forward pivots)
+  std::vector<Edge> by_dst_;  ///< chunk sorted by dest (backward pivots)
+  std::vector<RemovedTarget> removed_scratch_;
+  std::vector<uint32_t> pick_epoch_;
+  std::vector<std::size_t> picked_list_;
+  uint32_t pick_epoch_counter_ = 0;
 };
 
 }  // namespace fastppr

@@ -1,8 +1,6 @@
 #include "fastppr/store/walk_store.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "fastppr/util/check.h"
 
@@ -17,21 +15,41 @@ void WalkStore::Init(const DiGraph& g, std::size_t walks_per_node,
   rng_ = Rng(seed);
 
   const std::size_t n = g.num_nodes();
-  segments_.assign(n * walks_per_node, Segment{});
-  step_visits_.assign(n, {});
-  dangling_.assign(n, {});
-  visit_count_.assign(n, 0);
-  total_visits_ = 0;
+  const std::size_t num_segs = n * walks_per_node;
+  FASTPPR_CHECK(num_segs < slab::kHiLimit);
 
+  // Phase 1: simulate every segment into flat scratch. Laying the arena
+  // out afterwards with exact-fit capacities packs the rows back-to-back
+  // with no relocation and no dead space.
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(
+      static_cast<double>(num_segs) / epsilon * 1.1) + 16);
+  std::vector<uint32_t> lengths(num_segs, 0);
+  std::vector<uint8_t> ends(num_segs,
+                            static_cast<uint8_t>(EndReason::kReset));
   for (NodeId u = 0; u < n; ++u) {
     for (std::size_t k = 0; k < walks_per_node; ++k) {
-      uint64_t seg = SegId(u, k);
-      segments_[seg].path.push_back(PathEntry{u, kNoSlot});
-      ++visit_count_[u];
-      ++total_visits_;
-      ExtendFromTail(g, seg, kInvalidNode, &rng_);
+      const uint64_t seg = SegId(u, k);
+      NodeId cur = u;
+      nodes.push_back(cur);
+      uint32_t len = 1;
+      while (true) {
+        if (rng_.Bernoulli(epsilon_)) {
+          ends[seg] = static_cast<uint8_t>(EndReason::kReset);
+          break;
+        }
+        if (g.OutDegree(cur) == 0) {
+          ends[seg] = static_cast<uint8_t>(EndReason::kDangling);
+          break;
+        }
+        cur = g.RandomOutNeighbor(cur, &rng_);
+        nodes.push_back(cur);
+        ++len;
+      }
+      lengths[seg] = len;
     }
   }
+  BuildFromFlatPaths(n, nodes, lengths, ends);
 }
 
 Status WalkStore::InitFromSegments(
@@ -68,29 +86,69 @@ Status WalkStore::InitFromSegments(
   walks_per_node_ = walks_per_node;
   epsilon_ = epsilon;
   rng_ = Rng(seed);
-  segments_.assign(paths.size(), Segment{});
-  step_visits_.assign(n, {});
-  dangling_.assign(n, {});
+
+  std::vector<NodeId> nodes;
+  std::vector<uint32_t> lengths(paths.size(), 0);
+  std::vector<uint8_t> flat_ends(paths.size(), 0);
+  std::size_t total = 0;
+  for (const auto& path : paths) total += path.size();
+  nodes.reserve(total);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    nodes.insert(nodes.end(), paths[i].begin(), paths[i].end());
+    lengths[i] = static_cast<uint32_t>(paths[i].size());
+    flat_ends[i] = static_cast<uint8_t>(ends[i]);
+  }
+  BuildFromFlatPaths(n, nodes, lengths, flat_ends);
+  return Status::OK();
+}
+
+void WalkStore::BuildFromFlatPaths(std::size_t n,
+                                   const std::vector<NodeId>& nodes,
+                                   const std::vector<uint32_t>& lengths,
+                                   const std::vector<uint8_t>& ends) {
+  const std::size_t num_segs = lengths.size();
+  seg_end_ = ends;
   visit_count_.assign(n, 0);
   total_visits_ = 0;
 
-  for (uint64_t seg = 0; seg < paths.size(); ++seg) {
-    Segment& s = segments_[seg];
-    s.end = ends[seg];
-    s.path.reserve(paths[seg].size());
-    for (std::size_t p = 0; p < paths[seg].size(); ++p) {
-      s.path.push_back(PathEntry{paths[seg][p], kNoSlot});
-      ++visit_count_[paths[seg][p]];
-      ++total_visits_;
-      if (p + 1 < paths[seg].size()) continue;
-      // Terminal entry: register dangles; reset tails stay unindexed.
-      if (s.end == EndReason::kDangling) {
-        RegisterDangling(seg, static_cast<uint32_t>(p));
+  // Count exact per-node index rows so the pools are laid out dense.
+  std::vector<uint32_t> step_count(n, 0);
+  std::vector<uint32_t> dang_count(n, 0);
+  {
+    std::size_t at = 0;
+    for (std::size_t seg = 0; seg < num_segs; ++seg) {
+      const uint32_t len = lengths[seg];
+      for (uint32_t p = 0; p + 1 < len; ++p) ++step_count[nodes[at + p]];
+      if (static_cast<EndReason>(ends[seg]) == EndReason::kDangling) {
+        ++dang_count[nodes[at + len - 1]];
       }
+      at += len;
     }
-    for (uint32_t p = 0; p + 1 < s.path.size(); ++p) RegisterStep(seg, p);
   }
-  return Status::OK();
+  steps_.ResetWithCapacities(step_count, /*headroom=*/true);
+  dangling_.ResetWithCapacities(dang_count, /*headroom=*/true);
+  paths_.ResetWithCapacities(lengths, /*headroom=*/true);
+
+  std::size_t at = 0;
+  for (std::size_t seg = 0; seg < num_segs; ++seg) {
+    const uint32_t len = lengths[seg];
+    FASTPPR_CHECK(len < kNoSlot);  // positions must fit the 24-bit field
+    for (uint32_t p = 0; p < len; ++p) {
+      const NodeId v = nodes[at + p];
+      paths_.PushBack(seg, slab::Pack(v, kNoSlot));
+      ++visit_count_[v];
+      ++total_visits_;
+    }
+    for (uint32_t p = 0; p + 1 < len; ++p) RegisterStep(seg, p);
+    if (static_cast<EndReason>(ends[seg]) == EndReason::kDangling) {
+      RegisterDangling(seg, len - 1);
+    }
+    at += len;
+  }
+
+  pending_.clear();
+  pending_meta_.assign(num_segs, 0);
+  epoch_ = 0;
 }
 
 double WalkStore::Estimate(NodeId v) const {
@@ -112,252 +170,417 @@ std::vector<double> WalkStore::NormalizedEstimates() const {
 }
 
 void WalkStore::RegisterStep(uint64_t seg, uint32_t pos) {
-  PathEntry& e = segments_[seg].path[pos];
-  e.slot = static_cast<uint32_t>(step_visits_[e.node].size());
-  step_visits_[e.node].push_back(VisitRef{seg, pos});
+  const NodeId node = PathNode(seg, pos);
+  const uint32_t slot = steps_.PushBack(node, slab::Pack(seg, pos));
+  FASTPPR_CHECK(slot < kNoSlot);
+  SetPathSlot(seg, pos, slot);
+}
+
+void WalkStore::RemoveIndexAt(slab::SlabPool* pool, NodeId node,
+                              uint32_t slot, uint64_t seg, uint32_t pos) {
+  const uint64_t here = slab::Pack(seg, pos);
+  const uint64_t moved = pool->VerifiedSwapRemove(node, slot, here);
+  if (moved != here) {
+    SetPathSlot(slab::Hi(moved), slab::Lo(moved), slot);
+  }
 }
 
 void WalkStore::UnregisterStep(uint64_t seg, uint32_t pos) {
-  PathEntry& e = segments_[seg].path[pos];
-  auto& list = step_visits_[e.node];
-  FASTPPR_CHECK(e.slot < list.size());
-  FASTPPR_CHECK(list[e.slot].seg == seg && list[e.slot].pos == pos);
-  VisitRef moved = list.back();
-  list[e.slot] = moved;
-  list.pop_back();
-  if (moved.seg != seg || moved.pos != pos) {
-    segments_[moved.seg].path[moved.pos].slot = e.slot;
-  }
-  e.slot = kNoSlot;
+  const NodeId node = PathNode(seg, pos);
+  RemoveIndexAt(&steps_, node, PathSlot(seg, pos), seg, pos);
+  SetPathSlot(seg, pos, kNoSlot);
 }
 
 void WalkStore::RegisterDangling(uint64_t seg, uint32_t pos) {
-  PathEntry& e = segments_[seg].path[pos];
-  e.slot = static_cast<uint32_t>(dangling_[e.node].size());
-  dangling_[e.node].push_back(VisitRef{seg, pos});
+  const NodeId node = PathNode(seg, pos);
+  const uint32_t slot = dangling_.PushBack(node, slab::Pack(seg, pos));
+  FASTPPR_CHECK(slot < kNoSlot);
+  SetPathSlot(seg, pos, slot);
 }
 
 void WalkStore::UnregisterDangling(uint64_t seg, uint32_t pos) {
-  PathEntry& e = segments_[seg].path[pos];
-  auto& list = dangling_[e.node];
-  FASTPPR_CHECK(e.slot < list.size());
-  FASTPPR_CHECK(list[e.slot].seg == seg && list[e.slot].pos == pos);
-  VisitRef moved = list.back();
-  list[e.slot] = moved;
-  list.pop_back();
-  if (moved.seg != seg || moved.pos != pos) {
-    segments_[moved.seg].path[moved.pos].slot = e.slot;
-  }
-  e.slot = kNoSlot;
+  const NodeId node = PathNode(seg, pos);
+  RemoveIndexAt(&dangling_, node, PathSlot(seg, pos), seg, pos);
+  SetPathSlot(seg, pos, kNoSlot);
 }
 
 void WalkStore::TruncateAfter(uint64_t seg, uint32_t keep_pos) {
-  Segment& s = segments_[seg];
-  FASTPPR_CHECK(keep_pos < s.path.size());
-  const uint32_t last = static_cast<uint32_t>(s.path.size()) - 1;
+  const uint32_t len = PathLen(seg);
+  FASTPPR_CHECK(keep_pos < len);
+  const uint32_t last = len - 1;
+  // Entries are re-read each iteration (not snapshotted): a swap-remove
+  // fixup may retarget the slot field of a doomed entry we have not
+  // reached yet. Slot fields of doomed entries are never cleared — the
+  // row shrinks past them in one O(1) Truncate at the end.
   for (uint32_t q = last; q > keep_pos; --q) {
-    PathEntry& e = s.path[q];
+    const uint64_t word = paths_.Get(seg, q);
+    const NodeId node = static_cast<NodeId>(slab::Hi(word));
+    const uint32_t slot = slab::Lo(word);
     if (q == last) {
       // Terminal entry: in the dangling list or nowhere.
-      if (s.end == EndReason::kDangling) UnregisterDangling(seg, q);
+      if (End(seg) == EndReason::kDangling) {
+        RemoveIndexAt(&dangling_, node, slot, seg, q);
+      }
     } else {
-      UnregisterStep(seg, q);
+      RemoveIndexAt(&steps_, node, slot, seg, q);
     }
-    --visit_count_[e.node];
-    --total_visits_;
-    s.path.pop_back();
+    --visit_count_[node];
   }
+  total_visits_ -= last - keep_pos;
+  paths_.Truncate(seg, keep_pos + 1);
 }
 
 void WalkStore::ResetSegmentToSource(uint64_t seg) {
-  Segment& s = segments_[seg];
-  const bool was_multi = s.path.size() > 1;
+  const bool was_multi = PathLen(seg) > 1;
   TruncateAfter(seg, 0);
   if (was_multi) {
     UnregisterStep(seg, 0);
-  } else if (s.end == EndReason::kDangling) {
+  } else if (End(seg) == EndReason::kDangling) {
     UnregisterDangling(seg, 0);
   }
   // A reset-terminal singleton already has a pending (kNoSlot) tail.
 }
 
-uint64_t WalkStore::ExtendFromTail(const DiGraph& g, uint64_t seg,
-                                   NodeId forced, Rng* rng) {
-  Segment& s = segments_[seg];
-  uint64_t steps = 0;
-  while (true) {
-    const uint32_t tail_pos = static_cast<uint32_t>(s.path.size()) - 1;
-    const NodeId cur = s.path[tail_pos].node;
-    NodeId next;
-    if (forced != kInvalidNode) {
-      next = forced;
-      forced = kInvalidNode;
-    } else {
-      if (rng->Bernoulli(epsilon_)) {
-        s.end = EndReason::kReset;
-        s.path[tail_pos].slot = kNoSlot;
-        return steps;
-      }
-      if (g.OutDegree(cur) == 0) {
-        s.end = EndReason::kDangling;
-        RegisterDangling(seg, tail_pos);
-        return steps;
-      }
-      next = g.RandomOutNeighbor(cur, rng);
-    }
-    RegisterStep(seg, tail_pos);
-    s.path.push_back(PathEntry{next, kNoSlot});
-    ++visit_count_[next];
-    ++total_visits_;
-    ++steps;
+void WalkStore::FinishWalk(uint64_t seg, uint32_t start, bool dangling) {
+  const uint32_t end = PathLen(seg);
+  seg_end_[seg] = static_cast<uint8_t>(dangling ? EndReason::kDangling
+                                                : EndReason::kReset);
+  for (uint32_t p = start; p + 1 < end; ++p) RegisterStep(seg, p);
+  for (uint32_t p = start + 1; p < end; ++p) {
+    ++visit_count_[PathNode(seg, p)];
   }
+  total_visits_ += end - 1 - start;
+  if (dangling) RegisterDangling(seg, end - 1);
+  // A reset tail keeps its pending kNoSlot slot.
+}
+
+uint64_t WalkStore::ExtendPendingWalks(const DiGraph& g, Rng* rng) {
+  // Walks are independent; each is simulated appending path words only
+  // (the row stays hot), then registered in one sweep by FinishWalk.
+  // The per-walk RNG stream is identical to registering inline.
+  uint64_t steps = 0;
+  for (const PendingWalk& start_state : walk_queue_) {
+    PendingWalk w = start_state;
+    while (true) {
+      NodeId next;
+      if (w.forced != kInvalidNode) {
+        next = w.forced;
+        w.forced = kInvalidNode;
+      } else if (rng->Bernoulli(epsilon_)) {
+        FinishWalk(w.seg, w.start, /*dangling=*/false);
+        break;
+      } else if (g.OutDegree(w.cur) == 0) {
+        FinishWalk(w.seg, w.start, /*dangling=*/true);
+        break;
+      } else {
+        next = g.RandomOutNeighbor(w.cur, rng);
+      }
+      FASTPPR_CHECK(PathLen(w.seg) < kNoSlot);
+      paths_.PushBack(w.seg, slab::Pack(next, kNoSlot));
+      w.cur = next;
+      ++steps;
+    }
+  }
+  return steps;
+}
+
+void WalkStore::BeginEpoch() {
+  pending_.clear();
+  if (epoch_ == static_cast<uint32_t>(-1)) {
+    std::fill(pending_meta_.begin(), pending_meta_.end(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+}
+
+void WalkStore::Offer(const PendingRepair& cand) {
+  uint64_t& meta = pending_meta_[cand.seg];
+  if ((meta >> 32) != epoch_) {
+    meta = (static_cast<uint64_t>(epoch_) << 32) | pending_.size();
+    pending_.push_back(cand);
+    return;
+  }
+  PendingRepair& have = pending_[static_cast<uint32_t>(meta)];
+  if (cand.pos < have.pos) have = cand;
+}
+
+void WalkStore::SampleDistinct(std::size_t w, uint64_t marks, Rng* rng) {
+  if (pick_epoch_.size() < w) pick_epoch_.resize(w, 0);
+  if (pick_epoch_counter_ == static_cast<uint32_t>(-1)) {
+    std::fill(pick_epoch_.begin(), pick_epoch_.end(), 0);
+    pick_epoch_counter_ = 0;
+  }
+  ++pick_epoch_counter_;
+  picked_list_.clear();
+  auto try_pick = [&](std::size_t idx) {
+    if (pick_epoch_[idx] == pick_epoch_counter_) return false;
+    pick_epoch_[idx] = pick_epoch_counter_;
+    picked_list_.push_back(idx);
+    return true;
+  };
+  for (std::size_t j = w - marks; j < w; ++j) {
+    std::size_t t = rng->UniformIndex(j + 1);
+    if (!try_pick(t)) try_pick(j);
+  }
+}
+
+std::span<const Edge> WalkStore::GroupBySource(std::span<const Edge> edges) {
+  if (edges.size() == 1) return edges;
+  scratch_edges_.assign(edges.begin(), edges.end());
+  std::stable_sort(scratch_edges_.begin(), scratch_edges_.end(),
+                   [](const Edge& a, const Edge& b) { return a.src < b.src; });
+  return scratch_edges_;
 }
 
 WalkUpdateStats WalkStore::OnEdgeInserted(const DiGraph& g, NodeId u,
                                           NodeId v, Rng* rng) {
-  WalkUpdateStats stats;
-  const std::size_t d = g.OutDegree(u);
-  FASTPPR_CHECK_MSG(d >= 1, "graph must already contain the new edge");
-
-  if (d == 1) {
-    // u had no out-edge: every segment dangling at u resumes through v.
-    // (The terminal visit already survived its reset draw, so the step to
-    // the unique out-edge is unconditional.)
-    // Dangling resumes are always handled exactly (even under
-    // kRedoFromSource): the terminal visit has already survived its reset
-    // draw, and re-rolling that draw would make reset-terminated segments
-    // an absorbing state that repeated dangle/resume cycles over-populate.
-    if (!dangling_[u].empty()) stats.store_called = 1;
-    while (!dangling_[u].empty()) {
-      VisitRef ref = dangling_[u].back();
-      UnregisterDangling(ref.seg, ref.pos);
-      stats.walk_steps += ExtendFromTail(g, ref.seg, v, rng);
-      ++stats.segments_updated;
-    }
-    return stats;
-  }
-
-  // Coupling step (Proposition 2): each stored visit at u with an outgoing
-  // step switches its next hop to v independently with probability 1/d.
-  const std::size_t w = step_visits_[u].size();
-  if (w == 0) return stats;
-  const uint64_t marks = rng->Binomial(w, 1.0 / static_cast<double>(d));
-  if (marks == 0) return stats;  // gating: store not called at all
-  stats.store_called = 1;
-
-  // Choose `marks` distinct visit indices uniformly (Floyd's algorithm),
-  // then keep the earliest marked position per segment: re-simulating from
-  // the earliest switch freshly redraws everything after it.
-  std::unordered_set<std::size_t> picked;
-  for (std::size_t j = w - marks; j < w; ++j) {
-    std::size_t t = rng->UniformIndex(j + 1);
-    if (!picked.insert(t).second) picked.insert(j);
-  }
-  std::unordered_map<uint64_t, uint32_t> earliest;
-  for (std::size_t idx : picked) {
-    VisitRef ref = step_visits_[u][idx];
-    auto [it, inserted] = earliest.emplace(ref.seg, ref.pos);
-    if (!inserted && ref.pos < it->second) it->second = ref.pos;
-  }
-  stats.entries_scanned = picked.size();
-
-  for (const auto& [seg, pos] : earliest) {
-    if (policy_ == UpdatePolicy::kRedoFromSource) {
-      ResetSegmentToSource(seg);
-      stats.walk_steps += ExtendFromTail(g, seg, kInvalidNode, rng);
-    } else {
-      TruncateAfter(seg, pos);
-      UnregisterStep(seg, pos);  // tail becomes pending for re-extension
-      stats.walk_steps += ExtendFromTail(g, seg, v, rng);
-    }
-    ++stats.segments_updated;
-  }
-  return stats;
+  const Edge e{u, v};
+  return OnEdgesInserted(g, std::span<const Edge>(&e, 1), rng);
 }
 
 WalkUpdateStats WalkStore::OnEdgeRemoved(const DiGraph& g, NodeId u,
                                          NodeId v, Rng* rng) {
+  const Edge e{u, v};
+  return OnEdgesRemoved(g, std::span<const Edge>(&e, 1), rng);
+}
+
+WalkUpdateStats WalkStore::OnEdgesInserted(const DiGraph& g,
+                                           std::span<const Edge> edges,
+                                           Rng* rng) {
   WalkUpdateStats stats;
-  const std::size_t d_after = g.OutDegree(u);
-  // Multiplicity of u->v remaining after the removal: a stored step to v
-  // chose uniformly among (remaining + 1) parallel copies, so it chose the
-  // removed copy with probability 1 / (remaining + 1).
-  std::size_t remaining = 0;
-  for (NodeId w : g.OutNeighbors(u)) {
-    if (w == v) ++remaining;
-  }
-  const double p_broken = 1.0 / static_cast<double>(remaining + 1);
+  if (edges.empty()) return stats;
+  std::span<const Edge> grouped = GroupBySource(edges);
 
-  // Scan the visits at u for stored steps into v. The scan is O(W(u)) cheap
-  // index reads (entries_scanned); only actual re-simulation counts as walk
-  // work, matching the paper's accounting.
-  std::unordered_map<uint64_t, uint32_t> earliest;
-  const auto& visits = step_visits_[u];
-  stats.entries_scanned = visits.size();
-  for (const VisitRef& ref : visits) {
-    const Segment& s = segments_[ref.seg];
-    FASTPPR_CHECK(ref.pos + 1 < s.path.size());
-    if (s.path[ref.pos + 1].node != v) continue;
-    if (!rng->Bernoulli(p_broken)) continue;  // used a surviving copy
-    auto [it, inserted] = earliest.emplace(ref.seg, ref.pos);
-    if (!inserted && ref.pos < it->second) it->second = ref.pos;
-  }
-  if (earliest.empty()) return stats;
-  stats.store_called = 1;
+  // Collect every switch decision before re-simulating anything: a fresh
+  // suffix is already distributed for the new graph and must not be
+  // switched again by a later group (same invariant as the SALSA store).
+  BeginEpoch();
+  for (std::size_t lo = 0; lo < grouped.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < grouped.size() && grouped[hi].src == grouped[lo].src) ++hi;
+    const NodeId u = grouped[lo].src;
+    const std::size_t k = hi - lo;
+    const std::size_t d = g.OutDegree(u);
+    FASTPPR_CHECK_MSG(d >= k, "graph must already contain the new edges");
+    const uint32_t group = static_cast<uint32_t>(lo);
+    const uint32_t ksz = static_cast<uint32_t>(k);
 
-  for (const auto& [seg, pos] : earliest) {
-    if (policy_ == UpdatePolicy::kRedoFromSource) {
-      ResetSegmentToSource(seg);
-      stats.walk_steps += ExtendFromTail(g, seg, kInvalidNode, rng);
-      ++stats.segments_updated;
+    if (d == k) {
+      // u had no out-edge before this batch: every segment dangling at u
+      // resumes through a (uniformly chosen) new edge. The terminal visit
+      // already survived its reset draw, so the step is unconditional —
+      // this stays exact even under kRedoFromSource, since re-rolling the
+      // draw would make reset-terminated segments an absorbing state.
+      const auto row = dangling_.RowSpan(u);
+      for (const uint64_t word : row) {
+        Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group, ksz,
+                            true});
+      }
+      lo = hi;
       continue;
     }
-    TruncateAfter(seg, pos);
-    UnregisterStep(seg, pos);
-    if (d_after == 0) {
-      // The visit survived its reset draw but u is now dangling.
-      segments_[seg].end = EndReason::kDangling;
-      RegisterDangling(seg, pos);
+
+    // Coupling step (Proposition 2, telescoped over the group): going from
+    // degree d-k to d, each stored visit at u with an outgoing step
+    // switches with probability k/d, landing uniformly on the new targets.
+    const std::size_t w = steps_.Size(u);
+    if (w == 0) {
+      lo = hi;
+      continue;
+    }
+    const uint64_t marks =
+        rng->Binomial(w, static_cast<double>(k) / static_cast<double>(d));
+    if (marks == 0) {
+      lo = hi;
+      continue;
+    }
+    // Choose `marks` distinct visit indices uniformly (Floyd's algorithm);
+    // the earliest marked position per segment wins inside Offer().
+    SampleDistinct(w, marks, rng);
+    stats.entries_scanned += picked_list_.size();
+    for (std::size_t idx : picked_list_) {
+      const uint64_t word = steps_.Get(u, static_cast<uint32_t>(idx));
+      Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group, ksz,
+                          false});
+    }
+    lo = hi;
+  }
+  if (pending_.empty()) return stats;
+  stats.store_called = 1;
+
+  // Apply phase: one repair per touched segment, re-simulated on the
+  // final graph. Large chunks walk the path arena in segment order
+  // (repairs are independent, so ordering is free to choose).
+  if (pending_.size() > 32) {
+    std::sort(pending_.begin(), pending_.end(),
+              [](const PendingRepair& a, const PendingRepair& b) {
+                return a.seg < b.seg;
+              });
+  }
+  walk_queue_.clear();
+  for (const PendingRepair& plan : pending_) {
+    const uint64_t seg = plan.seg;
+    // A switched hop lands uniformly on the group's new targets. No draw
+    // for singleton groups, so a 1-edge batch matches the sequential RNG
+    // stream bit for bit.
+    auto draw_target = [&]() -> NodeId {
+      if (plan.group_size == 1) return grouped[plan.group].dst;
+      return grouped[plan.group + rng->UniformIndex(plan.group_size)].dst;
+    };
+    if (plan.from_dangling) {
+      UnregisterDangling(seg, plan.pos);
+      walk_queue_.push_back(PendingWalk{seg, PathNode(seg, plan.pos),
+                                       draw_target(), plan.pos});
+    } else if (policy_ == UpdatePolicy::kRedoFromSource) {
+      ResetSegmentToSource(seg);
+      walk_queue_.push_back(
+          PendingWalk{seg, PathNode(seg, 0), kInvalidNode, 0});
     } else {
-      // Re-draw the step among the remaining out-edges, then continue
-      // with fresh randomness (no reset draw: the original one survived).
-      NodeId fresh = g.RandomOutNeighbor(u, rng);
-      stats.walk_steps += ExtendFromTail(g, seg, fresh, rng);
+      TruncateAfter(seg, plan.pos);
+      UnregisterStep(seg, plan.pos);  // tail becomes pending
+      walk_queue_.push_back(PendingWalk{seg, PathNode(seg, plan.pos),
+                                       draw_target(), plan.pos});
     }
     ++stats.segments_updated;
   }
+  stats.walk_steps += ExtendPendingWalks(g, rng);
+  return stats;
+}
+
+WalkUpdateStats WalkStore::OnEdgesRemoved(const DiGraph& g,
+                                          std::span<const Edge> edges,
+                                          Rng* rng) {
+  WalkUpdateStats stats;
+  if (edges.empty()) return stats;
+  std::span<const Edge> grouped = GroupBySource(edges);
+
+  std::vector<RemovedTarget>& targets = removed_scratch_;
+
+  BeginEpoch();
+  for (std::size_t lo = 0; lo < grouped.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < grouped.size() && grouped[hi].src == grouped[lo].src) ++hi;
+    const NodeId u = grouped[lo].src;
+
+    targets.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId v = grouped[i].dst;
+      bool found = false;
+      for (RemovedTarget& t : targets) {
+        if (t.node == v) {
+          ++t.removed;
+          found = true;
+          break;
+        }
+      }
+      if (!found) targets.push_back(RemovedTarget{v, 1, 0});
+    }
+    // Multiplicity of each removed target still present after the batch:
+    // a stored step to v chose uniformly among (remaining + removed)
+    // parallel copies, so it chose a removed copy with probability
+    // removed / (remaining + removed).
+    for (NodeId w : g.OutNeighbors(u)) {
+      for (RemovedTarget& t : targets) {
+        if (t.node == w) {
+          ++t.remaining;
+          break;
+        }
+      }
+    }
+
+    // Scan the visits at u for stored steps into a removed target. The
+    // scan is O(W(u)) cheap index reads (entries_scanned); only actual
+    // re-simulation counts as walk work, matching the paper's accounting.
+    const auto row = steps_.RowSpan(u);
+    stats.entries_scanned += row.size();
+    for (const uint64_t word : row) {
+      const uint64_t seg = slab::Hi(word);
+      const uint32_t pos = slab::Lo(word);
+      FASTPPR_CHECK(pos + 1 < PathLen(seg));
+      const NodeId next = PathNode(seg, pos + 1);
+      const RemovedTarget* t = nullptr;
+      for (const RemovedTarget& cand : targets) {
+        if (cand.node == next) {
+          t = &cand;
+          break;
+        }
+      }
+      if (t == nullptr) continue;
+      const double p_broken =
+          static_cast<double>(t->removed) /
+          static_cast<double>(t->remaining + t->removed);
+      if (!rng->Bernoulli(p_broken)) continue;  // used a surviving copy
+      Offer(PendingRepair{seg, pos, static_cast<uint32_t>(lo),
+                          static_cast<uint32_t>(hi - lo), false});
+    }
+    lo = hi;
+  }
+  if (pending_.empty()) return stats;
+  stats.store_called = 1;
+
+  if (pending_.size() > 32) {
+    std::sort(pending_.begin(), pending_.end(),
+              [](const PendingRepair& a, const PendingRepair& b) {
+                return a.seg < b.seg;
+              });
+  }
+  walk_queue_.clear();
+  for (const PendingRepair& plan : pending_) {
+    const uint64_t seg = plan.seg;
+    if (policy_ == UpdatePolicy::kRedoFromSource) {
+      ResetSegmentToSource(seg);
+      walk_queue_.push_back(
+          PendingWalk{seg, PathNode(seg, 0), kInvalidNode, 0});
+      ++stats.segments_updated;
+      continue;
+    }
+    const NodeId pivot = PathNode(seg, plan.pos);
+    TruncateAfter(seg, plan.pos);
+    UnregisterStep(seg, plan.pos);
+    if (g.OutDegree(pivot) == 0) {
+      // The visit survived its reset draw but the pivot is now dangling.
+      seg_end_[seg] = static_cast<uint8_t>(EndReason::kDangling);
+      RegisterDangling(seg, plan.pos);
+    } else {
+      // Re-draw the step among the remaining out-edges, then continue
+      // with fresh randomness (no reset draw: the original one survived).
+      NodeId fresh = g.RandomOutNeighbor(pivot, rng);
+      walk_queue_.push_back(PendingWalk{seg, pivot, fresh, plan.pos});
+    }
+    ++stats.segments_updated;
+  }
+  stats.walk_steps += ExtendPendingWalks(g, rng);
   return stats;
 }
 
 void WalkStore::CheckConsistency(const DiGraph& g) const {
   std::vector<int64_t> recount(num_nodes(), 0);
   int64_t total = 0;
-  for (uint64_t seg = 0; seg < segments_.size(); ++seg) {
-    const Segment& s = segments_[seg];
-    FASTPPR_CHECK(!s.path.empty());
+  for (uint64_t seg = 0; seg < num_segments(); ++seg) {
+    const uint32_t len = PathLen(seg);
+    FASTPPR_CHECK(len > 0);
     // Source of segment seg is seg / R.
-    FASTPPR_CHECK(s.path[0].node ==
+    FASTPPR_CHECK(PathNode(seg, 0) ==
                   static_cast<NodeId>(seg / walks_per_node_));
-    for (uint32_t p = 0; p < s.path.size(); ++p) {
-      const PathEntry& e = s.path[p];
-      ++recount[e.node];
+    for (uint32_t p = 0; p < len; ++p) {
+      const NodeId node = PathNode(seg, p);
+      const uint32_t slot = PathSlot(seg, p);
+      ++recount[node];
       ++total;
-      const bool terminal = (p + 1 == s.path.size());
+      const bool terminal = (p + 1 == len);
       if (!terminal) {
         // Hop must be a real edge and the entry must be indexed.
-        FASTPPR_CHECK_MSG(g.HasEdge(e.node, s.path[p + 1].node),
+        FASTPPR_CHECK_MSG(g.HasEdge(node, PathNode(seg, p + 1)),
                           "stored hop is not an edge");
-        FASTPPR_CHECK(e.slot < step_visits_[e.node].size());
-        const VisitRef& ref = step_visits_[e.node][e.slot];
-        FASTPPR_CHECK(ref.seg == seg && ref.pos == p);
-      } else if (s.end == EndReason::kDangling) {
-        FASTPPR_CHECK_MSG(g.OutDegree(e.node) == 0,
+        FASTPPR_CHECK(slot < steps_.Size(node));
+        FASTPPR_CHECK(steps_.Get(node, slot) == slab::Pack(seg, p));
+      } else if (End(seg) == EndReason::kDangling) {
+        FASTPPR_CHECK_MSG(g.OutDegree(node) == 0,
                           "dangling tail at a node with out-edges");
-        FASTPPR_CHECK(e.slot < dangling_[e.node].size());
-        const VisitRef& ref = dangling_[e.node][e.slot];
-        FASTPPR_CHECK(ref.seg == seg && ref.pos == p);
+        FASTPPR_CHECK(slot < dangling_.Size(node));
+        FASTPPR_CHECK(dangling_.Get(node, slot) == slab::Pack(seg, p));
       } else {
-        FASTPPR_CHECK(e.slot == kNoSlot);
+        FASTPPR_CHECK(slot == kNoSlot);
       }
     }
   }
@@ -367,20 +590,22 @@ void WalkStore::CheckConsistency(const DiGraph& g) const {
   FASTPPR_CHECK(total == total_visits_);
   // Every index entry must point back at a matching path position.
   for (NodeId vtx = 0; vtx < num_nodes(); ++vtx) {
-    for (uint32_t slot = 0; slot < step_visits_[vtx].size(); ++slot) {
-      const VisitRef& ref = step_visits_[vtx][slot];
-      const Segment& s = segments_[ref.seg];
-      FASTPPR_CHECK(ref.pos < s.path.size());
-      FASTPPR_CHECK(s.path[ref.pos].node == vtx);
-      FASTPPR_CHECK(s.path[ref.pos].slot == slot);
+    for (uint32_t slot = 0; slot < steps_.Size(vtx); ++slot) {
+      const uint64_t word = steps_.Get(vtx, slot);
+      const uint64_t seg = slab::Hi(word);
+      const uint32_t pos = slab::Lo(word);
+      FASTPPR_CHECK(pos < PathLen(seg));
+      FASTPPR_CHECK(PathNode(seg, pos) == vtx);
+      FASTPPR_CHECK(PathSlot(seg, pos) == slot);
     }
-    for (uint32_t slot = 0; slot < dangling_[vtx].size(); ++slot) {
-      const VisitRef& ref = dangling_[vtx][slot];
-      const Segment& s = segments_[ref.seg];
-      FASTPPR_CHECK(ref.pos + 1 == s.path.size());
-      FASTPPR_CHECK(s.path[ref.pos].node == vtx);
-      FASTPPR_CHECK(s.path[ref.pos].slot == slot);
-      FASTPPR_CHECK(s.end == EndReason::kDangling);
+    for (uint32_t slot = 0; slot < dangling_.Size(vtx); ++slot) {
+      const uint64_t word = dangling_.Get(vtx, slot);
+      const uint64_t seg = slab::Hi(word);
+      const uint32_t pos = slab::Lo(word);
+      FASTPPR_CHECK(pos + 1 == PathLen(seg));
+      FASTPPR_CHECK(PathNode(seg, pos) == vtx);
+      FASTPPR_CHECK(PathSlot(seg, pos) == slot);
+      FASTPPR_CHECK(End(seg) == EndReason::kDangling);
     }
   }
 }

@@ -7,6 +7,7 @@
 
 #include "fastppr/graph/digraph.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/store/walk_slab.h"
 #include "fastppr/util/random.h"
 #include "fastppr/util/status.h"
 
@@ -71,6 +72,12 @@ enum class UpdatePolicy {
 /// reset), and otherwise moves to a uniformly random out-neighbour. T is
 /// geometric with mean (1-eps)/eps, so the expected node count is 1/eps.
 ///
+/// Storage layout (DESIGN.md): all path entries live in one flat slab
+/// arena of packed 8-byte words (40-bit node, 24-bit index back-slot) with
+/// per-segment offset/length spans, and the step/dangling inverted indexes
+/// are pooled flat rows of packed (40-bit segment, 24-bit position) words
+/// with swap-remove semantics — no per-segment or per-node heap vectors.
+///
 /// Incremental maintenance implements the coupling argument of
 /// Proposition 2 exactly:
 ///  * insert (u,v), new outdegree d >= 2: every stored visit at u with an
@@ -83,32 +90,47 @@ enum class UpdatePolicy {
 ///    Omega(n) cost lives).
 ///  * delete (u,v): every stored step u->v re-draws among the remaining
 ///    out-edges (visits at u are scanned; scans are counted separately).
+///
+/// Batched ingestion (OnEdgesInserted / OnEdgesRemoved) generalizes the
+/// coupling to a group of same-kind events: edges are grouped by source
+/// node, the Binomial switch count is drawn once per (node, degree-change)
+/// group — for a node going from degree d to D the per-visit switch
+/// probability is (D-d)/D and a switched hop lands uniformly on the new
+/// targets, which telescopes to exactly the sequential per-edge coupling —
+/// and all switch/break decisions are collected before any suffix is
+/// re-simulated so fresh (new-graph-distributed) suffixes are never
+/// switched twice. A 1-edge batch consumes the identical RNG stream as the
+/// sequential OnEdgeInserted/OnEdgeRemoved, which are thin wrappers.
 class WalkStore {
  public:
-  static constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
-
-  /// One visited position of a stored segment. `slot` is the backpointer
-  /// into the per-node visit list holding this position (kNoSlot for a
-  /// reset-terminated tail).
-  struct PathEntry {
-    NodeId node = kInvalidNode;
-    uint32_t slot = kNoSlot;
-  };
+  static constexpr uint32_t kNoSlot = slab::kNoLo;
 
   enum class EndReason : uint8_t {
     kReset,     ///< the geometric reset fired
     kDangling,  ///< the tail node had no out-edge
   };
 
-  struct Segment {
-    std::vector<PathEntry> path;
-    EndReason end = EndReason::kReset;
-  };
+  /// Read-only view of one stored segment: a span over the packed entry
+  /// arena. Invalidated by any mutating call on the store.
+  class SegmentView {
+   public:
+    SegmentView(std::span<const uint64_t> words, EndReason end)
+        : words_(words), end_(end) {}
 
-  /// (segment id, position) reference used by the inverted index.
-  struct VisitRef {
-    uint64_t seg = 0;
-    uint32_t pos = 0;
+    std::size_t size() const { return words_.size(); }
+    bool empty() const { return words_.empty(); }
+    /// Node visited at position `p`.
+    NodeId node(std::size_t p) const {
+      return static_cast<NodeId>(slab::Hi(words_[p]));
+    }
+    /// Inverted-index back-slot of position `p` (kNoSlot for an unindexed
+    /// reset tail).
+    uint32_t slot(std::size_t p) const { return slab::Lo(words_[p]); }
+    EndReason end() const { return end_; }
+
+   private:
+    std::span<const uint64_t> words_;
+    EndReason end_;
   };
 
   WalkStore() = default;
@@ -135,7 +157,7 @@ class WalkStore {
   std::size_t walks_per_node() const { return walks_per_node_; }
   double epsilon() const { return epsilon_; }
   std::size_t num_nodes() const { return visit_count_.size(); }
-  std::size_t num_segments() const { return segments_.size(); }
+  std::size_t num_segments() const { return paths_.num_rows(); }
 
   /// X_v: total visits to v across all stored segments.
   int64_t VisitCount(NodeId v) const { return visit_count_[v]; }
@@ -152,14 +174,15 @@ class WalkStore {
 
   /// Number of stored-walk visits at v that have an outgoing step; this is
   /// the W(v) counter of Section 2.2 used for the store-call gating.
-  std::size_t StepVisitCount(NodeId v) const {
-    return step_visits_[v].size();
-  }
-  std::size_t DanglingCount(NodeId v) const { return dangling_[v].size(); }
+  std::size_t StepVisitCount(NodeId v) const { return steps_.Size(v); }
+  std::size_t DanglingCount(NodeId v) const { return dangling_.Size(v); }
 
-  /// Read access to the k-th stored segment of node u (k < R).
-  const Segment& GetSegment(NodeId u, std::size_t k) const {
-    return segments_[SegId(u, k)];
+  /// Read access to the k-th stored segment of node u (k < R). The view is
+  /// invalidated by any subsequent mutation of the store.
+  SegmentView GetSegment(NodeId u, std::size_t k) const {
+    const uint64_t seg = SegId(u, k);
+    return SegmentView(paths_.RowSpan(seg),
+                       static_cast<EndReason>(seg_end_[seg]));
   }
 
   /// Must be called after `g` already contains the new edge (u, v).
@@ -172,6 +195,19 @@ class WalkStore {
   WalkUpdateStats OnEdgeRemoved(const DiGraph& g, NodeId u, NodeId v,
                                 Rng* rng);
 
+  /// Batched insertion: `g` must already contain every edge of `edges`
+  /// (and nothing else new). Edges are grouped by source node; the switch
+  /// count per group is one Binomial draw and all repairs are collected
+  /// before any suffix is re-simulated. Distributionally identical to
+  /// applying the edges one at a time; bit-identical to the sequential
+  /// path for a 1-edge span.
+  WalkUpdateStats OnEdgesInserted(const DiGraph& g,
+                                  std::span<const Edge> edges, Rng* rng);
+
+  /// Batched removal twin: `g` must no longer contain any edge of `edges`.
+  WalkUpdateStats OnEdgesRemoved(const DiGraph& g,
+                                 std::span<const Edge> edges, Rng* rng);
+
   /// Full invariant audit (index/backpointer/counter consistency and edge
   /// validity of every stored hop). O(n + total visits); test-only.
   /// Aborts via FASTPPR_CHECK on violation.
@@ -182,12 +218,32 @@ class WalkStore {
     return static_cast<uint64_t>(u) * walks_per_node_ + k;
   }
 
-  /// Registers the entry at `pos` of `seg` into step_visits_[node].
+  NodeId PathNode(uint64_t seg, uint32_t pos) const {
+    return static_cast<NodeId>(slab::Hi(paths_.Get(seg, pos)));
+  }
+  uint32_t PathSlot(uint64_t seg, uint32_t pos) const {
+    return slab::Lo(paths_.Get(seg, pos));
+  }
+  void SetPathSlot(uint64_t seg, uint32_t pos, uint32_t slot) {
+    paths_.SetLo(seg, pos, slot);
+  }
+  uint32_t PathLen(uint64_t seg) const { return paths_.Size(seg); }
+  EndReason End(uint64_t seg) const {
+    return static_cast<EndReason>(seg_end_[seg]);
+  }
+
+  /// Registers the entry at `pos` of `seg` into the step index.
   void RegisterStep(uint64_t seg, uint32_t pos);
   /// Removes a step registration (swap-remove with backpointer fixup).
   void UnregisterStep(uint64_t seg, uint32_t pos);
   void RegisterDangling(uint64_t seg, uint32_t pos);
   void UnregisterDangling(uint64_t seg, uint32_t pos);
+  /// Swap-removes index entry (node, slot) — known to reference
+  /// (seg, pos) — fixing up the moved entry's backpointer. Does NOT
+  /// clear the removed path word's slot field; callers deleting the
+  /// entry skip that write, others must reset it themselves.
+  void RemoveIndexAt(slab::SlabPool* pool, NodeId node, uint32_t slot,
+                     uint64_t seg, uint32_t pos);
 
   /// Drops all path entries with index > keep_pos (counters + index).
   void TruncateAfter(uint64_t seg, uint32_t keep_pos);
@@ -196,25 +252,91 @@ class WalkStore {
   /// (kRedoFromSource repairs).
   void ResetSegmentToSource(uint64_t seg);
 
-  /// Continues the segment from its tail. Precondition: the tail entry is
-  /// unregistered (pending). If `forced` != kInvalidNode the first step
-  /// goes there without a reset draw (the original draw already survived).
-  /// Returns the number of fresh walk steps taken.
-  uint64_t ExtendFromTail(const DiGraph& g, uint64_t seg, NodeId forced,
-                          Rng* rng);
+  /// A segment whose tail is pending re-extension. `start` is the tail
+  /// position (unregistered); `forced` != kInvalidNode makes the first
+  /// step go there without a reset draw (the original draw survived).
+  struct PendingWalk {
+    uint64_t seg = 0;
+    NodeId cur = kInvalidNode;
+    NodeId forced = kInvalidNode;
+    uint32_t start = 0;
+  };
+
+  /// Drains `walk_queue_`: re-simulates each pending walk to completion
+  /// in queue order (all draws of walk i precede walk i+1's; the stream
+  /// is deterministic given the RNG state). Returns total fresh steps.
+  uint64_t ExtendPendingWalks(const DiGraph& g, Rng* rng);
+
+  /// Registration sweep for a finished walk: end reason, step/dangling
+  /// index entries and visit counters for positions (start, end).
+  void FinishWalk(uint64_t seg, uint32_t start, bool dangling);
+
+  /// Lays out segments and rebuilds both indexes from flat path data:
+  /// `nodes` holds the concatenated paths, row r covering the next
+  /// lengths[r] entries. Exact-fit: no relocation, no dead space.
+  void BuildFromFlatPaths(std::size_t n, const std::vector<NodeId>& nodes,
+                          const std::vector<uint32_t>& lengths,
+                          const std::vector<uint8_t>& ends);
+
+  // --- batched-repair scratch (see OnEdgesInserted) -----------------
+  /// One scheduled segment repair: the earliest switched/broken position
+  /// per segment wins; everything after it is re-simulated.
+  struct PendingRepair {
+    uint64_t seg = 0;
+    uint32_t pos = 0;
+    uint32_t group = 0;          ///< start of the source group in the batch
+    uint32_t group_size = 0;     ///< edges in that group
+    bool from_dangling = false;  ///< exact resume, no truncation needed
+  };
+
+  /// Per-group scratch for batched removals: a distinct removed target
+  /// with its removal count and surviving multiplicity.
+  struct RemovedTarget {
+    NodeId node;
+    uint32_t removed;
+    uint32_t remaining;
+  };
+
+  /// Starts a fresh collection epoch (O(1) amortized).
+  void BeginEpoch();
+  /// Records a repair candidate, keeping the earliest position per segment.
+  void Offer(const PendingRepair& cand);
+  /// Sorts `scratch_edges_` by source and returns it as grouping input.
+  std::span<const Edge> GroupBySource(std::span<const Edge> edges);
+  /// Samples `marks` distinct indices in [0, w) into picked_list_
+  /// (Floyd's algorithm; epoch-stamped membership, zero allocation).
+  void SampleDistinct(std::size_t w, uint64_t marks, Rng* rng);
 
   std::size_t walks_per_node_ = 0;
   double epsilon_ = 0.2;
   UpdatePolicy policy_ = UpdatePolicy::kRerouteFromVisit;
   Rng rng_{0};
 
-  std::vector<Segment> segments_;
-  /// Inverted index: non-terminal visits at each node.
-  std::vector<std::vector<VisitRef>> step_visits_;
-  /// Segments terminally dangling at each node.
-  std::vector<std::vector<VisitRef>> dangling_;
+  /// Packed (node, slot) path entries; row = segment.
+  slab::SlabPool paths_;
+  /// Per-segment EndReason (uint8_t to keep the arena words pure).
+  std::vector<uint8_t> seg_end_;
+  /// Inverted index of non-terminal visits; row = node, words = (seg, pos).
+  slab::SlabPool steps_;
+  /// Segments terminally dangling at each node; row = node.
+  slab::SlabPool dangling_;
   std::vector<int64_t> visit_count_;
   int64_t total_visits_ = 0;
+
+  // Reusable batched-update scratch: zero steady-state allocation.
+  std::vector<PendingRepair> pending_;
+  /// Per segment: (collection epoch << 32) | slot into pending_.
+  std::vector<uint64_t> pending_meta_;
+  uint32_t epoch_ = 0;
+  std::vector<Edge> scratch_edges_;
+  std::vector<RemovedTarget> removed_scratch_;
+  std::vector<PendingWalk> walk_queue_;
+  /// Floyd-sampling scratch: pick_epoch_[i] == pick_epoch_counter_ marks
+  /// index i as picked this round; picked_list_ is the insertion-ordered
+  /// result.
+  std::vector<uint32_t> pick_epoch_;
+  std::vector<std::size_t> picked_list_;
+  uint32_t pick_epoch_counter_ = 0;
 };
 
 }  // namespace fastppr

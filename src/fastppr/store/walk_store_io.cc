@@ -37,11 +37,11 @@ Status SaveWalkStore(const WalkStore& store, const std::string& path) {
 
   for (NodeId u = 0; u < store.num_nodes(); ++u) {
     for (std::size_t k = 0; k < store.walks_per_node(); ++k) {
-      const WalkStore::Segment& seg = store.GetSegment(u, k);
-      WritePod(out, static_cast<uint8_t>(seg.end));
-      WritePod(out, static_cast<uint64_t>(seg.path.size()));
-      for (const WalkStore::PathEntry& entry : seg.path) {
-        WritePod(out, entry.node);
+      const WalkStore::SegmentView seg = store.GetSegment(u, k);
+      WritePod(out, static_cast<uint8_t>(seg.end()));
+      WritePod(out, static_cast<uint64_t>(seg.size()));
+      for (std::size_t p = 0; p < seg.size(); ++p) {
+        WritePod(out, seg.node(p));
       }
     }
   }

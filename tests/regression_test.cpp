@@ -93,11 +93,11 @@ TEST(MultigraphTest, ParallelEdgeDoublesHopProbability) {
   std::size_t to1 = 0, total = 0;
   for (NodeId u = 0; u < 4; ++u) {
     for (std::size_t k = 0; k < 4000; ++k) {
-      const auto& seg = store.GetSegment(u, k);
-      for (std::size_t p = 0; p + 1 < seg.path.size(); ++p) {
-        if (seg.path[p].node != 0) continue;
+      const auto seg = store.GetSegment(u, k);
+      for (std::size_t p = 0; p + 1 < seg.size(); ++p) {
+        if (seg.node(p) != 0) continue;
         ++total;
-        if (seg.path[p + 1].node == 1) ++to1;
+        if (seg.node(p + 1) == 1) ++to1;
       }
     }
   }

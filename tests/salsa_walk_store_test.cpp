@@ -41,7 +41,7 @@ TEST(SalsaWalkStoreTest, MeanSegmentLengthIsTwoOverEps) {
   std::size_t segs = 0;
   for (NodeId u = 0; u < 12; ++u) {
     for (std::size_t k = 0; k < 100; ++k) {
-      total_len += static_cast<double>(store.GetSegment(u, k).path.size());
+      total_len += static_cast<double>(store.GetSegment(u, k).size());
       ++segs;
     }
   }

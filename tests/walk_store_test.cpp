@@ -48,7 +48,7 @@ TEST(WalkStoreTest, SegmentLengthIsGeometric) {
   double total_len = 0.0;
   for (NodeId u = 0; u < 50; ++u) {
     for (std::size_t k = 0; k < 40; ++k) {
-      total_len += static_cast<double>(store.GetSegment(u, k).path.size());
+      total_len += static_cast<double>(store.GetSegment(u, k).size());
     }
   }
   const double mean = total_len / (50.0 * 40.0);
@@ -63,11 +63,11 @@ TEST(WalkStoreTest, SegmentsStartAtSourceAndFollowEdges) {
   store.Init(g, 3, 0.2, 11);
   for (NodeId u = 0; u < 30; ++u) {
     for (std::size_t k = 0; k < 3; ++k) {
-      const auto& seg = store.GetSegment(u, k);
-      ASSERT_FALSE(seg.path.empty());
-      EXPECT_EQ(seg.path[0].node, u);
-      for (std::size_t p = 0; p + 1 < seg.path.size(); ++p) {
-        EXPECT_TRUE(g.HasEdge(seg.path[p].node, seg.path[p + 1].node));
+      const auto seg = store.GetSegment(u, k);
+      ASSERT_FALSE(seg.empty());
+      EXPECT_EQ(seg.node(0), u);
+      for (std::size_t p = 0; p + 1 < seg.size(); ++p) {
+        EXPECT_TRUE(g.HasEdge(seg.node(p), seg.node(p + 1)));
       }
     }
   }
