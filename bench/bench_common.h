@@ -4,15 +4,89 @@
 // Shared plumbing for the figure/table reproduction harnesses.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "fastppr/graph/digraph.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/store/walk_store.h"
 #include "fastppr/util/csv_writer.h"
+#include "fastppr/util/random.h"
+#include "fastppr/util/timer.h"
 
 namespace fastppr::bench {
+
+/// Best of two runs: the box is shared/noisy and compared layouts run
+/// back to back, so a single pass is biased by frequency drift.
+template <typename F>
+double BestOfTwo(const F& run) {
+  const double a = run();
+  const double b = run();
+  return a > b ? a : b;
+}
+
+/// The ingestion-throughput loop shared by the update-path benches:
+/// streams `edges` (as insertions) through a fresh walk store over an
+/// initially empty n-node graph in `batch`-sized windows (batch <= 1 is
+/// the classic one-event-at-a-time path) and returns events/sec. Drives
+/// the store directly so before/after layout comparisons isolate storage
+/// effects. `Store` is WalkStore, SalsaWalkStore, or a frozen
+/// bench/legacy layout (which predates the batched API: batch > 1
+/// aborts). When `stats_out` is non-null and the store reports
+/// WalkUpdateStats, the accumulated stats of the whole stream are
+/// returned through it.
+template <typename Store>
+double MeasureIngestThroughput(std::size_t n, std::size_t R, double eps,
+                               const std::vector<Edge>& edges,
+                               std::size_t batch, uint64_t store_seed,
+                               uint64_t rng_seed,
+                               WalkUpdateStats* stats_out = nullptr) {
+  DiGraph g(n);
+  Store store;
+  store.Init(g, R, eps, store_seed);
+  Rng rng(rng_seed);
+  WalkUpdateStats stats;
+  constexpr bool kHasStats = std::is_same_v<
+      decltype(std::declval<Store&>().OnEdgeInserted(
+          std::declval<const DiGraph&>(), NodeId{0}, NodeId{0},
+          static_cast<Rng*>(nullptr))),
+      WalkUpdateStats>;
+  WallTimer timer;
+  if (batch <= 1) {
+    for (const Edge& e : edges) {
+      if (!g.AddEdge(e.src, e.dst).ok()) std::abort();
+      if constexpr (kHasStats) {
+        stats.Accumulate(store.OnEdgeInserted(g, e.src, e.dst, &rng));
+      } else {
+        store.OnEdgeInserted(g, e.src, e.dst, &rng);
+      }
+    }
+  } else if constexpr (requires {
+                         store.OnEdgesInserted(
+                             g, std::span<const Edge>{}, &rng);
+                       }) {
+    for (std::size_t lo = 0; lo < edges.size(); lo += batch) {
+      const std::size_t hi = std::min(edges.size(), lo + batch);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (!g.AddEdge(edges[i].src, edges[i].dst).ok()) std::abort();
+      }
+      stats.Accumulate(store.OnEdgesInserted(
+          g, std::span<const Edge>(edges.data() + lo, hi - lo), &rng));
+    }
+  } else {
+    std::abort();  // frozen legacy layouts predate the batched API
+  }
+  const double events_per_sec =
+      static_cast<double>(edges.size()) / timer.ElapsedSeconds();
+  if (stats_out != nullptr) *stats_out = stats;
+  return events_per_sec;
+}
 
 /// Directory the CSV series are written to. Created on demand; harnesses
 /// keep running (stdout is the primary artifact) if it cannot be created.

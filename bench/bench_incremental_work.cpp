@@ -27,42 +27,13 @@ using namespace fastppr::bench;
 
 namespace {
 
-/// Streams `edges` through a walk store in `batch`-sized ingestion
-/// windows (batch = 1 is the classic one-event-at-a-time path) and
-/// returns events/sec. Drives the store directly so the before/after
-/// comparison isolates the storage layout.
+/// The shared ingestion loop (bench_common.h) with this bench's seeds.
 template <typename Store>
 double MeasureIngest(std::size_t n, std::size_t R, double eps,
                      const std::vector<Edge>& edges, std::size_t batch) {
-  DiGraph g(n);
-  Store store;
-  store.Init(g, R, eps, 33);
-  Rng rng(34);
-  WallTimer timer;
-  if (batch <= 1) {
-    for (const Edge& e : edges) {
-      if (!g.AddEdge(e.src, e.dst).ok()) std::abort();
-      store.OnEdgeInserted(g, e.src, e.dst, &rng);
-    }
-  } else {
-    // The frozen legacy layout predates the batched API.
-    if constexpr (requires {
-                    store.OnEdgesInserted(g, std::span<const Edge>{},
-                                          &rng);
-                  }) {
-      for (std::size_t lo = 0; lo < edges.size(); lo += batch) {
-        const std::size_t hi = std::min(edges.size(), lo + batch);
-        for (std::size_t i = lo; i < hi; ++i) {
-          if (!g.AddEdge(edges[i].src, edges[i].dst).ok()) std::abort();
-        }
-        store.OnEdgesInserted(
-            g, std::span<const Edge>(edges.data() + lo, hi - lo), &rng);
-      }
-    } else {
-      std::abort();
-    }
-  }
-  return static_cast<double>(edges.size()) / timer.ElapsedSeconds();
+  return MeasureIngestThroughput<Store>(n, R, eps, edges, batch,
+                                        /*store_seed=*/33,
+                                        /*rng_seed=*/34);
 }
 
 }  // namespace
@@ -223,16 +194,13 @@ int main(int argc, char** argv) {
 
   // Event throughput, before/after the slab refactor: the same power-law
   // stream through the frozen pre-slab layout (bench/legacy) and the slab
-  // store, sequential and in batched ingestion windows.
-  // Best of two runs per layout: the box is shared/noisy and the layouts
-  // run back to back, so a single pass is biased by frequency drift.
-  auto best2 = [](double a, double b) { return a > b ? a : b; };
-  const double legacy_seq =
-      best2(MeasureIngest<legacy::WalkStore>(n, R, eps, edges, 1),
-            MeasureIngest<legacy::WalkStore>(n, R, eps, edges, 1));
-  const double slab_seq =
-      best2(MeasureIngest<WalkStore>(n, R, eps, edges, 1),
-            MeasureIngest<WalkStore>(n, R, eps, edges, 1));
+  // store, sequential and in batched ingestion windows (best of two runs
+  // per layout; see BestOfTwo).
+  const double legacy_seq = BestOfTwo([&] {
+    return MeasureIngest<legacy::WalkStore>(n, R, eps, edges, 1);
+  });
+  const double slab_seq = BestOfTwo(
+      [&] { return MeasureIngest<WalkStore>(n, R, eps, edges, 1); });
   std::printf("\nevent throughput (same stream, store driven directly; "
               "batched windows repair each\nsegment once per window — see "
               "DESIGN.md — so throughput scales with the window):\n");
@@ -249,9 +217,9 @@ int main(int argc, char** argv) {
   report.Add("slab_seq_events_per_sec", slab_seq);
   report.Add("seq_speedup_vs_legacy", slab_seq / legacy_seq);
   for (std::size_t batch : {1024ul, 4096ul, 16384ul}) {
-    const double slab_batched =
-        best2(MeasureIngest<WalkStore>(n, R, eps, edges, batch),
-              MeasureIngest<WalkStore>(n, R, eps, edges, batch));
+    const double slab_batched = BestOfTwo([&] {
+      return MeasureIngest<WalkStore>(n, R, eps, edges, batch);
+    });
     layout.AddRow({"slab arenas, batch=" + std::to_string(batch),
                    TablePrinter::Fmt(slab_batched, 0),
                    TablePrinter::Fmt(slab_batched / legacy_seq, 2) + "x"});

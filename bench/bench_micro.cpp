@@ -208,57 +208,26 @@ void WriteThroughputJson(const std::string& json_path) {
   const auto edges = PowerLawStream(n, 21);
   const double m = static_cast<double>(edges.size());
 
-  // Pre-slab layout, sequential (the PR-1 "before" side).
-  auto run_legacy = [&]() {
-    DiGraph g(n);
-    legacy::WalkStore store;
-    store.Init(g, R, eps, 33);
-    Rng rng(34);
-    WallTimer timer;
-    for (const Edge& e : edges) {
-      if (!g.AddEdge(e.src, e.dst).ok()) std::abort();
-      store.OnEdgeInserted(g, e.src, e.dst, &rng);
-    }
-    return m / timer.ElapsedSeconds();
-  };
-
-  // Slab layout; batch = 1 is the classic one-event-at-a-time path.
+  // The shared ingestion loop (bench_common.h): pre-slab legacy layout
+  // vs slab store, sequential and batched; best of two runs apiece.
   double steps_per_event = 0.0;
   double batched_steps_per_event = 0.0;
   auto run_slab = [&](std::size_t batch, double* steps_out) {
-    DiGraph g(n);
-    WalkStore store;
-    store.Init(g, R, eps, 33);
-    Rng rng(34);
     WalkUpdateStats stats;
-    WallTimer timer;
-    if (batch <= 1) {
-      for (const Edge& e : edges) {
-        if (!g.AddEdge(e.src, e.dst).ok()) std::abort();
-        stats.Accumulate(store.OnEdgeInserted(g, e.src, e.dst, &rng));
-      }
-    } else {
-      for (std::size_t lo = 0; lo < edges.size(); lo += batch) {
-        const std::size_t hi = std::min(edges.size(), lo + batch);
-        for (std::size_t i = lo; i < hi; ++i) {
-          if (!g.AddEdge(edges[i].src, edges[i].dst).ok()) std::abort();
-        }
-        stats.Accumulate(store.OnEdgesInserted(
-            g, std::span<const Edge>(edges.data() + lo, hi - lo), &rng));
-      }
-    }
+    const double events_per_sec = bench::MeasureIngestThroughput<WalkStore>(
+        n, R, eps, edges, batch, /*store_seed=*/33, /*rng_seed=*/34,
+        &stats);
     *steps_out = static_cast<double>(stats.walk_steps) / m;
-    return m / timer.ElapsedSeconds();
+    return events_per_sec;
   };
-
-  // Best of two runs apiece (noisy-box drift resistance).
-  auto best2 = [](double a, double b) { return a > b ? a : b; };
-  const double legacy_eps_sec = best2(run_legacy(), run_legacy());
-  const double slab_eps_sec = best2(run_slab(1, &steps_per_event),
-                                    run_slab(1, &steps_per_event));
-  const double batched_eps_sec =
-      best2(run_slab(kBatch, &batched_steps_per_event),
-            run_slab(kBatch, &batched_steps_per_event));
+  const double legacy_eps_sec = bench::BestOfTwo([&] {
+    return bench::MeasureIngestThroughput<legacy::WalkStore>(
+        n, R, eps, edges, 1, /*store_seed=*/33, /*rng_seed=*/34);
+  });
+  const double slab_eps_sec =
+      bench::BestOfTwo([&] { return run_slab(1, &steps_per_event); });
+  const double batched_eps_sec = bench::BestOfTwo(
+      [&] { return run_slab(kBatch, &batched_steps_per_event); });
 
   std::printf("power-law ingestion (n=%zu, m=%.0f, R=%zu, eps=%.2f):\n"
               "  legacy sequential : %12.0f events/sec\n"

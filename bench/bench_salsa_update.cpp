@@ -20,42 +20,16 @@ using namespace fastppr::bench;
 
 namespace {
 
-/// Streams `edges` through a SALSA walk store in `batch`-sized windows
-/// and returns events/sec (store driven directly; see
-/// bench_incremental_work for the PageRank twin).
+/// The shared ingestion loop (bench_common.h) with this bench's seeds
+/// (store driven directly; see bench_incremental_work for the PageRank
+/// twin).
 template <typename Store>
 double MeasureSalsaIngest(std::size_t n, std::size_t R, double eps,
                           const std::vector<Edge>& edges,
                           std::size_t batch) {
-  DiGraph g(n);
-  Store store;
-  store.Init(g, R, eps, 55);
-  Rng rng(56);
-  WallTimer timer;
-  if (batch <= 1) {
-    for (const Edge& e : edges) {
-      if (!g.AddEdge(e.src, e.dst).ok()) std::abort();
-      store.OnEdgeInserted(g, e.src, e.dst, &rng);
-    }
-  } else {
-    // The frozen legacy layout predates the batched API.
-    if constexpr (requires {
-                    store.OnEdgesInserted(g, std::span<const Edge>{},
-                                          &rng);
-                  }) {
-      for (std::size_t lo = 0; lo < edges.size(); lo += batch) {
-        const std::size_t hi = std::min(edges.size(), lo + batch);
-        for (std::size_t i = lo; i < hi; ++i) {
-          if (!g.AddEdge(edges[i].src, edges[i].dst).ok()) std::abort();
-        }
-        store.OnEdgesInserted(
-            g, std::span<const Edge>(edges.data() + lo, hi - lo), &rng);
-      }
-    } else {
-      std::abort();
-    }
-  }
-  return static_cast<double>(edges.size()) / timer.ElapsedSeconds();
+  return MeasureIngestThroughput<Store>(n, R, eps, edges, batch,
+                                        /*store_seed=*/55,
+                                        /*rng_seed=*/56);
 }
 
 }  // namespace
@@ -128,15 +102,14 @@ int main(int argc, char** argv) {
   }
 
   // Event throughput, before/after the slab refactor (same stream, SALSA
-  // store driven directly; legacy = the frozen pre-slab seed layout).
-  // Best of two runs per layout (frequency-drift resistance).
-  auto best2 = [](double a, double b) { return a > b ? a : b; };
-  const double legacy_seq = best2(
-      MeasureSalsaIngest<legacy::SalsaWalkStore>(n, R, eps, edges, 1),
-      MeasureSalsaIngest<legacy::SalsaWalkStore>(n, R, eps, edges, 1));
-  const double slab_seq =
-      best2(MeasureSalsaIngest<SalsaWalkStore>(n, R, eps, edges, 1),
-            MeasureSalsaIngest<SalsaWalkStore>(n, R, eps, edges, 1));
+  // store driven directly; legacy = the frozen pre-slab seed layout;
+  // best of two runs per layout).
+  const double legacy_seq = BestOfTwo([&] {
+    return MeasureSalsaIngest<legacy::SalsaWalkStore>(n, R, eps, edges, 1);
+  });
+  const double slab_seq = BestOfTwo([&] {
+    return MeasureSalsaIngest<SalsaWalkStore>(n, R, eps, edges, 1);
+  });
   std::printf("\nSALSA event throughput (store driven directly; batched "
               "windows repair each\nsegment once per window, so throughput "
               "scales with the window):\n");
@@ -153,9 +126,9 @@ int main(int argc, char** argv) {
   report.Add("slab_seq_events_per_sec", slab_seq);
   report.Add("seq_speedup_vs_legacy", slab_seq / legacy_seq);
   for (std::size_t batch : {1024ul, 4096ul, 16384ul}) {
-    const double slab_batched = best2(
-        MeasureSalsaIngest<SalsaWalkStore>(n, R, eps, edges, batch),
-        MeasureSalsaIngest<SalsaWalkStore>(n, R, eps, edges, batch));
+    const double slab_batched = BestOfTwo([&] {
+      return MeasureSalsaIngest<SalsaWalkStore>(n, R, eps, edges, batch);
+    });
     layout.AddRow({"slab arenas, batch=" + std::to_string(batch),
                    TablePrinter::Fmt(slab_batched, 0),
                    TablePrinter::Fmt(slab_batched / legacy_seq, 2) + "x"});

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "fastppr/core/ranking.h"
 #include "fastppr/graph/graph_io.h"
 #include "fastppr/store/walk_store_io.h"
 #include "fastppr/util/check.h"
@@ -15,7 +16,8 @@ IncrementalPageRank::IncrementalPageRank(std::size_t num_nodes,
                                          const MonteCarloOptions& opts)
     : options_(opts), social_(num_nodes), rng_(opts.seed ^ 0x1CEB00DAULL) {
   walks_.set_update_policy(opts.update_policy);
-  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed);
+  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed,
+              opts.shard_index, opts.shard_count);
 }
 
 IncrementalPageRank::IncrementalPageRank(const DiGraph& initial,
@@ -29,7 +31,8 @@ IncrementalPageRank::IncrementalPageRank(const DiGraph& initial,
     }
   }
   walks_.set_update_policy(opts.update_policy);
-  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed);
+  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed,
+              opts.shard_index, opts.shard_count);
 }
 
 Status IncrementalPageRank::AddEdge(NodeId src, NodeId dst) {
@@ -148,6 +151,9 @@ Status IncrementalPageRank::LoadSnapshot(
   auto attempt = [&](std::size_t n,
                      std::unique_ptr<IncrementalPageRank>* out) {
     MonteCarloOptions adjusted = opts;
+    // Snapshots always describe a full (unsharded) store.
+    adjusted.shard_index = 0;
+    adjusted.shard_count = 1;
     auto candidate =
         std::make_unique<IncrementalPageRank>(0, adjusted);
     DiGraph* g = candidate->social_.mutable_graph();
@@ -181,19 +187,19 @@ Status IncrementalPageRank::LoadSnapshot(
 }
 
 std::vector<NodeId> IncrementalPageRank::TopK(std::size_t k) const {
-  std::vector<NodeId> order(num_nodes());
-  for (NodeId v = 0; v < order.size(); ++v) order[v] = v;
-  const std::size_t take = std::min(k, order.size());
-  const WalkStore& ws = walks_;
-  std::partial_sort(order.begin(), order.begin() + take, order.end(),
-                    [&ws](NodeId a, NodeId b) {
-                      const int64_t xa = ws.VisitCount(a);
-                      const int64_t xb = ws.VisitCount(b);
-                      if (xa != xb) return xa > xb;
-                      return a < b;
-                    });
-  order.resize(take);
-  return order;
+  std::vector<int64_t> counts(num_nodes());
+  for (NodeId v = 0; v < counts.size(); ++v) {
+    counts[v] = walks_.VisitCount(v);
+  }
+  return TopKByCount(counts, k);
+}
+
+void IncrementalPageRank::AccumulateRankingCounts(
+    std::vector<int64_t>* acc) const {
+  FASTPPR_CHECK(acc->size() == num_nodes());
+  for (NodeId v = 0; v < acc->size(); ++v) {
+    (*acc)[v] += walks_.VisitCount(v);
+  }
 }
 
 }  // namespace fastppr

@@ -28,6 +28,12 @@ struct MonteCarloOptions {
   /// Segment repair strategy (Section 2.2 offers both; see UpdatePolicy).
   UpdatePolicy update_policy = UpdatePolicy::kRerouteFromVisit;
   uint64_t seed = 42;
+  /// Sharded deployment (engine/sharded_engine.h): the engine stores walk
+  /// segments only for source nodes in shard `shard_index` of
+  /// `shard_count` (partitioned by ShardOfNode). The default 0-of-1 is
+  /// the flat, unsharded engine owning every node.
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
 };
 
 /// The paper's incremental PageRank system (Section 2): a SocialStore
@@ -82,6 +88,15 @@ class IncrementalPageRank {
 
   /// Nodes with the k highest PageRank estimates, descending.
   std::vector<NodeId> TopK(std::size_t k) const;
+
+  /// Per-node count backing global ranking (X_v). In a sharded
+  /// deployment each shard engine reports the visits of its owned walks
+  /// only; the sharded engine merges across shards.
+  int64_t RankingCount(NodeId v) const { return walks_.VisitCount(v); }
+  int64_t RankingTotal() const { return walks_.TotalVisits(); }
+  /// Shard-aware merge hook: adds this engine's per-node visit counts
+  /// into `acc` (must be sized num_nodes()).
+  void AccumulateRankingCounts(std::vector<int64_t>* acc) const;
 
   /// Stats of the most recent AddEdge/RemoveEdge.
   const WalkUpdateStats& last_event_stats() const { return last_stats_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fastppr/core/ranking.h"
 #include "fastppr/util/check.h"
 
 namespace fastppr {
@@ -9,7 +10,8 @@ namespace fastppr {
 IncrementalSalsa::IncrementalSalsa(std::size_t num_nodes,
                                    const MonteCarloOptions& opts)
     : options_(opts), social_(num_nodes), rng_(opts.seed ^ 0x5A15AULL) {
-  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed);
+  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed,
+              opts.shard_index, opts.shard_count);
 }
 
 IncrementalSalsa::IncrementalSalsa(const DiGraph& initial,
@@ -22,7 +24,8 @@ IncrementalSalsa::IncrementalSalsa(const DiGraph& initial,
       FASTPPR_CHECK(g->AddEdge(u, v).ok());
     }
   }
-  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed);
+  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed,
+              opts.shard_index, opts.shard_count);
 }
 
 Status IncrementalSalsa::AddEdge(NodeId src, NodeId dst) {
@@ -93,19 +96,19 @@ Status IncrementalSalsa::ApplyEvents(std::span<const EdgeEvent> events) {
 }
 
 std::vector<NodeId> IncrementalSalsa::TopKAuthorities(std::size_t k) const {
-  std::vector<NodeId> order(num_nodes());
-  for (NodeId v = 0; v < order.size(); ++v) order[v] = v;
-  const std::size_t take = std::min(k, order.size());
-  const SalsaWalkStore& ws = walks_;
-  std::partial_sort(order.begin(), order.begin() + take, order.end(),
-                    [&ws](NodeId a, NodeId b) {
-                      const int64_t xa = ws.AuthorityVisits(a);
-                      const int64_t xb = ws.AuthorityVisits(b);
-                      if (xa != xb) return xa > xb;
-                      return a < b;
-                    });
-  order.resize(take);
-  return order;
+  std::vector<int64_t> counts(num_nodes());
+  for (NodeId v = 0; v < counts.size(); ++v) {
+    counts[v] = walks_.AuthorityVisits(v);
+  }
+  return TopKByCount(counts, k);
+}
+
+void IncrementalSalsa::AccumulateRankingCounts(
+    std::vector<int64_t>* acc) const {
+  FASTPPR_CHECK(acc->size() == num_nodes());
+  for (NodeId v = 0; v < acc->size(); ++v) {
+    (*acc)[v] += walks_.AuthorityVisits(v);
+  }
 }
 
 }  // namespace fastppr

@@ -48,6 +48,15 @@ class IncrementalSalsa {
   /// Nodes with the k highest authority estimates, descending.
   std::vector<NodeId> TopKAuthorities(std::size_t k) const;
 
+  /// Per-node count backing global ranking (authority-side visits; a
+  /// recommender ranks by authority). Sharded deployments merge these
+  /// across shards.
+  int64_t RankingCount(NodeId v) const { return walks_.AuthorityVisits(v); }
+  int64_t RankingTotal() const { return walks_.TotalAuthorityVisits(); }
+  /// Shard-aware merge hook: adds this engine's per-node authority visit
+  /// counts into `acc` (must be sized num_nodes()).
+  void AccumulateRankingCounts(std::vector<int64_t>* acc) const;
+
   const WalkUpdateStats& last_event_stats() const { return last_stats_; }
   const WalkUpdateStats& lifetime_stats() const { return lifetime_stats_; }
   uint64_t arrivals() const { return arrivals_; }

@@ -1,98 +1,9 @@
 #include "fastppr/core/ppr_walker.h"
 
 #include <algorithm>
-#include <cmath>
 #include <unordered_set>
 
-#include "fastppr/core/theory.h"
-#include "fastppr/util/check.h"
-
 namespace fastppr {
-
-PersonalizedPageRankWalker::PersonalizedPageRankWalker(
-    const WalkStore* store, SocialStore* social, WalkerOptions options)
-    : store_(store), social_(social), options_(options) {
-  FASTPPR_CHECK(store_ != nullptr && social_ != nullptr);
-}
-
-Status PersonalizedPageRankWalker::Walk(NodeId seed, uint64_t length,
-                                        uint64_t rng_seed,
-                                        PersonalizedWalkResult* out) const {
-  if (seed >= social_->num_nodes()) {
-    return Status::InvalidArgument("seed node out of range");
-  }
-  *out = PersonalizedWalkResult{};
-  Rng rng(rng_seed);
-  const std::size_t R = store_->walks_per_node();
-  const double eps = store_->epsilon();
-  const DiGraph& g = social_->graph();
-
-  // Per-node query state: how many stored segments we have consumed.
-  // Presence in the map == the node has been fetched.
-  std::unordered_map<NodeId, uint32_t> used;
-
-  auto visit = [out](NodeId v) {
-    ++out->visit_counts[v];
-    ++out->length;
-  };
-  auto charge_fetch = [this, out]() -> bool {
-    ++out->fetches;
-    return options_.max_fetches == 0 || out->fetches <= options_.max_fetches;
-  };
-
-  NodeId cur = seed;
-  visit(seed);
-  while (out->length < length) {
-    auto it = used.find(cur);
-    if (it == used.end()) {
-      // First arrival: fetch the node (its segments + adjacency).
-      if (!charge_fetch()) {
-        return Status::ResourceExhausted("fetch budget exhausted");
-      }
-      it = used.emplace(cur, 0).first;
-    }
-    if (it->second < R) {
-      // Consume one stored segment: append its tail, then the session is
-      // over and the walk resets to the seed.
-      const WalkStore::SegmentView seg = store_->GetSegment(cur, it->second);
-      ++it->second;
-      ++out->segments_used;
-      for (std::size_t p = 1; p < seg.size() && out->length < length; ++p) {
-        visit(seg.node(p));
-      }
-      if (out->length < length) {
-        visit(seed);
-        ++out->resets;
-        cur = seed;
-      }
-      continue;
-    }
-    // Segments exhausted at cur: manual simulation.
-    if (rng.Bernoulli(eps)) {
-      visit(seed);
-      ++out->resets;
-      cur = seed;
-      continue;
-    }
-    if (options_.fetch_mode == FetchMode::kSegmentsAndOneEdge) {
-      // Each manual step costs one fetch returning one sampled edge.
-      if (!charge_fetch()) {
-        return Status::ResourceExhausted("fetch budget exhausted");
-      }
-    }
-    if (g.OutDegree(cur) == 0) {
-      // Dangling: the session ends exactly like a reset.
-      visit(seed);
-      ++out->resets;
-      cur = seed;
-      continue;
-    }
-    cur = g.RandomOutNeighbor(cur, &rng);
-    ++out->manual_steps;
-    visit(cur);
-  }
-  return Status::OK();
-}
 
 std::vector<ScoredNode> RankVisits(
     const std::unordered_map<NodeId, int64_t>& counts, std::size_t k,
@@ -118,40 +29,6 @@ std::vector<ScoredNode> RankVisits(
                     });
   ranked.resize(take);
   return ranked;
-}
-
-Status PersonalizedPageRankWalker::TopKWithTheoryLength(
-    NodeId seed, std::size_t k, double alpha, double c,
-    bool exclude_friends, uint64_t rng_seed,
-    std::vector<ScoredNode>* ranked,
-    PersonalizedWalkResult* walk_stats) const {
-  if (!(alpha > 0.0 && alpha < 1.0)) {
-    return Status::InvalidArgument("alpha must be in (0, 1)");
-  }
-  if (k == 0) return Status::InvalidArgument("k must be positive");
-  const double s =
-      WalkLengthForTopK(k, social_->num_nodes(), alpha, c);
-  const uint64_t length =
-      static_cast<uint64_t>(std::llround(std::max(1.0, s)));
-  return TopK(seed, k, length, exclude_friends, rng_seed, ranked,
-              walk_stats);
-}
-
-Status PersonalizedPageRankWalker::TopK(
-    NodeId seed, std::size_t k, uint64_t length, bool exclude_friends,
-    uint64_t rng_seed, std::vector<ScoredNode>* ranked,
-    PersonalizedWalkResult* walk_stats) const {
-  PersonalizedWalkResult walk;
-  FASTPPR_RETURN_IF_ERROR(Walk(seed, length, rng_seed, &walk));
-  std::vector<NodeId> exclude{seed};
-  if (exclude_friends) {
-    for (NodeId v : social_->graph().OutNeighbors(seed)) {
-      exclude.push_back(v);
-    }
-  }
-  *ranked = RankVisits(walk.visit_counts, k, walk.length, exclude);
-  if (walk_stats != nullptr) *walk_stats = std::move(walk);
-  return Status::OK();
 }
 
 }  // namespace fastppr

@@ -1,13 +1,17 @@
 #ifndef FASTPPR_CORE_PPR_WALKER_H_
 #define FASTPPR_CORE_PPR_WALKER_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "fastppr/core/theory.h"
 #include "fastppr/graph/types.h"
 #include "fastppr/store/social_store.h"
 #include "fastppr/store/walk_store.h"
+#include "fastppr/util/check.h"
 #include "fastppr/util/random.h"
 #include "fastppr/util/status.h"
 
@@ -49,23 +53,115 @@ struct ScoredNode {
   double score = 0.0;  ///< visit frequency within the walk
 };
 
+/// Ranks visit counts into ScoredNodes (shared by both walkers).
+std::vector<ScoredNode> RankVisits(
+    const std::unordered_map<NodeId, int64_t>& counts, std::size_t k,
+    uint64_t walk_length, const std::vector<NodeId>& exclude);
+
 /// Algorithm 1 of the paper: a personalized PageRank walk from a seed that
 /// opportunistically consumes the stored walk segments (one use each) and
 /// falls back to manual steps on the fetched adjacency afterwards.
+///
+/// `StoreView` abstracts where the segments live: a flat WalkStore, or a
+/// sharded view that routes GetSegment(u, k) to the shard owning u
+/// (engine/sharded_engine.h). It must provide walks_per_node(), epsilon()
+/// and GetSegment(node, k) returning a SegmentView-like object.
 ///
 /// Distribution note: when an unused stored segment exists at the walk
 /// head, its tail is appended and the walk then resets to the seed — the
 /// stored segment already embodies the geometric reset draw, so no separate
 /// beta draw is made (this is distribution-identical to the paper's
 /// pseudocode and avoids biasing zero-length segments; see DESIGN.md).
-class PersonalizedPageRankWalker {
+template <typename StoreView>
+class BasicPersonalizedPageRankWalker {
  public:
-  PersonalizedPageRankWalker(const WalkStore* store, SocialStore* social,
-                             WalkerOptions options = WalkerOptions());
+  BasicPersonalizedPageRankWalker(const StoreView* store,
+                                  SocialStore* social,
+                                  WalkerOptions options = WalkerOptions())
+      : store_(store), social_(social), options_(options) {
+    FASTPPR_CHECK(store_ != nullptr && social_ != nullptr);
+  }
 
   /// Runs a stitched walk of (at least) `length` positions from `seed`.
   Status Walk(NodeId seed, uint64_t length, uint64_t rng_seed,
-              PersonalizedWalkResult* out) const;
+              PersonalizedWalkResult* out) const {
+    if (seed >= social_->num_nodes()) {
+      return Status::InvalidArgument("seed node out of range");
+    }
+    *out = PersonalizedWalkResult{};
+    Rng rng(rng_seed);
+    const std::size_t R = store_->walks_per_node();
+    const double eps = store_->epsilon();
+    const DiGraph& g = social_->graph();
+
+    // Per-node query state: how many stored segments we have consumed.
+    // Presence in the map == the node has been fetched.
+    std::unordered_map<NodeId, uint32_t> used;
+
+    auto visit = [out](NodeId v) {
+      ++out->visit_counts[v];
+      ++out->length;
+    };
+    auto charge_fetch = [this, out]() -> bool {
+      ++out->fetches;
+      return options_.max_fetches == 0 ||
+             out->fetches <= options_.max_fetches;
+    };
+
+    NodeId cur = seed;
+    visit(seed);
+    while (out->length < length) {
+      auto it = used.find(cur);
+      if (it == used.end()) {
+        // First arrival: fetch the node (its segments + adjacency).
+        if (!charge_fetch()) {
+          return Status::ResourceExhausted("fetch budget exhausted");
+        }
+        it = used.emplace(cur, 0).first;
+      }
+      if (it->second < R) {
+        // Consume one stored segment: append its tail, then the session
+        // is over and the walk resets to the seed.
+        const auto seg = store_->GetSegment(cur, it->second);
+        ++it->second;
+        ++out->segments_used;
+        for (std::size_t p = 1; p < seg.size() && out->length < length;
+             ++p) {
+          visit(seg.node(p));
+        }
+        if (out->length < length) {
+          visit(seed);
+          ++out->resets;
+          cur = seed;
+        }
+        continue;
+      }
+      // Segments exhausted at cur: manual simulation.
+      if (rng.Bernoulli(eps)) {
+        visit(seed);
+        ++out->resets;
+        cur = seed;
+        continue;
+      }
+      if (options_.fetch_mode == FetchMode::kSegmentsAndOneEdge) {
+        // Each manual step costs one fetch returning one sampled edge.
+        if (!charge_fetch()) {
+          return Status::ResourceExhausted("fetch budget exhausted");
+        }
+      }
+      if (g.OutDegree(cur) == 0) {
+        // Dangling: the session ends exactly like a reset.
+        visit(seed);
+        ++out->resets;
+        cur = seed;
+        continue;
+      }
+      cur = g.RandomOutNeighbor(cur, &rng);
+      ++out->manual_steps;
+      visit(cur);
+    }
+    return Status::OK();
+  }
 
   /// Returns the k most-visited nodes of a stitched walk of the given
   /// length, excluding the seed itself and (optionally) the seed's direct
@@ -74,7 +170,19 @@ class PersonalizedPageRankWalker {
   Status TopK(NodeId seed, std::size_t k, uint64_t length,
               bool exclude_friends, uint64_t rng_seed,
               std::vector<ScoredNode>* ranked,
-              PersonalizedWalkResult* walk_stats = nullptr) const;
+              PersonalizedWalkResult* walk_stats = nullptr) const {
+    PersonalizedWalkResult walk;
+    FASTPPR_RETURN_IF_ERROR(Walk(seed, length, rng_seed, &walk));
+    std::vector<NodeId> exclude{seed};
+    if (exclude_friends) {
+      for (NodeId v : social_->graph().OutNeighbors(seed)) {
+        exclude.push_back(v);
+      }
+    }
+    *ranked = RankVisits(walk.visit_counts, k, walk.length, exclude);
+    if (walk_stats != nullptr) *walk_stats = std::move(walk);
+    return Status::OK();
+  }
 
   /// TopK with the walk length chosen by equation (4) of the paper:
   /// s_k = (c/(1-alpha)) * k * (n/k)^{1-alpha}, the length at which each
@@ -85,18 +193,26 @@ class PersonalizedPageRankWalker {
                               uint64_t rng_seed,
                               std::vector<ScoredNode>* ranked,
                               PersonalizedWalkResult* walk_stats =
-                                  nullptr) const;
+                                  nullptr) const {
+    if (!(alpha > 0.0 && alpha < 1.0)) {
+      return Status::InvalidArgument("alpha must be in (0, 1)");
+    }
+    if (k == 0) return Status::InvalidArgument("k must be positive");
+    const double s = WalkLengthForTopK(k, social_->num_nodes(), alpha, c);
+    const uint64_t length =
+        static_cast<uint64_t>(std::llround(std::max(1.0, s)));
+    return TopK(seed, k, length, exclude_friends, rng_seed, ranked,
+                walk_stats);
+  }
 
  private:
-  const WalkStore* store_;
+  const StoreView* store_;
   SocialStore* social_;
   WalkerOptions options_;
 };
 
-/// Ranks visit counts into ScoredNodes (shared by both walkers).
-std::vector<ScoredNode> RankVisits(
-    const std::unordered_map<NodeId, int64_t>& counts, std::size_t k,
-    uint64_t walk_length, const std::vector<NodeId>& exclude);
+/// The flat (single-store) walker used throughout the reproduction.
+using PersonalizedPageRankWalker = BasicPersonalizedPageRankWalker<WalkStore>;
 
 }  // namespace fastppr
 

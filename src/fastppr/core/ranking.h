@@ -1,0 +1,36 @@
+#ifndef FASTPPR_CORE_RANKING_H_
+#define FASTPPR_CORE_RANKING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fastppr/graph/types.h"
+
+namespace fastppr {
+
+/// Nodes with the k highest counts, descending, ties broken by node id
+/// ascending. The single ranking used by the flat engines' TopK, the
+/// sharded engine's merged TopK and the query service's snapshot TopK —
+/// one comparator, so the S=1 bit-identity contract between them is
+/// structural.
+inline std::vector<NodeId> TopKByCount(std::span<const int64_t> counts,
+                                       std::size_t k) {
+  std::vector<NodeId> order(counts.size());
+  for (NodeId v = 0; v < order.size(); ++v) order[v] = v;
+  const std::size_t take = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&counts](NodeId a, NodeId b) {
+                      if (counts[a] != counts[b]) {
+                        return counts[a] > counts[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_CORE_RANKING_H_

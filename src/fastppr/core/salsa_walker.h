@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "fastppr/core/ppr_walker.h"
 #include "fastppr/graph/types.h"
 #include "fastppr/store/salsa_walk_store.h"
 #include "fastppr/store/social_store.h"
+#include "fastppr/util/check.h"
 #include "fastppr/util/random.h"
 #include "fastppr/util/status.h"
 
@@ -31,26 +33,147 @@ struct SalsaWalkResult {
 /// and backward steps, resets (to the seed, in hub role) only before
 /// forward steps, and stitches the stored SalsaWalkStore segments whose
 /// start direction matches the walk's current parity.
-class PersonalizedSalsaWalker {
+///
+/// `StoreView` abstracts where the segments live (flat SalsaWalkStore or
+/// a sharded view routing to the shard owning each node); it must provide
+/// walks_per_node(), epsilon() and GetSegment(node, k).
+template <typename StoreView>
+class BasicPersonalizedSalsaWalker {
  public:
-  PersonalizedSalsaWalker(const SalsaWalkStore* store, SocialStore* social,
-                          WalkerOptions options = WalkerOptions());
+  BasicPersonalizedSalsaWalker(const StoreView* store, SocialStore* social,
+                               WalkerOptions options = WalkerOptions())
+      : store_(store), social_(social), options_(options) {
+    FASTPPR_CHECK(store_ != nullptr && social_ != nullptr);
+  }
 
   Status Walk(NodeId seed, uint64_t length, uint64_t rng_seed,
-              SalsaWalkResult* out) const;
+              SalsaWalkResult* out) const {
+    if (seed >= social_->num_nodes()) {
+      return Status::InvalidArgument("seed node out of range");
+    }
+    *out = SalsaWalkResult{};
+    Rng rng(rng_seed);
+    const std::size_t R = store_->walks_per_node();
+    const double eps = store_->epsilon();
+    const DiGraph& g = social_->graph();
+
+    // Per-node consumed-segment counters, split by start direction.
+    // Presence in `fetched` == the node's segments + adjacency are local.
+    std::unordered_map<NodeId, uint32_t> used_fwd;
+    std::unordered_map<NodeId, uint32_t> used_bwd;
+    std::unordered_set<NodeId> fetched;
+
+    // Parity: true = hub side (a forward step is due), false = authority.
+    bool hub_side = true;
+    NodeId cur = seed;
+
+    auto visit = [out](NodeId v, bool hub) {
+      if (hub) {
+        ++out->hub_counts[v];
+      } else {
+        ++out->authority_counts[v];
+      }
+      ++out->length;
+    };
+    auto charge_fetch = [this, out]() -> bool {
+      ++out->fetches;
+      return options_.max_fetches == 0 ||
+             out->fetches <= options_.max_fetches;
+    };
+    auto reset_to_seed = [&]() {
+      visit(seed, /*hub=*/true);
+      ++out->resets;
+      cur = seed;
+      hub_side = true;
+    };
+
+    visit(seed, /*hub=*/true);
+    while (out->length < length) {
+      if (!fetched.count(cur)) {
+        if (!charge_fetch()) {
+          return Status::ResourceExhausted("fetch budget exhausted");
+        }
+        fetched.insert(cur);
+      }
+      auto& used = hub_side ? used_fwd : used_bwd;
+      uint32_t& consumed = used[cur];
+      if (consumed < R) {
+        // Stored segments with matching start direction: [0, R) are
+        // forward-start, [R, 2R) are backward-start.
+        const std::size_t slot = hub_side ? consumed : R + consumed;
+        const auto seg = store_->GetSegment(cur, slot);
+        ++consumed;
+        ++out->segments_used;
+        bool side = hub_side;
+        for (std::size_t p = 1; p < seg.size() && out->length < length;
+             ++p) {
+          side = !side;
+          visit(seg.node(p), side);
+        }
+        if (out->length < length) reset_to_seed();
+        continue;
+      }
+      // Manual simulation.
+      if (hub_side) {
+        if (rng.Bernoulli(eps)) {
+          reset_to_seed();
+          continue;
+        }
+        if (options_.fetch_mode == FetchMode::kSegmentsAndOneEdge &&
+            !charge_fetch()) {
+          return Status::ResourceExhausted("fetch budget exhausted");
+        }
+        if (g.OutDegree(cur) == 0) {
+          reset_to_seed();
+          continue;
+        }
+        cur = g.RandomOutNeighbor(cur, &rng);
+        hub_side = false;
+      } else {
+        if (options_.fetch_mode == FetchMode::kSegmentsAndOneEdge &&
+            !charge_fetch()) {
+          return Status::ResourceExhausted("fetch budget exhausted");
+        }
+        if (g.InDegree(cur) == 0) {
+          reset_to_seed();
+          continue;
+        }
+        cur = g.RandomInNeighbor(cur, &rng);
+        hub_side = true;
+      }
+      ++out->manual_steps;
+      visit(cur, hub_side);
+    }
+    return Status::OK();
+  }
 
   /// k highest-authority nodes of a stitched walk, excluding the seed and
   /// (optionally) its direct out-neighbours.
   Status TopKAuthorities(NodeId seed, std::size_t k, uint64_t length,
                          bool exclude_friends, uint64_t rng_seed,
                          std::vector<ScoredNode>* ranked,
-                         SalsaWalkResult* walk_stats = nullptr) const;
+                         SalsaWalkResult* walk_stats = nullptr) const {
+    SalsaWalkResult walk;
+    FASTPPR_RETURN_IF_ERROR(Walk(seed, length, rng_seed, &walk));
+    std::vector<NodeId> exclude{seed};
+    if (exclude_friends) {
+      for (NodeId v : social_->graph().OutNeighbors(seed)) {
+        exclude.push_back(v);
+      }
+    }
+    *ranked = RankVisits(walk.authority_counts, k, walk.length, exclude);
+    if (walk_stats != nullptr) *walk_stats = std::move(walk);
+    return Status::OK();
+  }
 
  private:
-  const SalsaWalkStore* store_;
+  const StoreView* store_;
   SocialStore* social_;
   WalkerOptions options_;
 };
+
+/// The flat (single-store) walker used throughout the reproduction.
+using PersonalizedSalsaWalker = BasicPersonalizedSalsaWalker<SalsaWalkStore>;
 
 }  // namespace fastppr
 

@@ -1,0 +1,293 @@
+#ifndef FASTPPR_ENGINE_QUERY_SERVICE_H_
+#define FASTPPR_ENGINE_QUERY_SERVICE_H_
+
+// Concurrent serving layer over a ShardedEngine (see DESIGN.md
+// section 4).
+//
+// Ranking reads (TopK / Score) are served from epoch-stamped visit-count
+// snapshots, double-buffered per shard behind a seqlock: the ingestion
+// thread publishes into the inactive buffer and flips a sequence counter
+// (release); readers validate the counter around their (relaxed, atomic)
+// loads and retry on a concurrent flip. Readers therefore never block
+// ingestion and take no lock; ingestion's hot path (the per-event
+// repairs) never synchronizes with readers at all — only the O(n)
+// publish at each window boundary touches the shared buffers.
+//
+// Consistency model: every per-shard read is torn-free and stamped with
+// the ingestion epoch (windows applied) it was published at. A merged
+// read that overlaps a publish may combine shards from two *adjacent*
+// epochs (reported via SnapshotInfo); counts within one shard are always
+// from a single epoch.
+//
+// PersonalizedTopK walks the stored segments themselves, which are not
+// snapshotted — it serializes with ingestion on the service's window
+// mutex (held once per window, never per event).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "fastppr/core/ppr_walker.h"
+#include "fastppr/core/ranking.h"
+#include "fastppr/core/salsa_walker.h"
+#include "fastppr/engine/sharded_engine.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr {
+
+/// Which ingestion epochs a merged snapshot read combined. min_epoch ==
+/// max_epoch unless the read overlapped a publish (then they differ by
+/// at most the number of windows published during the read).
+struct SnapshotInfo {
+  uint64_t min_epoch = 0;
+  uint64_t max_epoch = 0;
+};
+
+/// One shard's double-buffered, epoch-stamped count snapshot (seqlock).
+/// Single writer (the ingestion thread), any number of lock-free readers.
+class SnapshotBuffer {
+ public:
+  void Init(std::size_t num_nodes) {
+    for (Buf& b : bufs_) {
+      b.counts = std::vector<std::atomic<int64_t>>(num_nodes);
+    }
+  }
+
+  /// Writer only. Fills the inactive buffer and flips to it.
+  template <typename CountFn>
+  void Publish(std::size_t num_nodes, const CountFn& count, int64_t total,
+               uint64_t epoch) {
+    const uint64_t w = seq_.load(std::memory_order_relaxed);
+    // Orders the previous publish's seq store before this publish's data
+    // stores (fence-fence synchronization with the readers' acquire
+    // fence): a reader that observes any of the stores below is then
+    // guaranteed to observe seq >= w on its re-check and retry. Without
+    // this, a weakly-ordered CPU could let a reader validate a buffer
+    // two publishes stale.
+    std::atomic_thread_fence(std::memory_order_release);
+    Buf& b = bufs_[(w + 1) & 1];
+    for (std::size_t v = 0; v < num_nodes; ++v) {
+      b.counts[v].store(count(v), std::memory_order_relaxed);
+    }
+    b.total.store(total, std::memory_order_relaxed);
+    b.epoch.store(epoch, std::memory_order_relaxed);
+    seq_.store(w + 1, std::memory_order_release);
+  }
+
+  /// Adds this shard's counts into `acc` and its total into `total`;
+  /// returns the snapshot's epoch. Lock-free; a read is copied into
+  /// local scratch first and merged only after the sequence counter
+  /// validates, so a concurrent publish costs a retry, never a torn
+  /// merge.
+  uint64_t AccumulateInto(std::vector<int64_t>* acc,
+                          int64_t* total) const {
+    std::vector<int64_t> tmp(acc->size());
+    for (;;) {
+      const uint64_t s1 = seq_.load(std::memory_order_acquire);
+      const Buf& b = bufs_[s1 & 1];
+      for (std::size_t v = 0; v < tmp.size(); ++v) {
+        tmp[v] = b.counts[v].load(std::memory_order_relaxed);
+      }
+      const int64_t t = b.total.load(std::memory_order_relaxed);
+      const uint64_t epoch = b.epoch.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == s1) {
+        for (std::size_t v = 0; v < tmp.size(); ++v) {
+          (*acc)[v] += tmp[v];
+        }
+        *total += t;
+        return epoch;
+      }
+    }
+  }
+
+  /// Single-node read; returns the snapshot's epoch.
+  uint64_t ReadOne(NodeId v, int64_t* count, int64_t* total) const {
+    for (;;) {
+      const uint64_t s1 = seq_.load(std::memory_order_acquire);
+      const Buf& b = bufs_[s1 & 1];
+      const int64_t c = b.counts[v].load(std::memory_order_relaxed);
+      const int64_t t = b.total.load(std::memory_order_relaxed);
+      const uint64_t epoch = b.epoch.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == s1) {
+        *count = c;
+        *total = t;
+        return epoch;
+      }
+    }
+  }
+
+ private:
+  struct Buf {
+    std::vector<std::atomic<int64_t>> counts;
+    std::atomic<int64_t> total{0};
+    std::atomic<uint64_t> epoch{0};
+  };
+  Buf bufs_[2];
+  std::atomic<uint64_t> seq_{0};
+};
+
+/// Serving front door: ingest windows through Ingest(), read rankings
+/// concurrently through TopK()/Score(), run personalized queries through
+/// PersonalizedTopK(). `Engine` is IncrementalPageRank (TopK/Score rank
+/// by PageRank visit counts, PersonalizedTopK is Algorithm 1) or
+/// IncrementalSalsa (authority counts / personalized SALSA).
+template <typename Engine>
+class QueryService {
+  static constexpr bool kIsSalsa =
+      requires(const Engine& e) { e.AuthorityEstimate(NodeId{0}); };
+
+ public:
+  /// Per-query walk statistics type (differs between the two engines).
+  using WalkStats =
+      std::conditional_t<kIsSalsa, SalsaWalkResult, PersonalizedWalkResult>;
+
+  explicit QueryService(ShardedEngine<Engine>* engine) : engine_(engine) {
+    FASTPPR_CHECK(engine_ != nullptr);
+    snapshots_ = std::vector<SnapshotBuffer>(engine_->num_shards());
+    for (SnapshotBuffer& s : snapshots_) s.Init(engine_->num_nodes());
+    std::lock_guard<std::mutex> lock(window_mu_);
+    PublishLocked();
+  }
+
+  ShardedEngine<Engine>* engine() { return engine_; }
+
+  /// Applies one ingestion window and publishes fresh snapshots. On a
+  /// failed event the applied prefix is still repaired and published.
+  Status Ingest(std::span<const EdgeEvent> window) {
+    std::lock_guard<std::mutex> lock(window_mu_);
+    Status s = engine_->ApplyEvents(window);
+    PublishLocked();
+    return s;
+  }
+
+  /// Re-publishes snapshots of the engine's current state (for callers
+  /// that mutated the engine directly).
+  void Publish() {
+    std::lock_guard<std::mutex> lock(window_mu_);
+    PublishLocked();
+  }
+
+  /// Epoch of the most recent publish (= windows applied at that point).
+  uint64_t published_epoch() const {
+    return published_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Merged per-node counts from the current snapshots. Lock-free.
+  std::vector<int64_t> SnapshotCounts(int64_t* total = nullptr,
+                                      SnapshotInfo* info = nullptr) const {
+    std::vector<int64_t> acc(engine_->num_nodes(), 0);
+    int64_t t = 0;
+    SnapshotInfo si;
+    si.min_epoch = ~uint64_t{0};
+    for (const SnapshotBuffer& snap : snapshots_) {
+      const uint64_t e = snap.AccumulateInto(&acc, &t);
+      si.min_epoch = std::min(si.min_epoch, e);
+      si.max_epoch = std::max(si.max_epoch, e);
+    }
+    if (total != nullptr) *total = t;
+    if (info != nullptr) *info = si;
+    return acc;
+  }
+
+  /// Nodes with the k highest snapshot counts (the shared TopKByCount
+  /// ranking — identical ordering to the engines' TopK). Lock-free.
+  std::vector<NodeId> TopK(std::size_t k,
+                           SnapshotInfo* info = nullptr) const {
+    return TopKByCount(SnapshotCounts(nullptr, info), k);
+  }
+
+  /// Normalized snapshot score of one node (PageRank visit frequency /
+  /// SALSA authority frequency). Lock-free.
+  double Score(NodeId v, SnapshotInfo* info = nullptr) const {
+    int64_t count = 0;
+    int64_t total = 0;
+    SnapshotInfo si;
+    si.min_epoch = ~uint64_t{0};
+    for (const SnapshotBuffer& snap : snapshots_) {
+      int64_t c = 0;
+      int64_t t = 0;
+      const uint64_t e = snap.ReadOne(v, &c, &t);
+      count += c;
+      total += t;
+      si.min_epoch = std::min(si.min_epoch, e);
+      si.max_epoch = std::max(si.max_epoch, e);
+    }
+    if (info != nullptr) *info = si;
+    return total == 0 ? 0.0
+                      : static_cast<double>(count) /
+                            static_cast<double>(total);
+  }
+
+  /// Personalized top-k (Algorithm 1 stitched walk; authority-ranked for
+  /// SALSA). Stored segments are walked in place, not snapshotted, so
+  /// this serializes with ingestion on the window mutex.
+  Status PersonalizedTopK(NodeId seed, std::size_t k, uint64_t length,
+                          bool exclude_friends, uint64_t rng_seed,
+                          std::vector<ScoredNode>* ranked,
+                          WalkStats* walk_stats = nullptr) {
+    std::lock_guard<std::mutex> lock(window_mu_);
+    const SegmentView view(engine_);
+    SocialStore* social = &engine_->shard(0).social_store();
+    if constexpr (kIsSalsa) {
+      BasicPersonalizedSalsaWalker<SegmentView> walker(&view, social);
+      return walker.TopKAuthorities(seed, k, length, exclude_friends,
+                                    rng_seed, ranked, walk_stats);
+    } else {
+      BasicPersonalizedPageRankWalker<SegmentView> walker(&view, social);
+      return walker.TopK(seed, k, length, exclude_friends, rng_seed,
+                         ranked, walk_stats);
+    }
+  }
+
+ private:
+  /// Store view routing each node's stored segments to its owning shard
+  /// (segment ids are global, so the lookup is a plain forward).
+  class SegmentView {
+   public:
+    explicit SegmentView(const ShardedEngine<Engine>* engine)
+        : engine_(engine) {}
+    std::size_t walks_per_node() const {
+      return engine_->shard(0).walk_store().walks_per_node();
+    }
+    double epsilon() const {
+      return engine_->shard(0).walk_store().epsilon();
+    }
+    auto GetSegment(NodeId u, std::size_t k) const {
+      return engine_->shard(engine_->shard_of(u))
+          .walk_store()
+          .GetSegment(u, k);
+    }
+
+   private:
+    const ShardedEngine<Engine>* engine_;
+  };
+
+  void PublishLocked() {
+    const uint64_t epoch = engine_->windows_applied();
+    const std::size_t n = engine_->num_nodes();
+    for (std::size_t s = 0; s < snapshots_.size(); ++s) {
+      const Engine& shard = engine_->shard(s);
+      snapshots_[s].Publish(
+          n, [&shard](std::size_t v) {
+            return shard.RankingCount(static_cast<NodeId>(v));
+          },
+          shard.RankingTotal(), epoch);
+    }
+    published_epoch_.store(epoch, std::memory_order_release);
+  }
+
+  ShardedEngine<Engine>* engine_;
+  std::vector<SnapshotBuffer> snapshots_;
+  std::mutex window_mu_;
+  std::atomic<uint64_t> published_epoch_{0};
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_ENGINE_QUERY_SERVICE_H_

@@ -1,0 +1,244 @@
+#ifndef FASTPPR_ENGINE_SHARDED_ENGINE_H_
+#define FASTPPR_ENGINE_SHARDED_ENGINE_H_
+
+// Node-partitioned parallel execution of the incremental Monte Carlo
+// engines (see DESIGN.md section 4).
+//
+// The paper's deployment is inherently partitioned: walk segments live in
+// a sharded PageRank Store behind a FlockDB-like Social Store. This
+// header reproduces that shape in-process. Nodes are hash-partitioned
+// into S shards (ShardOfNode); shard s runs a complete engine instance —
+// its own Social Store replica, its own slab walk store holding only the
+// segments sourced at owned nodes, and its own RNG seeded
+// ShardSeed(seed, s) — so shards share no mutable state and repair in
+// parallel with no synchronization at all.
+//
+// Event routing is a *broadcast*, not a split: an arriving edge (u, v)
+// reroutes stored walks that VISIT u (Proposition 2), and walks visiting
+// u are sourced everywhere, so every shard must see every event. What is
+// partitioned by ShardOfNode is the repair work itself — each shard's
+// inverted index lists only its own walks' visits, so the Binomial
+// coupling repairs of one event split S ways (the Social-Store *write*
+// of the event belongs to shard_of(src); ShardRouter accounts it there).
+//
+// Determinism contract: per-shard RNG streams depend only on (seed,
+// shard_count), never on thread count or scheduling, so results are
+// bit-identical for any number of worker threads — and a 1-shard engine
+// consumes the identical stream as the flat engine (Mix64(0) == 0).
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fastppr/core/incremental_pagerank.h"
+#include "fastppr/core/ranking.h"
+#include "fastppr/engine/thread_pool.h"
+#include "fastppr/graph/edge_stream.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/util/check.h"
+#include "fastppr/util/shard.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr {
+
+struct ShardedOptions {
+  /// Number of node shards (>= 1). Fixed for the engine's lifetime; the
+  /// shard count is part of the determinism contract (changing it
+  /// re-partitions the RNG streams).
+  std::size_t num_shards = 1;
+  /// Worker threads for parallel repair; 0 = min(num_shards,
+  /// hardware_concurrency). Any value yields bit-identical results.
+  std::size_t num_threads = 0;
+};
+
+/// Routing policy for one ingestion window. Repairs broadcast (see the
+/// header comment); the router's accounting answers "which shard owns the
+/// Social-Store write of each event" — the per-shard fetch/write ledger
+/// the paper's cost model is stated in.
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t num_shards)
+      : num_shards_(num_shards), writes_by_shard_(num_shards, 0) {
+    FASTPPR_CHECK(num_shards >= 1);
+  }
+
+  std::size_t num_shards() const { return num_shards_; }
+  std::size_t shard_of(NodeId u) const {
+    return ShardOfNode(u, static_cast<uint32_t>(num_shards_));
+  }
+
+  /// Accounts the window's writes to their owning shards (by edge
+  /// source, mirroring SocialStore's write counting).
+  void AccountWrites(std::span<const EdgeEvent> events) {
+    for (const EdgeEvent& ev : events) {
+      ++writes_by_shard_[shard_of(ev.edge.src)];
+    }
+  }
+
+  /// Cumulative Social-Store writes owned by each shard.
+  const std::vector<uint64_t>& writes_by_shard() const {
+    return writes_by_shard_;
+  }
+
+ private:
+  std::size_t num_shards_;
+  std::vector<uint64_t> writes_by_shard_;
+};
+
+/// S independent engine instances behind one ApplyEvents front door.
+/// `Engine` is IncrementalPageRank or IncrementalSalsa (anything with the
+/// MonteCarloOptions constructor, ApplyEvents, and the RankingCount merge
+/// API).
+template <typename Engine>
+class ShardedEngine {
+ public:
+  ShardedEngine(std::size_t num_nodes, const MonteCarloOptions& opts,
+                const ShardedOptions& sharding)
+      : base_options_(opts),
+        router_(sharding.num_shards),
+        pool_(ResolveThreads(sharding)),
+        statuses_(sharding.num_shards) {
+    shards_.reserve(sharding.num_shards);
+    for (std::size_t s = 0; s < sharding.num_shards; ++s) {
+      shards_.push_back(
+          std::make_unique<Engine>(num_nodes, ShardOptions(opts, s)));
+    }
+  }
+
+  ShardedEngine(const DiGraph& initial, const MonteCarloOptions& opts,
+                const ShardedOptions& sharding)
+      : base_options_(opts),
+        router_(sharding.num_shards),
+        pool_(ResolveThreads(sharding)),
+        statuses_(sharding.num_shards) {
+    shards_.reserve(sharding.num_shards);
+    for (std::size_t s = 0; s < sharding.num_shards; ++s) {
+      shards_.push_back(
+          std::make_unique<Engine>(initial, ShardOptions(opts, s)));
+    }
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_threads() const { return pool_.num_threads(); }
+  std::size_t num_nodes() const { return shards_[0]->num_nodes(); }
+  std::size_t num_edges() const { return shards_[0]->num_edges(); }
+  uint64_t arrivals() const { return shards_[0]->arrivals(); }
+  uint64_t removals() const { return shards_[0]->removals(); }
+  /// Ingestion windows applied so far (the snapshot epoch source).
+  uint64_t windows_applied() const { return windows_applied_; }
+
+  const MonteCarloOptions& options() const { return base_options_; }
+  const ShardRouter& router() const { return router_; }
+
+  Engine& shard(std::size_t s) { return *shards_[s]; }
+  const Engine& shard(std::size_t s) const { return *shards_[s]; }
+  std::size_t shard_of(NodeId u) const { return router_.shard_of(u); }
+  const DiGraph& graph() const { return shards_[0]->graph(); }
+
+  /// Applies one ingestion window: the router accounts the writes, then
+  /// every shard ingests the window in parallel — each mutates its own
+  /// graph replica and repairs its own walks. Replica graph states are
+  /// identical, so an invalid event fails at the same prefix in every
+  /// shard; the (common) first error is returned, with the applied
+  /// prefix repaired everywhere.
+  Status ApplyEvents(std::span<const EdgeEvent> events) {
+    router_.AccountWrites(events);
+    pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
+      statuses_[s] = shards_[s]->ApplyEvents(events);
+    });
+    ++windows_applied_;
+    for (const Status& s : statuses_) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  Status ApplyEvent(const EdgeEvent& event) {
+    return ApplyEvents(std::span<const EdgeEvent>(&event, 1));
+  }
+
+  /// Merged per-node ranking counts (PageRank: total stored-walk visits;
+  /// SALSA: authority-side visits). Exactly the flat engine's counts at
+  /// any shard count.
+  std::vector<int64_t> MergedRankingCounts() const {
+    std::vector<int64_t> acc(num_nodes(), 0);
+    for (const auto& shard : shards_) {
+      shard->AccumulateRankingCounts(&acc);
+    }
+    return acc;
+  }
+
+  int64_t MergedRankingTotal() const {
+    int64_t total = 0;
+    for (const auto& shard : shards_) total += shard->RankingTotal();
+    return total;
+  }
+
+  /// Nodes with the k highest merged ranking counts (the shared
+  /// TopKByCount ranking, so ordering matches the flat engines' TopK).
+  std::vector<NodeId> TopK(std::size_t k) const {
+    return TopKByCount(MergedRankingCounts(), k);
+  }
+
+  /// Sum of all shards' repair stats for the most recent window / the
+  /// engine lifetime.
+  WalkUpdateStats last_window_stats() const {
+    WalkUpdateStats out;
+    for (const auto& shard : shards_) {
+      out.Accumulate(shard->last_event_stats());
+    }
+    return out;
+  }
+  WalkUpdateStats lifetime_stats() const {
+    WalkUpdateStats out;
+    for (const auto& shard : shards_) {
+      out.Accumulate(shard->lifetime_stats());
+    }
+    return out;
+  }
+  /// Per-shard repair stats (index = shard).
+  std::vector<WalkUpdateStats> PerShardStats() const {
+    std::vector<WalkUpdateStats> out;
+    out.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      out.push_back(shard->lifetime_stats());
+    }
+    return out;
+  }
+
+  /// Test hook: audits every shard's store against its graph replica.
+  void CheckConsistency() const {
+    for (const auto& shard : shards_) shard->CheckConsistency();
+  }
+
+ private:
+  static std::size_t ResolveThreads(const ShardedOptions& sharding) {
+    FASTPPR_CHECK(sharding.num_shards >= 1);
+    if (sharding.num_threads != 0) return sharding.num_threads;
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return std::min(sharding.num_shards, hw > 0 ? hw : 1);
+  }
+
+  MonteCarloOptions ShardOptions(const MonteCarloOptions& opts,
+                                 std::size_t s) const {
+    MonteCarloOptions shard_opts = opts;
+    shard_opts.seed = ShardSeed(opts.seed, static_cast<uint32_t>(s));
+    shard_opts.shard_index = static_cast<uint32_t>(s);
+    shard_opts.shard_count = static_cast<uint32_t>(shards_capacity());
+    return shard_opts;
+  }
+  std::size_t shards_capacity() const { return router_.num_shards(); }
+
+  MonteCarloOptions base_options_;
+  ShardRouter router_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<Engine>> shards_;
+  std::vector<Status> statuses_;
+  uint64_t windows_applied_ = 0;
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_ENGINE_SHARDED_ENGINE_H_

@@ -1,0 +1,72 @@
+#include "fastppr/engine/thread_pool.h"
+
+namespace fastppr {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t spawn = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (std::size_t w = 0; w < spawn; ++w) {
+    // Worker w serves lane w + 1; lane 0 is the calling thread's.
+    workers_.emplace_back([this, lane = w + 1] { WorkerLoop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunLane(std::size_t lane, uint64_t generation) {
+  // Static assignment: lane L runs task indices L, L + lanes, ...
+  // `task_`/`task_count_` are stable for the whole generation (published
+  // before the generation bump, read only by lanes of that generation).
+  const std::size_t stride = num_threads();
+  for (std::size_t i = lane; i < task_count_; i += stride) {
+    (*task_)(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  (void)generation;
+  if (--lanes_running_ == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop(std::size_t lane) {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    RunLane(lane, seen);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  uint64_t generation;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    task_ = &fn;
+    task_count_ = count;
+    lanes_running_ = num_threads();
+    generation = ++generation_;
+  }
+  start_cv_.notify_all();
+  RunLane(0, generation);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return lanes_running_ == 0; });
+  task_ = nullptr;
+}
+
+}  // namespace fastppr

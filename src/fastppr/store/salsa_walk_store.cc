@@ -7,12 +7,16 @@
 namespace fastppr {
 
 void SalsaWalkStore::Init(const DiGraph& g, std::size_t walks_per_node,
-                          double epsilon, uint64_t seed) {
+                          double epsilon, uint64_t seed,
+                          uint32_t shard_index, uint32_t shard_count) {
   FASTPPR_CHECK(walks_per_node >= 1);
   FASTPPR_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  FASTPPR_CHECK(shard_count >= 1 && shard_index < shard_count);
   walks_per_node_ = walks_per_node;
   epsilon_ = epsilon;
   rng_ = Rng(seed);
+  shard_index_ = shard_index;
+  shard_count_ = shard_count;
 
   const std::size_t n = g.num_nodes();
   const std::size_t num_segs = n * 2 * walks_per_node;
@@ -23,15 +27,20 @@ void SalsaWalkStore::Init(const DiGraph& g, std::size_t walks_per_node,
         (seg % (2 * walks_per_node)) < walks_per_node ? 1 : 0;
   }
 
-  // Phase 1: simulate every segment into flat scratch (exact-fit layout
-  // afterwards; see WalkStore::Init).
+  // Phase 1: simulate every owned segment into flat scratch (unowned
+  // sources keep zero-length rows; exact-fit layout afterwards — see
+  // WalkStore::Init).
   std::vector<NodeId> nodes;
   nodes.reserve(static_cast<std::size_t>(
-      static_cast<double>(num_segs) * 2.0 / epsilon * 1.1) + 16);
+      static_cast<double>(num_segs) * 2.0 / epsilon * 1.1 /
+          static_cast<double>(shard_count)) + 16);
   std::vector<uint32_t> lengths(num_segs, 0);
   std::vector<uint8_t> ends(num_segs,
                             static_cast<uint8_t>(EndReason::kReset));
+  owned_sources_ = 0;
   for (NodeId u = 0; u < n; ++u) {
+    if (!OwnsSource(u)) continue;
+    ++owned_sources_;
     for (std::size_t k = 0; k < 2 * walks_per_node; ++k) {
       const uint64_t seg = SegId(u, k);
       NodeId cur = u;
@@ -118,9 +127,7 @@ void SalsaWalkStore::Init(const DiGraph& g, std::size_t walks_per_node,
     at += len;
   }
 
-  pending_.clear();
-  pending_meta_.assign(num_segs, 0);
-  epoch_ = 0;
+  scratch_.ResetSegments(num_segs);
 }
 
 double SalsaWalkStore::NormalizedAuthority(NodeId v) const {
@@ -153,16 +160,6 @@ void SalsaWalkStore::RegisterStep(uint64_t seg, uint32_t pos) {
   const uint32_t slot = pool.PushBack(node, slab::Pack(seg, pos));
   FASTPPR_CHECK(slot < kNoSlot);
   SetPathSlot(seg, pos, slot);
-}
-
-void SalsaWalkStore::RemoveIndexAt(slab::SlabPool* pool, NodeId node,
-                                   uint32_t slot, uint64_t seg,
-                                   uint32_t pos) {
-  const uint64_t here = slab::Pack(seg, pos);
-  const uint64_t moved = pool->VerifiedSwapRemove(node, slot, here);
-  if (moved != here) {
-    SetPathSlot(slab::Hi(moved), slab::Lo(moved), slot);
-  }
 }
 
 void SalsaWalkStore::UnregisterStep(uint64_t seg, uint32_t pos) {
@@ -260,47 +257,6 @@ uint64_t SalsaWalkStore::ExtendFromTail(const DiGraph& g, uint64_t seg,
   return end - 1 - start;
 }
 
-void SalsaWalkStore::BeginEpoch() {
-  pending_.clear();
-  if (epoch_ == static_cast<uint32_t>(-1)) {
-    std::fill(pending_meta_.begin(), pending_meta_.end(), 0);
-    epoch_ = 0;
-  }
-  ++epoch_;
-}
-
-void SalsaWalkStore::Offer(const PendingRepair& cand) {
-  uint64_t& meta = pending_meta_[cand.seg];
-  if ((meta >> 32) != epoch_) {
-    meta = (static_cast<uint64_t>(epoch_) << 32) | pending_.size();
-    pending_.push_back(cand);
-    return;
-  }
-  PendingRepair& have = pending_[static_cast<uint32_t>(meta)];
-  if (cand.pos < have.pos) have = cand;
-}
-
-void SalsaWalkStore::SampleDistinct(std::size_t w, uint64_t marks,
-                                    Rng* rng) {
-  if (pick_epoch_.size() < w) pick_epoch_.resize(w, 0);
-  if (pick_epoch_counter_ == static_cast<uint32_t>(-1)) {
-    std::fill(pick_epoch_.begin(), pick_epoch_.end(), 0);
-    pick_epoch_counter_ = 0;
-  }
-  ++pick_epoch_counter_;
-  picked_list_.clear();
-  auto try_pick = [&](std::size_t idx) {
-    if (pick_epoch_[idx] == pick_epoch_counter_) return false;
-    pick_epoch_[idx] = pick_epoch_counter_;
-    picked_list_.push_back(idx);
-    return true;
-  };
-  for (std::size_t j = w - marks; j < w; ++j) {
-    std::size_t t = rng->UniformIndex(j + 1);
-    if (!try_pick(t)) try_pick(j);
-  }
-}
-
 void SalsaWalkStore::CollectInsertGroup(Direction dir, NodeId pivot,
                                         uint32_t group, uint32_t k,
                                         std::size_t new_degree, Rng* rng,
@@ -315,8 +271,8 @@ void SalsaWalkStore::CollectInsertGroup(Direction dir, NodeId pivot,
                                  : EndReason::kDanglingBwd;
     slab::SlabPool& pool = DanglingPool(reason);
     for (const uint64_t word : pool.RowSpan(pivot)) {
-      Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group, k, dir,
-                          true});
+      scratch_.Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group,
+                                   k, dir, true});
     }
     return;
   }
@@ -327,13 +283,13 @@ void SalsaWalkStore::CollectInsertGroup(Direction dir, NodeId pivot,
       w, static_cast<double>(k) / static_cast<double>(new_degree));
   if (marks == 0) return;
 
-  SampleDistinct(w, marks, rng);
-  stats->entries_scanned += picked_list_.size();
-  for (std::size_t idx : picked_list_) {
+  scratch_.SampleDistinct(w, marks, rng);
+  stats->entries_scanned += scratch_.picked().size();
+  for (std::size_t idx : scratch_.picked()) {
     const uint64_t word =
         StepPool(dir).Get(pivot, static_cast<uint32_t>(idx));
-    Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group, k, dir,
-                        false});
+    scratch_.Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group, k,
+                                 dir, false});
   }
 }
 
@@ -370,7 +326,7 @@ WalkUpdateStats SalsaWalkStore::OnEdgesInserted(const DiGraph& g,
   // Collect switch decisions from both endpoints of every edge *before*
   // mutating: a suffix re-simulated for one pivot is already correct for
   // the new graph and must not be switched again by another.
-  BeginEpoch();
+  scratch_.BeginEpoch();
   for (std::size_t lo = 0; lo < by_src_.size();) {
     std::size_t hi = lo + 1;
     while (hi < by_src_.size() && by_src_[hi].src == by_src_[lo].src) ++hi;
@@ -393,16 +349,11 @@ WalkUpdateStats SalsaWalkStore::OnEdgesInserted(const DiGraph& g,
                        static_cast<uint32_t>(hi - lo), d, rng, &stats);
     lo = hi;
   }
-  if (pending_.empty()) return stats;
+  if (scratch_.empty()) return stats;
   stats.store_called = 1;
 
-  if (pending_.size() > 32) {
-    std::sort(pending_.begin(), pending_.end(),
-              [](const PendingRepair& a, const PendingRepair& b) {
-                return a.seg < b.seg;
-              });
-  }
-  for (const PendingRepair& plan : pending_) {
+  scratch_.OrderForApply();
+  for (const PendingRepair& plan : scratch_.pending()) {
     const uint64_t seg = plan.seg;
     // A switched hop lands uniformly on the group's new edges; a forward
     // group's targets are destinations, a backward group's are sources.
@@ -493,12 +444,13 @@ WalkUpdateStats SalsaWalkStore::OnEdgesRemoved(const DiGraph& g,
           static_cast<double>(t->removed) /
           static_cast<double>(t->remaining + t->removed);
       if (!rng->Bernoulli(p_broken)) continue;  // used a surviving copy
-      Offer(PendingRepair{seg, pos, static_cast<uint32_t>(lo),
-                          static_cast<uint32_t>(hi - lo), dir, false});
+      scratch_.Offer(PendingRepair{seg, pos, static_cast<uint32_t>(lo),
+                                   static_cast<uint32_t>(hi - lo), dir,
+                                   false});
     }
   };
 
-  BeginEpoch();
+  scratch_.BeginEpoch();
   for (std::size_t lo = 0; lo < by_src_.size();) {
     std::size_t hi = lo + 1;
     while (hi < by_src_.size() && by_src_[hi].src == by_src_[lo].src) ++hi;
@@ -511,16 +463,11 @@ WalkUpdateStats SalsaWalkStore::OnEdgesRemoved(const DiGraph& g,
     collect_group(Direction::kBackward, by_dst_[lo].dst, lo, hi);
     lo = hi;
   }
-  if (pending_.empty()) return stats;
+  if (scratch_.empty()) return stats;
   stats.store_called = 1;
 
-  if (pending_.size() > 32) {
-    std::sort(pending_.begin(), pending_.end(),
-              [](const PendingRepair& a, const PendingRepair& b) {
-                return a.seg < b.seg;
-              });
-  }
-  for (const PendingRepair& plan : pending_) {
+  scratch_.OrderForApply();
+  for (const PendingRepair& plan : scratch_.pending()) {
     const uint64_t seg = plan.seg;
     const NodeId pivot = PathNode(seg, plan.pos);
     TruncateAfter(seg, plan.pos);
@@ -547,9 +494,15 @@ void SalsaWalkStore::CheckConsistency(const DiGraph& g) const {
   std::vector<int64_t> auth_recount(num_nodes(), 0);
   for (uint64_t seg = 0; seg < num_segments(); ++seg) {
     const uint32_t len = PathLen(seg);
-    FASTPPR_CHECK(len > 0);
-    FASTPPR_CHECK(PathNode(seg, 0) ==
-                  static_cast<NodeId>(seg / (2 * walks_per_node_)));
+    // Unowned sources (sharded mode) have empty rows, owned never do.
+    const NodeId source =
+        static_cast<NodeId>(seg / (2 * walks_per_node_));
+    if (len == 0) {
+      FASTPPR_CHECK(!OwnsSource(source));
+      continue;
+    }
+    FASTPPR_CHECK(OwnsSource(source));
+    FASTPPR_CHECK(PathNode(seg, 0) == source);
     for (uint32_t p = 0; p < len; ++p) {
       const NodeId node = PathNode(seg, p);
       const uint32_t slot = PathSlot(seg, p);

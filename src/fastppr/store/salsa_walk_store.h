@@ -7,9 +7,11 @@
 
 #include "fastppr/graph/digraph.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/store/repair_scratch.h"
 #include "fastppr/store/walk_slab.h"
 #include "fastppr/store/walk_store.h"
 #include "fastppr/util/random.h"
+#include "fastppr/util/shard.h"
 
 namespace fastppr {
 
@@ -78,8 +80,19 @@ class SalsaWalkStore {
   SalsaWalkStore() = default;
 
   /// Generates R forward-start and R backward-start segments per node.
+  /// Sharded mode (`shard_count` > 1) generates segments only for owned
+  /// source nodes, exactly as WalkStore::Init.
   void Init(const DiGraph& g, std::size_t walks_per_node, double epsilon,
-            uint64_t seed);
+            uint64_t seed, uint32_t shard_index = 0,
+            uint32_t shard_count = 1);
+
+  /// True iff this store owns (stores the segments of) source node `u`.
+  bool OwnsSource(NodeId u) const {
+    return ShardOfNode(u, shard_count_) == shard_index_;
+  }
+  std::size_t owned_sources() const { return owned_sources_; }
+  uint32_t shard_index() const { return shard_index_; }
+  uint32_t shard_count() const { return shard_count_; }
 
   std::size_t walks_per_node() const { return walks_per_node_; }
   double epsilon() const { return epsilon_; }
@@ -88,6 +101,8 @@ class SalsaWalkStore {
 
   int64_t HubVisits(NodeId v) const { return hub_visits_[v]; }
   int64_t AuthorityVisits(NodeId v) const { return auth_visits_[v]; }
+  int64_t TotalHubVisits() const { return total_hub_; }
+  int64_t TotalAuthorityVisits() const { return total_auth_; }
 
   /// Authority-side visit frequency (sums to 1 over all nodes).
   double NormalizedAuthority(NodeId v) const;
@@ -165,11 +180,11 @@ class SalsaWalkStore {
   void UnregisterStep(uint64_t seg, uint32_t pos);
   void RegisterDangling(uint64_t seg, uint32_t pos);
   void UnregisterDangling(uint64_t seg, uint32_t pos);
-  /// Swap-removes index entry (node, slot) referencing (seg, pos) with
-  /// backpointer fixup; does not clear the removed path word's slot
-  /// field (see WalkStore::RemoveIndexAt).
+  /// slab::RemoveIndexEntry bound to this store's path arena.
   void RemoveIndexAt(slab::SlabPool* pool, NodeId node, uint32_t slot,
-                     uint64_t seg, uint32_t pos);
+                     uint64_t seg, uint32_t pos) {
+    slab::RemoveIndexEntry(pool, &paths_, node, slot, seg, pos);
+  }
   void AddVisitCounters(NodeId node, Direction side, int64_t delta);
 
   void TruncateAfter(uint64_t seg, uint32_t keep_pos);
@@ -194,12 +209,6 @@ class SalsaWalkStore {
     uint32_t remaining;
   };
 
-  void BeginEpoch();
-  void Offer(const PendingRepair& cand);
-  /// Samples `marks` distinct indices in [0, w) into picked_list_
-  /// (Floyd's algorithm; epoch-stamped membership, zero allocation).
-  void SampleDistinct(std::size_t w, uint64_t marks, Rng* rng);
-
   /// Collects the switch decisions for one pivot group of an insertion
   /// chunk (pivot gained `k` edges; its final degree is `new_degree`).
   void CollectInsertGroup(Direction dir, NodeId pivot, uint32_t group,
@@ -209,6 +218,9 @@ class SalsaWalkStore {
   std::size_t walks_per_node_ = 0;
   double epsilon_ = 0.2;
   Rng rng_{0};
+  uint32_t shard_index_ = 0;
+  uint32_t shard_count_ = 1;
+  std::size_t owned_sources_ = 0;
 
   slab::SlabPool paths_;
   std::vector<uint8_t> seg_end_;
@@ -222,17 +234,13 @@ class SalsaWalkStore {
   int64_t total_hub_ = 0;
   int64_t total_auth_ = 0;
 
-  // Reusable batched-update scratch: zero steady-state allocation.
-  std::vector<PendingRepair> pending_;
-  /// Per segment: (collection epoch << 32) | slot into pending_.
-  std::vector<uint64_t> pending_meta_;
-  uint32_t epoch_ = 0;
+  // Reusable batched-update scratch: zero steady-state allocation. The
+  // collect-then-apply machinery is shared with WalkStore via
+  // slab::RepairScratch (repair_scratch.h).
+  slab::RepairScratch<PendingRepair> scratch_;
   std::vector<Edge> by_src_;  ///< chunk sorted by source (forward pivots)
   std::vector<Edge> by_dst_;  ///< chunk sorted by dest (backward pivots)
   std::vector<RemovedTarget> removed_scratch_;
-  std::vector<uint32_t> pick_epoch_;
-  std::vector<std::size_t> picked_list_;
-  uint32_t pick_epoch_counter_ = 0;
 };
 
 }  // namespace fastppr

@@ -7,27 +7,36 @@
 namespace fastppr {
 
 void WalkStore::Init(const DiGraph& g, std::size_t walks_per_node,
-                     double epsilon, uint64_t seed) {
+                     double epsilon, uint64_t seed, uint32_t shard_index,
+                     uint32_t shard_count) {
   FASTPPR_CHECK(walks_per_node >= 1);
   FASTPPR_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  FASTPPR_CHECK(shard_count >= 1 && shard_index < shard_count);
   walks_per_node_ = walks_per_node;
   epsilon_ = epsilon;
   rng_ = Rng(seed);
+  shard_index_ = shard_index;
+  shard_count_ = shard_count;
 
   const std::size_t n = g.num_nodes();
   const std::size_t num_segs = n * walks_per_node;
   FASTPPR_CHECK(num_segs < slab::kHiLimit);
 
-  // Phase 1: simulate every segment into flat scratch. Laying the arena
-  // out afterwards with exact-fit capacities packs the rows back-to-back
-  // with no relocation and no dead space.
+  // Phase 1: simulate every owned segment into flat scratch (unowned
+  // sources keep zero-length rows). Laying the arena out afterwards with
+  // exact-fit capacities packs the rows back-to-back with no relocation
+  // and no dead space.
   std::vector<NodeId> nodes;
   nodes.reserve(static_cast<std::size_t>(
-      static_cast<double>(num_segs) / epsilon * 1.1) + 16);
+      static_cast<double>(num_segs) / epsilon * 1.1 /
+          static_cast<double>(shard_count)) + 16);
   std::vector<uint32_t> lengths(num_segs, 0);
   std::vector<uint8_t> ends(num_segs,
                             static_cast<uint8_t>(EndReason::kReset));
+  owned_sources_ = 0;
   for (NodeId u = 0; u < n; ++u) {
+    if (!OwnsSource(u)) continue;
+    ++owned_sources_;
     for (std::size_t k = 0; k < walks_per_node; ++k) {
       const uint64_t seg = SegId(u, k);
       NodeId cur = u;
@@ -86,6 +95,10 @@ Status WalkStore::InitFromSegments(
   walks_per_node_ = walks_per_node;
   epsilon_ = epsilon;
   rng_ = Rng(seed);
+  // Persistence snapshots always describe a full (unsharded) store.
+  shard_index_ = 0;
+  shard_count_ = 1;
+  owned_sources_ = n;
 
   std::vector<NodeId> nodes;
   std::vector<uint32_t> lengths(paths.size(), 0);
@@ -146,9 +159,7 @@ void WalkStore::BuildFromFlatPaths(std::size_t n,
     at += len;
   }
 
-  pending_.clear();
-  pending_meta_.assign(num_segs, 0);
-  epoch_ = 0;
+  scratch_.ResetSegments(num_segs);
 }
 
 double WalkStore::Estimate(NodeId v) const {
@@ -174,15 +185,6 @@ void WalkStore::RegisterStep(uint64_t seg, uint32_t pos) {
   const uint32_t slot = steps_.PushBack(node, slab::Pack(seg, pos));
   FASTPPR_CHECK(slot < kNoSlot);
   SetPathSlot(seg, pos, slot);
-}
-
-void WalkStore::RemoveIndexAt(slab::SlabPool* pool, NodeId node,
-                              uint32_t slot, uint64_t seg, uint32_t pos) {
-  const uint64_t here = slab::Pack(seg, pos);
-  const uint64_t moved = pool->VerifiedSwapRemove(node, slot, here);
-  if (moved != here) {
-    SetPathSlot(slab::Hi(moved), slab::Lo(moved), slot);
-  }
 }
 
 void WalkStore::UnregisterStep(uint64_t seg, uint32_t pos) {
@@ -284,46 +286,6 @@ uint64_t WalkStore::ExtendPendingWalks(const DiGraph& g, Rng* rng) {
   return steps;
 }
 
-void WalkStore::BeginEpoch() {
-  pending_.clear();
-  if (epoch_ == static_cast<uint32_t>(-1)) {
-    std::fill(pending_meta_.begin(), pending_meta_.end(), 0);
-    epoch_ = 0;
-  }
-  ++epoch_;
-}
-
-void WalkStore::Offer(const PendingRepair& cand) {
-  uint64_t& meta = pending_meta_[cand.seg];
-  if ((meta >> 32) != epoch_) {
-    meta = (static_cast<uint64_t>(epoch_) << 32) | pending_.size();
-    pending_.push_back(cand);
-    return;
-  }
-  PendingRepair& have = pending_[static_cast<uint32_t>(meta)];
-  if (cand.pos < have.pos) have = cand;
-}
-
-void WalkStore::SampleDistinct(std::size_t w, uint64_t marks, Rng* rng) {
-  if (pick_epoch_.size() < w) pick_epoch_.resize(w, 0);
-  if (pick_epoch_counter_ == static_cast<uint32_t>(-1)) {
-    std::fill(pick_epoch_.begin(), pick_epoch_.end(), 0);
-    pick_epoch_counter_ = 0;
-  }
-  ++pick_epoch_counter_;
-  picked_list_.clear();
-  auto try_pick = [&](std::size_t idx) {
-    if (pick_epoch_[idx] == pick_epoch_counter_) return false;
-    pick_epoch_[idx] = pick_epoch_counter_;
-    picked_list_.push_back(idx);
-    return true;
-  };
-  for (std::size_t j = w - marks; j < w; ++j) {
-    std::size_t t = rng->UniformIndex(j + 1);
-    if (!try_pick(t)) try_pick(j);
-  }
-}
-
 std::span<const Edge> WalkStore::GroupBySource(std::span<const Edge> edges) {
   if (edges.size() == 1) return edges;
   scratch_edges_.assign(edges.begin(), edges.end());
@@ -354,7 +316,7 @@ WalkUpdateStats WalkStore::OnEdgesInserted(const DiGraph& g,
   // Collect every switch decision before re-simulating anything: a fresh
   // suffix is already distributed for the new graph and must not be
   // switched again by a later group (same invariant as the SALSA store).
-  BeginEpoch();
+  scratch_.BeginEpoch();
   for (std::size_t lo = 0; lo < grouped.size();) {
     std::size_t hi = lo + 1;
     while (hi < grouped.size() && grouped[hi].src == grouped[lo].src) ++hi;
@@ -373,8 +335,8 @@ WalkUpdateStats WalkStore::OnEdgesInserted(const DiGraph& g,
       // draw would make reset-terminated segments an absorbing state.
       const auto row = dangling_.RowSpan(u);
       for (const uint64_t word : row) {
-        Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group, ksz,
-                            true});
+        scratch_.Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group,
+                                     ksz, true});
       }
       lo = hi;
       continue;
@@ -396,29 +358,23 @@ WalkUpdateStats WalkStore::OnEdgesInserted(const DiGraph& g,
     }
     // Choose `marks` distinct visit indices uniformly (Floyd's algorithm);
     // the earliest marked position per segment wins inside Offer().
-    SampleDistinct(w, marks, rng);
-    stats.entries_scanned += picked_list_.size();
-    for (std::size_t idx : picked_list_) {
+    scratch_.SampleDistinct(w, marks, rng);
+    stats.entries_scanned += scratch_.picked().size();
+    for (std::size_t idx : scratch_.picked()) {
       const uint64_t word = steps_.Get(u, static_cast<uint32_t>(idx));
-      Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group, ksz,
-                          false});
+      scratch_.Offer(PendingRepair{slab::Hi(word), slab::Lo(word), group,
+                                   ksz, false});
     }
     lo = hi;
   }
-  if (pending_.empty()) return stats;
+  if (scratch_.empty()) return stats;
   stats.store_called = 1;
 
   // Apply phase: one repair per touched segment, re-simulated on the
-  // final graph. Large chunks walk the path arena in segment order
-  // (repairs are independent, so ordering is free to choose).
-  if (pending_.size() > 32) {
-    std::sort(pending_.begin(), pending_.end(),
-              [](const PendingRepair& a, const PendingRepair& b) {
-                return a.seg < b.seg;
-              });
-  }
+  // final graph.
+  scratch_.OrderForApply();
   walk_queue_.clear();
-  for (const PendingRepair& plan : pending_) {
+  for (const PendingRepair& plan : scratch_.pending()) {
     const uint64_t seg = plan.seg;
     // A switched hop lands uniformly on the group's new targets. No draw
     // for singleton groups, so a 1-edge batch matches the sequential RNG
@@ -456,7 +412,7 @@ WalkUpdateStats WalkStore::OnEdgesRemoved(const DiGraph& g,
 
   std::vector<RemovedTarget>& targets = removed_scratch_;
 
-  BeginEpoch();
+  scratch_.BeginEpoch();
   for (std::size_t lo = 0; lo < grouped.size();) {
     std::size_t hi = lo + 1;
     while (hi < grouped.size() && grouped[hi].src == grouped[lo].src) ++hi;
@@ -510,22 +466,17 @@ WalkUpdateStats WalkStore::OnEdgesRemoved(const DiGraph& g,
           static_cast<double>(t->removed) /
           static_cast<double>(t->remaining + t->removed);
       if (!rng->Bernoulli(p_broken)) continue;  // used a surviving copy
-      Offer(PendingRepair{seg, pos, static_cast<uint32_t>(lo),
-                          static_cast<uint32_t>(hi - lo), false});
+      scratch_.Offer(PendingRepair{seg, pos, static_cast<uint32_t>(lo),
+                                   static_cast<uint32_t>(hi - lo), false});
     }
     lo = hi;
   }
-  if (pending_.empty()) return stats;
+  if (scratch_.empty()) return stats;
   stats.store_called = 1;
 
-  if (pending_.size() > 32) {
-    std::sort(pending_.begin(), pending_.end(),
-              [](const PendingRepair& a, const PendingRepair& b) {
-                return a.seg < b.seg;
-              });
-  }
+  scratch_.OrderForApply();
   walk_queue_.clear();
-  for (const PendingRepair& plan : pending_) {
+  for (const PendingRepair& plan : scratch_.pending()) {
     const uint64_t seg = plan.seg;
     if (policy_ == UpdatePolicy::kRedoFromSource) {
       ResetSegmentToSource(seg);
@@ -558,10 +509,15 @@ void WalkStore::CheckConsistency(const DiGraph& g) const {
   int64_t total = 0;
   for (uint64_t seg = 0; seg < num_segments(); ++seg) {
     const uint32_t len = PathLen(seg);
-    FASTPPR_CHECK(len > 0);
-    // Source of segment seg is seg / R.
-    FASTPPR_CHECK(PathNode(seg, 0) ==
-                  static_cast<NodeId>(seg / walks_per_node_));
+    // Source of segment seg is seg / R; unowned sources (sharded mode)
+    // have empty rows, owned sources never do.
+    const NodeId source = static_cast<NodeId>(seg / walks_per_node_);
+    if (len == 0) {
+      FASTPPR_CHECK(!OwnsSource(source));
+      continue;
+    }
+    FASTPPR_CHECK(OwnsSource(source));
+    FASTPPR_CHECK(PathNode(seg, 0) == source);
     for (uint32_t p = 0; p < len; ++p) {
       const NodeId node = PathNode(seg, p);
       const uint32_t slot = PathSlot(seg, p);

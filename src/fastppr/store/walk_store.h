@@ -7,8 +7,10 @@
 
 #include "fastppr/graph/digraph.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/store/repair_scratch.h"
 #include "fastppr/store/walk_slab.h"
 #include "fastppr/util/random.h"
+#include "fastppr/util/shard.h"
 #include "fastppr/util/status.h"
 
 namespace fastppr {
@@ -137,8 +139,26 @@ class WalkStore {
 
   /// Generates R segments per node of `g`. Estimates are maintained
   /// incrementally afterwards via OnEdgeInserted / OnEdgeRemoved.
+  ///
+  /// Sharded mode (`shard_count` > 1): the store generates segments only
+  /// for *owned* source nodes — those with ShardOfNode(u, shard_count) ==
+  /// shard_index — leaving the other segment rows empty. Segment ids stay
+  /// global (u * R + k), so GetSegment addressing is uniform across
+  /// shards, and all repair paths are driven by the inverted indexes
+  /// (which list only owned-walk visits), so the incremental update code
+  /// is shard-oblivious. Visit counts then cover only the owned walks;
+  /// the sharded engine merges them across shards.
   void Init(const DiGraph& g, std::size_t walks_per_node, double epsilon,
-            uint64_t seed);
+            uint64_t seed, uint32_t shard_index = 0,
+            uint32_t shard_count = 1);
+
+  /// True iff this store owns (stores the segments of) source node `u`.
+  bool OwnsSource(NodeId u) const {
+    return ShardOfNode(u, shard_count_) == shard_index_;
+  }
+  std::size_t owned_sources() const { return owned_sources_; }
+  uint32_t shard_index() const { return shard_index_; }
+  uint32_t shard_count() const { return shard_count_; }
 
   /// Selects the repair strategy (default kRerouteFromVisit).
   void set_update_policy(UpdatePolicy policy) { policy_ = policy; }
@@ -238,12 +258,11 @@ class WalkStore {
   void UnregisterStep(uint64_t seg, uint32_t pos);
   void RegisterDangling(uint64_t seg, uint32_t pos);
   void UnregisterDangling(uint64_t seg, uint32_t pos);
-  /// Swap-removes index entry (node, slot) — known to reference
-  /// (seg, pos) — fixing up the moved entry's backpointer. Does NOT
-  /// clear the removed path word's slot field; callers deleting the
-  /// entry skip that write, others must reset it themselves.
+  /// slab::RemoveIndexEntry bound to this store's path arena.
   void RemoveIndexAt(slab::SlabPool* pool, NodeId node, uint32_t slot,
-                     uint64_t seg, uint32_t pos);
+                     uint64_t seg, uint32_t pos) {
+    slab::RemoveIndexEntry(pool, &paths_, node, slot, seg, pos);
+  }
 
   /// Drops all path entries with index > keep_pos (counters + index).
   void TruncateAfter(uint64_t seg, uint32_t keep_pos);
@@ -297,20 +316,16 @@ class WalkStore {
     uint32_t remaining;
   };
 
-  /// Starts a fresh collection epoch (O(1) amortized).
-  void BeginEpoch();
-  /// Records a repair candidate, keeping the earliest position per segment.
-  void Offer(const PendingRepair& cand);
   /// Sorts `scratch_edges_` by source and returns it as grouping input.
   std::span<const Edge> GroupBySource(std::span<const Edge> edges);
-  /// Samples `marks` distinct indices in [0, w) into picked_list_
-  /// (Floyd's algorithm; epoch-stamped membership, zero allocation).
-  void SampleDistinct(std::size_t w, uint64_t marks, Rng* rng);
 
   std::size_t walks_per_node_ = 0;
   double epsilon_ = 0.2;
   UpdatePolicy policy_ = UpdatePolicy::kRerouteFromVisit;
   Rng rng_{0};
+  uint32_t shard_index_ = 0;
+  uint32_t shard_count_ = 1;
+  std::size_t owned_sources_ = 0;
 
   /// Packed (node, slot) path entries; row = segment.
   slab::SlabPool paths_;
@@ -323,20 +338,13 @@ class WalkStore {
   std::vector<int64_t> visit_count_;
   int64_t total_visits_ = 0;
 
-  // Reusable batched-update scratch: zero steady-state allocation.
-  std::vector<PendingRepair> pending_;
-  /// Per segment: (collection epoch << 32) | slot into pending_.
-  std::vector<uint64_t> pending_meta_;
-  uint32_t epoch_ = 0;
+  // Reusable batched-update scratch: zero steady-state allocation. The
+  // collect-then-apply machinery is shared with SalsaWalkStore via
+  // slab::RepairScratch (repair_scratch.h).
+  slab::RepairScratch<PendingRepair> scratch_;
   std::vector<Edge> scratch_edges_;
   std::vector<RemovedTarget> removed_scratch_;
   std::vector<PendingWalk> walk_queue_;
-  /// Floyd-sampling scratch: pick_epoch_[i] == pick_epoch_counter_ marks
-  /// index i as picked this round; picked_list_ is the insertion-ordered
-  /// result.
-  std::vector<uint32_t> pick_epoch_;
-  std::vector<std::size_t> picked_list_;
-  uint32_t pick_epoch_counter_ = 0;
 };
 
 }  // namespace fastppr

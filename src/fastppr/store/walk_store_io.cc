@@ -25,6 +25,14 @@ bool ReadPod(std::ifstream& in, T* value) {
 }  // namespace
 
 Status SaveWalkStore(const WalkStore& store, const std::string& path) {
+  if (store.shard_count() > 1) {
+    // A shard store has empty rows for unowned sources; the snapshot
+    // format (and InitFromSegments) describes full stores only. Fail at
+    // save time, not at restore time.
+    return Status::InvalidArgument(
+        "cannot snapshot a sharded walk store (shard "
+        "stores hold only their owned segments)");
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) return Status::IOError("cannot open " + path);
 

@@ -1,0 +1,38 @@
+#ifndef FASTPPR_UTIL_SHARD_H_
+#define FASTPPR_UTIL_SHARD_H_
+
+#include <cstdint>
+
+namespace fastppr {
+
+/// SplitMix64 finalizer: the avalanche step used everywhere a stable,
+/// platform-independent 64-bit mix is needed (EdgeHash uses the same
+/// constants). Note Mix64(0) == 0 — the sharded engine relies on this so
+/// that shard 0 of a 1-shard deployment consumes the *identical* RNG
+/// stream as a flat engine (seed ^ Mix64(0) == seed).
+constexpr uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// The shard partition function: node u belongs to shard
+/// Mix64(u) % shard_count. Hashing (rather than u % S) decorrelates the
+/// partition from generator node-id patterns (preferential attachment
+/// allocates hubs at small ids), so shards stay load-balanced.
+constexpr uint32_t ShardOfNode(uint64_t node, uint32_t shard_count) {
+  return shard_count <= 1
+             ? 0
+             : static_cast<uint32_t>(Mix64(node) % shard_count);
+}
+
+/// Per-shard RNG seed derivation: seed ^ Mix64(shard). Shard streams are
+/// mutually independent, deterministic for a fixed shard count, and shard
+/// 0 reproduces the unsharded stream exactly.
+constexpr uint64_t ShardSeed(uint64_t base_seed, uint32_t shard) {
+  return base_seed ^ Mix64(shard);
+}
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_UTIL_SHARD_H_

@@ -1,0 +1,366 @@
+// Sharded parallel engine + query service (src/fastppr/engine/):
+//  * determinism contract — a 1-shard engine is bit-identical to the flat
+//    engine on a mixed insert/delete stream, and a fixed shard count is
+//    invariant across worker thread counts;
+//  * partition invariants — every source node is owned by exactly one
+//    shard's walk store;
+//  * the seqlock snapshot buffers stay coherent under concurrent
+//    reader/writer load;
+//  * personalized queries through the sharded view match the flat walker.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/core/incremental_pagerank.h"
+#include "fastppr/core/incremental_salsa.h"
+#include "fastppr/core/ppr_walker.h"
+#include "fastppr/core/salsa_walker.h"
+#include "fastppr/engine/query_service.h"
+#include "fastppr/engine/sharded_engine.h"
+#include "fastppr/engine/thread_pool.h"
+#include "fastppr/graph/generators.h"
+#include "fastppr/util/shard.h"
+
+namespace fastppr {
+namespace {
+
+MonteCarloOptions Opts(std::size_t R, double eps, uint64_t seed) {
+  MonteCarloOptions o;
+  o.walks_per_node = R;
+  o.epsilon = eps;
+  o.seed = seed;
+  return o;
+}
+
+/// A reproducible mixed stream: inserts from a shuffled power-law edge
+/// list, interleaved with deletions of already-inserted edges (same
+/// recipe as batched_update_test).
+std::vector<EdgeEvent> MixedStream(std::size_t n, uint64_t seed,
+                                   double p_delete) {
+  Rng rng(seed);
+  PreferentialAttachmentOptions gen;
+  gen.num_nodes = n;
+  gen.out_per_node = 4;
+  auto edges = PreferentialAttachment(gen, &rng);
+  rng.Shuffle(&edges);
+
+  std::vector<EdgeEvent> events;
+  std::vector<Edge> live;
+  for (const Edge& e : edges) {
+    events.push_back(EdgeEvent{EdgeEvent::Kind::kInsert, e});
+    live.push_back(e);
+    if (live.size() > 10 && rng.Bernoulli(p_delete)) {
+      const std::size_t at = rng.UniformIndex(live.size());
+      events.push_back(EdgeEvent{EdgeEvent::Kind::kDelete, live[at]});
+      live[at] = live.back();
+      live.pop_back();
+    }
+  }
+  return events;
+}
+
+/// Streams `events` through `apply` in windows of growing size (1, 3, 7,
+/// 15, ... — mixed-kind windows included).
+template <typename ApplyFn>
+void StreamWindows(const std::vector<EdgeEvent>& events,
+                   const ApplyFn& apply) {
+  std::size_t i = 0;
+  std::size_t window = 1;
+  while (i < events.size()) {
+    const std::size_t hi = std::min(events.size(), i + window);
+    apply(std::span<const EdgeEvent>(events.data() + i, hi - i));
+    i = hi;
+    window = window * 2 + 1;
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), std::max<std::size_t>(threads, 1));
+    for (int round = 0; round < 3; ++round) {
+      std::vector<std::atomic<int>> hits(101);
+      pool.ParallelFor(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (const auto& h : hits) {
+        EXPECT_EQ(h.load(std::memory_order_relaxed), 1);
+      }
+    }
+    pool.ParallelFor(0, [](std::size_t) { FAIL(); });
+  }
+}
+
+TEST(ShardPartitionTest, EverySourceOwnedByExactlyOneShard) {
+  const std::size_t n = 197;
+  const std::size_t S = 4;
+  ShardedEngine<IncrementalPageRank> engine(n, Opts(2, 0.2, 5),
+                                            ShardedOptions{S, 2});
+  std::size_t owned_total = 0;
+  for (std::size_t s = 0; s < S; ++s) {
+    const WalkStore& store = engine.shard(s).walk_store();
+    owned_total += store.owned_sources();
+    for (NodeId u = 0; u < n; ++u) {
+      const bool owns = ShardOfNode(u, S) == s;
+      EXPECT_EQ(store.OwnsSource(u), owns);
+      EXPECT_EQ(store.GetSegment(u, 0).empty(), !owns);
+    }
+  }
+  EXPECT_EQ(owned_total, n);
+  engine.CheckConsistency();
+}
+
+TEST(ShardedEngineTest, OneShardMatchesFlatPageRankBitForBit) {
+  const std::size_t n = 200;
+  const auto events = MixedStream(n, 7, 0.15);
+  const MonteCarloOptions mc = Opts(3, 0.2, 99);
+
+  IncrementalPageRank flat(n, mc);
+  ShardedEngine<IncrementalPageRank> sharded(n, mc, ShardedOptions{1, 2});
+
+  StreamWindows(events, [&](std::span<const EdgeEvent> w) {
+    ASSERT_TRUE(flat.ApplyEvents(w).ok());
+    ASSERT_TRUE(sharded.ApplyEvents(w).ok());
+  });
+  flat.CheckConsistency();
+  sharded.CheckConsistency();
+
+  const std::vector<int64_t> merged = sharded.MergedRankingCounts();
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(merged[v], flat.walk_store().VisitCount(v));
+  }
+  EXPECT_EQ(sharded.MergedRankingTotal(), flat.walk_store().TotalVisits());
+  EXPECT_EQ(sharded.lifetime_stats().walk_steps,
+            flat.lifetime_stats().walk_steps);
+  EXPECT_EQ(sharded.TopK(10), flat.TopK(10));
+  EXPECT_EQ(sharded.arrivals(), flat.arrivals());
+  EXPECT_EQ(sharded.removals(), flat.removals());
+}
+
+TEST(ShardedEngineTest, OneShardMatchesFlatSalsaBitForBit) {
+  const std::size_t n = 150;
+  const auto events = MixedStream(n, 11, 0.1);
+  const MonteCarloOptions mc = Opts(2, 0.25, 17);
+
+  IncrementalSalsa flat(n, mc);
+  ShardedEngine<IncrementalSalsa> sharded(n, mc, ShardedOptions{1, 2});
+
+  StreamWindows(events, [&](std::span<const EdgeEvent> w) {
+    ASSERT_TRUE(flat.ApplyEvents(w).ok());
+    ASSERT_TRUE(sharded.ApplyEvents(w).ok());
+  });
+  flat.CheckConsistency();
+  sharded.CheckConsistency();
+
+  const std::vector<int64_t> merged = sharded.MergedRankingCounts();
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(merged[v], flat.walk_store().AuthorityVisits(v));
+  }
+  EXPECT_EQ(sharded.lifetime_stats().walk_steps,
+            flat.lifetime_stats().walk_steps);
+  EXPECT_EQ(sharded.TopK(10), flat.TopKAuthorities(10));
+}
+
+TEST(ShardedEngineTest, FourShardsInvariantAcrossThreadCounts) {
+  const std::size_t n = 160;
+  const auto events = MixedStream(n, 23, 0.2);
+  const MonteCarloOptions mc = Opts(3, 0.2, 41);
+
+  std::vector<std::vector<int64_t>> counts;
+  std::vector<uint64_t> steps;
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ShardedEngine<IncrementalPageRank> engine(n, mc,
+                                              ShardedOptions{4, threads});
+    StreamWindows(events, [&](std::span<const EdgeEvent> w) {
+      ASSERT_TRUE(engine.ApplyEvents(w).ok());
+    });
+    engine.CheckConsistency();
+    counts.push_back(engine.MergedRankingCounts());
+    steps.push_back(engine.lifetime_stats().walk_steps);
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(counts[0], counts[2]);
+  EXPECT_EQ(steps[0], steps[1]);
+  EXPECT_EQ(steps[0], steps[2]);
+}
+
+TEST(ShardedEngineTest, FailedEventFailsIdenticallyInEveryShard) {
+  const std::size_t n = 50;
+  ShardedEngine<IncrementalPageRank> engine(n, Opts(3, 0.2, 8),
+                                            ShardedOptions{3, 2});
+  const std::vector<EdgeEvent> events{
+      EdgeEvent{EdgeEvent::Kind::kInsert, Edge{1, 2}},
+      EdgeEvent{EdgeEvent::Kind::kInsert,
+                Edge{static_cast<NodeId>(n + 5), 3}},
+      EdgeEvent{EdgeEvent::Kind::kInsert, Edge{2, 3}},
+  };
+  EXPECT_FALSE(engine.ApplyEvents(events).ok());
+  engine.CheckConsistency();
+  // Every replica applied (and repaired) the same one-event prefix.
+  for (std::size_t s = 0; s < engine.num_shards(); ++s) {
+    EXPECT_EQ(engine.shard(s).num_edges(), 1u);
+    EXPECT_TRUE(engine.shard(s).graph().HasEdge(1, 2));
+  }
+}
+
+TEST(QueryServiceTest, SnapshotsMatchEngineAfterIngest) {
+  const std::size_t n = 150;
+  const auto events = MixedStream(n, 31, 0.15);
+  ShardedEngine<IncrementalPageRank> engine(n, Opts(3, 0.2, 12),
+                                            ShardedOptions{3, 2});
+  QueryService<IncrementalPageRank> service(&engine);
+
+  EXPECT_EQ(service.published_epoch(), 0u);
+  StreamWindows(events, [&](std::span<const EdgeEvent> w) {
+    ASSERT_TRUE(service.Ingest(w).ok());
+  });
+  EXPECT_EQ(service.published_epoch(), engine.windows_applied());
+
+  int64_t total = 0;
+  SnapshotInfo info;
+  const std::vector<int64_t> snap = service.SnapshotCounts(&total, &info);
+  EXPECT_EQ(snap, engine.MergedRankingCounts());
+  EXPECT_EQ(total, engine.MergedRankingTotal());
+  EXPECT_EQ(info.min_epoch, info.max_epoch);
+  EXPECT_EQ(service.TopK(10), engine.TopK(10));
+  for (NodeId v : {NodeId{0}, NodeId{17}, NodeId{149}}) {
+    const double expect =
+        total == 0 ? 0.0
+                   : static_cast<double>(snap[v]) /
+                         static_cast<double>(total);
+    EXPECT_DOUBLE_EQ(service.Score(v), expect);
+  }
+}
+
+TEST(QueryServiceTest, ConcurrentReadersSeeCoherentSnapshots) {
+  const std::size_t n = 120;
+  const auto events = MixedStream(n, 43, 0.2);
+  ShardedEngine<IncrementalPageRank> engine(n, Opts(2, 0.25, 77),
+                                            ShardedOptions{3, 2});
+  QueryService<IncrementalPageRank> service(&engine);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+  auto reader = [&] {
+    while (!done.load(std::memory_order_acquire)) {
+      int64_t total = 0;
+      SnapshotInfo info;
+      const std::vector<int64_t> snap =
+          service.SnapshotCounts(&total, &info);
+      // Each shard's (counts, total) pair comes from one coherent
+      // buffer, so the merged sum must always balance — even while the
+      // writer publishes between the per-shard reads.
+      int64_t sum = 0;
+      for (int64_t c : snap) sum += c;
+      ASSERT_EQ(sum, total);
+      ASSERT_LE(info.min_epoch, info.max_epoch);
+      const double score = service.Score(static_cast<NodeId>(
+          reads.load(std::memory_order_relaxed) % n));
+      ASSERT_GE(score, 0.0);
+      ASSERT_LE(score, 1.0);
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread r1(reader);
+  std::thread r2(reader);
+
+  // Writer: ingest the stream in small windows (every window publishes).
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const std::size_t hi = std::min(events.size(), i + 16);
+    ASSERT_TRUE(service
+                    .Ingest(std::span<const EdgeEvent>(events.data() + i,
+                                                       hi - i))
+                    .ok());
+    i = hi;
+  }
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  EXPECT_GT(reads.load(), 0u);
+  engine.CheckConsistency();
+
+  // Quiescent state: snapshots equal the engine.
+  EXPECT_EQ(service.SnapshotCounts(), engine.MergedRankingCounts());
+}
+
+TEST(QueryServiceTest, PersonalizedTopKMatchesFlatWalkerAtOneShard) {
+  const std::size_t n = 120;
+  Rng rng(3);
+  auto edges = ErdosRenyi(n, 900, &rng);
+  const MonteCarloOptions mc = Opts(4, 0.2, 19);
+
+  IncrementalPageRank flat(n, mc);
+  ShardedEngine<IncrementalPageRank> sharded(n, mc, ShardedOptions{1, 2});
+  QueryService<IncrementalPageRank> service(&sharded);
+  std::vector<EdgeEvent> events;
+  for (const Edge& e : edges) {
+    events.push_back(EdgeEvent{EdgeEvent::Kind::kInsert, e});
+  }
+  ASSERT_TRUE(flat.ApplyEvents(events).ok());
+  ASSERT_TRUE(service.Ingest(events).ok());
+
+  PersonalizedPageRankWalker walker(&flat.walk_store(),
+                                    &flat.social_store());
+  std::vector<ScoredNode> flat_ranked;
+  PersonalizedWalkResult flat_walk;
+  ASSERT_TRUE(walker
+                  .TopK(5, 8, 4000, /*exclude_friends=*/true,
+                        /*rng_seed=*/123, &flat_ranked, &flat_walk)
+                  .ok());
+
+  std::vector<ScoredNode> sharded_ranked;
+  PersonalizedWalkResult sharded_walk;
+  ASSERT_TRUE(service
+                  .PersonalizedTopK(5, 8, 4000, /*exclude_friends=*/true,
+                                    /*rng_seed=*/123, &sharded_ranked,
+                                    &sharded_walk)
+                  .ok());
+
+  ASSERT_EQ(sharded_ranked.size(), flat_ranked.size());
+  for (std::size_t i = 0; i < flat_ranked.size(); ++i) {
+    EXPECT_EQ(sharded_ranked[i].node, flat_ranked[i].node);
+    EXPECT_EQ(sharded_ranked[i].visits, flat_ranked[i].visits);
+  }
+  EXPECT_EQ(sharded_walk.length, flat_walk.length);
+  EXPECT_EQ(sharded_walk.segments_used, flat_walk.segments_used);
+}
+
+TEST(QueryServiceTest, PersonalizedSalsaServesAcrossShards) {
+  const std::size_t n = 100;
+  Rng rng(9);
+  auto edges = ErdosRenyi(n, 800, &rng);
+  ShardedEngine<IncrementalSalsa> engine(n, Opts(3, 0.2, 29),
+                                         ShardedOptions{4, 2});
+  QueryService<IncrementalSalsa> service(&engine);
+  std::vector<EdgeEvent> events;
+  for (const Edge& e : edges) {
+    events.push_back(EdgeEvent{EdgeEvent::Kind::kInsert, e});
+  }
+  ASSERT_TRUE(service.Ingest(events).ok());
+
+  std::vector<ScoredNode> ranked;
+  SalsaWalkResult walk;
+  ASSERT_TRUE(service
+                  .PersonalizedTopK(7, 5, 20000, /*exclude_friends=*/true,
+                                    /*rng_seed=*/7, &ranked, &walk)
+                  .ok());
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_GT(walk.segments_used, 0u);
+  // The walk consumed stored segments from more than one shard's store
+  // (any node it fetched beyond the seed's shard).
+  for (const ScoredNode& s : ranked) {
+    EXPECT_NE(s.node, 7u);
+    for (NodeId friend_node : engine.graph().OutNeighbors(7)) {
+      EXPECT_NE(s.node, friend_node);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastppr
