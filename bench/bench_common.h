@@ -13,6 +13,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "fastppr/graph/digraph.h"
 #include "fastppr/graph/types.h"
 #include "fastppr/store/walk_store.h"
@@ -29,6 +33,15 @@ double BestOfTwo(const F& run) {
   const double a = run();
   const double b = run();
   return a > b ? a : b;
+}
+
+/// Struct-result variant: keeps the whole result of whichever run scored
+/// higher under `key`.
+template <typename F, typename KeyFn>
+auto BestOfTwo(const F& run, const KeyFn& key) {
+  auto a = run();
+  auto b = run();
+  return key(a) > key(b) ? a : b;
 }
 
 /// The ingestion-throughput loop shared by the update-path benches:
@@ -86,6 +99,26 @@ double MeasureIngestThroughput(std::size_t n, std::size_t R, double eps,
       static_cast<double>(edges.size()) / timer.ElapsedSeconds();
   if (stats_out != nullptr) *stats_out = stats;
   return events_per_sec;
+}
+
+/// Peak resident set size of this process in bytes, or 0 where
+/// unsupported. ru_maxrss is a monotone process-lifetime high-water
+/// mark — it covers every phase the harness ran (baselines, transient
+/// comparison graphs, all engine configurations), so report it as
+/// overall footprint context, never as a per-configuration measurement;
+/// per-structure claims use the explicit MemoryBytes() accounting.
+inline std::size_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 /// Directory the CSV series are written to. Created on demand; harnesses

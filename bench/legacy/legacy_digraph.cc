@@ -1,0 +1,75 @@
+#include "legacy_digraph.h"
+
+#include <algorithm>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr::legacy {
+
+DiGraph::DiGraph(std::size_t num_nodes) : out_(num_nodes), in_(num_nodes) {}
+
+void DiGraph::EnsureNodes(std::size_t num_nodes) {
+  if (num_nodes > out_.size()) {
+    out_.resize(num_nodes);
+    in_.resize(num_nodes);
+  }
+}
+
+Status DiGraph::AddEdge(NodeId src, NodeId dst) {
+  if (src >= out_.size() || dst >= out_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  out_[src].push_back(dst);
+  in_[dst].push_back(src);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status DiGraph::RemoveEdge(NodeId src, NodeId dst) {
+  if (src >= out_.size() || dst >= out_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  auto& outs = out_[src];
+  auto it = std::find(outs.begin(), outs.end(), dst);
+  if (it == outs.end()) return Status::NotFound("edge not present");
+  *it = outs.back();
+  outs.pop_back();
+
+  auto& ins = in_[dst];
+  auto jt = std::find(ins.begin(), ins.end(), src);
+  FASTPPR_CHECK_MSG(jt != ins.end(), "in/out adjacency out of sync");
+  *jt = ins.back();
+  ins.pop_back();
+
+  --num_edges_;
+  return Status::OK();
+}
+
+bool DiGraph::HasEdge(NodeId src, NodeId dst) const {
+  if (src >= out_.size() || dst >= out_.size()) return false;
+  const auto& outs = out_[src];
+  return std::find(outs.begin(), outs.end(), dst) != outs.end();
+}
+
+NodeId DiGraph::RandomOutNeighbor(NodeId v, Rng* rng) const {
+  const auto& outs = out_[v];
+  if (outs.empty()) return kInvalidNode;
+  return outs[rng->UniformIndex(outs.size())];
+}
+
+NodeId DiGraph::RandomInNeighbor(NodeId v, Rng* rng) const {
+  const auto& ins = in_[v];
+  if (ins.empty()) return kInvalidNode;
+  return ins[rng->UniformIndex(ins.size())];
+}
+
+std::size_t DiGraph::MemoryBytes() const {
+  std::size_t bytes =
+      out_.capacity() * sizeof(std::vector<NodeId>) +
+      in_.capacity() * sizeof(std::vector<NodeId>);
+  for (const auto& row : out_) bytes += row.capacity() * sizeof(NodeId);
+  for (const auto& row : in_) bytes += row.capacity() * sizeof(NodeId);
+  return bytes;
+}
+
+}  // namespace fastppr::legacy

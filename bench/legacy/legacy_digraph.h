@@ -1,0 +1,63 @@
+// Frozen copy of the pre-slab (seed) DiGraph layout: one heap-allocated
+// std::vector per node and direction, O(degree) RemoveEdge/HasEdge
+// scans. Kept ONLY as the "before" side of bench_graph_mutation's
+// before/after comparison; never linked into the library. Do not
+// maintain feature parity here.
+#ifndef FASTPPR_BENCH_LEGACY_DIGRAPH_H_
+#define FASTPPR_BENCH_LEGACY_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fastppr/graph/types.h"
+#include "fastppr/util/random.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr::legacy {
+
+/// Dynamic directed multigraph over a fixed node universe [0, n);
+/// vector-of-vectors adjacency, exactly as the seed shipped it.
+class DiGraph {
+ public:
+  explicit DiGraph(std::size_t num_nodes = 0);
+
+  std::size_t num_nodes() const { return out_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  void EnsureNodes(std::size_t num_nodes);
+
+  Status AddEdge(NodeId src, NodeId dst);
+
+  /// Removes one occurrence of src->dst (O(outdeg(src) + indeg(dst))).
+  Status RemoveEdge(NodeId src, NodeId dst);
+
+  bool HasEdge(NodeId src, NodeId dst) const;
+
+  std::size_t OutDegree(NodeId v) const { return out_[v].size(); }
+  std::size_t InDegree(NodeId v) const { return in_[v].size(); }
+
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    return {out_[v].data(), out_[v].size()};
+  }
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    return {in_[v].data(), in_[v].size()};
+  }
+
+  NodeId RandomOutNeighbor(NodeId v, Rng* rng) const;
+  NodeId RandomInNeighbor(NodeId v, Rng* rng) const;
+
+  /// Heap bytes held by the adjacency vectors (headers + capacities),
+  /// for the memory column of bench_graph_mutation. Malloc block
+  /// overhead is not counted, so this flatters the legacy layout.
+  std::size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace fastppr::legacy
+
+#endif  // FASTPPR_BENCH_LEGACY_DIGRAPH_H_

@@ -50,9 +50,18 @@ class IncrementalPageRank {
   /// initialization cost is the nR/eps segment-generation cost).
   IncrementalPageRank(const DiGraph& initial, const MonteCarloOptions& opts);
 
+  /// Shared-store deployment (engine/sharded_engine.h): attaches to an
+  /// externally owned Social Store instead of creating a private one.
+  /// Walk segments are generated from the store's current graph. The
+  /// caller owns the mutation schedule: graph mutations and this
+  /// engine's Repair* calls must never overlap (the single-writer epoch
+  /// contract; see DESIGN.md section 5).
+  IncrementalPageRank(std::shared_ptr<SocialStore> social,
+                      const MonteCarloOptions& opts);
+
   const MonteCarloOptions& options() const { return options_; }
-  std::size_t num_nodes() const { return social_.num_nodes(); }
-  std::size_t num_edges() const { return social_.num_edges(); }
+  std::size_t num_nodes() const { return social_->num_nodes(); }
+  std::size_t num_edges() const { return social_->num_edges(); }
 
   /// Adds the edge to the Social Store and repairs the affected walk
   /// segments. Returns the error of the underlying graph mutation if the
@@ -74,6 +83,16 @@ class IncrementalPageRank {
   /// is repaired before the error is returned. last_event_stats() holds
   /// the accumulated stats of the whole batch afterwards.
   Status ApplyEvents(std::span<const EdgeEvent> events);
+
+  /// Repair-only API for shared-store deployments: the orchestrator has
+  /// already applied the chunk's mutations to the shared Social Store;
+  /// repair this engine's walks against the (now frozen) graph.
+  /// last_event_stats() accumulates every Repair* call since the last
+  /// BeginRepairWindow(). Consumes the identical RNG stream as the
+  /// owning-store ApplyEvents path on the same chunk sequence.
+  void BeginRepairWindow() { last_stats_ = WalkUpdateStats{}; }
+  void RepairEdgesInserted(std::span<const Edge> edges);
+  void RepairEdgesRemoved(std::span<const Edge> edges);
 
   /// pi~_v with the paper's nR/eps normalization (Theorem 1).
   double Estimate(NodeId v) const { return walks_.Estimate(v); }
@@ -105,10 +124,10 @@ class IncrementalPageRank {
   uint64_t arrivals() const { return arrivals_; }
   uint64_t removals() const { return removals_; }
 
-  SocialStore& social_store() { return social_; }
-  const SocialStore& social_store() const { return social_; }
+  SocialStore& social_store() { return *social_; }
+  const SocialStore& social_store() const { return *social_; }
   const WalkStore& walk_store() const { return walks_; }
-  const DiGraph& graph() const { return social_.graph(); }
+  const DiGraph& graph() const { return social_->graph(); }
 
   /// Persists the engine (graph + walk segments) to `directory` as
   /// `graph.txt` (SNAP edge list) and `walks.bin` (binary snapshot), so a
@@ -123,11 +142,13 @@ class IncrementalPageRank {
                              std::unique_ptr<IncrementalPageRank>* engine);
 
   /// Test hook: full invariant audit.
-  void CheckConsistency() const { walks_.CheckConsistency(social_.graph()); }
+  void CheckConsistency() const {
+    walks_.CheckConsistency(social_->graph());
+  }
 
  private:
   MonteCarloOptions options_;
-  SocialStore social_;
+  std::shared_ptr<SocialStore> social_;
   WalkStore walks_;
   Rng rng_;
   WalkUpdateStats last_stats_;

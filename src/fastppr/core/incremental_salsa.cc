@@ -9,39 +9,61 @@ namespace fastppr {
 
 IncrementalSalsa::IncrementalSalsa(std::size_t num_nodes,
                                    const MonteCarloOptions& opts)
-    : options_(opts), social_(num_nodes), rng_(opts.seed ^ 0x5A15AULL) {
-  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed,
-              opts.shard_index, opts.shard_count);
+    : options_(opts), social_(std::make_shared<SocialStore>(num_nodes)),
+      rng_(opts.seed ^ 0x5A15AULL) {
+  walks_.Init(social_->graph(), opts.walks_per_node, opts.epsilon,
+              opts.seed, opts.shard_index, opts.shard_count);
 }
 
 IncrementalSalsa::IncrementalSalsa(const DiGraph& initial,
                                    const MonteCarloOptions& opts)
-    : options_(opts), social_(initial.num_nodes()),
+    : options_(opts),
+      social_(std::make_shared<SocialStore>(initial.num_nodes())),
       rng_(opts.seed ^ 0x5A15AULL) {
-  DiGraph* g = social_.mutable_graph();
-  for (NodeId u = 0; u < initial.num_nodes(); ++u) {
-    for (NodeId v : initial.OutNeighbors(u)) {
-      FASTPPR_CHECK(g->AddEdge(u, v).ok());
-    }
-  }
-  walks_.Init(social_.graph(), opts.walks_per_node, opts.epsilon, opts.seed,
-              opts.shard_index, opts.shard_count);
+  social_->ImportGraph(initial);
+  walks_.Init(social_->graph(), opts.walks_per_node, opts.epsilon,
+              opts.seed, opts.shard_index, opts.shard_count);
+}
+
+IncrementalSalsa::IncrementalSalsa(std::shared_ptr<SocialStore> social,
+                                   const MonteCarloOptions& opts)
+    : options_(opts), social_(std::move(social)),
+      rng_(opts.seed ^ 0x5A15AULL) {
+  FASTPPR_CHECK(social_ != nullptr);
+  walks_.Init(social_->graph(), opts.walks_per_node, opts.epsilon,
+              opts.seed, opts.shard_index, opts.shard_count);
 }
 
 Status IncrementalSalsa::AddEdge(NodeId src, NodeId dst) {
-  FASTPPR_RETURN_IF_ERROR(social_.AddEdge(src, dst));
-  last_stats_ = walks_.OnEdgeInserted(social_.graph(), src, dst, &rng_);
+  FASTPPR_RETURN_IF_ERROR(social_->AddEdge(src, dst));
+  last_stats_ = walks_.OnEdgeInserted(social_->graph(), src, dst, &rng_);
   lifetime_stats_.Accumulate(last_stats_);
   ++arrivals_;
   return Status::OK();
 }
 
 Status IncrementalSalsa::RemoveEdge(NodeId src, NodeId dst) {
-  FASTPPR_RETURN_IF_ERROR(social_.RemoveEdge(src, dst));
-  last_stats_ = walks_.OnEdgeRemoved(social_.graph(), src, dst, &rng_);
+  FASTPPR_RETURN_IF_ERROR(social_->RemoveEdge(src, dst));
+  last_stats_ = walks_.OnEdgeRemoved(social_->graph(), src, dst, &rng_);
   lifetime_stats_.Accumulate(last_stats_);
   ++removals_;
   return Status::OK();
+}
+
+void IncrementalSalsa::RepairEdgesInserted(std::span<const Edge> edges) {
+  const WalkUpdateStats stats =
+      walks_.OnEdgesInserted(social_->graph(), edges, &rng_);
+  last_stats_.Accumulate(stats);
+  lifetime_stats_.Accumulate(stats);
+  arrivals_ += edges.size();
+}
+
+void IncrementalSalsa::RepairEdgesRemoved(std::span<const Edge> edges) {
+  const WalkUpdateStats stats =
+      walks_.OnEdgesRemoved(social_->graph(), edges, &rng_);
+  last_stats_.Accumulate(stats);
+  lifetime_stats_.Accumulate(stats);
+  removals_ += edges.size();
 }
 
 Status IncrementalSalsa::ApplyEvent(const EdgeEvent& event) {
@@ -52,47 +74,20 @@ Status IncrementalSalsa::ApplyEvent(const EdgeEvent& event) {
 }
 
 Status IncrementalSalsa::ApplyEvents(std::span<const EdgeEvent> events) {
-  WalkUpdateStats batch_stats;
-  std::size_t i = 0;
-  while (i < events.size()) {
-    std::size_t j = i;
-    while (j < events.size() && events[j].kind == events[i].kind) ++j;
-    const bool insert = events[i].kind == EdgeEvent::Kind::kInsert;
-
-    chunk_scratch_.clear();
-    Status failure = Status::OK();
-    for (std::size_t t = i; t < j; ++t) {
-      const Edge& e = events[t].edge;
-      Status s = insert ? social_.AddEdge(e.src, e.dst)
-                        : social_.RemoveEdge(e.src, e.dst);
-      if (!s.ok()) {
-        failure = s;
-        break;
-      }
-      chunk_scratch_.push_back(e);
-    }
-    if (!chunk_scratch_.empty()) {
-      const WalkUpdateStats stats =
-          insert ? walks_.OnEdgesInserted(social_.graph(), chunk_scratch_,
-                                          &rng_)
-                 : walks_.OnEdgesRemoved(social_.graph(), chunk_scratch_,
-                                         &rng_);
-      batch_stats.Accumulate(stats);
-      lifetime_stats_.Accumulate(stats);
-      if (insert) {
-        arrivals_ += chunk_scratch_.size();
-      } else {
-        removals_ += chunk_scratch_.size();
-      }
-    }
-    if (!failure.ok()) {
-      last_stats_ = batch_stats;
-      return failure;
-    }
-    i = j;
-  }
-  last_stats_ = batch_stats;
-  return Status::OK();
+  BeginRepairWindow();
+  return ApplyEventsInChunks(
+      events, &chunk_scratch_,
+      [this](const Edge& e, bool insert) {
+        return insert ? social_->AddEdge(e.src, e.dst)
+                      : social_->RemoveEdge(e.src, e.dst);
+      },
+      [this](std::span<const Edge> applied, bool insert) {
+        if (insert) {
+          RepairEdgesInserted(applied);
+        } else {
+          RepairEdgesRemoved(applied);
+        }
+      });
 }
 
 std::vector<NodeId> IncrementalSalsa::TopKAuthorities(std::size_t k) const {

@@ -2,6 +2,7 @@
 #define FASTPPR_CORE_INCREMENTAL_SALSA_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -25,9 +26,15 @@ class IncrementalSalsa {
   IncrementalSalsa(std::size_t num_nodes, const MonteCarloOptions& opts);
   IncrementalSalsa(const DiGraph& initial, const MonteCarloOptions& opts);
 
+  /// Shared-store deployment (engine/sharded_engine.h): attaches to an
+  /// externally owned Social Store; see IncrementalPageRank's twin
+  /// constructor for the single-writer contract.
+  IncrementalSalsa(std::shared_ptr<SocialStore> social,
+                   const MonteCarloOptions& opts);
+
   const MonteCarloOptions& options() const { return options_; }
-  std::size_t num_nodes() const { return social_.num_nodes(); }
-  std::size_t num_edges() const { return social_.num_edges(); }
+  std::size_t num_nodes() const { return social_->num_nodes(); }
+  std::size_t num_edges() const { return social_->num_edges(); }
 
   Status AddEdge(NodeId src, NodeId dst);
   Status RemoveEdge(NodeId src, NodeId dst);
@@ -38,6 +45,12 @@ class IncrementalSalsa {
   /// draw per (pivot, degree-change) group on both endpoints. A 1-event
   /// span is bit-identical to the sequential call.
   Status ApplyEvents(std::span<const EdgeEvent> events);
+
+  /// Repair-only API for shared-store deployments (see
+  /// IncrementalPageRank for the contract).
+  void BeginRepairWindow() { last_stats_ = WalkUpdateStats{}; }
+  void RepairEdgesInserted(std::span<const Edge> edges);
+  void RepairEdgesRemoved(std::span<const Edge> edges);
 
   /// Authority-side visit frequency (comparable to SalsaExact).
   double AuthorityEstimate(NodeId v) const {
@@ -62,15 +75,17 @@ class IncrementalSalsa {
   uint64_t arrivals() const { return arrivals_; }
   uint64_t removals() const { return removals_; }
 
-  SocialStore& social_store() { return social_; }
+  SocialStore& social_store() { return *social_; }
   const SalsaWalkStore& walk_store() const { return walks_; }
-  const DiGraph& graph() const { return social_.graph(); }
+  const DiGraph& graph() const { return social_->graph(); }
 
-  void CheckConsistency() const { walks_.CheckConsistency(social_.graph()); }
+  void CheckConsistency() const {
+    walks_.CheckConsistency(social_->graph());
+  }
 
  private:
   MonteCarloOptions options_;
-  SocialStore social_;
+  std::shared_ptr<SocialStore> social_;
   SalsaWalkStore walks_;
   Rng rng_;
   WalkUpdateStats last_stats_;

@@ -80,12 +80,14 @@ class SnapshotBuffer {
 
   /// Adds this shard's counts into `acc` and its total into `total`;
   /// returns the snapshot's epoch. Lock-free; a read is copied into
-  /// local scratch first and merged only after the sequence counter
-  /// validates, so a concurrent publish costs a retry, never a torn
-  /// merge.
-  uint64_t AccumulateInto(std::vector<int64_t>* acc,
-                          int64_t* total) const {
-    std::vector<int64_t> tmp(acc->size());
+  /// `scratch` (caller-owned, resized here — one allocation per merged
+  /// read, not one per shard per retry) and merged only after the
+  /// sequence counter validates, so a concurrent publish costs a retry,
+  /// never a torn merge.
+  uint64_t AccumulateInto(std::vector<int64_t>* acc, int64_t* total,
+                          std::vector<int64_t>* scratch) const {
+    std::vector<int64_t>& tmp = *scratch;
+    tmp.resize(acc->size());
     for (;;) {
       const uint64_t s1 = seq_.load(std::memory_order_acquire);
       const Buf& b = bufs_[s1 & 1];
@@ -182,11 +184,12 @@ class QueryService {
   std::vector<int64_t> SnapshotCounts(int64_t* total = nullptr,
                                       SnapshotInfo* info = nullptr) const {
     std::vector<int64_t> acc(engine_->num_nodes(), 0);
+    std::vector<int64_t> scratch;
     int64_t t = 0;
     SnapshotInfo si;
     si.min_epoch = ~uint64_t{0};
     for (const SnapshotBuffer& snap : snapshots_) {
-      const uint64_t e = snap.AccumulateInto(&acc, &t);
+      const uint64_t e = snap.AccumulateInto(&acc, &t, &scratch);
       si.min_epoch = std::min(si.min_epoch, e);
       si.max_epoch = std::max(si.max_epoch, e);
     }
@@ -233,7 +236,7 @@ class QueryService {
                           WalkStats* walk_stats = nullptr) {
     std::lock_guard<std::mutex> lock(window_mu_);
     const SegmentView view(engine_);
-    SocialStore* social = &engine_->shard(0).social_store();
+    SocialStore* social = &engine_->social_store();
     if constexpr (kIsSalsa) {
       BasicPersonalizedSalsaWalker<SegmentView> walker(&view, social);
       return walker.TopKAuthorities(seed, k, length, exclude_friends,

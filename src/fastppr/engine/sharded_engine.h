@@ -2,16 +2,25 @@
 #define FASTPPR_ENGINE_SHARDED_ENGINE_H_
 
 // Node-partitioned parallel execution of the incremental Monte Carlo
-// engines (see DESIGN.md section 4).
+// engines over ONE shared social graph (see DESIGN.md sections 4-5).
 //
-// The paper's deployment is inherently partitioned: walk segments live in
-// a sharded PageRank Store behind a FlockDB-like Social Store. This
+// The paper's deployment is inherently partitioned: walk segments live
+// in a sharded PageRank Store behind a FlockDB-like Social Store. This
 // header reproduces that shape in-process. Nodes are hash-partitioned
-// into S shards (ShardOfNode); shard s runs a complete engine instance —
-// its own Social Store replica, its own slab walk store holding only the
-// segments sourced at owned nodes, and its own RNG seeded
-// ShardSeed(seed, s) — so shards share no mutable state and repair in
-// parallel with no synchronization at all.
+// into S shards (ShardOfNode); shard s runs an engine instance holding
+// its own slab walk store (only the segments sourced at owned nodes)
+// and its own RNG seeded ShardSeed(seed, s) — but, since PR 3, all
+// shards read the SAME slab-backed Social Store instead of per-shard
+// replicas (which cost S× adjacency memory and S× mutation work).
+//
+// Single-writer epoch contract: each ingestion window is processed as
+// alternating phases. In the ingest phase the orchestrating thread —
+// the only writer anywhere — applies one same-kind chunk of events to
+// the shared graph; in the repair phase every shard repairs its own
+// walks in parallel against the now-frozen graph. The graph's mutation
+// epoch (AdjacencySlab::epoch) is recorded when a repair phase starts
+// and FASTPPR_CHECKed unchanged when it ends, so an accidental mutation
+// under concurrent readers aborts loudly instead of racing silently.
 //
 // Event routing is a *broadcast*, not a split: an arriving edge (u, v)
 // reroutes stored walks that VISIT u (Proposition 2), and walks visiting
@@ -22,9 +31,12 @@
 // of the event belongs to shard_of(src); ShardRouter accounts it there).
 //
 // Determinism contract: per-shard RNG streams depend only on (seed,
-// shard_count), never on thread count or scheduling, so results are
-// bit-identical for any number of worker threads — and a 1-shard engine
-// consumes the identical stream as the flat engine (Mix64(0) == 0).
+// shard_count), never on thread count or scheduling, and sampling is
+// defined over the shared slab's canonical slot order — so results are
+// bit-identical for any number of worker threads, and a 1-shard engine
+// consumes the identical stream as the flat engine (Mix64(0) == 0; the
+// flat engine's chunk loop interleaves mutation and repair in exactly
+// the same order).
 
 #include <algorithm>
 #include <cstdint>
@@ -37,6 +49,7 @@
 #include "fastppr/engine/thread_pool.h"
 #include "fastppr/graph/edge_stream.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/store/social_store.h"
 #include "fastppr/util/check.h"
 #include "fastppr/util/shard.h"
 #include "fastppr/util/status.h"
@@ -69,11 +82,12 @@ class ShardRouter {
     return ShardOfNode(u, static_cast<uint32_t>(num_shards_));
   }
 
-  /// Accounts the window's writes to their owning shards (by edge
-  /// source, mirroring SocialStore's write counting).
-  void AccountWrites(std::span<const EdgeEvent> events) {
-    for (const EdgeEvent& ev : events) {
-      ++writes_by_shard_[shard_of(ev.edge.src)];
+  /// Accounts a chunk of *applied* mutations to their owning shards (by
+  /// edge source, mirroring SocialStore's write counting — rejected
+  /// events are never counted).
+  void AccountWrites(std::span<const Edge> applied) {
+    for (const Edge& e : applied) {
+      ++writes_by_shard_[shard_of(e.src)];
     }
   }
 
@@ -87,10 +101,10 @@ class ShardRouter {
   std::vector<uint64_t> writes_by_shard_;
 };
 
-/// S independent engine instances behind one ApplyEvents front door.
-/// `Engine` is IncrementalPageRank or IncrementalSalsa (anything with the
-/// MonteCarloOptions constructor, ApplyEvents, and the RankingCount merge
-/// API).
+/// S walk-store shards over one shared Social Store, behind one
+/// ApplyEvents front door. `Engine` is IncrementalPageRank or
+/// IncrementalSalsa (anything with the shared-store constructor, the
+/// BeginRepairWindow/RepairEdges* API, and the RankingCount merge API).
 template <typename Engine>
 class ShardedEngine {
  public:
@@ -99,12 +113,8 @@ class ShardedEngine {
       : base_options_(opts),
         router_(sharding.num_shards),
         pool_(ResolveThreads(sharding)),
-        statuses_(sharding.num_shards) {
-    shards_.reserve(sharding.num_shards);
-    for (std::size_t s = 0; s < sharding.num_shards; ++s) {
-      shards_.push_back(
-          std::make_unique<Engine>(num_nodes, ShardOptions(opts, s)));
-    }
+        social_(std::make_shared<SocialStore>(num_nodes)) {
+    InitShards(opts);
   }
 
   ShardedEngine(const DiGraph& initial, const MonteCarloOptions& opts,
@@ -112,18 +122,15 @@ class ShardedEngine {
       : base_options_(opts),
         router_(sharding.num_shards),
         pool_(ResolveThreads(sharding)),
-        statuses_(sharding.num_shards) {
-    shards_.reserve(sharding.num_shards);
-    for (std::size_t s = 0; s < sharding.num_shards; ++s) {
-      shards_.push_back(
-          std::make_unique<Engine>(initial, ShardOptions(opts, s)));
-    }
+        social_(std::make_shared<SocialStore>(initial.num_nodes())) {
+    social_->ImportGraph(initial);
+    InitShards(opts);
   }
 
   std::size_t num_shards() const { return shards_.size(); }
   std::size_t num_threads() const { return pool_.num_threads(); }
-  std::size_t num_nodes() const { return shards_[0]->num_nodes(); }
-  std::size_t num_edges() const { return shards_[0]->num_edges(); }
+  std::size_t num_nodes() const { return social_->num_nodes(); }
+  std::size_t num_edges() const { return social_->num_edges(); }
   uint64_t arrivals() const { return shards_[0]->arrivals(); }
   uint64_t removals() const { return shards_[0]->removals(); }
   /// Ingestion windows applied so far (the snapshot epoch source).
@@ -135,24 +142,52 @@ class ShardedEngine {
   Engine& shard(std::size_t s) { return *shards_[s]; }
   const Engine& shard(std::size_t s) const { return *shards_[s]; }
   std::size_t shard_of(NodeId u) const { return router_.shard_of(u); }
-  const DiGraph& graph() const { return shards_[0]->graph(); }
 
-  /// Applies one ingestion window: the router accounts the writes, then
-  /// every shard ingests the window in parallel — each mutates its own
-  /// graph replica and repairs its own walks. Replica graph states are
-  /// identical, so an invalid event fails at the same prefix in every
-  /// shard; the (common) first error is returned, with the applied
-  /// prefix repaired everywhere.
+  /// The ONE shared Social Store all shards read (and the single-writer
+  /// ingest phase mutates).
+  SocialStore& social_store() { return *social_; }
+  const SocialStore& social_store() const { return *social_; }
+  const DiGraph& graph() const { return social_->graph(); }
+
+  /// Heap bytes of the shared graph storage. With per-shard replicas
+  /// (the PR 2 architecture) this would be paid num_shards() times;
+  /// sharing collapses it to one copy — the number bench_sharded
+  /// reports as the replica-elimination saving.
+  std::size_t GraphMemoryBytes() const { return social_->MemoryBytes(); }
+
+  /// Applies one ingestion window in alternating single-writer ingest /
+  /// parallel repair phases, one pair per same-kind chunk. An invalid
+  /// event stops the window at that chunk prefix; the applied prefix is
+  /// repaired in every shard before the error is returned.
   Status ApplyEvents(std::span<const EdgeEvent> events) {
-    router_.AccountWrites(events);
-    pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
-      statuses_[s] = shards_[s]->ApplyEvents(events);
-    });
+    for (auto& shard : shards_) shard->BeginRepairWindow();
+    // The shared chunk protocol (ApplyEventsInChunks) is what makes the
+    // S=1 engine consume the identical RNG stream as the flat engines:
+    // every mutate call below is an ingest-phase write by this (single
+    // writer) thread; every repair call is a parallel phase against the
+    // frozen graph.
+    const Status result = ApplyEventsInChunks(
+        events, &chunk_scratch_,
+        [this](const Edge& e, bool insert) {
+          return insert ? social_->AddEdge(e.src, e.dst)
+                        : social_->RemoveEdge(e.src, e.dst);
+        },
+        [this](std::span<const Edge> applied, bool insert) {
+          router_.AccountWrites(applied);
+          const uint64_t frozen = social_->epoch();
+          pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
+            if (insert) {
+              shards_[s]->RepairEdgesInserted(applied);
+            } else {
+              shards_[s]->RepairEdgesRemoved(applied);
+            }
+          });
+          FASTPPR_CHECK_MSG(
+              social_->epoch() == frozen,
+              "graph mutated during a parallel repair phase");
+        });
     ++windows_applied_;
-    for (const Status& s : statuses_) {
-      if (!s.ok()) return s;
-    }
-    return Status::OK();
+    return result;
   }
 
   Status ApplyEvent(const EdgeEvent& event) {
@@ -208,8 +243,10 @@ class ShardedEngine {
     return out;
   }
 
-  /// Test hook: audits every shard's store against its graph replica.
+  /// Test hook: audits the shared slab and every shard's store against
+  /// the shared graph.
   void CheckConsistency() const {
+    social_->graph().slab().CheckConsistency();
     for (const auto& shard : shards_) shard->CheckConsistency();
   }
 
@@ -221,21 +258,24 @@ class ShardedEngine {
     return std::min(sharding.num_shards, hw > 0 ? hw : 1);
   }
 
-  MonteCarloOptions ShardOptions(const MonteCarloOptions& opts,
-                                 std::size_t s) const {
-    MonteCarloOptions shard_opts = opts;
-    shard_opts.seed = ShardSeed(opts.seed, static_cast<uint32_t>(s));
-    shard_opts.shard_index = static_cast<uint32_t>(s);
-    shard_opts.shard_count = static_cast<uint32_t>(shards_capacity());
-    return shard_opts;
+  void InitShards(const MonteCarloOptions& opts) {
+    const std::size_t S = router_.num_shards();
+    shards_.reserve(S);
+    for (std::size_t s = 0; s < S; ++s) {
+      MonteCarloOptions shard_opts = opts;
+      shard_opts.seed = ShardSeed(opts.seed, static_cast<uint32_t>(s));
+      shard_opts.shard_index = static_cast<uint32_t>(s);
+      shard_opts.shard_count = static_cast<uint32_t>(S);
+      shards_.push_back(std::make_unique<Engine>(social_, shard_opts));
+    }
   }
-  std::size_t shards_capacity() const { return router_.num_shards(); }
 
   MonteCarloOptions base_options_;
   ShardRouter router_;
   ThreadPool pool_;
+  std::shared_ptr<SocialStore> social_;
   std::vector<std::unique_ptr<Engine>> shards_;
-  std::vector<Status> statuses_;
+  std::vector<Edge> chunk_scratch_;
   uint64_t windows_applied_ = 0;
 };
 

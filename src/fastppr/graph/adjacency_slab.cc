@@ -1,0 +1,192 @@
+#include "fastppr/graph/adjacency_slab.h"
+
+#include <algorithm>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr {
+
+AdjacencySlab::AdjacencySlab(std::size_t num_nodes) {
+  out_.refs.resize(num_nodes);
+  in_.refs.resize(num_nodes);
+}
+
+void AdjacencySlab::EnsureNodes(std::size_t num_nodes) {
+  if (num_nodes > out_.refs.size()) {
+    out_.refs.resize(num_nodes);
+    in_.refs.resize(num_nodes);
+  }
+}
+
+uint64_t AdjacencySlab::AllocBlock(Side* side, uint32_t cls) {
+  const uint64_t cap = uint64_t{1} << cls;
+  std::vector<uint64_t>& fl = side->free_lists[cls];
+  if (!fl.empty()) {
+    const uint64_t off = fl.back();
+    fl.pop_back();
+    side->free_slots -= static_cast<std::size_t>(cap);
+    return off;
+  }
+  const uint64_t off = side->arena_size;
+  side->arena_size += cap;
+  GrowColumn(&side->ids, side->arena_size);
+  GrowColumn(&side->twins, side->arena_size);
+  return off;
+}
+
+void AdjacencySlab::FreeBlock(Side* side, uint64_t off, uint32_t cls) {
+  side->free_lists[cls].push_back(off);
+  side->free_slots += std::size_t{1} << cls;
+}
+
+void AdjacencySlab::Relocate(Side* side, NodeId v, uint32_t cls) {
+  const uint64_t off = AllocBlock(side, cls);
+  BlockRef& r = side->refs[v];
+  for (uint32_t p = 0; p < r.deg; ++p) {
+    side->ids[off + p] = side->ids[r.off + p];
+    side->twins[off + p] = side->twins[r.off + p];
+  }
+  if (r.cls != kNoBlock) FreeBlock(side, r.off, r.cls);
+  r.off = off;
+  r.cls = cls;
+}
+
+void AdjacencySlab::ReserveSlot(Side* side, NodeId v) {
+  BlockRef& r = side->refs[v];
+  if (r.cls == kNoBlock) {
+    Relocate(side, v, 0);
+  } else if (r.deg == (uint32_t{1} << r.cls)) {
+    Relocate(side, v, r.cls + 1);
+  }
+}
+
+Status AdjacencySlab::AddEdge(NodeId src, NodeId dst) {
+  if (src >= num_nodes() || dst >= num_nodes()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  ReserveSlot(&out_, src);
+  ReserveSlot(&in_, dst);
+  BlockRef& orr = out_.refs[src];
+  BlockRef& irr = in_.refs[dst];
+  const uint32_t po = orr.deg;
+  const uint32_t pi = irr.deg;
+  out_.ids[orr.off + po] = dst;
+  out_.twins[orr.off + po] = pi;
+  in_.ids[irr.off + pi] = src;
+  in_.twins[irr.off + pi] = po;
+  ++orr.deg;
+  ++irr.deg;
+  ++num_edges_;
+  ++epoch_;
+  return Status::OK();
+}
+
+void AdjacencySlab::RemoveAt(Side* side, Side* other, NodeId v,
+                             uint32_t p) {
+  BlockRef& r = side->refs[v];
+  const uint32_t last = r.deg - 1;
+  if (p != last) {
+    // Swap-remove: the tail entry fills the hole; its twin on the other
+    // side is re-aimed at the new position.
+    const NodeId moved_id = side->ids[r.off + last];
+    const uint32_t moved_twin = side->twins[r.off + last];
+    side->ids[r.off + p] = moved_id;
+    side->twins[r.off + p] = moved_twin;
+    other->twins[other->refs[moved_id].off + moved_twin] = p;
+  }
+  --r.deg;
+  // Shrink with hysteresis: relocate to the half-size class once only a
+  // quarter of the block is live, so churn around a boundary does not
+  // thrash. Degree-0 nodes give their block back entirely.
+  if (r.deg == 0 && r.cls != kNoBlock) {
+    FreeBlock(side, r.off, r.cls);
+    r.off = 0;
+    r.cls = kNoBlock;
+  } else if (r.cls > 0 && r.deg <= ((uint32_t{1} << r.cls) >> 2)) {
+    Relocate(side, v, r.cls - 1);
+  }
+}
+
+Status AdjacencySlab::RemoveEdge(NodeId src, NodeId dst) {
+  if (src >= num_nodes() || dst >= num_nodes()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  // Locate: one contiguous sweep of the (human-scale) out-run.
+  const BlockRef& orr = out_.refs[src];
+  const NodeId* run = out_.ids.data() + orr.off;
+  const NodeId* hit = std::find(run, run + orr.deg, dst);
+  if (hit == run + orr.deg) return Status::NotFound("edge not present");
+  const uint32_t p = static_cast<uint32_t>(hit - run);
+
+  // Unlink both sides in O(1). In-side first: its swap fixup may
+  // retarget the out-entry that is about to be moved over the hole, and
+  // the out-side removal re-reads it.
+  RemoveAt(&in_, &out_, dst, out_.twins[orr.off + p]);
+  RemoveAt(&out_, &in_, src, p);
+  --num_edges_;
+  ++epoch_;
+  return Status::OK();
+}
+
+bool AdjacencySlab::HasEdge(NodeId src, NodeId dst) const {
+  if (src >= num_nodes() || dst >= num_nodes()) return false;
+  const auto outs = OutNeighbors(src);
+  return std::find(outs.begin(), outs.end(), dst) != outs.end();
+}
+
+std::size_t AdjacencySlab::EdgeMultiplicity(NodeId src, NodeId dst) const {
+  if (src >= num_nodes() || dst >= num_nodes()) return 0;
+  const auto outs = OutNeighbors(src);
+  return static_cast<std::size_t>(
+      std::count(outs.begin(), outs.end(), dst));
+}
+
+std::size_t AdjacencySlab::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const Side* side : {&out_, &in_}) {
+    bytes += side->ids.capacity() * sizeof(NodeId) +
+             side->twins.capacity() * sizeof(uint32_t) +
+             side->refs.capacity() * sizeof(BlockRef);
+    for (uint32_t cls = 0; cls < kNumClasses; ++cls) {
+      bytes += side->free_lists[cls].capacity() * sizeof(uint64_t);
+    }
+  }
+  return bytes;
+}
+
+void AdjacencySlab::CheckConsistency() const {
+  const std::size_t n = num_nodes();
+  for (const Side* side : {&out_, &in_}) {
+    const Side* other = side == &out_ ? &in_ : &out_;
+    std::size_t total = 0;
+    uint64_t live_caps = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      const BlockRef& r = side->refs[u];
+      FASTPPR_CHECK(r.cls != kNoBlock || r.deg == 0);
+      if (r.cls != kNoBlock) {
+        FASTPPR_CHECK(r.deg <= (uint32_t{1} << r.cls));
+        live_caps += uint64_t{1} << r.cls;
+      }
+      total += r.deg;
+      // Twin symmetry of every entry.
+      for (uint32_t p = 0; p < r.deg; ++p) {
+        const NodeId v = side->ids[r.off + p];
+        FASTPPR_CHECK(v < n);
+        const uint32_t q = side->twins[r.off + p];
+        FASTPPR_CHECK(q < other->refs[v].deg);
+        FASTPPR_CHECK(other->ids[other->refs[v].off + q] == u);
+        FASTPPR_CHECK(other->twins[other->refs[v].off + q] == p);
+      }
+    }
+    FASTPPR_CHECK(total == num_edges_);
+    // Arena accounting: live blocks and free blocks tile the arena.
+    uint64_t free_caps = 0;
+    for (uint32_t cls = 0; cls < kNumClasses; ++cls) {
+      free_caps += side->free_lists[cls].size() * (uint64_t{1} << cls);
+    }
+    FASTPPR_CHECK(free_caps == side->free_slots);
+    FASTPPR_CHECK(live_caps + free_caps == side->arena_size);
+  }
+}
+
+}  // namespace fastppr

@@ -1,82 +1,20 @@
 #include "fastppr/graph/digraph.h"
 
-#include <algorithm>
-
-#include "fastppr/util/check.h"
-
 namespace fastppr {
-
-DiGraph::DiGraph(std::size_t num_nodes) : out_(num_nodes), in_(num_nodes) {}
-
-void DiGraph::EnsureNodes(std::size_t num_nodes) {
-  if (num_nodes > out_.size()) {
-    out_.resize(num_nodes);
-    in_.resize(num_nodes);
-  }
-}
-
-Status DiGraph::AddEdge(NodeId src, NodeId dst) {
-  if (src >= out_.size() || dst >= out_.size()) {
-    return Status::InvalidArgument("edge endpoint out of range");
-  }
-  out_[src].push_back(dst);
-  in_[dst].push_back(src);
-  ++num_edges_;
-  return Status::OK();
-}
-
-Status DiGraph::RemoveEdge(NodeId src, NodeId dst) {
-  if (src >= out_.size() || dst >= out_.size()) {
-    return Status::InvalidArgument("edge endpoint out of range");
-  }
-  auto& outs = out_[src];
-  auto it = std::find(outs.begin(), outs.end(), dst);
-  if (it == outs.end()) return Status::NotFound("edge not present");
-  // Swap-with-back removal keeps adjacency removal O(1) after the find.
-  *it = outs.back();
-  outs.pop_back();
-
-  auto& ins = in_[dst];
-  auto jt = std::find(ins.begin(), ins.end(), src);
-  FASTPPR_CHECK_MSG(jt != ins.end(), "in/out adjacency out of sync");
-  *jt = ins.back();
-  ins.pop_back();
-
-  --num_edges_;
-  return Status::OK();
-}
-
-bool DiGraph::HasEdge(NodeId src, NodeId dst) const {
-  if (src >= out_.size() || dst >= out_.size()) return false;
-  const auto& outs = out_[src];
-  return std::find(outs.begin(), outs.end(), dst) != outs.end();
-}
-
-NodeId DiGraph::RandomOutNeighbor(NodeId v, Rng* rng) const {
-  const auto& outs = out_[v];
-  if (outs.empty()) return kInvalidNode;
-  return outs[rng->UniformIndex(outs.size())];
-}
-
-NodeId DiGraph::RandomInNeighbor(NodeId v, Rng* rng) const {
-  const auto& ins = in_[v];
-  if (ins.empty()) return kInvalidNode;
-  return ins[rng->UniformIndex(ins.size())];
-}
 
 std::vector<Edge> DiGraph::Edges() const {
   std::vector<Edge> edges;
-  edges.reserve(num_edges_);
-  for (NodeId u = 0; u < out_.size(); ++u) {
-    for (NodeId v : out_[u]) edges.push_back(Edge{u, v});
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : OutNeighbors(u)) edges.push_back(Edge{u, v});
   }
   return edges;
 }
 
 std::size_t DiGraph::CountDangling() const {
   std::size_t dangling = 0;
-  for (const auto& outs : out_) {
-    if (outs.empty()) ++dangling;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (OutDegree(v) == 0) ++dangling;
   }
   return dangling;
 }

@@ -3,11 +3,13 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "fastppr/graph/digraph.h"
 #include "fastppr/graph/types.h"
 #include "fastppr/util/random.h"
+#include "fastppr/util/status.h"
 
 namespace fastppr {
 
@@ -17,6 +19,47 @@ struct EdgeEvent {
   Kind kind = Kind::kInsert;
   Edge edge;
 };
+
+/// The batched-ingestion chunk protocol shared by the flat engines and
+/// the sharded orchestrator — ONE definition, because the per-shard RNG
+/// streams are bit-identical to the flat engine's only while all of
+/// them chunk the stream identically.
+///
+/// Splits `events` into maximal same-kind runs, preserving stream order
+/// across runs. Per chunk: `mutate(edge, insert)` is applied per event
+/// until one fails; the successfully applied prefix (collected into
+/// `*scratch`, which is caller-owned reusable storage) is handed to
+/// `repair(applied, insert)` — so on failure the applied prefix is
+/// repaired before the failing Status is returned.
+template <typename MutateFn, typename RepairFn>
+Status ApplyEventsInChunks(std::span<const EdgeEvent> events,
+                           std::vector<Edge>* scratch,
+                           const MutateFn& mutate,
+                           const RepairFn& repair) {
+  std::size_t i = 0;
+  while (i < events.size()) {
+    std::size_t j = i;
+    while (j < events.size() && events[j].kind == events[i].kind) ++j;
+    const bool insert = events[i].kind == EdgeEvent::Kind::kInsert;
+
+    scratch->clear();
+    Status failure = Status::OK();
+    for (std::size_t t = i; t < j; ++t) {
+      Status s = mutate(events[t].edge, insert);
+      if (!s.ok()) {
+        failure = s;
+        break;
+      }
+      scratch->push_back(events[t].edge);
+    }
+    if (!scratch->empty()) {
+      repair(std::span<const Edge>(*scratch), insert);
+    }
+    if (!failure.ok()) return failure;
+    i = j;
+  }
+  return Status::OK();
+}
 
 /// Abstract edge-arrival process. Section 2.2 of the paper analyses three
 /// models: random permutation (the main theorem), Dirichlet, and

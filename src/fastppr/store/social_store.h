@@ -1,6 +1,7 @@
 #ifndef FASTPPR_STORE_SOCIAL_STORE_H_
 #define FASTPPR_STORE_SOCIAL_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -20,6 +21,15 @@ namespace fastppr {
 /// measured quantity (Figure 6 reports exactly "number of fetches to
 /// FlockDB"). An optional per-call simulated latency accumulator lets
 /// benches convert call counts into a modelled service time.
+///
+/// Sharing contract: since PR 3 ONE SocialStore is shared by every shard
+/// of a ShardedEngine (the graph slab is epoch-versioned; mutations
+/// happen only in the single-writer ingest phase between parallel repair
+/// phases). The counters are therefore per-shard relaxed atomics,
+/// aggregated on read — concurrent counted accesses from parallel repair
+/// or serving threads are a cache-line bounce at worst, never a data
+/// race. Graph *mutations* remain single-writer by contract (asserted by
+/// the engine via the graph epoch).
 class SocialStore {
  public:
   struct Options {
@@ -36,11 +46,17 @@ class SocialStore {
   std::size_t num_nodes() const { return graph_.num_nodes(); }
   std::size_t num_edges() const { return graph_.num_edges(); }
 
-  /// Write path: counted per shard of the source node.
+  /// Write path: counted per shard of the source node. Single-writer.
   Status AddEdge(NodeId src, NodeId dst);
   Status RemoveEdge(NodeId src, NodeId dst);
 
-  /// Read path: counted per shard of the queried node.
+  /// Bulk-copies `initial`'s edges into the graph, uncounted: bootstrap
+  /// is modelled as local replica construction, not remote calls. The
+  /// one initial-load path shared by every engine constructor.
+  void ImportGraph(const DiGraph& initial);
+
+  /// Read path: counted per shard of the queried node. Safe to call from
+  /// concurrent readers while the graph epoch is frozen.
   std::span<const NodeId> GetOutNeighbors(NodeId v);
   std::span<const NodeId> GetInNeighbors(NodeId v);
   std::size_t GetOutDegree(NodeId v);
@@ -52,32 +68,46 @@ class SocialStore {
   const DiGraph& graph() const { return graph_; }
   DiGraph* mutable_graph() { return &graph_; }
 
+  /// The graph's mutation epoch (the single-writer freeze token).
+  uint64_t epoch() const { return graph_.epoch(); }
+
+  /// Heap bytes held by the graph storage (benchmark accounting).
+  std::size_t MemoryBytes() const { return graph_.MemoryBytes(); }
+
   std::size_t shard_of(NodeId v) const { return v % options_.num_shards; }
 
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
+  /// Total counted reads/writes, aggregated over the shard stripes.
+  uint64_t reads() const;
+  uint64_t writes() const;
   uint64_t shard_reads(std::size_t shard) const {
-    return shard_reads_[shard];
+    return stripes_[shard].reads.load(std::memory_order_relaxed);
   }
   /// Modelled total service time of all counted calls, microseconds.
   double simulated_micros() const {
-    return static_cast<double>(reads_ + writes_) *
+    return static_cast<double>(reads() + writes()) *
            options_.simulated_call_micros;
   }
 
   void ResetStats();
 
  private:
+  /// One shard's counters, padded to a cache line so concurrent readers
+  /// touching different shards never false-share.
+  struct alignas(64) CounterStripe {
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> writes{0};
+  };
+
   void CountRead(NodeId v) {
-    ++reads_;
-    ++shard_reads_[shard_of(v)];
+    stripes_[shard_of(v)].reads.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountWrite(NodeId v) {
+    stripes_[shard_of(v)].writes.fetch_add(1, std::memory_order_relaxed);
   }
 
   Options options_;
   DiGraph graph_;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
-  std::vector<uint64_t> shard_reads_;
+  std::vector<CounterStripe> stripes_;
 };
 
 }  // namespace fastppr

@@ -1,0 +1,245 @@
+// AdjacencySlab (graph/adjacency_slab.h): block grow/shrink/recycle
+// through the size-class free lists, parallel multi-edges and self-loops
+// under swap-remove churn (mirrored against a naive reference
+// multigraph), twin-backpointer fixup integrity, and chi-square
+// uniformity of slot-order sampling through DiGraph::RandomOutNeighbor.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/graph/adjacency_slab.h"
+#include "fastppr/graph/digraph.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+namespace {
+
+std::vector<NodeId> Sorted(std::span<const NodeId> s) {
+  std::vector<NodeId> v(s.begin(), s.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(AdjacencySlabTest, AddRemoveBasics) {
+  AdjacencySlab g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.epoch(), 0u);
+
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(3, 1).ok());
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.epoch(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.EdgeMultiplicity(0, 1), 1u);
+  EXPECT_EQ(Sorted(g.OutNeighbors(0)), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(Sorted(g.InNeighbors(1)), (std::vector<NodeId>{0, 3}));
+
+  EXPECT_TRUE(g.AddEdge(0, 9).IsInvalidArgument());
+  EXPECT_TRUE(g.RemoveEdge(9, 0).IsInvalidArgument());
+  EXPECT_TRUE(g.RemoveEdge(1, 0).IsNotFound());
+  EXPECT_EQ(g.epoch(), 3u);  // failures do not bump the epoch
+
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.epoch(), 4u);
+  g.CheckConsistency();
+}
+
+TEST(AdjacencySlabTest, ParallelEdgesAndSelfLoops) {
+  AdjacencySlab g(3);
+  // Three parallel copies of 0->1, two self-loops at 0, one 0->2.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(g.AddEdge(0, 0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  g.CheckConsistency();
+  EXPECT_EQ(g.OutDegree(0), 6u);
+  EXPECT_EQ(g.InDegree(0), 2u);
+  EXPECT_EQ(g.EdgeMultiplicity(0, 1), 3u);
+  EXPECT_EQ(g.EdgeMultiplicity(0, 0), 2u);
+
+  // Removing one occurrence at a time keeps the remaining multiset
+  // intact and the invariants green at every step.
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  g.CheckConsistency();
+  EXPECT_EQ(g.EdgeMultiplicity(0, 1), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  ASSERT_TRUE(g.RemoveEdge(0, 0).ok());
+  g.CheckConsistency();
+  EXPECT_EQ(g.EdgeMultiplicity(0, 0), 1u);
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  g.CheckConsistency();
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.RemoveEdge(0, 1).IsNotFound());
+  ASSERT_TRUE(g.RemoveEdge(0, 0).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 2).ok());
+  g.CheckConsistency();
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.OutDegree(0), 0u);
+}
+
+TEST(AdjacencySlabTest, BlockGrowShrinkRecycle) {
+  AdjacencySlab g(4);
+  // Grow node 0 through several size classes.
+  for (NodeId i = 0; i < 300; ++i) {
+    ASSERT_TRUE(g.AddEdge(0, 1 + (i % 3)).ok());
+  }
+  g.CheckConsistency();
+  EXPECT_EQ(g.OutDegree(0), 300u);
+  // Growth relocated through classes 1, 2, 4, ..., 256: the vacated
+  // blocks are parked on free lists, not leaked.
+  EXPECT_GT(g.free_out_slots(), 0u);
+  const std::size_t free_after_growth = g.free_out_slots();
+
+  // A second node growing through the same classes recycles them.
+  for (NodeId i = 0; i < 200; ++i) {
+    ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  }
+  g.CheckConsistency();
+  EXPECT_LT(g.free_out_slots(), free_after_growth);
+
+  // Shrink: removing most of node 0's edges walks its block back down
+  // the classes; removing all of them frees the block entirely.
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(g.RemoveEdge(0, g.OutNeighbors(0).front()).ok());
+  }
+  g.CheckConsistency();
+  EXPECT_EQ(g.OutDegree(0), 0u);
+  EXPECT_GT(g.free_out_slots(), 0u);
+
+  // Memory accounting covers the arenas and the edge index.
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+TEST(AdjacencySlabTest, RandomChurnMirrorsReferenceMultigraph) {
+  const std::size_t n = 40;
+  AdjacencySlab g(n);
+  // Reference model: multiset of edges as (src, dst) -> count.
+  std::map<std::pair<NodeId, NodeId>, uint32_t> ref;
+  std::vector<std::pair<NodeId, NodeId>> live;  // one entry per copy
+
+  Rng rng(2024);
+  for (int step = 0; step < 6000; ++step) {
+    const bool remove = !live.empty() && rng.Bernoulli(0.45);
+    if (remove) {
+      const std::size_t at = rng.UniformIndex(live.size());
+      const auto [u, v] = live[at];
+      ASSERT_TRUE(g.RemoveEdge(u, v).ok());
+      if (--ref[{u, v}] == 0) ref.erase({u, v});
+      live[at] = live.back();
+      live.pop_back();
+    } else {
+      // Biased endpoints so parallel copies and self-loops are common.
+      const NodeId u = static_cast<NodeId>(rng.UniformIndex(n / 4));
+      const NodeId v = rng.Bernoulli(0.1)
+                           ? u
+                           : static_cast<NodeId>(rng.UniformIndex(n / 2));
+      ASSERT_TRUE(g.AddEdge(u, v).ok());
+      ++ref[{u, v}];
+      live.push_back({u, v});
+    }
+    if (step % 500 == 0) g.CheckConsistency();
+  }
+  g.CheckConsistency();
+
+  EXPECT_EQ(g.num_edges(), live.size());
+  for (const auto& [edge, count] : ref) {
+    EXPECT_TRUE(g.HasEdge(edge.first, edge.second));
+    EXPECT_EQ(g.EdgeMultiplicity(edge.first, edge.second), count);
+  }
+  // Per-node neighbour multisets match the reference exactly.
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<NodeId> expect_out;
+    std::vector<NodeId> expect_in;
+    for (const auto& [edge, count] : ref) {
+      if (edge.first == u) {
+        expect_out.insert(expect_out.end(), count, edge.second);
+      }
+      if (edge.second == u) {
+        expect_in.insert(expect_in.end(), count, edge.first);
+      }
+    }
+    std::sort(expect_out.begin(), expect_out.end());
+    std::sort(expect_in.begin(), expect_in.end());
+    EXPECT_EQ(Sorted(g.OutNeighbors(u)), expect_out);
+    EXPECT_EQ(Sorted(g.InNeighbors(u)), expect_in);
+  }
+}
+
+TEST(AdjacencySlabTest, EnsureNodesGrowsUniverse) {
+  AdjacencySlab g(2);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(0, 3).IsInvalidArgument());
+  g.EnsureNodes(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_TRUE(g.AddEdge(0, 3).ok());
+  EXPECT_TRUE(g.AddEdge(4, 0).ok());
+  g.CheckConsistency();
+}
+
+TEST(DiGraphSamplingTest, UniformOverSlotsAfterChurn) {
+  // RandomOutNeighbor samples the canonical slot order uniformly, so a
+  // node with neighbour multiset {1, 1, 2, 3} must hop to 1 with
+  // probability 1/2 — including after removals permuted the slots.
+  DiGraph g(6);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 4).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 4).ok());  // swap-remove permutes slots
+
+  const std::size_t kDraws = 60000;
+  std::map<NodeId, double> expect{{1, 0.5}, {2, 0.25}, {3, 0.25}};
+  std::map<NodeId, std::size_t> hits;
+  Rng rng(7);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    ++hits[g.RandomOutNeighbor(0, &rng)];
+  }
+  // Chi-square over the 3 outcomes; df = 2, alpha = 0.001 -> 13.82.
+  double chi2 = 0.0;
+  for (const auto& [v, p] : expect) {
+    const double e = p * static_cast<double>(kDraws);
+    const double d = static_cast<double>(hits[v]) - e;
+    chi2 += d * d / e;
+  }
+  EXPECT_LT(chi2, 13.82) << "sampling is not uniform over slots";
+}
+
+TEST(DiGraphSamplingTest, UniformOverLargeOutDegree) {
+  // A hub with 64 distinct targets: every target lands in its own slot,
+  // so the chi-square over targets checks slot uniformity directly.
+  const std::size_t d = 64;
+  DiGraph g(d + 1);
+  for (NodeId v = 1; v <= d; ++v) {
+    ASSERT_TRUE(g.AddEdge(0, v).ok());
+  }
+  const std::size_t kDraws = 64000;
+  std::vector<std::size_t> hits(d + 1, 0);
+  Rng rng(11);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    ++hits[g.RandomOutNeighbor(0, &rng)];
+  }
+  const double e = static_cast<double>(kDraws) / static_cast<double>(d);
+  double chi2 = 0.0;
+  for (NodeId v = 1; v <= d; ++v) {
+    const double diff = static_cast<double>(hits[v]) - e;
+    chi2 += diff * diff / e;
+  }
+  // df = 63, alpha = 0.001 -> 103.4.
+  EXPECT_LT(chi2, 103.4) << "hub sampling is not uniform";
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -4,6 +4,8 @@
 //    invariant across worker thread counts;
 //  * partition invariants — every source node is owned by exactly one
 //    shard's walk store;
+//  * shared-graph invariants — all shards read one epoch-versioned
+//    Social Store, and the epoch only moves in ingest phases;
 //  * the seqlock snapshot buffers stay coherent under concurrent
 //    reader/writer load;
 //  * personalized queries through the sharded view match the flat walker.
@@ -189,6 +191,71 @@ TEST(ShardedEngineTest, FourShardsInvariantAcrossThreadCounts) {
   EXPECT_EQ(steps[0], steps[2]);
 }
 
+TEST(ShardedEngineTest, ShardsShareOneSocialStore) {
+  // PR 3: the per-shard graph replicas are gone — every shard reads the
+  // same epoch-versioned Social Store, so graph memory is paid once.
+  const std::size_t n = 120;
+  const std::size_t S = 4;
+  ShardedEngine<IncrementalPageRank> engine(n, Opts(2, 0.2, 3),
+                                            ShardedOptions{S, 2});
+  for (std::size_t s = 0; s < S; ++s) {
+    EXPECT_EQ(&engine.shard(s).social_store(), &engine.social_store());
+    EXPECT_EQ(&engine.shard(s).graph(), &engine.graph());
+  }
+  EXPECT_GT(engine.GraphMemoryBytes(), 0u);
+
+  const auto events = MixedStream(n, 77, 0.2);
+  const uint64_t epoch_before = engine.social_store().epoch();
+  StreamWindows(events, [&](std::span<const EdgeEvent> w) {
+    ASSERT_TRUE(engine.ApplyEvents(w).ok());
+  });
+  // Every successful mutation bumped the shared epoch exactly once —
+  // the single-writer contract's freeze token moved only in ingest
+  // phases (a mutation during parallel repair would have aborted).
+  EXPECT_EQ(engine.social_store().epoch(), epoch_before + events.size());
+  EXPECT_EQ(engine.social_store().writes(), events.size());
+  engine.CheckConsistency();
+}
+
+TEST(ShardedEngineTest, SharedGraphEquivalenceOnMixedStream) {
+  // The shared-graph acceptance fixture: S in {1, 4} over a mixed
+  // insert/delete stream; any thread count must produce bit-identical
+  // rankings, and S=1 must match the flat engine bit for bit.
+  const std::size_t n = 180;
+  const auto events = MixedStream(n, 101, 0.25);
+  const MonteCarloOptions mc = Opts(3, 0.2, 55);
+
+  IncrementalPageRank flat(n, mc);
+  StreamWindows(events, [&](std::span<const EdgeEvent> w) {
+    ASSERT_TRUE(flat.ApplyEvents(w).ok());
+  });
+
+  for (std::size_t S : {1ul, 4ul}) {
+    std::vector<std::vector<int64_t>> counts;
+    std::vector<std::vector<NodeId>> rankings;
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      ShardedEngine<IncrementalPageRank> engine(
+          n, mc, ShardedOptions{S, threads});
+      StreamWindows(events, [&](std::span<const EdgeEvent> w) {
+        ASSERT_TRUE(engine.ApplyEvents(w).ok());
+      });
+      engine.CheckConsistency();
+      counts.push_back(engine.MergedRankingCounts());
+      rankings.push_back(engine.TopK(15));
+    }
+    EXPECT_EQ(counts[0], counts[1]) << "S=" << S;
+    EXPECT_EQ(counts[0], counts[2]) << "S=" << S;
+    EXPECT_EQ(rankings[0], rankings[1]) << "S=" << S;
+    EXPECT_EQ(rankings[0], rankings[2]) << "S=" << S;
+    if (S == 1) {
+      for (NodeId v = 0; v < n; ++v) {
+        ASSERT_EQ(counts[0][v], flat.walk_store().VisitCount(v));
+      }
+      EXPECT_EQ(rankings[0], flat.TopK(15));
+    }
+  }
+}
+
 TEST(ShardedEngineTest, FailedEventFailsIdenticallyInEveryShard) {
   const std::size_t n = 50;
   ShardedEngine<IncrementalPageRank> engine(n, Opts(3, 0.2, 8),
@@ -201,7 +268,8 @@ TEST(ShardedEngineTest, FailedEventFailsIdenticallyInEveryShard) {
   };
   EXPECT_FALSE(engine.ApplyEvents(events).ok());
   engine.CheckConsistency();
-  // Every replica applied (and repaired) the same one-event prefix.
+  // The shared graph holds (and every shard repaired) the same
+  // one-event prefix.
   for (std::size_t s = 0; s < engine.num_shards(); ++s) {
     EXPECT_EQ(engine.shard(s).num_edges(), 1u);
     EXPECT_TRUE(engine.shard(s).graph().HasEdge(1, 2));
