@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjacency_slab_test.dir/tests/adjacency_slab_test.cpp.o"
+  "CMakeFiles/adjacency_slab_test.dir/tests/adjacency_slab_test.cpp.o.d"
+  "adjacency_slab_test"
+  "adjacency_slab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjacency_slab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_update_test.dir/tests/batched_update_test.cpp.o"
+  "CMakeFiles/batched_update_test.dir/tests/batched_update_test.cpp.o.d"
+  "batched_update_test"
+  "batched_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adversarial.dir/bench/bench_adversarial.cpp.o"
+  "CMakeFiles/bench_adversarial.dir/bench/bench_adversarial.cpp.o.d"
+  "bench_adversarial"
+  "bench_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

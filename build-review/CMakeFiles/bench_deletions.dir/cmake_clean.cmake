@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deletions.dir/bench/bench_deletions.cpp.o"
+  "CMakeFiles/bench_deletions.dir/bench/bench_deletions.cpp.o.d"
+  "bench_deletions"
+  "bench_deletions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deletions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

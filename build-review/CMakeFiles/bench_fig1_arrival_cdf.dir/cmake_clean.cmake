@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_arrival_cdf.dir/bench/bench_fig1_arrival_cdf.cpp.o"
+  "CMakeFiles/bench_fig1_arrival_cdf.dir/bench/bench_fig1_arrival_cdf.cpp.o.d"
+  "bench_fig1_arrival_cdf"
+  "bench_fig1_arrival_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_arrival_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_powerlaw.dir/bench/bench_fig2_powerlaw.cpp.o"
+  "CMakeFiles/bench_fig2_powerlaw.dir/bench/bench_fig2_powerlaw.cpp.o.d"
+  "bench_fig2_powerlaw"
+  "bench_fig2_powerlaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

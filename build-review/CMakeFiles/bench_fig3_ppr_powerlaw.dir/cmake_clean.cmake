@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ppr_powerlaw.dir/bench/bench_fig3_ppr_powerlaw.cpp.o"
+  "CMakeFiles/bench_fig3_ppr_powerlaw.dir/bench/bench_fig3_ppr_powerlaw.cpp.o.d"
+  "bench_fig3_ppr_powerlaw"
+  "bench_fig3_ppr_powerlaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ppr_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_exponents.dir/bench/bench_fig4_exponents.cpp.o"
+  "CMakeFiles/bench_fig4_exponents.dir/bench/bench_fig4_exponents.cpp.o.d"
+  "bench_fig4_exponents"
+  "bench_fig4_exponents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_exponents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

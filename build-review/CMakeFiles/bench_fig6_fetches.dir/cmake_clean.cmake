@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fetches.dir/bench/bench_fig6_fetches.cpp.o"
+  "CMakeFiles/bench_fig6_fetches.dir/bench/bench_fig6_fetches.cpp.o.d"
+  "bench_fig6_fetches"
+  "bench_fig6_fetches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fetches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

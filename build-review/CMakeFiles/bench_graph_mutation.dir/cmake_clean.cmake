@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_mutation.dir/bench/bench_graph_mutation.cpp.o"
+  "CMakeFiles/bench_graph_mutation.dir/bench/bench_graph_mutation.cpp.o.d"
+  "bench_graph_mutation"
+  "bench_graph_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

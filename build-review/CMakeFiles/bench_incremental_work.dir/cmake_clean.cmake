@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_work.dir/bench/bench_incremental_work.cpp.o"
+  "CMakeFiles/bench_incremental_work.dir/bench/bench_incremental_work.cpp.o.d"
+  "bench_incremental_work"
+  "bench_incremental_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_salsa_update.dir/bench/bench_salsa_update.cpp.o"
+  "CMakeFiles/bench_salsa_update.dir/bench/bench_salsa_update.cpp.o.d"
+  "bench_salsa_update"
+  "bench_salsa_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_salsa_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

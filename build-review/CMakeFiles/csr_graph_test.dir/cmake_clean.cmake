@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_graph_test.dir/tests/csr_graph_test.cpp.o"
+  "CMakeFiles/csr_graph_test.dir/tests/csr_graph_test.cpp.o.d"
+  "csr_graph_test"
+  "csr_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

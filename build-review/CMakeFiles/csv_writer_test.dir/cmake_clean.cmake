@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_writer_test.dir/tests/csv_writer_test.cpp.o"
+  "CMakeFiles/csv_writer_test.dir/tests/csv_writer_test.cpp.o.d"
+  "csv_writer_test"
+  "csv_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

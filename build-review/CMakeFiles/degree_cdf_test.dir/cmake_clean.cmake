@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_cdf_test.dir/tests/degree_cdf_test.cpp.o"
+  "CMakeFiles/degree_cdf_test.dir/tests/degree_cdf_test.cpp.o.d"
+  "degree_cdf_test"
+  "degree_cdf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_cdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_test.dir/tests/digraph_test.cpp.o"
+  "CMakeFiles/digraph_test.dir/tests/digraph_test.cpp.o.d"
+  "digraph_test"
+  "digraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

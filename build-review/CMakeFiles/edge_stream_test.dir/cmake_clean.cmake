@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_stream_test.dir/tests/edge_stream_test.cpp.o"
+  "CMakeFiles/edge_stream_test.dir/tests/edge_stream_test.cpp.o.d"
+  "edge_stream_test"
+  "edge_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fastppr/analysis/degree_cdf.cc" "CMakeFiles/fastppr.dir/src/fastppr/analysis/degree_cdf.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/analysis/degree_cdf.cc.o.d"
+  "/root/repo/src/fastppr/analysis/link_prediction.cc" "CMakeFiles/fastppr.dir/src/fastppr/analysis/link_prediction.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/analysis/link_prediction.cc.o.d"
+  "/root/repo/src/fastppr/analysis/power_law.cc" "CMakeFiles/fastppr.dir/src/fastppr/analysis/power_law.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/analysis/power_law.cc.o.d"
+  "/root/repo/src/fastppr/analysis/precision.cc" "CMakeFiles/fastppr.dir/src/fastppr/analysis/precision.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/analysis/precision.cc.o.d"
+  "/root/repo/src/fastppr/baseline/cosine.cc" "CMakeFiles/fastppr.dir/src/fastppr/baseline/cosine.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/baseline/cosine.cc.o.d"
+  "/root/repo/src/fastppr/baseline/hits.cc" "CMakeFiles/fastppr.dir/src/fastppr/baseline/hits.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/baseline/hits.cc.o.d"
+  "/root/repo/src/fastppr/baseline/monte_carlo_static.cc" "CMakeFiles/fastppr.dir/src/fastppr/baseline/monte_carlo_static.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/baseline/monte_carlo_static.cc.o.d"
+  "/root/repo/src/fastppr/baseline/power_iteration.cc" "CMakeFiles/fastppr.dir/src/fastppr/baseline/power_iteration.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/baseline/power_iteration.cc.o.d"
+  "/root/repo/src/fastppr/baseline/salsa_exact.cc" "CMakeFiles/fastppr.dir/src/fastppr/baseline/salsa_exact.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/baseline/salsa_exact.cc.o.d"
+  "/root/repo/src/fastppr/core/incremental_pagerank.cc" "CMakeFiles/fastppr.dir/src/fastppr/core/incremental_pagerank.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/core/incremental_pagerank.cc.o.d"
+  "/root/repo/src/fastppr/core/incremental_salsa.cc" "CMakeFiles/fastppr.dir/src/fastppr/core/incremental_salsa.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/core/incremental_salsa.cc.o.d"
+  "/root/repo/src/fastppr/core/ppr_walker.cc" "CMakeFiles/fastppr.dir/src/fastppr/core/ppr_walker.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/core/ppr_walker.cc.o.d"
+  "/root/repo/src/fastppr/core/theory.cc" "CMakeFiles/fastppr.dir/src/fastppr/core/theory.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/core/theory.cc.o.d"
+  "/root/repo/src/fastppr/engine/thread_pool.cc" "CMakeFiles/fastppr.dir/src/fastppr/engine/thread_pool.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/engine/thread_pool.cc.o.d"
+  "/root/repo/src/fastppr/graph/adjacency_slab.cc" "CMakeFiles/fastppr.dir/src/fastppr/graph/adjacency_slab.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/graph/adjacency_slab.cc.o.d"
+  "/root/repo/src/fastppr/graph/csr_graph.cc" "CMakeFiles/fastppr.dir/src/fastppr/graph/csr_graph.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/graph/csr_graph.cc.o.d"
+  "/root/repo/src/fastppr/graph/digraph.cc" "CMakeFiles/fastppr.dir/src/fastppr/graph/digraph.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/graph/digraph.cc.o.d"
+  "/root/repo/src/fastppr/graph/edge_stream.cc" "CMakeFiles/fastppr.dir/src/fastppr/graph/edge_stream.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/graph/edge_stream.cc.o.d"
+  "/root/repo/src/fastppr/graph/generators.cc" "CMakeFiles/fastppr.dir/src/fastppr/graph/generators.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/graph/generators.cc.o.d"
+  "/root/repo/src/fastppr/graph/graph_io.cc" "CMakeFiles/fastppr.dir/src/fastppr/graph/graph_io.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/graph/graph_io.cc.o.d"
+  "/root/repo/src/fastppr/store/salsa_walk_store.cc" "CMakeFiles/fastppr.dir/src/fastppr/store/salsa_walk_store.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/store/salsa_walk_store.cc.o.d"
+  "/root/repo/src/fastppr/store/social_store.cc" "CMakeFiles/fastppr.dir/src/fastppr/store/social_store.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/store/social_store.cc.o.d"
+  "/root/repo/src/fastppr/store/walk_store.cc" "CMakeFiles/fastppr.dir/src/fastppr/store/walk_store.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/store/walk_store.cc.o.d"
+  "/root/repo/src/fastppr/store/walk_store_io.cc" "CMakeFiles/fastppr.dir/src/fastppr/store/walk_store_io.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/store/walk_store_io.cc.o.d"
+  "/root/repo/src/fastppr/util/csv_writer.cc" "CMakeFiles/fastppr.dir/src/fastppr/util/csv_writer.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/util/csv_writer.cc.o.d"
+  "/root/repo/src/fastppr/util/histogram.cc" "CMakeFiles/fastppr.dir/src/fastppr/util/histogram.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/util/histogram.cc.o.d"
+  "/root/repo/src/fastppr/util/random.cc" "CMakeFiles/fastppr.dir/src/fastppr/util/random.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/util/random.cc.o.d"
+  "/root/repo/src/fastppr/util/status.cc" "CMakeFiles/fastppr.dir/src/fastppr/util/status.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/util/status.cc.o.d"
+  "/root/repo/src/fastppr/util/table_printer.cc" "CMakeFiles/fastppr.dir/src/fastppr/util/table_printer.cc.o" "gcc" "CMakeFiles/fastppr.dir/src/fastppr/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

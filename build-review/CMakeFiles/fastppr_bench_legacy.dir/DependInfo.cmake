@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/legacy/legacy_digraph.cc" "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_digraph.cc.o" "gcc" "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_digraph.cc.o.d"
+  "/root/repo/bench/legacy/legacy_salsa_walk_store.cc" "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_salsa_walk_store.cc.o" "gcc" "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_salsa_walk_store.cc.o.d"
+  "/root/repo/bench/legacy/legacy_walk_store.cc" "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_walk_store.cc.o" "gcc" "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_walk_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/fastppr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

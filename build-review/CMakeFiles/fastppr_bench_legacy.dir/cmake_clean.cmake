@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_digraph.cc.o"
+  "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_digraph.cc.o.d"
+  "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_salsa_walk_store.cc.o"
+  "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_salsa_walk_store.cc.o.d"
+  "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_walk_store.cc.o"
+  "CMakeFiles/fastppr_bench_legacy.dir/bench/legacy/legacy_walk_store.cc.o.d"
+  "libfastppr_bench_legacy.a"
+  "libfastppr_bench_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastppr_bench_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfastppr_bench_legacy.a"
+)

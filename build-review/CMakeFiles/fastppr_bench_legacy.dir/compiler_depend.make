@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fastppr_bench_legacy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fastppr_bench_legacy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hits_cosine_test.dir/tests/hits_cosine_test.cpp.o"
+  "CMakeFiles/hits_cosine_test.dir/tests/hits_cosine_test.cpp.o.d"
+  "hits_cosine_test"
+  "hits_cosine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hits_cosine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

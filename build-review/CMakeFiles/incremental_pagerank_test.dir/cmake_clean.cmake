@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_pagerank_test.dir/tests/incremental_pagerank_test.cpp.o"
+  "CMakeFiles/incremental_pagerank_test.dir/tests/incremental_pagerank_test.cpp.o.d"
+  "incremental_pagerank_test"
+  "incremental_pagerank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_pagerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_salsa_test.dir/tests/incremental_salsa_test.cpp.o"
+  "CMakeFiles/incremental_salsa_test.dir/tests/incremental_salsa_test.cpp.o.d"
+  "incremental_salsa_test"
+  "incremental_salsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_salsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_rank_dashboard.dir/examples/live_rank_dashboard.cpp.o"
+  "CMakeFiles/live_rank_dashboard.dir/examples/live_rank_dashboard.cpp.o.d"
+  "live_rank_dashboard"
+  "live_rank_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_rank_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monte_carlo_static_test.dir/tests/monte_carlo_static_test.cpp.o"
+  "CMakeFiles/monte_carlo_static_test.dir/tests/monte_carlo_static_test.cpp.o.d"
+  "monte_carlo_static_test"
+  "monte_carlo_static_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monte_carlo_static_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_law_test.dir/tests/power_law_test.cpp.o"
+  "CMakeFiles/power_law_test.dir/tests/power_law_test.cpp.o.d"
+  "power_law_test"
+  "power_law_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_law_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_walker_test.dir/tests/ppr_walker_test.cpp.o"
+  "CMakeFiles/ppr_walker_test.dir/tests/ppr_walker_test.cpp.o.d"
+  "ppr_walker_test"
+  "ppr_walker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_walker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

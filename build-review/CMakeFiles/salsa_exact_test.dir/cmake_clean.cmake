@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_exact_test.dir/tests/salsa_exact_test.cpp.o"
+  "CMakeFiles/salsa_exact_test.dir/tests/salsa_exact_test.cpp.o.d"
+  "salsa_exact_test"
+  "salsa_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_walk_store_test.dir/tests/salsa_walk_store_test.cpp.o"
+  "CMakeFiles/salsa_walk_store_test.dir/tests/salsa_walk_store_test.cpp.o.d"
+  "salsa_walk_store_test"
+  "salsa_walk_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_walk_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

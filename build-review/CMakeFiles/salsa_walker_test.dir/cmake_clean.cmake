@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_walker_test.dir/tests/salsa_walker_test.cpp.o"
+  "CMakeFiles/salsa_walker_test.dir/tests/salsa_walker_test.cpp.o.d"
+  "salsa_walker_test"
+  "salsa_walker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_walker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_store_test.dir/tests/social_store_test.cpp.o"
+  "CMakeFiles/social_store_test.dir/tests/social_store_test.cpp.o.d"
+  "social_store_test"
+  "social_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trending_authorities.dir/examples/trending_authorities.cpp.o"
+  "CMakeFiles/trending_authorities.dir/examples/trending_authorities.cpp.o.d"
+  "trending_authorities"
+  "trending_authorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trending_authorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_policy_test.dir/tests/update_policy_test.cpp.o"
+  "CMakeFiles/update_policy_test.dir/tests/update_policy_test.cpp.o.d"
+  "update_policy_test"
+  "update_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_store_io_test.dir/tests/walk_store_io_test.cpp.o"
+  "CMakeFiles/walk_store_io_test.dir/tests/walk_store_io_test.cpp.o.d"
+  "walk_store_io_test"
+  "walk_store_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_store_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
