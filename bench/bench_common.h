@@ -29,10 +29,15 @@ namespace fastppr::bench {
 /// Best of two runs: the box is shared/noisy and compared layouts run
 /// back to back, so a single pass is biased by frequency drift.
 template <typename F>
+double BestOfN(int n, const F& run) {
+  double best = 0.0;
+  for (int i = 0; i < n; ++i) best = std::max(best, run());
+  return best;
+}
+
+template <typename F>
 double BestOfTwo(const F& run) {
-  const double a = run();
-  const double b = run();
-  return a > b ? a : b;
+  return BestOfN(2, run);
 }
 
 /// Struct-result variant: keeps the whole result of whichever run scored

@@ -1,9 +1,13 @@
 // Sharded parallel engine (src/fastppr/engine/): ingestion throughput at
 // S in {1, 2, 4, 8} node shards against the flat engine on the same
 // power-law stream, plus query QPS through the QueryService snapshot
-// layer — quiescent and concurrent with ingestion. The S=1 run doubles
-// as a determinism audit: its merged visit counts must equal the flat
-// engine's bit for bit.
+// layer — quiescent and concurrent with ingestion. Since PR 4 every
+// query class is concurrent: TopK/Score read seqlock count snapshots
+// and PersonalizedTopK stitches walks against frozen segment-snapshot
+// views, so the concurrent sections measure BOTH the reader throughput
+// and the ingestion rate the writer sustains underneath. The S=1 run
+// doubles as a determinism audit: its merged visit counts must equal
+// the flat engine's bit for bit.
 //
 // Since PR 3 the engine shares ONE epoch-versioned slab graph across
 // all shards, so the report also carries the memory story: measured
@@ -20,6 +24,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -104,12 +109,16 @@ int main(int argc, char** argv) {
   report.Add("window", static_cast<double>(window));
   report.Add("smoke", smoke ? 1.0 : 0.0);
 
-  // Flat baseline: one engine, same windows.
-  IncrementalPageRank flat(n, mc);
-  const double flat_eps_sec =
-      TimeWindows(events, window, [&](std::span<const EdgeEvent> w) {
-        if (!flat.ApplyEvents(w).ok()) std::abort();
-      });
+  // Flat baseline: one engine, same windows. Best-of-three fresh runs
+  // (the box is shared; determinism makes the reps bit-identical).
+  std::unique_ptr<IncrementalPageRank> flat_holder;
+  const double flat_eps_sec = BestOfN(3, [&] {
+    flat_holder = std::make_unique<IncrementalPageRank>(n, mc);
+    return TimeWindows(events, window, [&](std::span<const EdgeEvent> w) {
+      if (!flat_holder->ApplyEvents(w).ok()) std::abort();
+    });
+  });
+  IncrementalPageRank& flat = *flat_holder;
   report.Add("flat_events_per_sec", flat_eps_sec);
   std::printf("flat engine: %.0f events/sec\n\n", flat_eps_sec);
 
@@ -141,19 +150,31 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"shards", "threads", "ingest events/sec",
                       "vs flat", "TopK QPS", "Score QPS",
-                      "TopK QPS (concurrent)"});
+                      "TopK QPS (conc)", "Pers QPS (conc)"});
   report.Add("hardware_concurrency",
              static_cast<double>(std::thread::hardware_concurrency()));
   // One worker thread per shard: on a single-core box the S > 1 rows
   // then measure the replication overhead honestly; on a multi-core box
   // they measure the repair-parallelism payoff.
   for (std::size_t S : {1ul, 2ul, 4ul, 8ul}) {
-    ShardedEngine<IncrementalPageRank> engine(n, mc, ShardedOptions{S, S});
-    QueryService<IncrementalPageRank> service(&engine);
-    const double ingest_eps_sec =
-        TimeWindows(events, window, [&](std::span<const EdgeEvent> w) {
-          if (!service.Ingest(w).ok()) std::abort();
-        });
+    // Best-of-three fresh ingest runs (see the flat baseline); the
+    // engine and service of the last rep serve the query sections below
+    // — every rep's final state is bit-identical by the determinism
+    // contract.
+    std::unique_ptr<ShardedEngine<IncrementalPageRank>> engine_holder;
+    std::unique_ptr<QueryService<IncrementalPageRank>> service_holder;
+    const double ingest_eps_sec = BestOfN(3, [&] {
+      service_holder.reset();
+      engine_holder = std::make_unique<ShardedEngine<IncrementalPageRank>>(
+          n, mc, ShardedOptions{S, S});
+      service_holder = std::make_unique<QueryService<IncrementalPageRank>>(
+          engine_holder.get());
+      return TimeWindows(events, window, [&](std::span<const EdgeEvent> w) {
+        if (!service_holder->Ingest(w).ok()) std::abort();
+      });
+    });
+    ShardedEngine<IncrementalPageRank>& engine = *engine_holder;
+    QueryService<IncrementalPageRank>& service = *service_holder;
 
     if (S == 1) {
       // Determinism audit: 1 shard == the flat engine, bit for bit.
@@ -164,10 +185,13 @@ int main(int argc, char** argv) {
       }
     }
 
-    // Quiescent query throughput against the published snapshots.
+    // Quiescent query throughput against the published snapshots
+    // (caller-owned ReadScratch: the steady-state path allocates
+    // nothing).
+    ReadScratch scratch;
     WallTimer topk_timer;
     for (std::size_t q = 0; q < topk_queries; ++q) {
-      if (service.TopK(10).size() != 10) std::abort();
+      if (service.TopKInto(10, &scratch).size() != 10) std::abort();
     }
     const double topk_qps =
         static_cast<double>(topk_queries) / topk_timer.ElapsedSeconds();
@@ -181,6 +205,15 @@ int main(int argc, char** argv) {
         static_cast<double>(score_queries) / score_timer.ElapsedSeconds();
     if (sink < 0.0) std::abort();  // keep the loop observable
 
+    // Untimed warm-up: the first personalized read after a read-free
+    // ingest pays the demand-driven snapshot rebuild (see DESIGN.md
+    // section 6); the timed loop below measures steady-state walks.
+    {
+      std::vector<ScoredNode> ranked;
+      if (!service.PersonalizedTopK(0, 10, 5000, true, 0, &ranked).ok()) {
+        std::abort();
+      }
+    }
     WallTimer walk_timer;
     for (std::size_t q = 0; q < personalized_queries; ++q) {
       std::vector<ScoredNode> ranked;
@@ -205,26 +238,62 @@ int main(int argc, char** argv) {
     std::atomic<bool> stop{false};
     std::atomic<uint64_t> concurrent_reads{0};
     std::thread reader([&] {
+      ReadScratch reader_scratch;
       while (!stop.load(std::memory_order_acquire)) {
-        if (service2.TopK(10).empty()) std::abort();
+        if (service2.TopKInto(10, &reader_scratch).empty()) std::abort();
         concurrent_reads.fetch_add(1, std::memory_order_relaxed);
       }
     });
-    WallTimer concurrent_timer;
-    for (std::size_t lo = 0; lo < events.size(); lo += window) {
-      const std::size_t hi = std::min(events.size(), lo + window);
-      if (!service2
-               .Ingest(std::span<const EdgeEvent>(events.data() + lo,
-                                                  hi - lo))
-               .ok()) {
-        std::abort();
-      }
-    }
-    const double concurrent_seconds = concurrent_timer.ElapsedSeconds();
+    const double concurrent_ingest_eps =
+        TimeWindows(events, window, [&](std::span<const EdgeEvent> w) {
+          if (!service2.Ingest(w).ok()) std::abort();
+        });
+    const double concurrent_seconds = m / concurrent_ingest_eps;
     stop.store(true, std::memory_order_release);
     reader.join();
     const double concurrent_qps =
         static_cast<double>(concurrent_reads.load()) / concurrent_seconds;
+
+    // Personalized reads concurrent with ingestion (the PR 4 tentpole):
+    // a reader thread stitches PersonalizedTopK walks from the frozen
+    // segment + adjacency snapshot views while the main thread
+    // re-ingests the stream. Reported alongside: the ingestion rate the
+    // writer sustains underneath — the snapshot layer's whole point is
+    // that walks no longer serialize with (or stall) the writer.
+    ShardedEngine<IncrementalPageRank> engine3(n, mc,
+                                               ShardedOptions{S, S});
+    QueryService<IncrementalPageRank> service3(&engine3);
+    std::atomic<bool> stop_walks{false};
+    std::atomic<uint64_t> concurrent_walks{0};
+    std::thread walker([&] {
+      uint64_t q = 0;
+      while (!stop_walks.load(std::memory_order_acquire)) {
+        std::vector<ScoredNode> ranked;
+        SnapshotInfo pinfo;
+        if (!service3
+                 .PersonalizedTopK(static_cast<NodeId>((q * 131) % n), 10,
+                                   5000, /*exclude_friends=*/true,
+                                   /*rng_seed=*/q, &ranked, nullptr,
+                                   &pinfo)
+                 .ok()) {
+          std::abort();
+        }
+        // Single-epoch contract of the frozen views.
+        if (pinfo.min_epoch != pinfo.max_epoch) std::abort();
+        ++q;
+        concurrent_walks.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    const double ingest_eps_during_walks =
+        TimeWindows(events, window, [&](std::span<const EdgeEvent> w) {
+          if (!service3.Ingest(w).ok()) std::abort();
+        });
+    const double walks_seconds = m / ingest_eps_during_walks;
+    const double walks_done =
+        static_cast<double>(concurrent_walks.load());
+    stop_walks.store(true, std::memory_order_release);
+    walker.join();
+    const double concurrent_personalized_qps = walks_done / walks_seconds;
 
     table.AddRow({std::to_string(S), std::to_string(engine.num_threads()),
                   TablePrinter::Fmt(ingest_eps_sec, 0),
@@ -232,7 +301,8 @@ int main(int argc, char** argv) {
                       "x",
                   TablePrinter::Fmt(topk_qps, 0),
                   TablePrinter::Fmt(score_qps, 0),
-                  TablePrinter::Fmt(concurrent_qps, 0)});
+                  TablePrinter::Fmt(concurrent_qps, 0),
+                  TablePrinter::Fmt(concurrent_personalized_qps, 0)});
     // Replica elimination, measured: one shared graph instead of S
     // copies. The before side is S x bytes of the same graph — on this
     // slab layout (what PR 2's architecture would pay here) and on
@@ -253,6 +323,10 @@ int main(int argc, char** argv) {
     report.Add(prefix + "_score_qps", score_qps);
     report.Add(prefix + "_personalized_qps", personalized_qps);
     report.Add(prefix + "_concurrent_topk_qps", concurrent_qps);
+    report.Add(prefix + "_concurrent_personalized_qps",
+               concurrent_personalized_qps);
+    report.Add(prefix + "_events_per_sec_during_personalized",
+               ingest_eps_during_walks);
     report.Add(prefix + "_graph_bytes_shared", graph_bytes);
     report.Add(prefix + "_graph_bytes_replica_model", replica_model_bytes);
     report.Add(prefix + "_graph_bytes_legacy_replicas",
@@ -264,8 +338,10 @@ int main(int argc, char** argv) {
   }
   table.Print();
   std::printf("\nS=1 merged counts verified bit-identical to the flat "
-              "engine; reads above are lock-free seqlock snapshot reads "
-              "(epoch-stamped, torn-read safe).\nOne shared "
+              "engine; TopK/Score are lock-free seqlock snapshot reads "
+              "and PersonalizedTopK walks frozen segment-snapshot views "
+              "(single-epoch, never serializing with ingestion).\nOne "
+              "shared "
               "epoch-versioned graph serves every shard: at S=4 the "
               "replica architecture would pay 4.0x the graph memory on "
               "this layout (%.1fx on the PR 2 legacy layout).\n",

@@ -127,6 +127,8 @@ class IncrementalPageRank {
   SocialStore& social_store() { return *social_; }
   const SocialStore& social_store() const { return *social_; }
   const WalkStore& walk_store() const { return walks_; }
+  /// Writer-side access for the snapshot publisher (dirty-feed draining).
+  WalkStore* mutable_walk_store() { return &walks_; }
   const DiGraph& graph() const { return social_->graph(); }
 
   /// Persists the engine (graph + walk segments) to `directory` as

@@ -77,6 +77,8 @@ class IncrementalSalsa {
 
   SocialStore& social_store() { return *social_; }
   const SalsaWalkStore& walk_store() const { return walks_; }
+  /// Writer-side access for the snapshot publisher (dirty-feed draining).
+  SalsaWalkStore* mutable_walk_store() { return &walks_; }
   const DiGraph& graph() const { return social_->graph(); }
 
   void CheckConsistency() const {

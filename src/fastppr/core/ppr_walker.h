@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <concepts>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -62,37 +63,53 @@ std::vector<ScoredNode> RankVisits(
 /// opportunistically consumes the stored walk segments (one use each) and
 /// falls back to manual steps on the fetched adjacency afterwards.
 ///
-/// `StoreView` abstracts where the segments live: a flat WalkStore, or a
-/// sharded view that routes GetSegment(u, k) to the shard owning u
-/// (engine/sharded_engine.h). It must provide walks_per_node(), epsilon()
-/// and GetSegment(node, k) returning a SegmentView-like object.
+/// `StoreView` abstracts where the segments live: a flat WalkStore, a
+/// sharded view that routes GetSegment(u, k) to the shard owning u, or a
+/// frozen snapshot view (engine/query_service.h). It must provide
+/// walks_per_node(), epsilon() and GetSegment(node, k) returning a
+/// SegmentView-like object.
+///
+/// `GraphView` abstracts where the adjacency lives: the live DiGraph (the
+/// flat deployment — safe only while the graph epoch is frozen) or a
+/// FrozenAdjacency copy (concurrent serving under live ingestion). It
+/// must provide num_nodes(), OutDegree(), OutNeighbors() and
+/// RandomOutNeighbor() with DiGraph's sampling semantics.
 ///
 /// Distribution note: when an unused stored segment exists at the walk
 /// head, its tail is appended and the walk then resets to the seed — the
 /// stored segment already embodies the geometric reset draw, so no separate
 /// beta draw is made (this is distribution-identical to the paper's
 /// pseudocode and avoids biasing zero-length segments; see DESIGN.md).
-template <typename StoreView>
+template <typename StoreView, typename GraphView = DiGraph>
 class BasicPersonalizedPageRankWalker {
  public:
   BasicPersonalizedPageRankWalker(const StoreView* store,
-                                  SocialStore* social,
+                                  const GraphView* graph,
                                   WalkerOptions options = WalkerOptions())
-      : store_(store), social_(social), options_(options) {
-    FASTPPR_CHECK(store_ != nullptr && social_ != nullptr);
+      : store_(store), graph_(graph), options_(options) {
+    FASTPPR_CHECK(store_ != nullptr && graph_ != nullptr);
   }
+
+  /// Flat-deployment convenience: walks the social store's (uncounted)
+  /// local graph replica.
+  BasicPersonalizedPageRankWalker(const StoreView* store,
+                                  const SocialStore* social,
+                                  WalkerOptions options = WalkerOptions())
+    requires std::same_as<GraphView, DiGraph>
+      : BasicPersonalizedPageRankWalker(store, CheckedGraph(social),
+                                        options) {}
 
   /// Runs a stitched walk of (at least) `length` positions from `seed`.
   Status Walk(NodeId seed, uint64_t length, uint64_t rng_seed,
               PersonalizedWalkResult* out) const {
-    if (seed >= social_->num_nodes()) {
+    if (seed >= graph_->num_nodes()) {
       return Status::InvalidArgument("seed node out of range");
     }
     *out = PersonalizedWalkResult{};
     Rng rng(rng_seed);
     const std::size_t R = store_->walks_per_node();
     const double eps = store_->epsilon();
-    const DiGraph& g = social_->graph();
+    const GraphView& g = *graph_;
 
     // Per-node query state: how many stored segments we have consumed.
     // Presence in the map == the node has been fetched.
@@ -175,7 +192,7 @@ class BasicPersonalizedPageRankWalker {
     FASTPPR_RETURN_IF_ERROR(Walk(seed, length, rng_seed, &walk));
     std::vector<NodeId> exclude{seed};
     if (exclude_friends) {
-      for (NodeId v : social_->graph().OutNeighbors(seed)) {
+      for (NodeId v : graph_->OutNeighbors(seed)) {
         exclude.push_back(v);
       }
     }
@@ -198,7 +215,7 @@ class BasicPersonalizedPageRankWalker {
       return Status::InvalidArgument("alpha must be in (0, 1)");
     }
     if (k == 0) return Status::InvalidArgument("k must be positive");
-    const double s = WalkLengthForTopK(k, social_->num_nodes(), alpha, c);
+    const double s = WalkLengthForTopK(k, graph_->num_nodes(), alpha, c);
     const uint64_t length =
         static_cast<uint64_t>(std::llround(std::max(1.0, s)));
     return TopK(seed, k, length, exclude_friends, rng_seed, ranked,
@@ -206,8 +223,14 @@ class BasicPersonalizedPageRankWalker {
   }
 
  private:
+  /// Aborts (instead of dereferencing) on a null social store.
+  static const DiGraph* CheckedGraph(const SocialStore* social) {
+    FASTPPR_CHECK(social != nullptr);
+    return &social->graph();
+  }
+
   const StoreView* store_;
-  SocialStore* social_;
+  const GraphView* graph_;
   WalkerOptions options_;
 };
 

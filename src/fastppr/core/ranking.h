@@ -15,19 +15,25 @@ namespace fastppr {
 /// sharded engine's merged TopK and the query service's snapshot TopK —
 /// one comparator, so the S=1 bit-identity contract between them is
 /// structural.
-inline std::vector<NodeId> TopKByCount(std::span<const int64_t> counts,
-                                       std::size_t k) {
-  std::vector<NodeId> order(counts.size());
-  for (NodeId v = 0; v < order.size(); ++v) order[v] = v;
-  const std::size_t take = std::min(k, order.size());
-  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+inline void TopKByCountInto(std::span<const int64_t> counts, std::size_t k,
+                            std::vector<NodeId>* order) {
+  order->resize(counts.size());
+  for (NodeId v = 0; v < order->size(); ++v) (*order)[v] = v;
+  const std::size_t take = std::min(k, order->size());
+  std::partial_sort(order->begin(), order->begin() + take, order->end(),
                     [&counts](NodeId a, NodeId b) {
                       if (counts[a] != counts[b]) {
                         return counts[a] > counts[b];
                       }
                       return a < b;
                     });
-  order.resize(take);
+  order->resize(take);
+}
+
+inline std::vector<NodeId> TopKByCount(std::span<const int64_t> counts,
+                                       std::size_t k) {
+  std::vector<NodeId> order;
+  TopKByCountInto(counts, k, &order);
   return order;
 }
 

@@ -1,6 +1,7 @@
 #ifndef FASTPPR_CORE_SALSA_WALKER_H_
 #define FASTPPR_CORE_SALSA_WALKER_H_
 
+#include <concepts>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -34,28 +35,41 @@ struct SalsaWalkResult {
 /// forward steps, and stitches the stored SalsaWalkStore segments whose
 /// start direction matches the walk's current parity.
 ///
-/// `StoreView` abstracts where the segments live (flat SalsaWalkStore or
-/// a sharded view routing to the shard owning each node); it must provide
-/// walks_per_node(), epsilon() and GetSegment(node, k).
-template <typename StoreView>
+/// `StoreView` abstracts where the segments live (flat SalsaWalkStore, a
+/// sharded view routing to the shard owning each node, or a frozen
+/// snapshot view); it must provide walks_per_node(), epsilon() and
+/// GetSegment(node, k). `GraphView` abstracts the adjacency (live
+/// DiGraph, or a FrozenAdjacency captured WITH its in-side — SALSA walks
+/// step backwards).
+template <typename StoreView, typename GraphView = DiGraph>
 class BasicPersonalizedSalsaWalker {
  public:
-  BasicPersonalizedSalsaWalker(const StoreView* store, SocialStore* social,
+  BasicPersonalizedSalsaWalker(const StoreView* store,
+                               const GraphView* graph,
                                WalkerOptions options = WalkerOptions())
-      : store_(store), social_(social), options_(options) {
-    FASTPPR_CHECK(store_ != nullptr && social_ != nullptr);
+      : store_(store), graph_(graph), options_(options) {
+    FASTPPR_CHECK(store_ != nullptr && graph_ != nullptr);
   }
+
+  /// Flat-deployment convenience: walks the social store's (uncounted)
+  /// local graph replica.
+  BasicPersonalizedSalsaWalker(const StoreView* store,
+                               const SocialStore* social,
+                               WalkerOptions options = WalkerOptions())
+    requires std::same_as<GraphView, DiGraph>
+      : BasicPersonalizedSalsaWalker(store, CheckedGraph(social),
+                                     options) {}
 
   Status Walk(NodeId seed, uint64_t length, uint64_t rng_seed,
               SalsaWalkResult* out) const {
-    if (seed >= social_->num_nodes()) {
+    if (seed >= graph_->num_nodes()) {
       return Status::InvalidArgument("seed node out of range");
     }
     *out = SalsaWalkResult{};
     Rng rng(rng_seed);
     const std::size_t R = store_->walks_per_node();
     const double eps = store_->epsilon();
-    const DiGraph& g = social_->graph();
+    const GraphView& g = *graph_;
 
     // Per-node consumed-segment counters, split by start direction.
     // Presence in `fetched` == the node's segments + adjacency are local.
@@ -157,7 +171,7 @@ class BasicPersonalizedSalsaWalker {
     FASTPPR_RETURN_IF_ERROR(Walk(seed, length, rng_seed, &walk));
     std::vector<NodeId> exclude{seed};
     if (exclude_friends) {
-      for (NodeId v : social_->graph().OutNeighbors(seed)) {
+      for (NodeId v : graph_->OutNeighbors(seed)) {
         exclude.push_back(v);
       }
     }
@@ -167,8 +181,14 @@ class BasicPersonalizedSalsaWalker {
   }
 
  private:
+  /// Aborts (instead of dereferencing) on a null social store.
+  static const DiGraph* CheckedGraph(const SocialStore* social) {
+    FASTPPR_CHECK(social != nullptr);
+    return &social->graph();
+  }
+
   const StoreView* store_;
-  SocialStore* social_;
+  const GraphView* graph_;
   WalkerOptions options_;
 };
 

@@ -2,7 +2,7 @@
 #define FASTPPR_ENGINE_QUERY_SERVICE_H_
 
 // Concurrent serving layer over a ShardedEngine (see DESIGN.md
-// section 4).
+// sections 4 and 6).
 //
 // Ranking reads (TopK / Score) are served from epoch-stamped visit-count
 // snapshots, double-buffered per shard behind a seqlock: the ingestion
@@ -10,24 +10,39 @@
 // (release); readers validate the counter around their (relaxed, atomic)
 // loads and retry on a concurrent flip. Readers therefore never block
 // ingestion and take no lock; ingestion's hot path (the per-event
-// repairs) never synchronizes with readers at all — only the O(n)
-// publish at each window boundary touches the shared buffers.
+// repairs) never synchronizes with readers at all — only the publish at
+// each window boundary touches the shared buffers.
 //
-// Consistency model: every per-shard read is torn-free and stamped with
-// the ingestion epoch (windows applied) it was published at. A merged
-// read that overlaps a publish may combine shards from two *adjacent*
-// epochs (reported via SnapshotInfo); counts within one shard are always
-// from a single epoch.
+// Personalized reads (PersonalizedTopK) are served from *frozen
+// segment-snapshot views* (store/segment_snapshot.h): at every window
+// boundary the writer publishes an immutable copy of each shard's walk
+// segments plus the adjacency — brought up to date by delta, pooled
+// RCU-style — and flips one pointer table under the view mutex. A
+// reader pins the whole table with S+1 shared_ptr copies (mutex held
+// only across the pointer copies, never across a walk) and stitches its
+// walk with plain loads. In steady state readers never stall the
+// writer: a version pinned by a slow walk is simply skipped at recycle
+// time. The one exception is the idle-writer self-refresh (below),
+// which holds the window mutex for one rebuild — a writer arriving
+// exactly then waits once.
 //
-// PersonalizedTopK walks the stored segments themselves, which are not
-// snapshotted — it serializes with ingestion on the service's window
-// mutex (held once per window, never per event).
+// Consistency model:
+//  * Merged count reads: every per-shard read is torn-free and stamped
+//    with the ingestion epoch (windows applied) it was published at; a
+//    merged read overlapping a publish may combine shards from two
+//    *adjacent* epochs (reported via SnapshotInfo).
+//  * Personalized reads: the segment views and the adjacency view are
+//    flipped together, so one walk observes ONE epoch throughout
+//    (SnapshotInfo reports min_epoch == max_epoch). Reads lag live
+//    ingestion by at most the in-flight window.
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "fastppr/core/ppr_walker.h"
@@ -35,16 +50,27 @@
 #include "fastppr/core/salsa_walker.h"
 #include "fastppr/engine/sharded_engine.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/store/segment_snapshot.h"
+#include "fastppr/util/shard.h"
 #include "fastppr/util/status.h"
 
 namespace fastppr {
 
-/// Which ingestion epochs a merged snapshot read combined. min_epoch ==
-/// max_epoch unless the read overlapped a publish (then they differ by
-/// at most the number of windows published during the read).
+/// Which ingestion epochs a read combined. min_epoch == max_epoch unless
+/// a merged count read overlapped a publish (then they differ by at most
+/// the number of windows published during the read). Personalized reads
+/// are single-epoch by construction.
 struct SnapshotInfo {
   uint64_t min_epoch = 0;
   uint64_t max_epoch = 0;
+};
+
+/// Caller-owned scratch for allocation-free steady-state merged reads
+/// (one ReadScratch per reader thread; reused across queries).
+struct ReadScratch {
+  std::vector<int64_t> counts;     ///< merged per-node counts
+  std::vector<int64_t> shard_tmp;  ///< one shard's seqlock copy
+  std::vector<NodeId> ranked;      ///< TopKInto output
 };
 
 /// One shard's double-buffered, epoch-stamped count snapshot (seqlock).
@@ -57,7 +83,9 @@ class SnapshotBuffer {
     }
   }
 
-  /// Writer only. Fills the inactive buffer and flips to it.
+  /// Writer only. Fills the inactive buffer and flips to it. The buffer
+  /// size is pinned at Init: a future growable-node engine must rebuild
+  /// the service instead of publishing out of bounds.
   template <typename CountFn>
   void Publish(std::size_t num_nodes, const CountFn& count, int64_t total,
                uint64_t epoch) {
@@ -70,6 +98,10 @@ class SnapshotBuffer {
     // two publishes stale.
     std::atomic_thread_fence(std::memory_order_release);
     Buf& b = bufs_[(w + 1) & 1];
+    FASTPPR_CHECK_MSG(b.counts.size() == num_nodes,
+                      "count snapshot buffer no longer matches "
+                      "num_nodes — rebuild the QueryService after "
+                      "growing the engine");
     for (std::size_t v = 0; v < num_nodes; ++v) {
       b.counts[v].store(count(v), std::memory_order_relaxed);
     }
@@ -80,10 +112,10 @@ class SnapshotBuffer {
 
   /// Adds this shard's counts into `acc` and its total into `total`;
   /// returns the snapshot's epoch. Lock-free; a read is copied into
-  /// `scratch` (caller-owned, resized here — one allocation per merged
-  /// read, not one per shard per retry) and merged only after the
-  /// sequence counter validates, so a concurrent publish costs a retry,
-  /// never a torn merge.
+  /// `scratch` (caller-owned, resized here — at most one allocation per
+  /// scratch lifetime, not one per shard per retry) and merged only
+  /// after the sequence counter validates, so a concurrent publish costs
+  /// a retry, never a torn merge.
   uint64_t AccumulateInto(std::vector<int64_t>* acc, int64_t* total,
                           std::vector<int64_t>* scratch) const {
     std::vector<int64_t>& tmp = *scratch;
@@ -135,10 +167,17 @@ class SnapshotBuffer {
 };
 
 /// Serving front door: ingest windows through Ingest(), read rankings
-/// concurrently through TopK()/Score(), run personalized queries through
-/// PersonalizedTopK(). `Engine` is IncrementalPageRank (TopK/Score rank
-/// by PageRank visit counts, PersonalizedTopK is Algorithm 1) or
-/// IncrementalSalsa (authority counts / personalized SALSA).
+/// concurrently through TopK()/Score(), run personalized queries
+/// concurrently through PersonalizedTopK(). `Engine` is
+/// IncrementalPageRank (TopK/Score rank by PageRank visit counts,
+/// PersonalizedTopK is Algorithm 1) or IncrementalSalsa (authority
+/// counts / personalized SALSA).
+///
+/// Single-service contract: a QueryService owns its engine's snapshot
+/// delta feeds (dirty segments, applied edges); attach at most one
+/// service per engine, and route mutations through Ingest() — callers
+/// that mutate the engine directly must call Publish() (full snapshot
+/// rebuild) before the next read.
 template <typename Engine>
 class QueryService {
   static constexpr bool kIsSalsa =
@@ -149,13 +188,38 @@ class QueryService {
   using WalkStats =
       std::conditional_t<kIsSalsa, SalsaWalkResult, PersonalizedWalkResult>;
 
-  explicit QueryService(ShardedEngine<Engine>* engine) : engine_(engine) {
+  explicit QueryService(ShardedEngine<Engine>* engine)
+      : engine_(engine), graph_pool_(/*capture_in=*/kIsSalsa) {
     FASTPPR_CHECK(engine_ != nullptr);
+    engine_->EnableAppliedEdgeTracking();
+    for (std::size_t s = 0; s < engine_->num_shards(); ++s) {
+      engine_->shard(s).mutable_walk_store()->set_dirty_tracking(true);
+    }
+    const auto& store = engine_->shard(0).walk_store();
+    walks_per_node_ = store.walks_per_node();
+    segments_per_node_ = store.segments_per_node();
+    epsilon_ = store.epsilon();
     snapshots_ = std::vector<SnapshotBuffer>(engine_->num_shards());
     for (SnapshotBuffer& s : snapshots_) s.Init(engine_->num_nodes());
+    segment_pools_ =
+        std::vector<SegmentSnapshotPool>(engine_->num_shards());
     std::lock_guard<std::mutex> lock(window_mu_);
-    PublishLocked();
+    PublishLocked(/*full=*/true);
   }
+
+  /// The engine outlives the service: hand its delta feeds back so it
+  /// stops paying for a serving layer that no longer exists.
+  ~QueryService() {
+    engine_->DisableAppliedEdgeTracking();
+    for (std::size_t s = 0; s < engine_->num_shards(); ++s) {
+      auto* store = engine_->shard(s).mutable_walk_store();
+      store->set_dirty_tracking(false);
+      store->ClearDirtySegments();
+    }
+  }
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
 
   ShardedEngine<Engine>* engine() { return engine_; }
 
@@ -164,15 +228,16 @@ class QueryService {
   Status Ingest(std::span<const EdgeEvent> window) {
     std::lock_guard<std::mutex> lock(window_mu_);
     Status s = engine_->ApplyEvents(window);
-    PublishLocked();
+    PublishLocked(/*full=*/false);
     return s;
   }
 
   /// Re-publishes snapshots of the engine's current state (for callers
-  /// that mutated the engine directly).
+  /// that mutated the engine directly — the delta feeds may have missed
+  /// those mutations, so the frozen views are fully rebuilt).
   void Publish() {
     std::lock_guard<std::mutex> lock(window_mu_);
-    PublishLocked();
+    PublishLocked(/*full=*/true);
   }
 
   /// Epoch of the most recent publish (= windows applied at that point).
@@ -180,33 +245,56 @@ class QueryService {
     return published_epoch_.load(std::memory_order_acquire);
   }
 
-  /// Merged per-node counts from the current snapshots. Lock-free.
-  std::vector<int64_t> SnapshotCounts(int64_t* total = nullptr,
-                                      SnapshotInfo* info = nullptr) const {
-    std::vector<int64_t> acc(engine_->num_nodes(), 0);
-    std::vector<int64_t> scratch;
+  /// Merged per-node counts from the current snapshots into
+  /// caller-owned scratch (allocation-free once the scratch is warm).
+  /// Returns a reference to scratch->counts. Lock-free.
+  const std::vector<int64_t>& SnapshotCountsInto(
+      ReadScratch* scratch, int64_t* total = nullptr,
+      SnapshotInfo* info = nullptr) const {
+    scratch->counts.assign(engine_->num_nodes(), 0);
     int64_t t = 0;
     SnapshotInfo si;
     si.min_epoch = ~uint64_t{0};
     for (const SnapshotBuffer& snap : snapshots_) {
-      const uint64_t e = snap.AccumulateInto(&acc, &t, &scratch);
+      const uint64_t e =
+          snap.AccumulateInto(&scratch->counts, &t, &scratch->shard_tmp);
       si.min_epoch = std::min(si.min_epoch, e);
       si.max_epoch = std::max(si.max_epoch, e);
     }
     if (total != nullptr) *total = t;
     if (info != nullptr) *info = si;
-    return acc;
+    return scratch->counts;
+  }
+
+  /// Allocating convenience wrapper around SnapshotCountsInto.
+  std::vector<int64_t> SnapshotCounts(int64_t* total = nullptr,
+                                      SnapshotInfo* info = nullptr) const {
+    ReadScratch scratch;
+    SnapshotCountsInto(&scratch, total, info);
+    return std::move(scratch.counts);
   }
 
   /// Nodes with the k highest snapshot counts (the shared TopKByCount
-  /// ranking — identical ordering to the engines' TopK). Lock-free.
+  /// ranking — identical ordering to the engines' TopK), built in
+  /// caller-owned scratch: the steady-state read path allocates nothing.
+  /// Returns a reference to scratch->ranked. Lock-free.
+  const std::vector<NodeId>& TopKInto(std::size_t k, ReadScratch* scratch,
+                                      SnapshotInfo* info = nullptr) const {
+    SnapshotCountsInto(scratch, nullptr, info);
+    TopKByCountInto(scratch->counts, k, &scratch->ranked);
+    return scratch->ranked;
+  }
+
+  /// Allocating convenience wrapper around TopKInto.
   std::vector<NodeId> TopK(std::size_t k,
                            SnapshotInfo* info = nullptr) const {
-    return TopKByCount(SnapshotCounts(nullptr, info), k);
+    ReadScratch scratch;
+    TopKInto(k, &scratch, info);
+    return std::move(scratch.ranked);
   }
 
   /// Normalized snapshot score of one node (PageRank visit frequency /
-  /// SALSA authority frequency). Lock-free.
+  /// SALSA authority frequency). Lock-free and allocation-free.
   double Score(NodeId v, SnapshotInfo* info = nullptr) const {
     int64_t count = 0;
     int64_t total = 0;
@@ -228,53 +316,127 @@ class QueryService {
   }
 
   /// Personalized top-k (Algorithm 1 stitched walk; authority-ranked for
-  /// SALSA). Stored segments are walked in place, not snapshotted, so
-  /// this serializes with ingestion on the window mutex.
+  /// SALSA), served from the frozen segment + adjacency views published
+  /// at the last window boundary. Runs concurrently with ingestion: the
+  /// view mutex is held only across the shared_ptr pins, never across
+  /// the walk, so readers never stall the writer and vice versa. The
+  /// whole walk observes one epoch (`info`: min_epoch == max_epoch).
   Status PersonalizedTopK(NodeId seed, std::size_t k, uint64_t length,
                           bool exclude_friends, uint64_t rng_seed,
                           std::vector<ScoredNode>* ranked,
-                          WalkStats* walk_stats = nullptr) {
-    std::lock_guard<std::mutex> lock(window_mu_);
-    const SegmentView view(engine_);
-    SocialStore* social = &engine_->social_store();
-    if constexpr (kIsSalsa) {
-      BasicPersonalizedSalsaWalker<SegmentView> walker(&view, social);
-      return walker.TopKAuthorities(seed, k, length, exclude_friends,
-                                    rng_seed, ranked, walk_stats);
-    } else {
-      BasicPersonalizedPageRankWalker<SegmentView> walker(&view, social);
-      return walker.TopK(seed, k, length, exclude_friends, rng_seed,
-                         ranked, walk_stats);
+                          WalkStats* walk_stats = nullptr,
+                          SnapshotInfo* info = nullptr) {
+    // Arm the next window boundary's frozen refresh.
+    frozen_demand_.store(true, std::memory_order_relaxed);
+    std::shared_ptr<const FrozenViewSet> pin;
+    {
+      std::lock_guard<std::mutex> lock(view_mu_);
+      pin = frozen_view_;
     }
+    FASTPPR_CHECK_MSG(pin != nullptr && pin->graph != nullptr,
+                      "no published snapshot to serve from");
+    if (pin->graph->epoch() != published_epoch() && window_mu_.try_lock()) {
+      // The view lags the engine (frozen publishes were skipped while no
+      // personalized reads were in flight) and the writer is idle: this
+      // reader pays the refresh itself, then re-pins — holding the
+      // window mutex across the rebuild, so a writer arriving exactly
+      // now waits for it (the one reader-stalls-writer exception; it
+      // needs an idle writer to trigger, so it cannot recur under
+      // steady ingestion). If the writer is mid-window instead, the
+      // stale view is served as-is (stamped in `info`) and the demand
+      // flag freshens the next boundary.
+      std::lock_guard<std::mutex> lock(window_mu_, std::adopt_lock);
+      PublishFrozenLocked(engine_->windows_applied(), /*full=*/false);
+      // The demand flag stays armed: clearing it here could erase a
+      // demand another reader raised concurrently, letting the writer
+      // skip a boundary it owed — the cost of leaving it set is at most
+      // one redundant (delta, usually empty) publish.
+      std::lock_guard<std::mutex> view_lock(view_mu_);
+      pin = frozen_view_;
+    }
+    if (info != nullptr) {
+      // Audited, not assumed: min/max span the adjacency AND every
+      // segment view, so the single-epoch contract's assertions in the
+      // tests and bench actually bite if a publish ever flips them at
+      // different epochs.
+      info->min_epoch = pin->graph->epoch();
+      info->max_epoch = pin->graph->epoch();
+      for (const auto& segs : pin->segments) {
+        info->min_epoch = std::min(info->min_epoch, segs->epoch());
+        info->max_epoch = std::max(info->max_epoch, segs->epoch());
+      }
+    }
+    const FrozenSegmentView view(&pin->segments, walks_per_node_,
+                                 segments_per_node_, epsilon_);
+    Status status;
+    if constexpr (kIsSalsa) {
+      BasicPersonalizedSalsaWalker<FrozenSegmentView, FrozenAdjacency>
+          walker(&view, pin->graph.get());
+      status = walker.TopKAuthorities(seed, k, length, exclude_friends,
+                                      rng_seed, ranked, walk_stats);
+    } else {
+      BasicPersonalizedPageRankWalker<FrozenSegmentView, FrozenAdjacency>
+          walker(&view, pin->graph.get());
+      status = walker.TopK(seed, k, length, exclude_friends, rng_seed,
+                           ranked, walk_stats);
+    }
+    // Drop the pin under the view mutex: the writer's recycle check
+    // (use_count under the same mutex) is then ordered after this
+    // walk's last read of the buffers — no fences, no TSan gymnastics.
+    {
+      std::lock_guard<std::mutex> lock(view_mu_);
+      pin.reset();
+    }
+    return status;
   }
 
  private:
-  /// Store view routing each node's stored segments to its owning shard
-  /// (segment ids are global, so the lookup is a plain forward).
-  class SegmentView {
+  /// One published view set: per-shard frozen segments plus the frozen
+  /// adjacency, built once per frozen publish and flipped as a single
+  /// pointer — so a reader's pin/unpin is one shared_ptr copy, not S+1
+  /// refcount bumps inside the contended critical section.
+  struct FrozenViewSet {
+    std::vector<std::shared_ptr<const FrozenSegments>> segments;
+    std::shared_ptr<const FrozenAdjacency> graph;
+  };
+
+  /// StoreView over the pinned frozen copies, routing each node's
+  /// segments to its owning shard (segment ids are global, so the
+  /// lookup is a plain forward).
+  class FrozenSegmentView {
    public:
-    explicit SegmentView(const ShardedEngine<Engine>* engine)
-        : engine_(engine) {}
-    std::size_t walks_per_node() const {
-      return engine_->shard(0).walk_store().walks_per_node();
-    }
-    double epsilon() const {
-      return engine_->shard(0).walk_store().epsilon();
-    }
-    auto GetSegment(NodeId u, std::size_t k) const {
-      return engine_->shard(engine_->shard_of(u))
-          .walk_store()
-          .GetSegment(u, k);
+    FrozenSegmentView(
+        const std::vector<std::shared_ptr<const FrozenSegments>>* shards,
+        std::size_t walks_per_node, std::size_t segments_per_node,
+        double epsilon)
+        : shards_(shards),
+          walks_per_node_(walks_per_node),
+          segments_per_node_(segments_per_node),
+          epsilon_(epsilon) {}
+
+    std::size_t walks_per_node() const { return walks_per_node_; }
+    double epsilon() const { return epsilon_; }
+    FrozenSegments::SegmentRef GetSegment(NodeId u, std::size_t k) const {
+      const uint32_t shard = ShardOfNode(
+          u, static_cast<uint32_t>(shards_->size()));
+      return (*shards_)[shard]->Segment(
+          static_cast<uint64_t>(u) * segments_per_node_ + k);
     }
 
    private:
-    const ShardedEngine<Engine>* engine_;
+    const std::vector<std::shared_ptr<const FrozenSegments>>* shards_;
+    std::size_t walks_per_node_;
+    std::size_t segments_per_node_;
+    double epsilon_;
   };
 
-  void PublishLocked() {
-    const uint64_t epoch = engine_->windows_applied();
+  /// Publishes the seqlock count snapshots (cheap, every window).
+  void PublishCountsLocked(uint64_t epoch) {
     const std::size_t n = engine_->num_nodes();
-    for (std::size_t s = 0; s < snapshots_.size(); ++s) {
+    const std::size_t S = snapshots_.size();
+    FASTPPR_CHECK_MSG(S == engine_->num_shards(),
+                      "snapshot set no longer matches the engine");
+    for (std::size_t s = 0; s < S; ++s) {
       const Engine& shard = engine_->shard(s);
       snapshots_[s].Publish(
           n, [&shard](std::size_t v) {
@@ -282,13 +444,79 @@ class QueryService {
           },
           shard.RankingTotal(), epoch);
     }
+  }
+
+  /// Publishes the frozen personalized-read views (the delta-copy work).
+  /// Phase 1 picks recyclable buffers under the view mutex; phase 2
+  /// copies outside it; phase 3 flips the pointer table under it again.
+  void PublishFrozenLocked(uint64_t epoch, bool full) {
+    const std::size_t S = snapshots_.size();
+    const uint64_t graph_epoch = engine_->social_store().epoch();
+    {
+      std::lock_guard<std::mutex> lock(view_mu_);
+      for (SegmentSnapshotPool& pool : segment_pools_) {
+        pool.SelectForPublish();
+      }
+      graph_pool_.SelectForPublish();
+    }
+    std::vector<std::shared_ptr<const FrozenSegments>> fresh_segments(S);
+    for (std::size_t s = 0; s < S; ++s) {
+      auto* store = engine_->shard(s).mutable_walk_store();
+      fresh_segments[s] = segment_pools_[s].Publish(
+          *store, store->dirty_segments(), epoch,
+          full || store->dirty_overflowed());
+      store->ClearDirtySegments();
+    }
+    std::shared_ptr<const FrozenAdjacency> fresh_graph = graph_pool_.Publish(
+        engine_->graph(), engine_->applied_edges(), epoch,
+        full || engine_->applied_edges_overflowed());
+    engine_->ClearAppliedEdges();
+    // The single-writer contract, checked like the engine's repair
+    // phases: the graph must not have moved while we copied from it.
+    FASTPPR_CHECK_MSG(engine_->social_store().epoch() == graph_epoch,
+                      "graph mutated during a snapshot publish");
+    auto fresh_view = std::make_shared<FrozenViewSet>();
+    fresh_view->segments = std::move(fresh_segments);
+    fresh_view->graph = std::move(fresh_graph);
+    {
+      std::lock_guard<std::mutex> lock(view_mu_);
+      frozen_view_ = std::move(fresh_view);
+    }
+  }
+
+  void PublishLocked(bool full) {
+    const uint64_t epoch = engine_->windows_applied();
+    PublishCountsLocked(epoch);
+    // Advance the published epoch BEFORE flipping the frozen views: a
+    // reader that pins the new view must never observe its epoch ahead
+    // of published_epoch() (the staleness invariant the tests assert).
     published_epoch_.store(epoch, std::memory_order_release);
+    // Demand-driven frozen refresh: the delta copies are paid only when
+    // a personalized read actually happened since the last frozen
+    // publish (or on a forced full rebuild) — a writer with no
+    // personalized readers ingests at full speed while the dirty feeds
+    // accumulate (bounded by their overflow caps).
+    if (full || frozen_demand_.exchange(false, std::memory_order_relaxed)) {
+      PublishFrozenLocked(epoch, full);
+    }
   }
 
   ShardedEngine<Engine>* engine_;
+  std::size_t walks_per_node_ = 0;
+  std::size_t segments_per_node_ = 0;
+  double epsilon_ = 0.0;
   std::vector<SnapshotBuffer> snapshots_;
   std::mutex window_mu_;
   std::atomic<uint64_t> published_epoch_{0};
+
+  /// Personalized-read state. `view_mu_` orders only pointer pins,
+  /// unpins and flips (see PersonalizedTopK / PublishLocked); the pools
+  /// are writer-only.
+  mutable std::mutex view_mu_;
+  std::atomic<bool> frozen_demand_{false};
+  std::shared_ptr<const FrozenViewSet> frozen_view_;
+  std::vector<SegmentSnapshotPool> segment_pools_;
+  AdjacencySnapshotPool graph_pool_;
 };
 
 }  // namespace fastppr

@@ -49,6 +49,7 @@
 #include "fastppr/engine/thread_pool.h"
 #include "fastppr/graph/edge_stream.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/store/repair_scratch.h"
 #include "fastppr/store/social_store.h"
 #include "fastppr/util/check.h"
 #include "fastppr/util/shard.h"
@@ -155,6 +156,28 @@ class ShardedEngine {
   /// reports as the replica-elimination saving.
   std::size_t GraphMemoryBytes() const { return social_->MemoryBytes(); }
 
+  /// Opt-in feed for the query service's frozen-adjacency deltas: once
+  /// enabled, every *applied* graph mutation (rejected events excluded)
+  /// accumulates into applied_edges() until ClearAppliedEdges(). Off by
+  /// default so engines without a serving layer pay nothing; bounded at
+  /// 4 edges per node (slab::DirtyFeed overflow — the next adjacency
+  /// snapshot then full-copies).
+  void EnableAppliedEdgeTracking() {
+    // Two attached services would consume each other's delta feeds and
+    // silently serve stale-but-freshly-stamped snapshots; fail loudly.
+    FASTPPR_CHECK_MSG(!applied_.tracking(),
+                      "a QueryService is already attached to this engine");
+    applied_.ResetCap(4 * num_nodes());
+    applied_.SetTracking(true);
+  }
+  void DisableAppliedEdgeTracking() {
+    applied_.SetTracking(false);
+    applied_.Clear();
+  }
+  std::span<const Edge> applied_edges() const { return applied_.entries(); }
+  bool applied_edges_overflowed() const { return applied_.overflowed(); }
+  void ClearAppliedEdges() { applied_.Clear(); }
+
   /// Applies one ingestion window in alternating single-writer ingest /
   /// parallel repair phases, one pair per same-kind chunk. An invalid
   /// event stops the window at that chunk prefix; the applied prefix is
@@ -174,6 +197,9 @@ class ShardedEngine {
         },
         [this](std::span<const Edge> applied, bool insert) {
           router_.AccountWrites(applied);
+          if (applied_.tracking()) {
+            for (const Edge& e : applied) applied_.Record(e);
+          }
           const uint64_t frozen = social_->epoch();
           pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
             if (insert) {
@@ -277,6 +303,7 @@ class ShardedEngine {
   std::vector<std::unique_ptr<Engine>> shards_;
   std::vector<Edge> chunk_scratch_;
   uint64_t windows_applied_ = 0;
+  slab::DirtyFeed<Edge> applied_;
 };
 
 }  // namespace fastppr

@@ -128,6 +128,7 @@ void SalsaWalkStore::Init(const DiGraph& g, std::size_t walks_per_node,
   }
 
   scratch_.ResetSegments(num_segs);
+  dirty_.ResetCap(slab::DirtyCapForOwnedRows(paths_));
 }
 
 double SalsaWalkStore::NormalizedAuthority(NodeId v) const {
@@ -355,6 +356,7 @@ WalkUpdateStats SalsaWalkStore::OnEdgesInserted(const DiGraph& g,
   scratch_.OrderForApply();
   for (const PendingRepair& plan : scratch_.pending()) {
     const uint64_t seg = plan.seg;
+    RecordDirtySegment(seg);
     // A switched hop lands uniformly on the group's new edges; a forward
     // group's targets are destinations, a backward group's are sources.
     // No draw for singleton groups (sequential RNG-stream parity).
@@ -469,6 +471,7 @@ WalkUpdateStats SalsaWalkStore::OnEdgesRemoved(const DiGraph& g,
   scratch_.OrderForApply();
   for (const PendingRepair& plan : scratch_.pending()) {
     const uint64_t seg = plan.seg;
+    RecordDirtySegment(seg);
     const NodeId pivot = PathNode(seg, plan.pos);
     TruncateAfter(seg, plan.pos);
     UnregisterStep(seg, plan.pos);

@@ -126,6 +126,25 @@ class SalsaWalkStore {
                        ForwardStart(seg));
   }
 
+  /// Stored segment rows per node in the global segment-id addressing
+  /// (SegId(u, k) = u * segments_per_node() + k): R forward + R backward.
+  std::size_t segments_per_node() const { return 2 * walks_per_node_; }
+
+  /// Raw packed path words of segment `seg` — the segment-snapshot
+  /// publisher's bulk-copy source (store/segment_snapshot.h).
+  std::span<const uint64_t> SegmentWords(uint64_t seg) const {
+    return paths_.RowSpan(seg);
+  }
+
+  /// Opt-in delta feed for frozen segment snapshots (see
+  /// WalkStore::dirty_segments()). Off by default.
+  void set_dirty_tracking(bool on) { dirty_.SetTracking(on); }
+  std::span<const uint64_t> dirty_segments() const {
+    return dirty_.entries();
+  }
+  bool dirty_overflowed() const { return dirty_.overflowed(); }
+  void ClearDirtySegments() { dirty_.Clear(); }
+
   /// Graph must already contain (u, v).
   WalkUpdateStats OnEdgeInserted(const DiGraph& g, NodeId u, NodeId v,
                                  Rng* rng);
@@ -187,6 +206,10 @@ class SalsaWalkStore {
   }
   void AddVisitCounters(NodeId node, Direction side, int64_t delta);
 
+  /// Records a repaired segment into the snapshot delta feed (see
+  /// WalkStore::RecordDirtySegment — plan-drain time, no flag array).
+  void RecordDirtySegment(uint64_t seg) { dirty_.Record(seg); }
+
   void TruncateAfter(uint64_t seg, uint32_t keep_pos);
   uint64_t ExtendFromTail(const DiGraph& g, uint64_t seg, NodeId forced,
                           Rng* rng);
@@ -233,6 +256,10 @@ class SalsaWalkStore {
   std::vector<int64_t> auth_visits_;
   int64_t total_hub_ = 0;
   int64_t total_auth_ = 0;
+
+  /// Dirty-segment feed for the snapshot publishers (see
+  /// dirty_segments()).
+  slab::DirtyFeed<uint64_t> dirty_;
 
   // Reusable batched-update scratch: zero steady-state allocation. The
   // collect-then-apply machinery is shared with WalkStore via

@@ -1,0 +1,351 @@
+#ifndef FASTPPR_STORE_SEGMENT_SNAPSHOT_H_
+#define FASTPPR_STORE_SEGMENT_SNAPSHOT_H_
+
+// Frozen, reader-safe views of the walk segments and the adjacency for
+// concurrent personalized serving (see DESIGN.md section 6).
+//
+// PersonalizedTopK stitches a walk through the stored segments and takes
+// manual steps on the social graph — both of which the single-writer
+// ingest/repair machinery mutates in place (slab rows relocate, arenas
+// compact), so walking them live would race with ingestion. This header
+// gives the segments the same epoch-versioned treatment PR 3 gave the
+// adjacency slab, one level up: immutable *copies* published at window
+// boundaries, pooled RCU-style so the writer never waits for a reader
+// and a reader never blocks the writer.
+//
+// Version lifecycle. Each pool owns a small set of buffers. At every
+// publish the writer (a) picks a retired buffer — one whose only
+// remaining reference is the pool's own — or allocates a fresh one,
+// (b) brings it up to date, and (c) swaps it in as the current version.
+// Readers pin the current version with a shared_ptr copy and walk it
+// with plain loads: the buffer is immutable while anyone can reach it.
+// A buffer pinned by a slow reader is simply skipped; the pool grows by
+// one instead of stalling the writer, and shrinks back once readers
+// drain.
+//
+// Synchronization contract (how the use_count check is made safe and
+// TSan-provable without fences): readers copy AND release their
+// shared_ptr pins under the caller's flip mutex, and the writer runs
+// SelectForPublish() under the same mutex. A buffer observed retired
+// under that lock therefore happens-after every read of its data, so
+// the writer may overwrite it outside the lock. Only the pointer swap
+// and the pin/unpin take the mutex — never a walk, never a copy.
+//
+// Publish cost. Buffers are brought up to date by *delta*: every pooled
+// buffer carries the list of rows that changed since the epoch its
+// content represents (the walk stores' dirty-segment feed, the window's
+// applied edges for the adjacency), so a publish copies only what the
+// window actually touched — the same order of work as the repairs
+// themselves — never the whole store. Content is full-copied only when
+// a buffer is first allocated or after an untracked mutation (the
+// force_full parameter of Publish).
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fastppr/graph/digraph.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/store/walk_slab.h"
+#include "fastppr/util/check.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+
+namespace snapshot_internal {
+template <typename Buffer>
+class PoolBase;
+}  // namespace snapshot_internal
+
+/// Immutable copy of one walk store's segment node-paths at one publish
+/// epoch. Rows are indexed by global segment id (the store's u *
+/// segments_per_node + k addressing), so a sharded view can route
+/// lookups without translation; unowned rows are empty, exactly as in
+/// the live store.
+class FrozenSegments {
+ public:
+  /// One frozen segment: a span over the packed path words. Readers use
+  /// only the node sequence; the low index-slot bits are dead weight the
+  /// raw-word copy carries along.
+  class SegmentRef {
+   public:
+    explicit SegmentRef(std::span<const uint64_t> words) : words_(words) {}
+    std::size_t size() const { return words_.size(); }
+    bool empty() const { return words_.empty(); }
+    NodeId node(std::size_t p) const {
+      return static_cast<NodeId>(slab::Hi(words_[p]));
+    }
+
+   private:
+    std::span<const uint64_t> words_;
+  };
+
+  /// Ingestion epoch (windows applied) this copy was published at.
+  uint64_t epoch() const { return epoch_; }
+  std::size_t num_segments() const { return paths_.num_rows(); }
+
+  SegmentRef Segment(uint64_t seg) const {
+    return SegmentRef(paths_.RowSpan(seg));
+  }
+
+ private:
+  friend class SegmentSnapshotPool;
+  template <typename>
+  friend class snapshot_internal::PoolBase;
+  slab::SlabPool paths_;
+  uint64_t epoch_ = 0;
+};
+
+/// Immutable copy of the graph's adjacency at one publish epoch: the
+/// out-side always, the in-side only when requested (SALSA walks step
+/// backwards; PageRank walks never do). Mirrors the DiGraph read API the
+/// walkers use, including bit-identical neighbour sampling: rows are
+/// copied in canonical slot order, so the same RNG stream draws the same
+/// neighbours as a live walk at the same epoch.
+class FrozenAdjacency {
+ public:
+  uint64_t epoch() const { return epoch_; }
+  std::size_t num_nodes() const { return out_.num_rows(); }
+  bool has_in_side() const { return has_in_; }
+
+  std::size_t OutDegree(NodeId v) const { return out_.Size(v); }
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    return out_.RowSpan(v);
+  }
+  NodeId RandomOutNeighbor(NodeId v, Rng* rng) const {
+    const auto outs = out_.RowSpan(v);
+    if (outs.empty()) return kInvalidNode;
+    return outs[rng->UniformIndex(outs.size())];
+  }
+
+  std::size_t InDegree(NodeId v) const {
+    FASTPPR_CHECK(has_in_);
+    return in_.Size(v);
+  }
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    FASTPPR_CHECK(has_in_);
+    return in_.RowSpan(v);
+  }
+  NodeId RandomInNeighbor(NodeId v, Rng* rng) const {
+    const auto ins = InNeighbors(v);
+    if (ins.empty()) return kInvalidNode;
+    return ins[rng->UniformIndex(ins.size())];
+  }
+
+ private:
+  friend class AdjacencySnapshotPool;
+  template <typename>
+  friend class snapshot_internal::PoolBase;
+  slab::BasicSlabPool<NodeId> out_;
+  slab::BasicSlabPool<NodeId> in_;
+  bool has_in_ = false;
+  uint64_t epoch_ = 0;
+};
+
+namespace snapshot_internal {
+
+/// Shared pool mechanics for both snapshot kinds. `Buffer` is the frozen
+/// view type; the derived pool supplies the copy routines. Writer-only
+/// except SelectForPublish (see the header comment's contract).
+template <typename Buffer>
+class PoolBase {
+ public:
+  /// Phase 1 — MUST be called under the caller's flip mutex. Picks the
+  /// buffer the next publish will fill: a retired one (only the pool
+  /// still references it) or none (the publish phase then allocates).
+  /// Also frees retired buffers beyond one spare, so a burst of slow
+  /// readers does not pin pool memory forever. Stable compaction: kept
+  /// buffers never change relative order, so the selected index stays
+  /// valid.
+  void SelectForPublish() {
+    selected_ = kNone;
+    std::size_t retired_kept = 0;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < pool_.size(); ++r) {
+      const bool retired = pool_[r].buf.use_count() == 1;
+      if (retired && retired_kept == 2) continue;  // dropped by resize
+      if (retired) {
+        ++retired_kept;
+        if (selected_ == kNone) selected_ = w;
+      }
+      if (w != r) pool_[w] = std::move(pool_[r]);
+      ++w;
+    }
+    pool_.resize(w);
+  }
+
+ protected:
+  struct Pooled {
+    std::shared_ptr<Buffer> buf;
+    /// Dirty rows accumulated since `buf`'s content epoch. May repeat
+    /// across windows; re-copying a row is idempotent.
+    std::vector<uint64_t> pending;
+    bool needs_full = true;
+  };
+
+  /// Phase 2 core — outside the mutex. Appends `dirty` to every pooled
+  /// buffer's pending delta, then brings the selected (or a freshly
+  /// allocated) buffer up to date via `full_copy` / `apply_row` and
+  /// stamps it. Returns the publishable reference.
+  /// `pending_cap` bounds each buffer's accumulated delta, mirroring the
+  /// store-side feeds' overflow rule: past it a full copy is cheaper
+  /// (and a buffer pinned across many windows must not grow without
+  /// bound), so the buffer flips to needs_full and drops its delta.
+  template <typename FullCopyFn, typename ApplyRowFn>
+  std::shared_ptr<const Buffer> PublishWith(std::span<const uint64_t> dirty,
+                                            uint64_t epoch, bool force_full,
+                                            std::size_t pending_cap,
+                                            const FullCopyFn& full_copy,
+                                            const ApplyRowFn& apply_row) {
+    for (Pooled& p : pool_) {
+      if (force_full) p.needs_full = true;
+      if (!p.needs_full &&
+          p.pending.size() + dirty.size() > pending_cap) {
+        p.needs_full = true;
+      }
+      if (p.needs_full) {
+        p.pending.clear();
+      } else {
+        p.pending.insert(p.pending.end(), dirty.begin(), dirty.end());
+      }
+    }
+    if (selected_ == kNone) {
+      pool_.push_back(Pooled{std::make_shared<Buffer>(), {}, true});
+      selected_ = pool_.size() - 1;
+    }
+    Pooled& slot = pool_[selected_];
+    selected_ = kNone;
+    if (slot.needs_full) {
+      full_copy(slot.buf.get());
+      slot.needs_full = false;
+    } else {
+      for (uint64_t row : slot.pending) apply_row(slot.buf.get(), row);
+    }
+    slot.pending.clear();
+    FASTPPR_CHECK_MSG(slot.buf->epoch_ <= epoch,
+                      "snapshot publish epoch moved backwards");
+    slot.buf->epoch_ = epoch;
+    return slot.buf;
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::vector<Pooled> pool_;
+  std::size_t selected_ = kNone;
+};
+
+}  // namespace snapshot_internal
+
+/// Version pool of FrozenSegments for one shard's walk store. `Store` is
+/// WalkStore or SalsaWalkStore (anything exposing num_segments() and
+/// SegmentWords(seg)).
+class SegmentSnapshotPool
+    : public snapshot_internal::PoolBase<FrozenSegments> {
+ public:
+  /// Phase 2 — outside the mutex. `dirty` is the store's dirty-segment
+  /// feed since the last publish (the caller clears it afterwards);
+  /// `force_full` discards the delta optimization for this and every
+  /// pooled buffer (untracked mutations).
+  template <typename Store>
+  std::shared_ptr<const FrozenSegments> Publish(
+      const Store& store, std::span<const uint64_t> dirty, uint64_t epoch,
+      bool force_full) {
+    return PublishWith(
+        dirty, epoch, force_full, store.num_segments(),
+        [&store](FrozenSegments* out) {
+          const std::size_t num = store.num_segments();
+          std::vector<uint32_t> sizes(num);
+          for (std::size_t seg = 0; seg < num; ++seg) {
+            sizes[seg] =
+                static_cast<uint32_t>(store.SegmentWords(seg).size());
+          }
+          out->paths_.ResetWithCapacities(sizes);
+          for (std::size_t seg = 0; seg < num; ++seg) {
+            out->paths_.AssignRow(seg, store.SegmentWords(seg));
+          }
+        },
+        [&store](FrozenSegments* out, uint64_t seg) {
+          // A future growable-node engine must fail loudly, not read a
+          // stale row table out of bounds.
+          FASTPPR_CHECK_MSG(out->paths_.num_rows() == store.num_segments(),
+                            "frozen segment row count no longer matches "
+                            "the store — publish a full rebuild");
+          out->paths_.AssignRow(seg, store.SegmentWords(seg));
+        });
+  }
+};
+
+/// Version pool of FrozenAdjacency over the shared social graph.
+class AdjacencySnapshotPool
+    : public snapshot_internal::PoolBase<FrozenAdjacency> {
+ public:
+  /// `capture_in` fixes whether copies carry the in-side (decided once
+  /// by the serving engine: SALSA yes, PageRank no).
+  explicit AdjacencySnapshotPool(bool capture_in)
+      : capture_in_(capture_in) {}
+
+  /// Phase 2 — outside the mutex. `applied` are the graph mutations
+  /// since the last publish: edge (u, v) dirties u's out-row and (when
+  /// captured) v's in-row. The packed dirty words are built into a
+  /// reusable scratch, so the steady-state publish is allocation-free.
+  std::shared_ptr<const FrozenAdjacency> Publish(
+      const DiGraph& g, std::span<const Edge> applied, uint64_t epoch,
+      bool force_full) {
+    dirty_scratch_.clear();
+    dirty_scratch_.reserve(applied.size() * (capture_in_ ? 2 : 1));
+    for (const Edge& e : applied) {
+      dirty_scratch_.push_back(PackRow(/*in_side=*/false, e.src));
+      if (capture_in_) {
+        dirty_scratch_.push_back(PackRow(/*in_side=*/true, e.dst));
+      }
+    }
+    return PublishWith(
+        dirty_scratch_, epoch, force_full,
+        /*pending_cap=*/8 * g.num_nodes(),
+        [this, &g](FrozenAdjacency* out) {
+          out->has_in_ = capture_in_;
+          FullCopySide(g, /*in_side=*/false, out);
+          if (capture_in_) FullCopySide(g, /*in_side=*/true, out);
+        },
+        [&g](FrozenAdjacency* out, uint64_t row) {
+          const bool in_side = (row & 1) != 0;
+          const NodeId v = static_cast<NodeId>(row >> 1);
+          auto& side = in_side ? out->in_ : out->out_;
+          FASTPPR_CHECK_MSG(side.num_rows() == g.num_nodes(),
+                            "frozen adjacency row count no longer "
+                            "matches the graph — publish a full rebuild");
+          side.AssignRow(v, in_side ? g.InNeighbors(v)
+                                    : g.OutNeighbors(v));
+        });
+  }
+
+ private:
+  static uint64_t PackRow(bool in_side, NodeId v) {
+    return (static_cast<uint64_t>(v) << 1) | (in_side ? 1 : 0);
+  }
+
+  static void FullCopySide(const DiGraph& g, bool in_side,
+                           FrozenAdjacency* out) {
+    const std::size_t n = g.num_nodes();
+    std::vector<uint32_t> sizes(n);
+    for (NodeId v = 0; v < n; ++v) {
+      sizes[v] = static_cast<uint32_t>(in_side ? g.InDegree(v)
+                                               : g.OutDegree(v));
+    }
+    auto& side = in_side ? out->in_ : out->out_;
+    side.ResetWithCapacities(sizes);
+    for (NodeId v = 0; v < n; ++v) {
+      side.AssignRow(v, in_side ? g.InNeighbors(v) : g.OutNeighbors(v));
+    }
+  }
+
+  bool capture_in_;
+  std::vector<uint64_t> dirty_scratch_;
+};
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_STORE_SEGMENT_SNAPSHOT_H_

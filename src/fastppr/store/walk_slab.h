@@ -20,6 +20,7 @@
 // geometric segment lengths (mean 1/eps) and any realistic visit-list row.
 // Overflow aborts via FASTPPR_CHECK rather than wrapping.
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -45,13 +46,19 @@ constexpr uint64_t WithLo(uint64_t word, uint32_t lo) {
   return (word & ~kLoMask) | (lo & kLoMask);
 }
 
-/// A pool of variable-length rows of packed words backed by one flat
-/// arena. Rows support append, pop-back and swap-remove in O(1); a row
-/// that outgrows its reserved span is relocated to the arena tail with
+/// A pool of variable-length rows of `Word`s backed by one flat arena.
+/// Rows support append, pop-back and swap-remove in O(1); a row that
+/// outgrows its reserved span is relocated to the arena tail with
 /// doubled capacity (the vacated span is dead until the next compaction).
 /// External references address (row, index) pairs — never raw offsets —
 /// so relocation and compaction are invisible to callers.
-class SlabPool {
+///
+/// `Word` is uint64_t for the packed walk/index rows (SlabPool) and
+/// NodeId for the frozen adjacency rows of store/segment_snapshot.h
+/// (half the bytes; the packed-word helpers SetLo/VerifiedSwapRemove are
+/// only instantiated where a pool actually uses them).
+template <typename Word>
+class BasicSlabPool {
  public:
   /// One row per entry of `sizes`, laid out back-to-back (size 0, ready
   /// for bulk fill). `headroom` grants each row `size + size/2 + 2` spare
@@ -74,16 +81,35 @@ class SlabPool {
   std::size_t num_rows() const { return rows_.size(); }
   uint32_t Size(std::size_t row) const { return rows_[row].size; }
 
-  uint64_t Get(std::size_t row, uint32_t i) const {
+  Word Get(std::size_t row, uint32_t i) const {
     return data_[rows_[row].off + i];
   }
 
-  std::span<const uint64_t> RowSpan(std::size_t row) const {
+  std::span<const Word> RowSpan(std::size_t row) const {
     return {data_.data() + rows_[row].off, rows_[row].size};
   }
 
+  /// Replaces the row's whole content with `words` (the snapshot
+  /// publishers' bulk-copy primitive). Relocates to the arena tail if the
+  /// row's reserved span is too small; O(|words|) either way.
+  void AssignRow(std::size_t row, std::span<const Word> words) {
+    Row& r = rows_[row];
+    FASTPPR_CHECK(words.size() <= kLoMask);
+    if (words.size() > r.cap) {
+      const uint32_t new_cap = std::max<uint32_t>(
+          static_cast<uint32_t>(words.size()), r.cap == 0 ? 4 : 2 * r.cap);
+      dead_ += r.cap;
+      r.off = data_.size();
+      r.cap = new_cap;
+      data_.resize(data_.size() + new_cap);
+    }
+    r.size = static_cast<uint32_t>(words.size());
+    std::copy(words.begin(), words.end(), data_.begin() + r.off);
+    MaybeCompact();
+  }
+
   /// Appends and returns the index the word landed at.
-  uint32_t PushBack(std::size_t row, uint64_t word) {
+  uint32_t PushBack(std::size_t row, Word word) {
     Row& r = rows_[row];
     if (r.size == r.cap) Grow(row);
     const uint32_t at = rows_[row].size++;
@@ -103,21 +129,21 @@ class SlabPool {
   /// Returns the word that now occupies index `i` (identical to the
   /// removed word when `i` was the last index). One row binding: this
   /// sits on the hottest path of the walk stores.
-  uint64_t VerifiedSwapRemove(std::size_t row, uint32_t i,
-                              uint64_t expect) {
+  Word VerifiedSwapRemove(std::size_t row, uint32_t i, Word expect) {
     Row& r = rows_[row];
     FASTPPR_CHECK(i < r.size);
-    uint64_t* base = data_.data() + r.off;
+    Word* base = data_.data() + r.off;
     FASTPPR_CHECK(base[i] == expect);
-    const uint64_t moved = base[r.size - 1];
+    const Word moved = base[r.size - 1];
     base[i] = moved;
     --r.size;
     return moved;
   }
 
   /// Overwrites only the low 24 bits of element `i` (one row binding).
+  /// Packed-uint64 pools only.
   void SetLo(std::size_t row, uint32_t i, uint32_t lo) {
-    uint64_t& w = data_[rows_[row].off + i];
+    Word& w = data_[rows_[row].off + i];
     w = WithLo(w, lo);
   }
 
@@ -162,7 +188,7 @@ class SlabPool {
     // caps — and with them the compacted arena — are bounded).
     uint64_t total = 0;
     for (const Row& r : rows_) total += r.cap;
-    std::vector<uint64_t> packed(total, 0);
+    std::vector<Word> packed(total, 0);
     uint64_t at = 0;
     for (Row& r : rows_) {
       for (uint32_t i = 0; i < r.size; ++i) {
@@ -175,10 +201,13 @@ class SlabPool {
     dead_ = 0;
   }
 
-  std::vector<uint64_t> data_;
+  std::vector<Word> data_;
   std::vector<Row> rows_;
   uint64_t dead_ = 0;
 };
+
+/// The packed-word pool every walk store is built on.
+using SlabPool = BasicSlabPool<uint64_t>;
 
 }  // namespace fastppr::slab
 

@@ -160,6 +160,7 @@ void WalkStore::BuildFromFlatPaths(std::size_t n,
   }
 
   scratch_.ResetSegments(num_segs);
+  dirty_.ResetCap(slab::DirtyCapForOwnedRows(paths_));
 }
 
 double WalkStore::Estimate(NodeId v) const {
@@ -376,6 +377,7 @@ WalkUpdateStats WalkStore::OnEdgesInserted(const DiGraph& g,
   walk_queue_.clear();
   for (const PendingRepair& plan : scratch_.pending()) {
     const uint64_t seg = plan.seg;
+    RecordDirtySegment(seg);
     // A switched hop lands uniformly on the group's new targets. No draw
     // for singleton groups, so a 1-edge batch matches the sequential RNG
     // stream bit for bit.
@@ -478,6 +480,7 @@ WalkUpdateStats WalkStore::OnEdgesRemoved(const DiGraph& g,
   walk_queue_.clear();
   for (const PendingRepair& plan : scratch_.pending()) {
     const uint64_t seg = plan.seg;
+    RecordDirtySegment(seg);
     if (policy_ == UpdatePolicy::kRedoFromSource) {
       ResetSegmentToSource(seg);
       walk_queue_.push_back(

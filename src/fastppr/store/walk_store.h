@@ -205,6 +205,27 @@ class WalkStore {
                        static_cast<EndReason>(seg_end_[seg]));
   }
 
+  /// Stored segment rows per node in the global segment-id addressing
+  /// (SegId(u, k) = u * segments_per_node() + k).
+  std::size_t segments_per_node() const { return walks_per_node_; }
+
+  /// Raw packed path words of segment `seg` — the segment-snapshot
+  /// publisher's bulk-copy source (store/segment_snapshot.h).
+  std::span<const uint64_t> SegmentWords(uint64_t seg) const {
+    return paths_.RowSpan(seg);
+  }
+
+  /// Opt-in delta feed for frozen segment snapshots
+  /// (store/segment_snapshot.h): while enabled, every repaired segment
+  /// id is recorded (possibly more than once per window). Off by
+  /// default so stores without a serving layer pay nothing.
+  void set_dirty_tracking(bool on) { dirty_.SetTracking(on); }
+  std::span<const uint64_t> dirty_segments() const {
+    return dirty_.entries();
+  }
+  bool dirty_overflowed() const { return dirty_.overflowed(); }
+  void ClearDirtySegments() { dirty_.Clear(); }
+
   /// Must be called after `g` already contains the new edge (u, v).
   /// `rng` drives the coupling randomness.
   WalkUpdateStats OnEdgeInserted(const DiGraph& g, NodeId u, NodeId v,
@@ -263,6 +284,13 @@ class WalkStore {
                      uint64_t seg, uint32_t pos) {
     slab::RemoveIndexEntry(pool, &paths_, node, slot, seg, pos);
   }
+
+  /// Records a repaired segment into the snapshot delta feed (called
+  /// once per scheduled repair at plan-drain time — the repair plan is
+  /// already per-segment deduplicated within a batch, so no flag array
+  /// and no extra cache line on the hot path; duplicates across the
+  /// batches of one window are possible and harmless).
+  void RecordDirtySegment(uint64_t seg) { dirty_.Record(seg); }
 
   /// Drops all path entries with index > keep_pos (counters + index).
   void TruncateAfter(uint64_t seg, uint32_t keep_pos);
@@ -337,6 +365,10 @@ class WalkStore {
   slab::SlabPool dangling_;
   std::vector<int64_t> visit_count_;
   int64_t total_visits_ = 0;
+
+  /// Dirty-segment feed for the snapshot publishers (see
+  /// dirty_segments()).
+  slab::DirtyFeed<uint64_t> dirty_;
 
   // Reusable batched-update scratch: zero steady-state allocation. The
   // collect-then-apply machinery is shared with SalsaWalkStore via

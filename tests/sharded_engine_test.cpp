@@ -8,7 +8,11 @@
 //    Social Store, and the epoch only moves in ingest phases;
 //  * the seqlock snapshot buffers stay coherent under concurrent
 //    reader/writer load;
-//  * personalized queries through the sharded view match the flat walker.
+//  * personalized queries through the frozen snapshot views match the
+//    flat walker bit for bit at every frozen epoch, and run concurrently
+//    with live ingestion (the PR 4 segment-snapshot serving path; this
+//    file is the TSan CI job's target, so those stress tests run under
+//    ThreadSanitizer on every push).
 
 #include <atomic>
 #include <cstdint>
@@ -397,6 +401,188 @@ TEST(QueryServiceTest, PersonalizedTopKMatchesFlatWalkerAtOneShard) {
   }
   EXPECT_EQ(sharded_walk.length, flat_walk.length);
   EXPECT_EQ(sharded_walk.segments_used, flat_walk.segments_used);
+}
+
+TEST(QueryServiceTest, ScratchReadsMatchAllocatingReads) {
+  const std::size_t n = 130;
+  const auto events = MixedStream(n, 19, 0.15);
+  ShardedEngine<IncrementalPageRank> engine(n, Opts(2, 0.2, 21),
+                                            ShardedOptions{3, 2});
+  QueryService<IncrementalPageRank> service(&engine);
+  ASSERT_TRUE(service.Ingest(events).ok());
+
+  ReadScratch scratch;
+  int64_t total_into = 0;
+  int64_t total_alloc = 0;
+  EXPECT_EQ(service.SnapshotCountsInto(&scratch, &total_into),
+            service.SnapshotCounts(&total_alloc));
+  EXPECT_EQ(total_into, total_alloc);
+  EXPECT_EQ(service.TopKInto(10, &scratch), service.TopK(10));
+
+  // Steady state: a warm scratch is never reallocated (the
+  // allocation-free read-path contract).
+  const int64_t* counts_data = scratch.counts.data();
+  const NodeId* ranked_data = scratch.ranked.data();
+  for (int round = 0; round < 3; ++round) {
+    service.TopKInto(10, &scratch);
+    EXPECT_EQ(scratch.counts.data(), counts_data);
+    EXPECT_EQ(scratch.ranked.data(), ranked_data);
+  }
+}
+
+TEST(QueryServiceTest, PersonalizedReadAtFrozenEpochMatchesFlatEngine) {
+  // The determinism contract of the frozen views: at every window
+  // boundary, a personalized read served from the snapshots must be
+  // bit-identical to the flat engine's walker at the same epoch — same
+  // ranking, same visit counts, same walk telemetry.
+  const std::size_t n = 140;
+  const auto events = MixedStream(n, 61, 0.2);
+  const MonteCarloOptions mc = Opts(3, 0.2, 33);
+
+  IncrementalPageRank flat(n, mc);
+  ShardedEngine<IncrementalPageRank> sharded(n, mc, ShardedOptions{1, 2});
+  QueryService<IncrementalPageRank> service(&sharded);
+
+  std::size_t i = 0;
+  std::size_t window = 1;
+  uint64_t epoch = 0;
+  while (i < events.size()) {
+    const std::size_t hi = std::min(events.size(), i + window);
+    const std::span<const EdgeEvent> w(events.data() + i, hi - i);
+    ASSERT_TRUE(flat.ApplyEvents(w).ok());
+    ASSERT_TRUE(service.Ingest(w).ok());
+    ++epoch;
+
+    const NodeId seed = static_cast<NodeId>((epoch * 37) % n);
+    PersonalizedPageRankWalker walker(&flat.walk_store(),
+                                      &flat.social_store());
+    std::vector<ScoredNode> flat_ranked;
+    PersonalizedWalkResult flat_walk;
+    ASSERT_TRUE(walker
+                    .TopK(seed, 8, 3000, /*exclude_friends=*/true,
+                          /*rng_seed=*/epoch, &flat_ranked, &flat_walk)
+                    .ok());
+
+    std::vector<ScoredNode> svc_ranked;
+    PersonalizedWalkResult svc_walk;
+    SnapshotInfo info;
+    ASSERT_TRUE(service
+                    .PersonalizedTopK(seed, 8, 3000,
+                                      /*exclude_friends=*/true,
+                                      /*rng_seed=*/epoch, &svc_ranked,
+                                      &svc_walk, &info)
+                    .ok());
+
+    EXPECT_EQ(info.min_epoch, info.max_epoch);
+    EXPECT_EQ(info.max_epoch, service.published_epoch());
+    EXPECT_EQ(info.max_epoch, epoch);
+    ASSERT_EQ(svc_ranked.size(), flat_ranked.size());
+    for (std::size_t r = 0; r < flat_ranked.size(); ++r) {
+      EXPECT_EQ(svc_ranked[r].node, flat_ranked[r].node);
+      EXPECT_EQ(svc_ranked[r].visits, flat_ranked[r].visits);
+    }
+    EXPECT_EQ(svc_walk.length, flat_walk.length);
+    EXPECT_EQ(svc_walk.segments_used, flat_walk.segments_used);
+    EXPECT_EQ(svc_walk.manual_steps, flat_walk.manual_steps);
+    EXPECT_EQ(svc_walk.resets, flat_walk.resets);
+    EXPECT_EQ(svc_walk.fetches, flat_walk.fetches);
+
+    i = hi;
+    window = window * 2 + 1;
+  }
+}
+
+TEST(QueryServiceTest, PersonalizedReadsConcurrentWithIngestion) {
+  // N reader threads hammer PersonalizedTopK against the frozen views
+  // while the writer streams a live mixed ingestion load — the
+  // segment-snapshot serving path under ThreadSanitizer. Every read
+  // must observe a single frozen epoch no newer than the last publish.
+  const std::size_t n = 120;
+  const auto events = MixedStream(n, 83, 0.2);
+  ShardedEngine<IncrementalPageRank> engine(n, Opts(2, 0.25, 7),
+                                            ShardedOptions{3, 2});
+  QueryService<IncrementalPageRank> service(&engine);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+  auto reader = [&](uint64_t salt) {
+    uint64_t q = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<ScoredNode> ranked;
+      SnapshotInfo info;
+      const Status s = service.PersonalizedTopK(
+          static_cast<NodeId>((salt + q * 13) % n), 5, 600,
+          /*exclude_friends=*/q % 2 == 0, /*rng_seed=*/q ^ salt, &ranked,
+          nullptr, &info);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(info.min_epoch, info.max_epoch);
+      EXPECT_LE(info.max_epoch, service.published_epoch());
+      ++q;
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread r1(reader, 1);
+  std::thread r2(reader, 29);
+
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const std::size_t hi = std::min(events.size(), i + 16);
+    ASSERT_TRUE(service
+                    .Ingest(std::span<const EdgeEvent>(events.data() + i,
+                                                       hi - i))
+                    .ok());
+    i = hi;
+  }
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  EXPECT_GT(reads.load(), 0u);
+  engine.CheckConsistency();
+}
+
+TEST(QueryServiceTest, PersonalizedSalsaReadsConcurrentWithIngestion) {
+  // The SALSA twin additionally exercises the frozen adjacency's
+  // in-side (backward steps) under concurrent ingestion.
+  const std::size_t n = 100;
+  const auto events = MixedStream(n, 91, 0.15);
+  ShardedEngine<IncrementalSalsa> engine(n, Opts(2, 0.25, 13),
+                                         ShardedOptions{4, 2});
+  QueryService<IncrementalSalsa> service(&engine);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+  auto reader = [&](uint64_t salt) {
+    uint64_t q = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<ScoredNode> ranked;
+      SnapshotInfo info;
+      const Status s = service.PersonalizedTopK(
+          static_cast<NodeId>((salt + q * 17) % n), 5, 800,
+          /*exclude_friends=*/true, /*rng_seed=*/q ^ salt, &ranked,
+          nullptr, &info);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(info.min_epoch, info.max_epoch);
+      ++q;
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread r1(reader, 3);
+  std::thread r2(reader, 71);
+
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const std::size_t hi = std::min(events.size(), i + 16);
+    ASSERT_TRUE(service
+                    .Ingest(std::span<const EdgeEvent>(events.data() + i,
+                                                       hi - i))
+                    .ok());
+    i = hi;
+  }
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  EXPECT_GT(reads.load(), 0u);
+  engine.CheckConsistency();
 }
 
 TEST(QueryServiceTest, PersonalizedSalsaServesAcrossShards) {
