@@ -4,7 +4,11 @@
 // operations the incremental engines actually issue — bulk insertion,
 // random-order deletion (where legacy pays an O(degree) scan per hub
 // edge), mixed add/remove churn, HasEdge probes and random-neighbour
-// sampling sweeps — plus the bytes-per-edge each layout pays.
+// sampling sweeps — plus the bytes-per-edge each layout pays, after
+// bulk insertion AND after the churn phase (where the compact slab's
+// coalescing/compaction passes must keep fragmentation bounded). The
+// bytes_per_edge_compact key is the PR 5 memory-diet marker that CI
+// and the memory-regression tests grep for.
 //
 //   bench_graph_mutation [--smoke] [--json <path>]
 
@@ -33,6 +37,10 @@ struct MutationNumbers {
   double probe_qps = 0.0;    ///< HasEdge probes / sec
   double sample_qps = 0.0;   ///< RandomOutNeighbor draws / sec
   double bytes_per_edge = 0.0;
+  /// bytes/live-edge after the churn phase — the fragmentation the
+  /// layout accumulates under steady add/remove load (the compact
+  /// slab's coalescing/compaction passes keep this bounded).
+  double churn_bytes_per_edge = 0.0;
 };
 
 /// One full pass over a fixed op schedule; `Graph` is DiGraph or
@@ -99,6 +107,10 @@ MutationNumbers Measure(std::size_t n, const std::vector<Edge>& edges,
       }
     }
     out.churn_eps = static_cast<double>(churn_ops) / t.ElapsedSeconds();
+    if (!live.empty()) {
+      out.churn_bytes_per_edge = static_cast<double>(g.MemoryBytes()) /
+                                 static_cast<double>(live.size());
+    }
 
     // Random-order teardown of whatever is live.
     rng.Shuffle(&live);
@@ -174,12 +186,23 @@ int main(int argc, char** argv) {
   report.Add("legacy_hasedge_qps", legacy_nums.probe_qps);
   report.Add("legacy_sample_qps", legacy_nums.sample_qps);
   report.Add("legacy_bytes_per_edge", legacy_nums.bytes_per_edge);
+  report.Add("legacy_churn_bytes_per_edge",
+             legacy_nums.churn_bytes_per_edge);
   report.Add("slab_add_events_per_sec", slab_nums.add_eps);
   report.Add("slab_remove_events_per_sec", slab_nums.remove_eps);
   report.Add("slab_churn_ops_per_sec", slab_nums.churn_eps);
   report.Add("slab_hasedge_qps", slab_nums.probe_qps);
   report.Add("slab_sample_qps", slab_nums.sample_qps);
   report.Add("slab_bytes_per_edge", slab_nums.bytes_per_edge);
+  report.Add("slab_churn_bytes_per_edge", slab_nums.churn_bytes_per_edge);
+  // The compact-encoding slab (PR 5: 24-bit size-class-relative twins,
+  // 8-byte BlockRefs, quarter-spaced coalescing arena). Same number as
+  // slab_bytes_per_edge — the explicit key is the before/after marker
+  // the memory-regression layer greps for (the pre-diet slab paid
+  // ~2.4x legacy; tests/snapshot_memory_test.cpp enforces <= 1.5x).
+  report.Add("bytes_per_edge_compact", slab_nums.bytes_per_edge);
+  report.Add("compact_bytes_per_edge_vs_legacy",
+             slab_nums.bytes_per_edge / legacy_nums.bytes_per_edge);
   report.Add("churn_speedup_vs_legacy",
              slab_nums.churn_eps / legacy_nums.churn_eps);
   report.Add("remove_speedup_vs_legacy",

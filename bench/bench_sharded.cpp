@@ -14,7 +14,10 @@
 // bytes-per-edge of the shared graph, what S per-shard replicas would
 // cost on the same slab layout (the PR 2 architecture — an exact S×)
 // and on the PR 2 legacy vector-of-vectors layout, plus the process
-// peak RSS.
+// peak RSS. Since PR 5 it additionally reports the frozen-view memory
+// of the query service: per-shard frozen segment bytes and the dense
+// owned-row table sizes versus the global-row-table model the pre-PR 5
+// snapshots carried (shardS_frozen_* keys).
 //
 //   bench_sharded [--smoke] [--json <path>]
 //
@@ -229,6 +232,18 @@ int main(int argc, char** argv) {
         static_cast<double>(personalized_queries) /
         walk_timer.ElapsedSeconds();
 
+    // Frozen-view memory (PR 5 dense owned-row tables): the S shards'
+    // dense tables together hold exactly ONE global table's worth of
+    // rows; the pre-dense layout carried n * spn row headers PER shard
+    // — reported as the row-model reduction below. The warm-up above
+    // published the views this measures.
+    const auto frozen = service.FrozenStats();
+    const double frozen_row_reduction =
+        frozen.segment_rows_dense == 0
+            ? 1.0
+            : static_cast<double>(frozen.segment_rows_global_model) /
+                  static_cast<double>(frozen.segment_rows_dense);
+
     // Reads concurrent with ingestion: a reader thread hammers TopK
     // against a fresh engine while the main thread re-ingests the
     // stream. The seqlock snapshots keep readers lock-free throughout.
@@ -327,6 +342,20 @@ int main(int argc, char** argv) {
                concurrent_personalized_qps);
     report.Add(prefix + "_events_per_sec_during_personalized",
                ingest_eps_during_walks);
+    report.Add(prefix + "_frozen_segment_bytes_all_shards",
+               static_cast<double>(frozen.segment_bytes));
+    report.Add(prefix + "_frozen_segment_bytes_max_shard",
+               static_cast<double>(frozen.max_shard_segment_bytes));
+    report.Add(prefix + "_frozen_segment_row_table_bytes",
+               static_cast<double>(frozen.segment_row_table_bytes));
+    report.Add(prefix + "_frozen_rows_dense",
+               static_cast<double>(frozen.segment_rows_dense));
+    report.Add(prefix + "_frozen_rows_global_model",
+               static_cast<double>(frozen.segment_rows_global_model));
+    report.Add(prefix + "_frozen_row_reduction_vs_global_model",
+               frozen_row_reduction);
+    report.Add(prefix + "_frozen_adjacency_bytes",
+               static_cast<double>(frozen.adjacency_bytes));
     report.Add(prefix + "_graph_bytes_shared", graph_bytes);
     report.Add(prefix + "_graph_bytes_replica_model", replica_model_bytes);
     report.Add(prefix + "_graph_bytes_legacy_replicas",

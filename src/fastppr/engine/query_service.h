@@ -197,12 +197,16 @@ class QueryService {
     }
     const auto& store = engine_->shard(0).walk_store();
     walks_per_node_ = store.walks_per_node();
-    segments_per_node_ = store.segments_per_node();
     epsilon_ = store.epsilon();
     snapshots_ = std::vector<SnapshotBuffer>(engine_->num_shards());
     for (SnapshotBuffer& s : snapshots_) s.Init(engine_->num_nodes());
-    segment_pools_ =
-        std::vector<SegmentSnapshotPool>(engine_->num_shards());
+    // The dense global->local segment map (immutable for the service's
+    // lifetime; shared by the per-shard publishers and every reader).
+    ownership_ = engine_->MakeSegmentOwnership();
+    segment_pools_.reserve(engine_->num_shards());
+    for (std::size_t s = 0; s < engine_->num_shards(); ++s) {
+      segment_pools_.emplace_back(ownership_, s);
+    }
     std::lock_guard<std::mutex> lock(window_mu_);
     PublishLocked(/*full=*/true);
   }
@@ -243,6 +247,46 @@ class QueryService {
   /// Epoch of the most recent publish (= windows applied at that point).
   uint64_t published_epoch() const {
     return published_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Memory accounting of the currently published frozen views (pins
+  /// the view set briefly; safe concurrently with ingestion).
+  /// `segment_rows_dense` sums every shard's owned rows — exactly one
+  /// global table's worth across all shards; `segment_rows_global_model`
+  /// is what the pre-dense layout carried (n * spn rows PER shard).
+  struct FrozenViewStats {
+    std::size_t segment_bytes = 0;           ///< all shards, current view
+    std::size_t segment_row_table_bytes = 0;
+    std::size_t segment_rows_dense = 0;
+    std::size_t segment_rows_global_model = 0;
+    std::size_t max_shard_segment_bytes = 0;
+    std::size_t adjacency_bytes = 0;
+  };
+  FrozenViewStats FrozenStats() const {
+    std::shared_ptr<const FrozenViewSet> pin;
+    {
+      std::lock_guard<std::mutex> lock(view_mu_);
+      pin = frozen_view_;
+    }
+    FrozenViewStats out;
+    if (pin != nullptr) {
+      const std::size_t spn = pin->ownership->segments_per_node();
+      for (const auto& segs : pin->segments) {
+        out.segment_bytes += segs->MemoryBytes();
+        out.segment_row_table_bytes += segs->row_table_bytes();
+        out.segment_rows_dense += segs->num_segments();
+        out.segment_rows_global_model += engine_->num_nodes() * spn;
+        out.max_shard_segment_bytes =
+            std::max(out.max_shard_segment_bytes, segs->MemoryBytes());
+      }
+      if (pin->graph != nullptr) {
+        out.adjacency_bytes = pin->graph->MemoryBytes();
+      }
+    }
+    // Drop the pin under the view mutex (the recycle contract).
+    std::lock_guard<std::mutex> lock(view_mu_);
+    pin.reset();
+    return out;
   }
 
   /// Merged per-node counts from the current snapshots into
@@ -366,8 +410,8 @@ class QueryService {
         info->max_epoch = std::max(info->max_epoch, segs->epoch());
       }
     }
-    const FrozenSegmentView view(&pin->segments, walks_per_node_,
-                                 segments_per_node_, epsilon_);
+    const FrozenSegmentView view(&pin->segments, pin->ownership.get(),
+                                 walks_per_node_, epsilon_);
     Status status;
     if constexpr (kIsSalsa) {
       BasicPersonalizedSalsaWalker<FrozenSegmentView, FrozenAdjacency>
@@ -391,42 +435,42 @@ class QueryService {
   }
 
  private:
-  /// One published view set: per-shard frozen segments plus the frozen
-  /// adjacency, built once per frozen publish and flipped as a single
-  /// pointer — so a reader's pin/unpin is one shared_ptr copy, not S+1
-  /// refcount bumps inside the contended critical section.
+  /// One published view set: per-shard frozen segments (dense owned
+  /// rows), the shared global->local map, plus the frozen adjacency —
+  /// built once per frozen publish and flipped as a single pointer — so
+  /// a reader's pin/unpin is one shared_ptr copy, not S+2 refcount
+  /// bumps inside the contended critical section.
   struct FrozenViewSet {
     std::vector<std::shared_ptr<const FrozenSegments>> segments;
+    std::shared_ptr<const SegmentOwnership> ownership;
     std::shared_ptr<const FrozenAdjacency> graph;
   };
 
   /// StoreView over the pinned frozen copies, routing each node's
-  /// segments to its owning shard (segment ids are global, so the
-  /// lookup is a plain forward).
+  /// segments to its owning shard's dense table through the shared
+  /// (immutable) SegmentOwnership map.
   class FrozenSegmentView {
    public:
     FrozenSegmentView(
         const std::vector<std::shared_ptr<const FrozenSegments>>* shards,
-        std::size_t walks_per_node, std::size_t segments_per_node,
+        const SegmentOwnership* ownership, std::size_t walks_per_node,
         double epsilon)
         : shards_(shards),
+          ownership_(ownership),
           walks_per_node_(walks_per_node),
-          segments_per_node_(segments_per_node),
           epsilon_(epsilon) {}
 
     std::size_t walks_per_node() const { return walks_per_node_; }
     double epsilon() const { return epsilon_; }
     FrozenSegments::SegmentRef GetSegment(NodeId u, std::size_t k) const {
-      const uint32_t shard = ShardOfNode(
-          u, static_cast<uint32_t>(shards_->size()));
-      return (*shards_)[shard]->Segment(
-          static_cast<uint64_t>(u) * segments_per_node_ + k);
+      return (*shards_)[ownership_->OwnerOf(u)]->Segment(
+          ownership_->LocalRow(u, k));
     }
 
    private:
     const std::vector<std::shared_ptr<const FrozenSegments>>* shards_;
+    const SegmentOwnership* ownership_;
     std::size_t walks_per_node_;
-    std::size_t segments_per_node_;
     double epsilon_;
   };
 
@@ -477,6 +521,7 @@ class QueryService {
                       "graph mutated during a snapshot publish");
     auto fresh_view = std::make_shared<FrozenViewSet>();
     fresh_view->segments = std::move(fresh_segments);
+    fresh_view->ownership = ownership_;
     fresh_view->graph = std::move(fresh_graph);
     {
       std::lock_guard<std::mutex> lock(view_mu_);
@@ -503,8 +548,8 @@ class QueryService {
 
   ShardedEngine<Engine>* engine_;
   std::size_t walks_per_node_ = 0;
-  std::size_t segments_per_node_ = 0;
   double epsilon_ = 0.0;
+  std::shared_ptr<const SegmentOwnership> ownership_;
   std::vector<SnapshotBuffer> snapshots_;
   std::mutex window_mu_;
   std::atomic<uint64_t> published_epoch_{0};

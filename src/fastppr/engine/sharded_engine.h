@@ -50,6 +50,7 @@
 #include "fastppr/graph/edge_stream.h"
 #include "fastppr/graph/types.h"
 #include "fastppr/store/repair_scratch.h"
+#include "fastppr/store/segment_snapshot.h"
 #include "fastppr/store/social_store.h"
 #include "fastppr/util/check.h"
 #include "fastppr/util/shard.h"
@@ -155,6 +156,18 @@ class ShardedEngine {
   /// sharing collapses it to one copy — the number bench_sharded
   /// reports as the replica-elimination saving.
   std::size_t GraphMemoryBytes() const { return social_->MemoryBytes(); }
+
+  /// The dense owned-segment addressing of this engine's partition (see
+  /// store/segment_snapshot.h): a pure function of (num_nodes,
+  /// num_shards, segments_per_node), built once and shared by the
+  /// snapshot publishers and every frozen-view reader. Each shard's
+  /// frozen row table then holds only its owned rows — 1/S of the
+  /// global n * spn table the snapshots carried before.
+  std::shared_ptr<const SegmentOwnership> MakeSegmentOwnership() const {
+    return std::make_shared<const SegmentOwnership>(
+        num_nodes(), static_cast<uint32_t>(num_shards()),
+        shards_[0]->walk_store().segments_per_node());
+  }
 
   /// Opt-in feed for the query service's frozen-adjacency deltas: once
   /// enabled, every *applied* graph mutation (rejected events excluded)

@@ -1,7 +1,7 @@
 #ifndef FASTPPR_GRAPH_ADJACENCY_SLAB_H_
 #define FASTPPR_GRAPH_ADJACENCY_SLAB_H_
 
-// Slab-backed dynamic adjacency storage (see DESIGN.md section 5).
+// Slab-backed dynamic adjacency storage (see DESIGN.md sections 5 and 7).
 //
 // The incremental engines spend essentially all of their time walking
 // the social graph: every repaired segment is a chain of
@@ -14,30 +14,56 @@
 // header replaces that layout with the idiom store/walk_slab.h applies
 // to the walk stores: all adjacency lists live in two flat arenas.
 //
-// Layout. Each node's out-list occupies one *block* of a power-of-two
-// size class inside the out arena; likewise for in-lists in the in
-// arena. A list that outgrows its block relocates into a block of the
-// next class; the vacated block is pushed onto that class's free list
-// and recycled by later allocations, and blocks shrink back down the
-// classes as degrees fall (grow, shrink and churn reuse memory instead
-// of leaking dead spans — there is no compaction because there is no
-// garbage). Blocks store structure-of-arrays columns, so the neighbour
-// ids of a node are one contiguous NodeId run: uniform sampling is a
-// bounded-random index plus one load, and the locate scan of a removal
-// is a vectorizable sweep.
+// Layout. Each node's out-list occupies one *block* — a contiguous slot
+// run of a quarter-spaced size class (1..8, then {5,6,7,8} << k: at most
+// 25% internal slack, versus up to 100% for power-of-two classes) inside
+// the out arena; likewise for in-lists in the in arena. A list that
+// outgrows its block relocates into a block ~1.5x larger; a shrinking
+// list relocates down once occupancy falls below one quarter
+// (hysteresis). Blocks store structure-of-arrays columns, so the
+// neighbour ids of a node are one contiguous NodeId run: uniform
+// sampling is a bounded-random index plus one load, and the locate scan
+// of a removal is a vectorizable sweep.
 //
-// Mutation cost. Each entry carries a *twin backpointer* — the out-entry
-// of an edge stores the local index of its in-entry and vice versa — so
-// deletion is: locate the edge in the (bounded, human-scale) out-list
-// of the source, then swap-remove BOTH entries in O(1), fixing up the
-// moved entries' twins. AddEdge is O(1) amortized; RemoveEdge is an
-// O(outdeg(src)) contiguous locate plus an O(1) unlink, and NEVER scans
-// the heavy-tailed in-degree side. Under the paper's arrival models the
-// locate is O(1) in expectation too: the source of a uniformly random
-// edge has expected out-degree m/n. (A per-edge hash index would make
-// the locate O(1) worst-case, but costs more bytes per edge than the
-// adjacency data itself — measured, it more than doubled the footprint,
-// defeating the replica-elimination memory win this layer exists for.)
+// Compact encoding (PR 5 — the memory diet). A block is addressed by a
+// 32-bit arena slot index plus a 7-bit size class; degree and class pack
+// into the second word, so a BlockRef is 8 bytes (down from 16). Each
+// entry's *twin backpointer* — the position of the edge's mirror entry
+// inside the other endpoint's block, i.e. an offset relative to that
+// block's size-class base — is 24 bits, stored as split uint16/uint8
+// columns (6 bytes of backpointers per edge, down from 8). 24 bits
+// matches the system-wide ordinal bound of store/walk_slab.h: per-node
+// degree is capped at 2^24 per side and the arena at 2^32 slots per
+// side, both enforced by FASTPPR_CHECK rather than silent wraparound.
+//
+// Freed blocks park on per-class free lists (O(1) push/pop — the hot
+// mutation path never searches). An allocation whose exact class list
+// is empty SPLITS the smallest sufficient free block of a larger class
+// (found via a 2-word nonempty-class bitmask) instead of growing the
+// arena, and a block freed at the arena tail retreats the high-water
+// mark immediately. When parked free slots cross a fragmentation
+// threshold, an amortized coalescing pass merges ALL adjacent free
+// blocks (strictly stronger than buddy-merge: any adjacent pair
+// coalesces, not just aligned buddies), releases a merged tail run, and
+// re-parks the rest as maximal class-sized blocks; once free slots
+// exceed 40% of the arena — where merging stops helping because the
+// gaps are pinned between live blocks — a compaction slides every live
+// block left (order-preserving, so sampling is untouched) and releases
+// the whole slack. Fragmentation is therefore bounded at ~1.7x the
+// live footprint: under steady churn the high-water mark plateaus
+// instead of creeping.
+//
+// Mutation cost. Deletion is: locate the edge in the (bounded,
+// human-scale) out-list of the source, then swap-remove BOTH entries in
+// O(1) via the twins, fixing up the moved entries' backpointers. AddEdge
+// is O(1) amortized; RemoveEdge is an O(outdeg(src)) contiguous locate
+// plus an O(1) unlink, and NEVER scans the heavy-tailed in-degree side.
+// Under the paper's arrival models the locate is O(1) in expectation
+// too: the source of a uniformly random edge has expected out-degree
+// m/n. (A per-edge hash index would make the locate O(1) worst-case,
+// but costs more bytes per edge than the adjacency data itself —
+// measured, it more than doubled the footprint, defeating the memory
+// win this layer exists for.)
 //
 // Epoch versioning. Every successful mutation bumps a 64-bit epoch.
 // The sharded engine shares ONE slab across all shards under a
@@ -49,6 +75,7 @@
 // v's block, a pure function of the mutation history, never of thread
 // count or allocation addresses.
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -64,6 +91,37 @@ namespace fastppr {
 /// uniform sampling. Self-loops and parallel edges are supported.
 class AdjacencySlab {
  public:
+  /// Hard per-node degree cap per side (the 24-bit twin encoding).
+  static constexpr uint32_t kMaxDegree = uint32_t{1} << 24;
+
+  /// Quarter-spaced size-class table: classes 0..7 are 1..8 slots, class
+  /// 8+i is (5 + i%4) << (i/4 + 1) slots — 10, 12, 14, 16, 20, 24, ...
+  /// Monotone in the class index; worst-case internal slack 25%. Class
+  /// 91 is 2^24 slots, the kMaxDegree block. Public because tests and
+  /// benches reason about the expected block footprint.
+  static constexpr uint32_t kNumClasses = 92;
+  static constexpr uint32_t ClassSlots(uint32_t cls) {
+    return cls < 8 ? cls + 1
+                   : (5 + (cls - 8) % 4) << ((cls - 8) / 4 + 1);
+  }
+  /// Smallest class whose block holds `slots` entries (slots >= 1).
+  static constexpr uint32_t ClassFor(uint32_t slots) {
+    if (slots <= 8) return slots - 1;
+    const uint32_t t = slots - 1;  // >= 8
+    const uint32_t g = static_cast<uint32_t>(std::bit_width(t)) - 4;
+    const uint32_t q = t >> (g + 1);  // in [4, 8)
+    return 8 + 4 * g + (q - 4);
+  }
+  /// Largest class whose block fits inside `slots` (slots >= 1) — the
+  /// greedy step when a free run is re-parked as class-sized blocks.
+  static constexpr uint32_t ClassFloor(uint32_t slots) {
+    if (slots <= 9) return std::min(slots, 8u) - 1;
+    const uint32_t b = static_cast<uint32_t>(std::bit_width(slots));
+    const uint32_t q = slots >> (b - 3);  // in [4, 8)
+    // Floor value q * 2^(b-3): q == 4 is class 8 << (b-4), else q << (b-3).
+    return q == 4 ? 4 * b - 9 : 4 * b + q - 13;
+  }
+
   explicit AdjacencySlab(std::size_t num_nodes = 0);
 
   std::size_t num_nodes() const { return out_.refs.size(); }
@@ -105,49 +163,101 @@ class AdjacencySlab {
     return {in_.ids.data() + in_.refs[v].off, in_.refs[v].deg};
   }
 
-  /// Heap bytes held by the adjacency arenas and block tables
-  /// (capacities, not sizes — what the process actually pays).
+  /// Heap bytes held by the adjacency arenas, block tables and free
+  /// lists (capacities, not sizes — what the process actually pays).
   std::size_t MemoryBytes() const;
 
   /// Arena slots currently parked on free lists (recycling telemetry).
   std::size_t free_out_slots() const { return out_.free_slots; }
   std::size_t free_in_slots() const { return in_.free_slots; }
+  /// Number of parked free blocks (drops when a coalescing pass merges
+  /// adjacent blocks or releases the arena tail).
+  std::size_t free_out_blocks() const { return FreeBlockCount(out_); }
+  std::size_t free_in_blocks() const { return FreeBlockCount(in_); }
+  /// Logical arena high-water mark, in slots (retreats on tail release).
+  std::size_t out_arena_slots() const { return out_.arena_size; }
+  std::size_t in_arena_slots() const { return in_.arena_size; }
+
+  /// Merges every run of adjacent free blocks into maximal class-sized
+  /// blocks and releases a merged run touching the arena tail. Runs
+  /// automatically once parked free slots cross the fragmentation
+  /// threshold; exposed for tests and explicit memory trimming.
+  void CoalesceFreeBlocks() {
+    Coalesce(&out_);
+    Coalesce(&in_);
+  }
 
   /// Full invariant audit (twin symmetry, degree/count consistency,
-  /// block/free-list arena accounting). O(n + m); test-only, aborts via
-  /// FASTPPR_CHECK on violation.
+  /// exact live-block/free-extent tiling of both arenas). O(n + m +
+  /// arena); test-only, aborts via FASTPPR_CHECK on violation.
   void CheckConsistency() const;
 
  private:
-  /// One node's block in an arena: [off, off + (1 << cls)) with the
-  /// first `deg` slots live.
+  /// "No block" size-class sentinel (7-bit class field).
+  static constexpr uint32_t kNoClass = 0x7F;
+
+  /// One node's block in an arena: slots [off, off + ClassSlots(cls))
+  /// with the first `deg` slots live. 8 bytes: 32-bit slot index +
+  /// packed degree/class.
   struct BlockRef {
-    uint64_t off = 0;
-    uint32_t deg = 0;
-    uint32_t cls = kNoBlock;
+    uint32_t off = 0;
+    uint32_t deg : 25 {0};
+    uint32_t cls : 7 {kNoClass};
   };
-  static constexpr uint32_t kNoBlock = 0xFFFFFFFFu;
-  static constexpr uint32_t kNumClasses = 32;
+  static_assert(sizeof(BlockRef) == 8);
 
   /// One direction of the graph. The two sides are mirror images: an
-  /// out-side slot holds {dst, twin index into dst's in-block}, an
-  /// in-side slot holds {src, twin index into src's out-block}; all
+  /// out-side slot holds {dst, twin offset into dst's in-block}, an
+  /// in-side slot holds {src, twin offset into src's out-block}; all
   /// mutation algorithms are written once against this struct so the
   /// twin-fixup and shrink logic cannot drift between directions.
   struct Side {
-    std::vector<NodeId> ids;      ///< neighbour id column (SoA)
-    std::vector<uint32_t> twins;  ///< twin local index column (SoA)
-    std::vector<BlockRef> refs;   ///< per-node block table
-    /// Per-class free lists of block offsets (block size = 1 << class).
-    std::vector<uint64_t> free_lists[kNumClasses];
-    uint64_t arena_size = 0;
+    std::vector<NodeId> ids;        ///< neighbour id column (SoA)
+    std::vector<uint16_t> twin_lo;  ///< twin offset low 16 bits (SoA)
+    std::vector<uint8_t> twin_hi;   ///< twin offset high 8 bits (SoA)
+    std::vector<BlockRef> refs;     ///< per-node block table
+    /// Per-class free-block stacks (offsets); O(1) park/pop.
+    std::vector<uint32_t> free_lists[kNumClasses];
+    /// Bit c set iff free_lists[c] is non-empty (the split-alloc scan).
+    uint64_t class_mask[2] = {0, 0};
+    uint32_t arena_size = 0;
     std::size_t free_slots = 0;
+    /// Parked-slot level that triggers the next coalescing pass.
+    std::size_t coalesce_trigger = 64;
+
+    uint32_t Twin(std::size_t slot) const {
+      return twin_lo[slot] |
+             (static_cast<uint32_t>(twin_hi[slot]) << 16);
+    }
+    void SetTwin(std::size_t slot, uint32_t twin) {
+      twin_lo[slot] = static_cast<uint16_t>(twin);
+      twin_hi[slot] = static_cast<uint8_t>(twin >> 16);
+    }
   };
 
-  /// Pops a block of class `cls` from the side's free list, or carves
-  /// one off the arena tail (growing the SoA columns).
-  static uint64_t AllocBlock(Side* side, uint32_t cls);
-  static void FreeBlock(Side* side, uint64_t off, uint32_t cls);
+  /// Pops a free block of class `cls` (exact class, or the smallest
+  /// sufficient larger class — the remainder is re-parked as class-sized
+  /// blocks), or carves off the arena tail (growing the SoA columns).
+  static uint32_t AllocBlock(Side* side, uint32_t cls);
+  /// Parks [off, off + ClassSlots(cls)) on its class free list; a block
+  /// at the arena tail retreats the high-water mark instead. May kick
+  /// off a coalescing pass past the fragmentation threshold.
+  static void FreeBlock(Side* side, uint32_t off, uint32_t cls);
+  /// Parks a free run of `len` slots as greedy maximal class blocks.
+  static void ParkRun(Side* side, uint32_t off, uint32_t len);
+  /// The amortized coalescing pass (see the header comment).
+  static void Coalesce(Side* side);
+  /// Full defragmentation: slides every live block left in offset order
+  /// (slot order — and with it canonical sampling — is preserved; twins
+  /// are block-relative, so only refs[].off changes) and releases all
+  /// slack. Triggered when merging can no longer help (free slots
+  /// exceed 40% of the arena), bounding fragmentation at ~1.7x live.
+  static void Compact(Side* side);
+  static std::size_t FreeBlockCount(const Side& side) {
+    std::size_t count = 0;
+    for (const auto& list : side.free_lists) count += list.size();
+    return count;
+  }
 
   /// Moves node v's block to class `cls`, preserving slot order.
   static void Relocate(Side* side, NodeId v, uint32_t cls);
@@ -160,12 +270,12 @@ class AdjacencySlab {
   static void RemoveAt(Side* side, Side* other, NodeId v, uint32_t p);
 
   /// resize() with a bounded-headroom reserve: std::vector's bare
-  /// doubling would park up to 2x slack on the hot arenas; a 1/8
-  /// headroom keeps growth amortized O(1) at ~12% worst-case slack.
+  /// doubling would park up to 2x slack on the hot arenas; a 1/16
+  /// headroom keeps growth amortized O(1) at ~6% worst-case slack.
   template <typename T>
-  static void GrowColumn(std::vector<T>* column, uint64_t size) {
+  static void GrowColumn(std::vector<T>* column, std::size_t size) {
     if (size > column->capacity()) {
-      column->reserve(size + size / 8);
+      column->reserve(size + size / 16);
     }
     column->resize(size);
   }

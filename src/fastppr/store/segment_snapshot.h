@@ -51,6 +51,7 @@
 #include "fastppr/store/walk_slab.h"
 #include "fastppr/util/check.h"
 #include "fastppr/util/random.h"
+#include "fastppr/util/shard.h"
 
 namespace fastppr {
 
@@ -59,11 +60,80 @@ template <typename Buffer>
 class PoolBase;
 }  // namespace snapshot_internal
 
+/// The dense owned-segment addressing of the frozen row tables (see
+/// DESIGN.md section 7). The live stores keep GLOBAL segment ids
+/// (u * spn + k) with empty unowned rows, which is free there — one
+/// store per shard, rows shared with the repair machinery. A frozen
+/// *copy* is another matter: each shard's snapshot pool holds B pooled
+/// buffers, and a global row table would pay n * spn row headers per
+/// buffer per shard — S-fold duplication of pure metadata. Each shard's
+/// FrozenSegments therefore stores ONLY its owned rows, densely packed
+/// as local_rank(u) * spn + k, and readers translate through this
+/// compact global->local map, published alongside the frozen views.
+///
+/// The map is a pure function of (num_nodes, num_shards, spn) — the
+/// node partition is fixed for the engine's lifetime — so it is built
+/// once, shared by every shard's pool and every reader via shared_ptr,
+/// and never mutated: readers resolve through it with plain loads while
+/// the writer rotates buffers.
+class SegmentOwnership {
+ public:
+  SegmentOwnership(std::size_t num_nodes, uint32_t num_shards,
+                   std::size_t segments_per_node)
+      : num_shards_(num_shards),
+        spn_(segments_per_node),
+        local_of_node_(num_nodes),
+        owned_(num_shards) {
+    FASTPPR_CHECK(num_shards >= 1 && segments_per_node >= 1);
+    for (NodeId u = 0; u < num_nodes; ++u) {
+      const uint32_t s = ShardOfNode(u, num_shards);
+      local_of_node_[u] = static_cast<uint32_t>(owned_[s].size());
+      owned_[s].push_back(u);
+    }
+  }
+
+  uint32_t num_shards() const { return num_shards_; }
+  std::size_t segments_per_node() const { return spn_; }
+
+  /// The shard whose dense table holds node u's segments.
+  uint32_t OwnerOf(NodeId u) const { return ShardOfNode(u, num_shards_); }
+
+  /// Nodes owned by `shard`, in increasing global id order — the dense
+  /// row layout of that shard's FrozenSegments.
+  const std::vector<NodeId>& owned_nodes(std::size_t shard) const {
+    return owned_[shard];
+  }
+  std::size_t owned_rows(std::size_t shard) const {
+    return owned_[shard].size() * spn_;
+  }
+
+  /// Dense row of segment (u, k) inside u's owner shard's table.
+  uint64_t LocalRow(NodeId u, std::size_t k) const {
+    return static_cast<uint64_t>(local_of_node_[u]) * spn_ + k;
+  }
+  /// Dense row of a global segment id (u * spn + k).
+  uint64_t LocalRowOfGlobal(uint64_t global_seg) const {
+    return LocalRow(static_cast<NodeId>(global_seg / spn_),
+                    global_seg % spn_);
+  }
+  /// Global segment id of `shard`'s dense row `local`.
+  uint64_t GlobalRowOf(std::size_t shard, uint64_t local) const {
+    return static_cast<uint64_t>(owned_[shard][local / spn_]) * spn_ +
+           local % spn_;
+  }
+
+ private:
+  uint32_t num_shards_;
+  std::size_t spn_;
+  std::vector<uint32_t> local_of_node_;  ///< rank within the owner shard
+  std::vector<std::vector<NodeId>> owned_;
+};
+
 /// Immutable copy of one walk store's segment node-paths at one publish
-/// epoch. Rows are indexed by global segment id (the store's u *
-/// segments_per_node + k addressing), so a sharded view can route
-/// lookups without translation; unowned rows are empty, exactly as in
-/// the live store.
+/// epoch. Rows hold ONLY the owning shard's segments, densely indexed by
+/// SegmentOwnership::LocalRow — a reader routes (u, k) to the owner
+/// shard's view and translates through the shared map, so the frozen
+/// metadata footprint is owned_rows per shard, not n * spn.
 class FrozenSegments {
  public:
   /// One frozen segment: a span over the packed path words. Readers use
@@ -84,11 +154,19 @@ class FrozenSegments {
 
   /// Ingestion epoch (windows applied) this copy was published at.
   uint64_t epoch() const { return epoch_; }
+  /// DENSE row count: the owning shard's rows only (owned * spn).
   std::size_t num_segments() const { return paths_.num_rows(); }
 
+  /// `seg` is a DENSE local row (SegmentOwnership::LocalRow).
   SegmentRef Segment(uint64_t seg) const {
     return SegmentRef(paths_.RowSpan(seg));
   }
+
+  /// Heap bytes of this frozen copy (path arena + row table).
+  std::size_t MemoryBytes() const { return paths_.MemoryBytes(); }
+  /// Row-table bytes alone — the term the dense addressing shrinks
+  /// S-fold versus a global n * spn table per shard.
+  std::size_t row_table_bytes() const { return paths_.row_table_bytes(); }
 
  private:
   friend class SegmentSnapshotPool;
@@ -132,6 +210,11 @@ class FrozenAdjacency {
     const auto ins = InNeighbors(v);
     if (ins.empty()) return kInvalidNode;
     return ins[rng->UniformIndex(ins.size())];
+  }
+
+  /// Heap bytes of this frozen copy (both sides' arenas + row tables).
+  std::size_t MemoryBytes() const {
+    return out_.MemoryBytes() + in_.MemoryBytes();
   }
 
  private:
@@ -239,43 +322,68 @@ class PoolBase {
 
 }  // namespace snapshot_internal
 
-/// Version pool of FrozenSegments for one shard's walk store. `Store` is
-/// WalkStore or SalsaWalkStore (anything exposing num_segments() and
-/// SegmentWords(seg)).
+/// Version pool of FrozenSegments for ONE shard's walk store, publishing
+/// into that shard's dense owned-row table. `Store` is WalkStore or
+/// SalsaWalkStore (anything exposing SegmentWords(global_seg)). The
+/// dirty feed passed to Publish carries GLOBAL segment ids (the store's
+/// native addressing); the pool translates through the shared
+/// SegmentOwnership map.
 class SegmentSnapshotPool
     : public snapshot_internal::PoolBase<FrozenSegments> {
  public:
+  SegmentSnapshotPool(std::shared_ptr<const SegmentOwnership> ownership,
+                      std::size_t shard)
+      : ownership_(std::move(ownership)), shard_(shard) {
+    FASTPPR_CHECK(ownership_ != nullptr &&
+                  shard_ < ownership_->num_shards());
+  }
+
   /// Phase 2 — outside the mutex. `dirty` is the store's dirty-segment
-  /// feed since the last publish (the caller clears it afterwards);
-  /// `force_full` discards the delta optimization for this and every
-  /// pooled buffer (untracked mutations).
+  /// feed since the last publish (global ids; the caller clears it
+  /// afterwards); `force_full` discards the delta optimization for this
+  /// and every pooled buffer (untracked mutations).
   template <typename Store>
   std::shared_ptr<const FrozenSegments> Publish(
       const Store& store, std::span<const uint64_t> dirty, uint64_t epoch,
       bool force_full) {
+    const SegmentOwnership& own = *ownership_;
+    const std::size_t shard = shard_;
+    const std::size_t rows = own.owned_rows(shard);
     return PublishWith(
-        dirty, epoch, force_full, store.num_segments(),
-        [&store](FrozenSegments* out) {
-          const std::size_t num = store.num_segments();
-          std::vector<uint32_t> sizes(num);
-          for (std::size_t seg = 0; seg < num; ++seg) {
-            sizes[seg] =
-                static_cast<uint32_t>(store.SegmentWords(seg).size());
+        dirty, epoch, force_full, /*pending_cap=*/rows + 64,
+        [&store, &own, shard, rows](FrozenSegments* out) {
+          std::vector<uint32_t> sizes(rows);
+          for (std::size_t row = 0; row < rows; ++row) {
+            sizes[row] = static_cast<uint32_t>(
+                store.SegmentWords(own.GlobalRowOf(shard, row)).size());
           }
           out->paths_.ResetWithCapacities(sizes);
-          for (std::size_t seg = 0; seg < num; ++seg) {
-            out->paths_.AssignRow(seg, store.SegmentWords(seg));
+          for (std::size_t row = 0; row < rows; ++row) {
+            out->paths_.AssignRow(
+                row, store.SegmentWords(own.GlobalRowOf(shard, row)));
           }
         },
-        [&store](FrozenSegments* out, uint64_t seg) {
+        [&store, &own, shard, rows](FrozenSegments* out, uint64_t seg) {
           // A future growable-node engine must fail loudly, not read a
           // stale row table out of bounds.
-          FASTPPR_CHECK_MSG(out->paths_.num_rows() == store.num_segments(),
+          FASTPPR_CHECK_MSG(out->paths_.num_rows() == rows,
                             "frozen segment row count no longer matches "
                             "the store — publish a full rebuild");
-          out->paths_.AssignRow(seg, store.SegmentWords(seg));
+          // The stores only repair their own walks, so every dirty id
+          // must already be owned here; a foreign id means the feeds
+          // got crossed, which must not silently corrupt a dense row.
+          FASTPPR_CHECK_MSG(
+              own.OwnerOf(static_cast<NodeId>(
+                  seg / own.segments_per_node())) == shard,
+              "dirty segment not owned by this shard's snapshot");
+          out->paths_.AssignRow(own.LocalRowOfGlobal(seg),
+                                store.SegmentWords(seg));
         });
   }
+
+ private:
+  std::shared_ptr<const SegmentOwnership> ownership_;
+  std::size_t shard_;
 };
 
 /// Version pool of FrozenAdjacency over the shared social graph.

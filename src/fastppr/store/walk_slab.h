@@ -151,6 +151,18 @@ class BasicSlabPool {
   uint64_t dead_words() const { return dead_; }
   std::size_t arena_words() const { return data_.size(); }
 
+  /// Heap bytes held by the arena and the row table (capacities, not
+  /// sizes — what the process actually pays). The row table is the term
+  /// the dense frozen-segment addressing of store/segment_snapshot.h
+  /// exists to shrink: 16 bytes per row, paid per pooled buffer.
+  std::size_t MemoryBytes() const {
+    return data_.capacity() * sizeof(Word) +
+           rows_.capacity() * sizeof(Row);
+  }
+  std::size_t row_table_bytes() const {
+    return rows_.capacity() * sizeof(Row);
+  }
+
  private:
   struct Row {
     uint64_t off = 0;

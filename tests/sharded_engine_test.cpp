@@ -492,6 +492,176 @@ TEST(QueryServiceTest, PersonalizedReadAtFrozenEpochMatchesFlatEngine) {
   }
 }
 
+/// Test-only live StoreView: routes (u, k) to the owning shard's live
+/// walk store — the addressing the dense frozen tables must reproduce
+/// bit for bit.
+class LiveShardedView {
+ public:
+  explicit LiveShardedView(const ShardedEngine<IncrementalPageRank>* e)
+      : engine_(e) {}
+  std::size_t walks_per_node() const {
+    return engine_->shard(0).walk_store().walks_per_node();
+  }
+  double epsilon() const {
+    return engine_->shard(0).walk_store().epsilon();
+  }
+  WalkStore::SegmentView GetSegment(NodeId u, std::size_t k) const {
+    return engine_->shard(engine_->shard_of(u))
+        .walk_store()
+        .GetSegment(u, k);
+  }
+
+ private:
+  const ShardedEngine<IncrementalPageRank>* engine_;
+};
+
+TEST(QueryServiceTest, DenseFrozenReadsMatchLiveShardedWalkerAtSOneAndFour) {
+  // The dense owned-row addressing (PR 5): a personalized read served
+  // from the frozen per-shard tables through the SegmentOwnership
+  // global->local map must be bit-identical to a walker over the LIVE
+  // sharded stores at the same epoch — for S = 1 (where both also
+  // equal the flat engine, covered elsewhere) and S = 4 (where rows
+  // are genuinely scattered across four dense tables).
+  const std::size_t n = 160;
+  const auto events = MixedStream(n, 67, 0.2);
+  const MonteCarloOptions mc = Opts(3, 0.2, 47);
+
+  for (std::size_t S : {1ul, 4ul}) {
+    ShardedEngine<IncrementalPageRank> engine(n, mc, ShardedOptions{S, 2});
+    QueryService<IncrementalPageRank> service(&engine);
+
+    std::size_t i = 0;
+    std::size_t window = 1;
+    uint64_t epoch = 0;
+    while (i < events.size()) {
+      const std::size_t hi = std::min(events.size(), i + window);
+      ASSERT_TRUE(
+          service
+              .Ingest(std::span<const EdgeEvent>(events.data() + i,
+                                                 hi - i))
+              .ok());
+      ++epoch;
+
+      const NodeId seed = static_cast<NodeId>((epoch * 31 + S) % n);
+      LiveShardedView live_view(&engine);
+      BasicPersonalizedPageRankWalker<LiveShardedView, DiGraph> live_walker(
+          &live_view, &engine.graph());
+      std::vector<ScoredNode> live_ranked;
+      PersonalizedWalkResult live_walk;
+      ASSERT_TRUE(live_walker
+                      .TopK(seed, 8, 2500, /*exclude_friends=*/true,
+                            /*rng_seed=*/epoch * 7 + S, &live_ranked,
+                            &live_walk)
+                      .ok());
+
+      std::vector<ScoredNode> svc_ranked;
+      PersonalizedWalkResult svc_walk;
+      SnapshotInfo info;
+      ASSERT_TRUE(service
+                      .PersonalizedTopK(seed, 8, 2500,
+                                        /*exclude_friends=*/true,
+                                        /*rng_seed=*/epoch * 7 + S,
+                                        &svc_ranked, &svc_walk, &info)
+                      .ok());
+
+      ASSERT_EQ(info.min_epoch, info.max_epoch) << "S=" << S;
+      ASSERT_EQ(info.max_epoch, epoch) << "S=" << S;
+      ASSERT_EQ(svc_ranked.size(), live_ranked.size()) << "S=" << S;
+      for (std::size_t r = 0; r < live_ranked.size(); ++r) {
+        ASSERT_EQ(svc_ranked[r].node, live_ranked[r].node) << "S=" << S;
+        ASSERT_EQ(svc_ranked[r].visits, live_ranked[r].visits)
+            << "S=" << S;
+      }
+      ASSERT_EQ(svc_walk.length, live_walk.length) << "S=" << S;
+      ASSERT_EQ(svc_walk.segments_used, live_walk.segments_used)
+          << "S=" << S;
+      ASSERT_EQ(svc_walk.manual_steps, live_walk.manual_steps)
+          << "S=" << S;
+      ASSERT_EQ(svc_walk.resets, live_walk.resets) << "S=" << S;
+
+      i = hi;
+      window = window * 2 + 1;
+    }
+  }
+}
+
+TEST(QueryServiceTest, DenseMapResolutionDuringPublishRotation) {
+  // TSan target for the dense index: reader threads resolve every
+  // (node, segment) lookup through the shared global->local map while
+  // the writer rotates frozen buffers underneath (publish, recycle,
+  // delta-apply). The map itself is immutable; what this stresses is
+  // that rotation never hands a reader a table the map's row ids have
+  // outgrown.
+  const std::size_t n = 140;
+  const auto events = MixedStream(n, 53, 0.2);
+  ShardedEngine<IncrementalPageRank> engine(n, Opts(2, 0.25, 61),
+                                            ShardedOptions{4, 2});
+  QueryService<IncrementalPageRank> service(&engine);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+  auto reader = [&](uint64_t salt) {
+    uint64_t q = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<ScoredNode> ranked;
+      SnapshotInfo info;
+      const Status s = service.PersonalizedTopK(
+          static_cast<NodeId>((salt + q * 11) % n), 6, 700,
+          /*exclude_friends=*/q % 2 == 0, /*rng_seed=*/q * 3 + salt,
+          &ranked, nullptr, &info);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(info.min_epoch, info.max_epoch);
+      EXPECT_LE(info.max_epoch, service.published_epoch());
+      ++q;
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread r1(reader, 5);
+  std::thread r2(reader, 37);
+
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const std::size_t hi = std::min(events.size(), i + 12);
+    ASSERT_TRUE(service
+                    .Ingest(std::span<const EdgeEvent>(events.data() + i,
+                                                       hi - i))
+                    .ok());
+    i = hi;
+  }
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  EXPECT_GT(reads.load(), 0u);
+  engine.CheckConsistency();
+
+  // Quiescent: the dense frozen tables hold exactly one global table's
+  // worth of rows across the four shards, and the final frozen read is
+  // bit-identical to the live sharded walker.
+  const auto stats = service.FrozenStats();
+  const std::size_t spn =
+      engine.shard(0).walk_store().segments_per_node();
+  EXPECT_EQ(stats.segment_rows_dense, n * spn);
+  EXPECT_EQ(stats.segment_rows_global_model, 4 * n * spn);
+  LiveShardedView live_view(&engine);
+  BasicPersonalizedPageRankWalker<LiveShardedView, DiGraph> live_walker(
+      &live_view, &engine.graph());
+  std::vector<ScoredNode> live_ranked;
+  std::vector<ScoredNode> svc_ranked;
+  ASSERT_TRUE(live_walker
+                  .TopK(9, 6, 1500, /*exclude_friends=*/true,
+                        /*rng_seed=*/99, &live_ranked, nullptr)
+                  .ok());
+  ASSERT_TRUE(service
+                  .PersonalizedTopK(9, 6, 1500, /*exclude_friends=*/true,
+                                    /*rng_seed=*/99, &svc_ranked)
+                  .ok());
+  ASSERT_EQ(svc_ranked.size(), live_ranked.size());
+  for (std::size_t r = 0; r < live_ranked.size(); ++r) {
+    EXPECT_EQ(svc_ranked[r].node, live_ranked[r].node);
+    EXPECT_EQ(svc_ranked[r].visits, live_ranked[r].visits);
+  }
+}
+
 TEST(QueryServiceTest, PersonalizedReadsConcurrentWithIngestion) {
   // N reader threads hammer PersonalizedTopK against the frozen views
   // while the writer streams a live mixed ingestion load — the
