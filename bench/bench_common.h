@@ -148,6 +148,14 @@ inline bool OpenCsv(const std::string& name,
   return true;
 }
 
+/// Closes a CSV, surfacing deferred write errors (ENOSPC) as a warning.
+/// CsvWriter's destructor does the same as a backstop; call this where
+/// the file is an artifact the harness reports on.
+inline void FinishCsv(CsvWriter* w) {
+  Status s = w->Finish();
+  if (!s.ok()) std::fprintf(stderr, "warning: %s\n", s.ToString().c_str());
+}
+
 /// Returns the value following `--json` in argv, or `fallback` when the
 /// flag is absent. Harnesses use this to redirect their machine-readable
 /// report; an empty return means "do not write one".
@@ -193,6 +201,13 @@ class JsonReport {
           << (i + 1 < metrics_.size() ? ",\n" : "\n");
     }
     out << "  }\n}\n";
+    out.flush();
+    if (!out.good()) {
+      // A truncated report would be diffed as a perf regression; a loud
+      // warning beats a silently short file.
+      std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+      return;
+    }
     std::printf("wrote %s\n", path.c_str());
   }
 

@@ -42,6 +42,15 @@ IncrementalPageRank::IncrementalPageRank(std::shared_ptr<SocialStore> social,
               opts.seed, opts.shard_index, opts.shard_count);
 }
 
+IncrementalPageRank::IncrementalPageRank(ForRecovery,
+                                         std::shared_ptr<SocialStore> social,
+                                         const MonteCarloOptions& opts)
+    : options_(opts), social_(std::move(social)),
+      rng_(opts.seed ^ 0x1CEB00DAULL) {
+  FASTPPR_CHECK(social_ != nullptr);
+  walks_.set_update_policy(opts.update_policy);
+}
+
 Status IncrementalPageRank::AddEdge(NodeId src, NodeId dst) {
   FASTPPR_RETURN_IF_ERROR(social_->AddEdge(src, dst));
   last_stats_ = walks_.OnEdgeInserted(social_->graph(), src, dst, &rng_);
@@ -171,14 +180,13 @@ Status IncrementalPageRank::LoadSnapshot(
   Status s = attempt(num_nodes, engine);
   if (s.ok()) return s;
   if (!s.IsInvalidArgument()) return s;
-  // Parse the node count from the walks header for the retry.
-  std::ifstream in(directory + "/walks.bin", std::ios::binary);
-  if (!in.is_open()) return s;
-  in.seekg(sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint64_t) +
-           sizeof(double));
+  // Read the node count from the walks header for the retry.
   uint64_t stored_nodes = 0;
-  in.read(reinterpret_cast<char*>(&stored_nodes), sizeof(stored_nodes));
-  if (!in.good() || stored_nodes < num_nodes) return s;
+  if (!PeekWalkStoreNodeCount(directory + "/walks.bin", &stored_nodes)
+           .ok() ||
+      stored_nodes < num_nodes) {
+    return s;
+  }
   return attempt(stored_nodes, engine);
 }
 

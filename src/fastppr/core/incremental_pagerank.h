@@ -1,6 +1,7 @@
 #ifndef FASTPPR_CORE_INCREMENTAL_PAGERANK_H_
 #define FASTPPR_CORE_INCREMENTAL_PAGERANK_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -57,6 +58,14 @@ class IncrementalPageRank {
   /// engine's Repair* calls must never overlap (the single-writer epoch
   /// contract; see DESIGN.md section 5).
   IncrementalPageRank(std::shared_ptr<SocialStore> social,
+                      const MonteCarloOptions& opts);
+
+  /// Recovery construction (store/checkpoint.h): attaches to the store
+  /// WITHOUT generating walk segments — the caller's LoadFrom replaces
+  /// every member immediately, so the nR/eps generation cost would be
+  /// pure waste. Useless outside recovery: the store starts empty.
+  struct ForRecovery {};
+  IncrementalPageRank(ForRecovery, std::shared_ptr<SocialStore> social,
                       const MonteCarloOptions& opts);
 
   const MonteCarloOptions& options() const { return options_; }
@@ -146,6 +155,39 @@ class IncrementalPageRank {
   /// Test hook: full invariant audit.
   void CheckConsistency() const {
     walks_.CheckConsistency(social_->graph());
+  }
+
+  /// Engine-type tag stored in durable manifests (store/wal.h) so
+  /// recovery can refuse to rehydrate a checkpoint into the wrong
+  /// engine class.
+  static constexpr uint8_t kPersistTag = 1;
+
+  /// Durability hooks (DESIGN.md §8): this engine's private state — walk
+  /// store, event-loop RNG, stats, arrival/removal counters. The shared
+  /// SocialStore is serialized once by the owning ShardedEngine, not
+  /// here.
+  template <typename Sink>
+  void SaveTo(Sink* w) const {
+    walks_.SaveTo(w);
+    w->Pod(rng_.State());
+    w->Pod(last_stats_);
+    w->Pod(lifetime_stats_);
+    w->Pod(arrivals_);
+    w->Pod(removals_);
+  }
+  template <typename Src>
+  bool LoadFrom(Src* r) {
+    std::array<uint64_t, 4> rng_state{};
+    if (!walks_.LoadFrom(r) || !r->Pod(&rng_state) ||
+        !r->Pod(&last_stats_) || !r->Pod(&lifetime_stats_) ||
+        !r->Pod(&arrivals_) || !r->Pod(&removals_)) {
+      return false;
+    }
+    rng_.SetState(rng_state);
+    if (walks_.num_nodes() != social_->num_nodes()) {
+      return r->Fail("walk store and social store disagree on node count");
+    }
+    return true;
   }
 
  private:

@@ -34,6 +34,14 @@ IncrementalSalsa::IncrementalSalsa(std::shared_ptr<SocialStore> social,
               opts.seed, opts.shard_index, opts.shard_count);
 }
 
+IncrementalSalsa::IncrementalSalsa(ForRecovery,
+                                   std::shared_ptr<SocialStore> social,
+                                   const MonteCarloOptions& opts)
+    : options_(opts), social_(std::move(social)),
+      rng_(opts.seed ^ 0x5A15AULL) {
+  FASTPPR_CHECK(social_ != nullptr);
+}
+
 Status IncrementalSalsa::AddEdge(NodeId src, NodeId dst) {
   FASTPPR_RETURN_IF_ERROR(social_->AddEdge(src, dst));
   last_stats_ = walks_.OnEdgeInserted(social_->graph(), src, dst, &rng_);

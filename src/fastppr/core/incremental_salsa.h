@@ -1,6 +1,7 @@
 #ifndef FASTPPR_CORE_INCREMENTAL_SALSA_H_
 #define FASTPPR_CORE_INCREMENTAL_SALSA_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -30,6 +31,12 @@ class IncrementalSalsa {
   /// externally owned Social Store; see IncrementalPageRank's twin
   /// constructor for the single-writer contract.
   IncrementalSalsa(std::shared_ptr<SocialStore> social,
+                   const MonteCarloOptions& opts);
+
+  /// Recovery construction: attaches without generating walk segments
+  /// (see IncrementalPageRank::ForRecovery).
+  struct ForRecovery {};
+  IncrementalSalsa(ForRecovery, std::shared_ptr<SocialStore> social,
                    const MonteCarloOptions& opts);
 
   const MonteCarloOptions& options() const { return options_; }
@@ -83,6 +90,34 @@ class IncrementalSalsa {
 
   void CheckConsistency() const {
     walks_.CheckConsistency(social_->graph());
+  }
+
+  /// Engine-type tag stored in durable manifests (store/wal.h).
+  static constexpr uint8_t kPersistTag = 2;
+
+  /// Durability hooks (DESIGN.md §8); see IncrementalPageRank's twin.
+  template <typename Sink>
+  void SaveTo(Sink* w) const {
+    walks_.SaveTo(w);
+    w->Pod(rng_.State());
+    w->Pod(last_stats_);
+    w->Pod(lifetime_stats_);
+    w->Pod(arrivals_);
+    w->Pod(removals_);
+  }
+  template <typename Src>
+  bool LoadFrom(Src* r) {
+    std::array<uint64_t, 4> rng_state{};
+    if (!walks_.LoadFrom(r) || !r->Pod(&rng_state) ||
+        !r->Pod(&last_stats_) || !r->Pod(&lifetime_stats_) ||
+        !r->Pod(&arrivals_) || !r->Pod(&removals_)) {
+      return false;
+    }
+    rng_.SetState(rng_state);
+    if (walks_.num_nodes() != social_->num_nodes()) {
+      return r->Fail("walk store and social store disagree on node count");
+    }
+    return true;
   }
 
  private:

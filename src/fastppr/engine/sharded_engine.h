@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "fastppr/core/incremental_pagerank.h"
@@ -49,10 +50,14 @@
 #include "fastppr/engine/thread_pool.h"
 #include "fastppr/graph/edge_stream.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/store/arena_io.h"
+#include "fastppr/store/checkpoint.h"
 #include "fastppr/store/repair_scratch.h"
 #include "fastppr/store/segment_snapshot.h"
 #include "fastppr/store/social_store.h"
+#include "fastppr/store/wal.h"
 #include "fastppr/util/check.h"
+#include "fastppr/util/file_io.h"
 #include "fastppr/util/shard.h"
 #include "fastppr/util/status.h"
 
@@ -98,9 +103,50 @@ class ShardRouter {
     return writes_by_shard_;
   }
 
+  /// Durability hooks (DESIGN.md §8): the per-shard write ledger.
+  template <typename Sink>
+  void SaveTo(Sink* w) const {
+    w->Vec(writes_by_shard_);
+  }
+  template <typename Src>
+  bool LoadFrom(Src* r) {
+    std::vector<uint64_t> writes;
+    if (!r->Vec(&writes)) return false;
+    if (writes.size() != num_shards_) {
+      return r->Fail("router shard count mismatch");
+    }
+    writes_by_shard_ = std::move(writes);
+    return true;
+  }
+
  private:
   std::size_t num_shards_;
   std::vector<uint64_t> writes_by_shard_;
+};
+
+/// What a Recover() call found and replayed (telemetry for logs, tests
+/// and bench_durability).
+struct RecoveryInfo {
+  /// Windows already applied inside the checkpoint.
+  uint64_t checkpoint_window = 0;
+  /// WAL tail records replayed on top of the checkpoint.
+  uint64_t replayed_windows = 0;
+  uint64_t replayed_events = 0;
+};
+
+/// Durability configuration for ShardedEngine::EnableDurability.
+struct DurabilityOptions {
+  /// Directory holding checkpoint.fppr and wal.log (created if absent).
+  std::string directory;
+  /// Checkpoint every N applied windows (0 = only explicit
+  /// Checkpoint() calls). The WAL is rotated at each checkpoint, so
+  /// this bounds both replay length and log size.
+  uint64_t checkpoint_interval_windows = 64;
+  /// fsync the WAL at every window boundary (the durability contract:
+  /// an acked window survives kill -9). Off trades the guarantee for
+  /// ingest speed — a crash may lose the OS-buffered suffix, but
+  /// recovery still lands on a clean prefix.
+  bool sync_wal = true;
 };
 
 /// S walk-store shards over one shared Social Store, behind one
@@ -195,37 +241,27 @@ class ShardedEngine {
   /// parallel repair phases, one pair per same-kind chunk. An invalid
   /// event stops the window at that chunk prefix; the applied prefix is
   /// repaired in every shard before the error is returned.
+  ///
+  /// With durability enabled the window's raw event span is appended to
+  /// the WAL and (by default) fsync'd BEFORE anything is applied:
+  /// log-ahead plus deterministic ingestion — ApplyEventsInChunks
+  /// replays a logged span identically, rejected events included — is
+  /// the whole recovery story. A WAL write error fails the window
+  /// before any state changed.
   Status ApplyEvents(std::span<const EdgeEvent> events) {
-    for (auto& shard : shards_) shard->BeginRepairWindow();
-    // The shared chunk protocol (ApplyEventsInChunks) is what makes the
-    // S=1 engine consume the identical RNG stream as the flat engines:
-    // every mutate call below is an ingest-phase write by this (single
-    // writer) thread; every repair call is a parallel phase against the
-    // frozen graph.
-    const Status result = ApplyEventsInChunks(
-        events, &chunk_scratch_,
-        [this](const Edge& e, bool insert) {
-          return insert ? social_->AddEdge(e.src, e.dst)
-                        : social_->RemoveEdge(e.src, e.dst);
-        },
-        [this](std::span<const Edge> applied, bool insert) {
-          router_.AccountWrites(applied);
-          if (applied_.tracking()) {
-            for (const Edge& e : applied) applied_.Record(e);
-          }
-          const uint64_t frozen = social_->epoch();
-          pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
-            if (insert) {
-              shards_[s]->RepairEdgesInserted(applied);
-            } else {
-              shards_[s]->RepairEdgesRemoved(applied);
-            }
-          });
-          FASTPPR_CHECK_MSG(
-              social_->epoch() == frozen,
-              "graph mutated during a parallel repair phase");
-        });
-    ++windows_applied_;
+    if (durable_) {
+      FASTPPR_RETURN_IF_ERROR(wal_.AppendBatch(windows_applied_, events));
+      if (durability_.sync_wal) {
+        FASTPPR_RETURN_IF_ERROR(wal_.Sync());
+      }
+    }
+    const Status result = ApplyWindow(events);
+    if (durable_ && durability_.checkpoint_interval_windows > 0 &&
+        windows_applied_ - last_checkpoint_window_ >=
+            durability_.checkpoint_interval_windows) {
+      const Status ckpt = Checkpoint();
+      if (result.ok()) return ckpt;
+    }
     return result;
   }
 
@@ -289,6 +325,172 @@ class ShardedEngine {
     for (const auto& shard : shards_) shard->CheckConsistency();
   }
 
+  // --- durability (DESIGN.md §8) ------------------------------------
+
+  /// Starts logging + checkpointing into `opts.directory`: writes a
+  /// full checkpoint of the current state, then opens a fresh WAL, so
+  /// the directory is immediately recoverable. Must be called at a
+  /// window boundary (i.e. not from inside ApplyEvents — trivially true
+  /// for the single-writer caller).
+  Status EnableDurability(const DurabilityOptions& opts) {
+    if (opts.directory.empty()) {
+      return Status::InvalidArgument("durability directory is empty");
+    }
+    if (wal_.is_open()) {
+      FASTPPR_RETURN_IF_ERROR(wal_.Close());
+    }
+    FASTPPR_RETURN_IF_ERROR(EnsureDirectory(opts.directory));
+    durability_ = opts;
+    durable_ = true;
+    const Status s = Checkpoint();
+    if (!s.ok()) durable_ = false;
+    return s;
+  }
+
+  bool durability_enabled() const { return durable_; }
+  const DurabilityOptions& durability_options() const {
+    return durability_;
+  }
+
+  /// Serializes the whole engine to the checkpoint file (tmp + fsync +
+  /// atomic rename: the checkpoint named on disk is always complete),
+  /// then rotates the WAL — records below the checkpoint's window are
+  /// dead, so the log restarts empty. Recovery cost is therefore
+  /// bounded by checkpoint_interval_windows regardless of uptime.
+  Status Checkpoint() {
+    if (!durable_) {
+      return Status::InvalidArgument("durability is not enabled");
+    }
+    ArenaWriter body;
+    BuildManifest().SaveTo(&body);
+    SerializeTo(&body);
+    FASTPPR_RETURN_IF_ERROR(
+        WriteFramedFile(CheckpointPath(), kCheckpointMagic, body.buffer()));
+    if (wal_.is_open()) {
+      FASTPPR_RETURN_IF_ERROR(wal_.Close());
+    }
+    FASTPPR_RETURN_IF_ERROR(
+        WalWriter::Create(WalPath(), BuildManifest(), &wal_));
+    last_checkpoint_window_ = windows_applied_;
+    return Status::OK();
+  }
+
+  /// The bit-identity oracle: the engine's complete durable state as
+  /// one byte vector (exactly a checkpoint body). Two engines with
+  /// equal SerializeState() have identical graph slabs, walk slabs,
+  /// RNG streams, counters and ledgers — every future ApplyEvents
+  /// result is identical.
+  std::vector<uint8_t> SerializeState() const {
+    ArenaWriter w;
+    BuildManifest().SaveTo(&w);
+    SerializeTo(&w);
+    return w.TakeBuffer();
+  }
+
+  /// Rebuilds an engine from a durability directory: loads the
+  /// checkpoint, then replays the WAL tail through the normal apply
+  /// path. Returns
+  ///   * OK        — *out is bit-identical to the engine that wrote the
+  ///                 files (possibly one window ahead of a crashed
+  ///                 writer whose last logged window never finished
+  ///                 applying — log-ahead means logged == applied),
+  ///   * NotFound  — no durable state (neither file exists),
+  ///   * Corruption— a checksum/frame violation (e.g. a flipped bit),
+  ///   * DataLoss  — files are individually valid but a piece is
+  ///                 missing (one file gone, or the WAL skips windows).
+  /// Read-only: the directory is untouched, so Recover is idempotent
+  /// and the result is not yet durable — call EnableDurability on the
+  /// recovered engine to resume logging.
+  static Status Recover(const std::string& directory,
+                        std::size_t num_threads,
+                        std::unique_ptr<ShardedEngine>* out,
+                        RecoveryInfo* info = nullptr) {
+    const std::string ckpt_path =
+        directory + "/" + kCheckpointFileName;
+    const std::string wal_path = directory + "/" + kWalFileName;
+    const bool have_ckpt = FileExists(ckpt_path);
+    const bool have_wal = FileExists(wal_path);
+    if (!have_ckpt && !have_wal) {
+      return Status::NotFound("no durable state in " + directory);
+    }
+    if (!have_ckpt) {
+      return Status::DataLoss("WAL exists but checkpoint is missing: " +
+                              ckpt_path);
+    }
+    if (!have_wal) {
+      return Status::DataLoss("checkpoint exists but WAL is missing: " +
+                              wal_path);
+    }
+
+    std::vector<uint8_t> body;
+    FASTPPR_RETURN_IF_ERROR(
+        ReadFramedFile(ckpt_path, kCheckpointMagic, &body));
+    ArenaReader r(body);
+    DurableManifest manifest;
+    if (!manifest.LoadFrom(&r)) {
+      return Status::Corruption("checkpoint manifest malformed");
+    }
+    if (manifest.engine_tag != Engine::kPersistTag) {
+      return Status::Corruption(
+          "checkpoint was written by a different engine type");
+    }
+    if (manifest.num_shards == 0 ||
+        manifest.update_policy >
+            static_cast<uint8_t>(UpdatePolicy::kRedoFromSource)) {
+      return Status::Corruption("checkpoint manifest values out of range");
+    }
+
+    MonteCarloOptions opts;
+    opts.walks_per_node =
+        static_cast<std::size_t>(manifest.walks_per_node);
+    opts.epsilon = manifest.epsilon;
+    opts.update_policy =
+        static_cast<UpdatePolicy>(manifest.update_policy);
+    opts.seed = manifest.seed;
+    ShardedOptions sharding;
+    sharding.num_shards = manifest.num_shards;
+    sharding.num_threads = num_threads;
+    std::unique_ptr<ShardedEngine> engine(new ShardedEngine(
+        typename Engine::ForRecovery{},
+        static_cast<std::size_t>(manifest.num_nodes), opts, sharding));
+    FASTPPR_RETURN_IF_ERROR(engine->RestoreFrom(&r));
+    if (info) {
+      *info = RecoveryInfo{};
+      info->checkpoint_window = engine->windows_applied_;
+    }
+
+    DurableManifest wal_manifest;
+    std::vector<WalRecord> records;
+    FASTPPR_RETURN_IF_ERROR(ReadWal(wal_path, &wal_manifest, &records));
+    // engine_tag 0 = the WAL header itself was torn (crash inside
+    // rotation): by construction such a log holds no records.
+    if (wal_manifest.engine_tag != 0 &&
+        !wal_manifest.SameEngine(manifest)) {
+      return Status::Corruption(
+          "WAL and checkpoint describe different engines");
+    }
+    for (const WalRecord& rec : records) {
+      // Records below the checkpoint's window are from before the
+      // checkpoint (a crash can land between the checkpoint rename and
+      // the WAL rotation); the checkpoint already contains them.
+      if (rec.window < engine->windows_applied_) continue;
+      if (rec.window > engine->windows_applied_) {
+        return Status::DataLoss("WAL skips ingestion windows");
+      }
+      // Replay through the normal apply path. A non-OK status here is
+      // the deterministic re-occurrence of the rejection the original
+      // caller saw (and the applied prefix is repaired identically);
+      // it is not a recovery failure.
+      (void)engine->ApplyWindow(rec.events);
+      if (info) {
+        ++info->replayed_windows;
+        info->replayed_events += rec.events.size();
+      }
+    }
+    *out = std::move(engine);
+    return Status::OK();
+  }
+
  private:
   static std::size_t ResolveThreads(const ShardedOptions& sharding) {
     FASTPPR_CHECK(sharding.num_shards >= 1);
@@ -297,16 +499,129 @@ class ShardedEngine {
     return std::min(sharding.num_shards, hw > 0 ? hw : 1);
   }
 
+  /// Recovery construction (Recover): shards attach to the shared
+  /// store without generating walk segments — RestoreFrom replaces
+  /// every member. Skipping the nR/eps generation is the "instant" in
+  /// instant restart.
+  ShardedEngine(typename Engine::ForRecovery, std::size_t num_nodes,
+                const MonteCarloOptions& opts,
+                const ShardedOptions& sharding)
+      : base_options_(opts),
+        router_(sharding.num_shards),
+        pool_(ResolveThreads(sharding)),
+        social_(std::make_shared<SocialStore>(num_nodes)) {
+    const std::size_t S = router_.num_shards();
+    shards_.reserve(S);
+    for (std::size_t s = 0; s < S; ++s) {
+      shards_.push_back(std::make_unique<Engine>(
+          typename Engine::ForRecovery{}, social_, ShardOptions(opts, s)));
+    }
+  }
+
+  MonteCarloOptions ShardOptions(const MonteCarloOptions& opts,
+                                 std::size_t s) const {
+    MonteCarloOptions shard_opts = opts;
+    shard_opts.seed = ShardSeed(opts.seed, static_cast<uint32_t>(s));
+    shard_opts.shard_index = static_cast<uint32_t>(s);
+    shard_opts.shard_count = static_cast<uint32_t>(router_.num_shards());
+    return shard_opts;
+  }
+
   void InitShards(const MonteCarloOptions& opts) {
     const std::size_t S = router_.num_shards();
     shards_.reserve(S);
     for (std::size_t s = 0; s < S; ++s) {
-      MonteCarloOptions shard_opts = opts;
-      shard_opts.seed = ShardSeed(opts.seed, static_cast<uint32_t>(s));
-      shard_opts.shard_index = static_cast<uint32_t>(s);
-      shard_opts.shard_count = static_cast<uint32_t>(S);
-      shards_.push_back(std::make_unique<Engine>(social_, shard_opts));
+      shards_.push_back(
+          std::make_unique<Engine>(social_, ShardOptions(opts, s)));
     }
+  }
+
+  /// The pre-durability ApplyEvents body: one ingestion window, no
+  /// logging. Shared by the durable front door and WAL replay.
+  Status ApplyWindow(std::span<const EdgeEvent> events) {
+    for (auto& shard : shards_) shard->BeginRepairWindow();
+    // The shared chunk protocol (ApplyEventsInChunks) is what makes the
+    // S=1 engine consume the identical RNG stream as the flat engines:
+    // every mutate call below is an ingest-phase write by this (single
+    // writer) thread; every repair call is a parallel phase against the
+    // frozen graph.
+    const Status result = ApplyEventsInChunks(
+        events, &chunk_scratch_,
+        [this](const Edge& e, bool insert) {
+          return insert ? social_->AddEdge(e.src, e.dst)
+                        : social_->RemoveEdge(e.src, e.dst);
+        },
+        [this](std::span<const Edge> applied, bool insert) {
+          router_.AccountWrites(applied);
+          if (applied_.tracking()) {
+            for (const Edge& e : applied) applied_.Record(e);
+          }
+          const uint64_t frozen = social_->epoch();
+          pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
+            if (insert) {
+              shards_[s]->RepairEdgesInserted(applied);
+            } else {
+              shards_[s]->RepairEdgesRemoved(applied);
+            }
+          });
+          FASTPPR_CHECK_MSG(
+              social_->epoch() == frozen,
+              "graph mutated during a parallel repair phase");
+        });
+    ++windows_applied_;
+    return result;
+  }
+
+  DurableManifest BuildManifest() const {
+    DurableManifest m;
+    m.num_nodes = num_nodes();
+    m.walks_per_node = base_options_.walks_per_node;
+    m.epsilon = base_options_.epsilon;
+    m.seed = base_options_.seed;
+    m.update_policy = static_cast<uint8_t>(base_options_.update_policy);
+    m.engine_tag = Engine::kPersistTag;
+    m.num_shards = static_cast<uint32_t>(router_.num_shards());
+    m.next_window = windows_applied_;
+    return m;
+  }
+
+  /// Complete engine state in SaveTo-chain order: window counter,
+  /// router ledger, shared store (graph slab + call counters), then
+  /// every shard engine (walk slabs + RNG + stats). The transient
+  /// chunk scratch and applied-edge feed are excluded: both are empty
+  /// at every window boundary.
+  void SerializeTo(ArenaWriter* w) const {
+    w->Pod(windows_applied_);
+    router_.SaveTo(w);
+    social_->SaveTo(w);
+    w->Pod(static_cast<uint64_t>(shards_.size()));
+    for (const auto& shard : shards_) shard->SaveTo(w);
+  }
+
+  Status RestoreFrom(ArenaReader* r) {
+    uint64_t windows = 0;
+    uint64_t shard_count = 0;
+    if (!r->Pod(&windows) || !router_.LoadFrom(r) ||
+        !social_->LoadFrom(r) || !r->Pod(&shard_count)) {
+      return r->ToStatus("checkpoint body");
+    }
+    if (shard_count != shards_.size()) {
+      return Status::Corruption(
+          "checkpoint shard count disagrees with manifest");
+    }
+    for (auto& shard : shards_) {
+      if (!shard->LoadFrom(r)) return r->ToStatus("checkpoint shard");
+    }
+    if (!r->AtEnd()) return r->ToStatus("checkpoint body");
+    windows_applied_ = windows;
+    return Status::OK();
+  }
+
+  std::string CheckpointPath() const {
+    return durability_.directory + "/" + kCheckpointFileName;
+  }
+  std::string WalPath() const {
+    return durability_.directory + "/" + kWalFileName;
   }
 
   MonteCarloOptions base_options_;
@@ -317,6 +632,12 @@ class ShardedEngine {
   std::vector<Edge> chunk_scratch_;
   uint64_t windows_applied_ = 0;
   slab::DirtyFeed<Edge> applied_;
+
+  // Durability state (inert until EnableDurability).
+  bool durable_ = false;
+  DurabilityOptions durability_;
+  WalWriter wal_;
+  uint64_t last_checkpoint_window_ = 0;
 };
 
 }  // namespace fastppr

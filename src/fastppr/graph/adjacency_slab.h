@@ -192,6 +192,32 @@ class AdjacencySlab {
   /// arena); test-only, aborts via FASTPPR_CHECK on violation.
   void CheckConsistency() const;
 
+  /// Serializes the slab verbatim — both sides' SoA columns (including
+  /// deterministic bytes in parked free blocks), block tables, free
+  /// lists, class masks and the epoch — so a restored slab is
+  /// bit-identical: same canonical slot order, same future allocator
+  /// decisions (DESIGN.md §8). `Sink`/`Src` are store/arena_io.h's
+  /// ArenaWriter/ArenaReader; templated so graph/ stays independent of
+  /// store/.
+  template <typename Sink>
+  void SaveTo(Sink* w) const {
+    w->Pod(static_cast<uint64_t>(num_edges_));
+    w->Pod(epoch_);
+    SaveSide(out_, w);
+    SaveSide(in_, w);
+  }
+
+  /// Restores SaveTo state. Returns false (caller maps to Corruption)
+  /// on truncation or grossly inconsistent geometry; never crashes on
+  /// garbage input.
+  template <typename Src>
+  bool LoadFrom(Src* r) {
+    uint64_t edges = 0;
+    if (!r->Pod(&edges) || !r->Pod(&epoch_)) return false;
+    num_edges_ = static_cast<std::size_t>(edges);
+    return LoadSide(&out_, r) && LoadSide(&in_, r);
+  }
+
  private:
   /// "No block" size-class sentinel (7-bit class field).
   static constexpr uint32_t kNoClass = 0x7F;
@@ -257,6 +283,54 @@ class AdjacencySlab {
     std::size_t count = 0;
     for (const auto& list : side.free_lists) count += list.size();
     return count;
+  }
+
+  template <typename Sink>
+  static void SaveSide(const Side& side, Sink* w) {
+    w->Vec(side.ids);
+    w->Vec(side.twin_lo);
+    w->Vec(side.twin_hi);
+    w->Vec(side.refs);
+    for (const auto& list : side.free_lists) w->Vec(list);
+    w->Pod(side.class_mask[0]);
+    w->Pod(side.class_mask[1]);
+    w->Pod(side.arena_size);
+    w->Pod(static_cast<uint64_t>(side.free_slots));
+    w->Pod(static_cast<uint64_t>(side.coalesce_trigger));
+  }
+
+  template <typename Src>
+  static bool LoadSide(Side* side, Src* r) {
+    if (!r->Vec(&side->ids) || !r->Vec(&side->twin_lo) ||
+        !r->Vec(&side->twin_hi) || !r->Vec(&side->refs)) {
+      return false;
+    }
+    for (auto& list : side->free_lists) {
+      if (!r->Vec(&list)) return false;
+    }
+    uint64_t free_slots = 0, trigger = 0;
+    if (!r->Pod(&side->class_mask[0]) || !r->Pod(&side->class_mask[1]) ||
+        !r->Pod(&side->arena_size) || !r->Pod(&free_slots) ||
+        !r->Pod(&trigger)) {
+      return false;
+    }
+    side->free_slots = static_cast<std::size_t>(free_slots);
+    side->coalesce_trigger = static_cast<std::size_t>(trigger);
+    if (side->ids.size() != side->twin_lo.size() ||
+        side->ids.size() != side->twin_hi.size() ||
+        side->arena_size > side->ids.size()) {
+      return r->Fail("adjacency side columns disagree on arena size");
+    }
+    for (const BlockRef& ref : side->refs) {
+      if (ref.cls == kNoClass) continue;
+      if (ref.cls >= kNumClasses ||
+          static_cast<uint64_t>(ref.off) + ClassSlots(ref.cls) >
+              side->arena_size ||
+          ref.deg > ClassSlots(ref.cls)) {
+        return r->Fail("adjacency block outside its arena");
+      }
+    }
+    return true;
   }
 
   /// Moves node v's block to class `cls`, preserving slot order.

@@ -106,6 +106,17 @@ class DiGraph {
   /// The underlying slab (telemetry / invariant audits).
   const AdjacencySlab& slab() const { return slab_; }
 
+  /// Durability hooks (DESIGN.md §8): verbatim slab state, delegating to
+  /// AdjacencySlab::SaveTo/LoadFrom.
+  template <typename Sink>
+  void SaveTo(Sink* w) const {
+    slab_.SaveTo(w);
+  }
+  template <typename Src>
+  bool LoadFrom(Src* r) {
+    return slab_.LoadFrom(r);
+  }
+
  private:
   AdjacencySlab slab_;
 };

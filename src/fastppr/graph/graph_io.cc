@@ -42,7 +42,14 @@ Status WriteSnapEdgeList(const std::string& path,
   if (!out.is_open()) return Status::IOError("cannot open " + path);
   out << "# Directed edge list (fastppr)\n# src\tdst\n";
   for (const Edge& e : edges) out << e.src << '\t' << e.dst << '\n';
-  if (!out.good()) return Status::IOError("write failed for " + path);
+  // Flush before checking: buffered rows can fail (ENOSPC) at close
+  // time, after a plain good() check would have passed.
+  out.flush();
+  const bool wrote_cleanly = out.good();
+  out.close();
+  if (!wrote_cleanly || out.fail()) {
+    return Status::IOError("write failed for " + path);
+  }
   return Status::OK();
 }
 

@@ -1,0 +1,82 @@
+#include "fastppr/store/checkpoint.h"
+
+#include <cstring>
+
+#include "fastppr/util/crc32c.h"
+#include "fastppr/util/file_io.h"
+
+namespace fastppr {
+namespace {
+
+constexpr std::size_t kHeaderSize =
+    sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint64_t) +
+    sizeof(uint32_t);  // 24
+
+template <typename T>
+void PutPod(std::vector<uint8_t>* buf, const T& v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  buf->insert(buf->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T GetPod(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+Status WriteFramedFile(const std::string& path, uint64_t magic,
+                       const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> header;
+  header.reserve(kHeaderSize);
+  PutPod(&header, magic);
+  PutPod(&header, kCheckpointVersion);
+  PutPod(&header, static_cast<uint64_t>(body.size()));
+  PutPod(&header, Crc32c(body.data(), body.size()));
+
+  const std::string tmp = path + ".tmp";
+  WritableFile f;
+  FASTPPR_RETURN_IF_ERROR(WritableFile::Open(tmp, &f));
+  FASTPPR_RETURN_IF_ERROR(f.Append(header.data(), header.size()));
+  if (!body.empty()) {
+    FASTPPR_RETURN_IF_ERROR(f.Append(body.data(), body.size()));
+  }
+  FASTPPR_RETURN_IF_ERROR(f.Sync());
+  FASTPPR_RETURN_IF_ERROR(f.Close());
+  return AtomicReplace(tmp, path);
+}
+
+Status ReadFramedFile(const std::string& path, uint64_t magic,
+                      std::vector<uint8_t>* body) {
+  std::vector<uint8_t> bytes;
+  FASTPPR_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+  if (bytes.size() < kHeaderSize) {
+    return Status::Corruption(path + ": shorter than a frame header");
+  }
+  if (GetPod<uint64_t>(bytes.data()) != magic) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  if (GetPod<uint32_t>(bytes.data() + sizeof(uint64_t)) !=
+      kCheckpointVersion) {
+    return Status::Corruption(path + ": unsupported version");
+  }
+  const uint64_t body_len =
+      GetPod<uint64_t>(bytes.data() + sizeof(uint64_t) + sizeof(uint32_t));
+  // Exact-size match: rename atomicity means the file is complete, so
+  // any disagreement (including a flipped bit in body_len itself) is
+  // corruption, never a tear.
+  if (body_len != bytes.size() - kHeaderSize) {
+    return Status::Corruption(path + ": length field disagrees with file");
+  }
+  const uint32_t body_crc =
+      GetPod<uint32_t>(bytes.data() + kHeaderSize - sizeof(uint32_t));
+  if (body_crc != Crc32c(bytes.data() + kHeaderSize, body_len)) {
+    return Status::Corruption(path + ": body checksum mismatch");
+  }
+  body->assign(bytes.begin() + kHeaderSize, bytes.end());
+  return Status::OK();
+}
+
+}  // namespace fastppr

@@ -1,6 +1,7 @@
 #ifndef FASTPPR_STORE_SALSA_WALK_STORE_H_
 #define FASTPPR_STORE_SALSA_WALK_STORE_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -162,6 +163,68 @@ class SalsaWalkStore {
 
   /// Full invariant audit; test-only. Aborts on violation.
   void CheckConsistency(const DiGraph& g) const;
+
+  /// Durability hooks (DESIGN.md §8): mirror of WalkStore::SaveTo with
+  /// SALSA's extra columns (forward-start flags, both step and both
+  /// dangling index pools, hub/authority counters).
+  template <typename Sink>
+  void SaveTo(Sink* w) const {
+    w->Pod(static_cast<uint64_t>(walks_per_node_));
+    w->Pod(epsilon_);
+    w->Pod(rng_.State());
+    w->Pod(shard_index_);
+    w->Pod(shard_count_);
+    w->Pod(static_cast<uint64_t>(owned_sources_));
+    paths_.SaveTo(w);
+    w->Vec(seg_end_);
+    w->Vec(seg_fwd_);
+    step_fwd_.SaveTo(w);
+    step_bwd_.SaveTo(w);
+    dangling_fwd_.SaveTo(w);
+    dangling_bwd_.SaveTo(w);
+    w->Vec(hub_visits_);
+    w->Vec(auth_visits_);
+    w->Pod(total_hub_);
+    w->Pod(total_auth_);
+  }
+
+  /// Restores SaveTo state; false on structural inconsistency (caller
+  /// maps to Corruption).
+  template <typename Src>
+  bool LoadFrom(Src* r) {
+    uint64_t wpn = 0, owned = 0;
+    std::array<uint64_t, 4> rng_state{};
+    if (!r->Pod(&wpn) || !r->Pod(&epsilon_) || !r->Pod(&rng_state) ||
+        !r->Pod(&shard_index_) || !r->Pod(&shard_count_) ||
+        !r->Pod(&owned)) {
+      return false;
+    }
+    walks_per_node_ = static_cast<std::size_t>(wpn);
+    owned_sources_ = static_cast<std::size_t>(owned);
+    rng_.SetState(rng_state);
+    if (!paths_.LoadFrom(r) || !r->Vec(&seg_end_) || !r->Vec(&seg_fwd_) ||
+        !step_fwd_.LoadFrom(r) || !step_bwd_.LoadFrom(r) ||
+        !dangling_fwd_.LoadFrom(r) || !dangling_bwd_.LoadFrom(r) ||
+        !r->Vec(&hub_visits_) || !r->Vec(&auth_visits_) ||
+        !r->Pod(&total_hub_) || !r->Pod(&total_auth_)) {
+      return false;
+    }
+    const std::size_t n = hub_visits_.size();
+    if (seg_end_.size() != paths_.num_rows() ||
+        seg_fwd_.size() != paths_.num_rows() ||
+        auth_visits_.size() != n || step_fwd_.num_rows() != n ||
+        step_bwd_.num_rows() != n || dangling_fwd_.num_rows() != n ||
+        dangling_bwd_.num_rows() != n ||
+        paths_.num_rows() != n * 2 * walks_per_node_) {
+      return r->Fail("salsa walk store tables disagree on geometry");
+    }
+    // Re-size the transient repair machinery that Init() would normally
+    // set up; a recovered store skips Init entirely.
+    scratch_.ResetSegments(paths_.num_rows());
+    dirty_.ResetCap(slab::DirtyCapForOwnedRows(paths_));
+    dirty_.Clear();
+    return true;
+  }
 
  private:
   uint64_t SegId(NodeId u, std::size_t k) const {

@@ -90,6 +90,37 @@ class SocialStore {
 
   void ResetStats();
 
+  /// Durability hooks (DESIGN.md §8): the graph slab verbatim plus the
+  /// per-shard call counters, so a recovered store resumes the exact
+  /// fetch/write ledger the paper's cost model is stated in. Only safe
+  /// while no concurrent counted access runs (the single-writer phase
+  /// boundary, where checkpoints are taken).
+  template <typename Sink>
+  void SaveTo(Sink* w) const {
+    graph_.SaveTo(w);
+    w->Pod(static_cast<uint64_t>(stripes_.size()));
+    for (const CounterStripe& s : stripes_) {
+      w->Pod(s.reads.load(std::memory_order_relaxed));
+      w->Pod(s.writes.load(std::memory_order_relaxed));
+    }
+  }
+  template <typename Src>
+  bool LoadFrom(Src* r) {
+    if (!graph_.LoadFrom(r)) return false;
+    uint64_t stripes = 0;
+    if (!r->Pod(&stripes)) return false;
+    if (stripes != stripes_.size()) {
+      return r->Fail("social store stripe count mismatch");
+    }
+    for (CounterStripe& s : stripes_) {
+      uint64_t reads = 0, writes = 0;
+      if (!r->Pod(&reads) || !r->Pod(&writes)) return false;
+      s.reads.store(reads, std::memory_order_relaxed);
+      s.writes.store(writes, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
  private:
   /// One shard's counters, padded to a cache line so concurrent readers
   /// touching different shards never false-share.

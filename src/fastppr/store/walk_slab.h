@@ -147,6 +147,34 @@ class BasicSlabPool {
     w = WithLo(w, lo);
   }
 
+  /// Serializes the pool verbatim — arena (including deterministic dead
+  /// words), row table, dead counter — so a restored pool is
+  /// bit-identical: identical row placement, identical future
+  /// relocation/compaction decisions (DESIGN.md §8). `Sink` is
+  /// ArenaWriter (templated to keep this header free of store/arena_io
+  /// for its NodeId-pool users in graph/).
+  template <typename Sink>
+  void SaveTo(Sink* w) const {
+    w->Vec(data_);
+    w->Vec(rows_);
+    w->Pod(dead_);
+  }
+
+  /// Restores SaveTo state. Returns false (reader failed, caller maps to
+  /// Corruption) on truncation or a row table that does not tile into
+  /// the arena; never crashes on garbage input.
+  template <typename Src>
+  bool LoadFrom(Src* r) {
+    if (!r->Vec(&data_) || !r->Vec(&rows_) || !r->Pod(&dead_)) return false;
+    for (const Row& row : rows_) {
+      if (row.size > row.cap || row.off > data_.size() ||
+          row.cap > data_.size() - row.off) {
+        return r->Fail("slab row outside its arena");
+      }
+    }
+    return true;
+  }
+
   /// Words in the arena that belong to no live row (relocation garbage).
   uint64_t dead_words() const { return dead_; }
   std::size_t arena_words() const { return data_.size(); }
@@ -169,6 +197,8 @@ class BasicSlabPool {
     uint32_t size = 0;
     uint32_t cap = 0;
   };
+  // Serialized raw (SaveTo/LoadFrom): must stay padding-free.
+  static_assert(sizeof(Row) == 16);
 
   void Grow(std::size_t row) {
     Row& r = rows_[row];

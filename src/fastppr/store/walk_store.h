@@ -1,6 +1,7 @@
 #ifndef FASTPPR_STORE_WALK_STORE_H_
 #define FASTPPR_STORE_WALK_STORE_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -37,6 +38,8 @@ struct WalkUpdateStats {
     entries_scanned += other.entries_scanned;
   }
 };
+// Serialized raw by the engines' durability hooks: must stay padding-free.
+static_assert(sizeof(WalkUpdateStats) == 4 * sizeof(uint64_t));
 
 /// How an affected segment is repaired (Section 2.2: "we can redo the walk
 /// starting at the updated node, or even more simply starting at the
@@ -253,6 +256,69 @@ class WalkStore {
   /// validity of every stored hop). O(n + total visits); test-only.
   /// Aborts via FASTPPR_CHECK on violation.
   void CheckConsistency(const DiGraph& g) const;
+
+  /// Durability hooks (DESIGN.md §8): every behavior-bearing member
+  /// verbatim — path/index slab pools (including dead words, so future
+  /// relocation decisions replay identically), counters, and the
+  /// store's RNG state. The transient repair scratch and the snapshot
+  /// dirty feed are NOT state: they are empty at every phase boundary,
+  /// where checkpoints are taken.
+  template <typename Sink>
+  void SaveTo(Sink* w) const {
+    w->Pod(static_cast<uint64_t>(walks_per_node_));
+    w->Pod(epsilon_);
+    w->Pod(static_cast<uint8_t>(policy_));
+    w->Pod(rng_.State());
+    w->Pod(shard_index_);
+    w->Pod(shard_count_);
+    w->Pod(static_cast<uint64_t>(owned_sources_));
+    paths_.SaveTo(w);
+    w->Vec(seg_end_);
+    steps_.SaveTo(w);
+    dangling_.SaveTo(w);
+    w->Vec(visit_count_);
+    w->Pod(total_visits_);
+  }
+
+  /// Restores SaveTo state (the checkpoint path — raw trusted-by-CRC
+  /// columns; the hop-revalidating logical snapshot path is
+  /// store/walk_store_io.h). Returns false on any structural
+  /// inconsistency; caller maps to Corruption.
+  template <typename Src>
+  bool LoadFrom(Src* r) {
+    uint64_t wpn = 0, owned = 0;
+    uint8_t policy = 0;
+    std::array<uint64_t, 4> rng_state{};
+    if (!r->Pod(&wpn) || !r->Pod(&epsilon_) || !r->Pod(&policy) ||
+        !r->Pod(&rng_state) || !r->Pod(&shard_index_) ||
+        !r->Pod(&shard_count_) || !r->Pod(&owned)) {
+      return false;
+    }
+    walks_per_node_ = static_cast<std::size_t>(wpn);
+    owned_sources_ = static_cast<std::size_t>(owned);
+    if (policy > static_cast<uint8_t>(UpdatePolicy::kRedoFromSource)) {
+      return r->Fail("bad update policy");
+    }
+    policy_ = static_cast<UpdatePolicy>(policy);
+    rng_.SetState(rng_state);
+    if (!paths_.LoadFrom(r) || !r->Vec(&seg_end_) || !steps_.LoadFrom(r) ||
+        !dangling_.LoadFrom(r) || !r->Vec(&visit_count_) ||
+        !r->Pod(&total_visits_)) {
+      return false;
+    }
+    if (seg_end_.size() != paths_.num_rows() ||
+        steps_.num_rows() != visit_count_.size() ||
+        dangling_.num_rows() != visit_count_.size() ||
+        paths_.num_rows() != visit_count_.size() * walks_per_node_) {
+      return r->Fail("walk store tables disagree on geometry");
+    }
+    // Re-size the transient repair machinery that Init() would normally
+    // set up; a recovered store skips Init entirely.
+    scratch_.ResetSegments(paths_.num_rows());
+    dirty_.ResetCap(slab::DirtyCapForOwnedRows(paths_));
+    dirty_.Clear();
+    return true;
+  }
 
  private:
   uint64_t SegId(NodeId u, std::size_t k) const {

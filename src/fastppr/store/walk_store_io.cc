@@ -1,25 +1,27 @@
 #include "fastppr/store/walk_store_io.h"
 
 #include <cstdint>
-#include <fstream>
 #include <vector>
+
+#include "fastppr/store/arena_io.h"
+#include "fastppr/store/checkpoint.h"
 
 namespace fastppr {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x464153545050521AULL;  // "FASTPPR" + 0x1A
-constexpr uint32_t kVersion = 1;
+constexpr uint64_t kWalkSnapshotMagic = 0x464153545050521AULL;
 
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+struct SnapshotHeader {
+  uint64_t walks_per_node = 0;
+  double epsilon = 0.0;
+  uint64_t num_nodes = 0;
+  uint64_t num_segments = 0;
+};
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
+bool ReadHeader(ArenaReader* r, SnapshotHeader* h) {
+  return r->Pod(&h->walks_per_node) && r->Pod(&h->epsilon) &&
+         r->Pod(&h->num_nodes) && r->Pod(&h->num_segments);
 }
 
 }  // namespace
@@ -33,85 +35,75 @@ Status SaveWalkStore(const WalkStore& store, const std::string& path) {
         "cannot snapshot a sharded walk store (shard "
         "stores hold only their owned segments)");
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return Status::IOError("cannot open " + path);
-
-  WritePod(out, kMagic);
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint64_t>(store.walks_per_node()));
-  WritePod(out, store.epsilon());
-  WritePod(out, static_cast<uint64_t>(store.num_nodes()));
-  WritePod(out, static_cast<uint64_t>(store.num_segments()));
+  ArenaWriter w;
+  w.Pod(static_cast<uint64_t>(store.walks_per_node()));
+  w.Pod(store.epsilon());
+  w.Pod(static_cast<uint64_t>(store.num_nodes()));
+  w.Pod(static_cast<uint64_t>(store.num_segments()));
 
   for (NodeId u = 0; u < store.num_nodes(); ++u) {
     for (std::size_t k = 0; k < store.walks_per_node(); ++k) {
       const WalkStore::SegmentView seg = store.GetSegment(u, k);
-      WritePod(out, static_cast<uint8_t>(seg.end()));
-      WritePod(out, static_cast<uint64_t>(seg.size()));
+      w.Pod(static_cast<uint8_t>(seg.end()));
+      w.Pod(static_cast<uint64_t>(seg.size()));
       for (std::size_t p = 0; p < seg.size(); ++p) {
-        WritePod(out, seg.node(p));
+        w.Pod(seg.node(p));
       }
     }
   }
-  if (!out.good()) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return WriteFramedFile(path, kWalkSnapshotMagic, w.buffer());
 }
 
 Status LoadWalkStore(const std::string& path, const DiGraph& g,
                      WalkStore* store) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::vector<uint8_t> body;
+  FASTPPR_RETURN_IF_ERROR(ReadFramedFile(path, kWalkSnapshotMagic, &body));
 
-  uint64_t magic = 0;
-  uint32_t version = 0;
-  uint64_t walks_per_node = 0;
-  double epsilon = 0.0;
-  uint64_t num_nodes = 0;
-  uint64_t num_segments = 0;
-  if (!ReadPod(in, &magic) || magic != kMagic) {
-    return Status::Corruption("bad magic in " + path);
-  }
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::Corruption("unsupported walk-store snapshot version");
-  }
-  if (!ReadPod(in, &walks_per_node) || !ReadPod(in, &epsilon) ||
-      !ReadPod(in, &num_nodes) || !ReadPod(in, &num_segments)) {
-    return Status::Corruption("truncated header in " + path);
-  }
-  if (num_nodes != g.num_nodes()) {
+  ArenaReader r(body);
+  SnapshotHeader h;
+  if (!ReadHeader(&r, &h)) return r.ToStatus(path);
+  if (h.num_nodes != g.num_nodes()) {
     return Status::InvalidArgument(
         "snapshot node count does not match the graph");
   }
-  if (num_segments != num_nodes * walks_per_node) {
+  if (h.num_segments != h.num_nodes * h.walks_per_node) {
     return Status::Corruption("inconsistent segment count");
   }
 
-  std::vector<std::vector<NodeId>> paths(num_segments);
-  std::vector<WalkStore::EndReason> ends(num_segments,
+  std::vector<std::vector<NodeId>> paths(h.num_segments);
+  std::vector<WalkStore::EndReason> ends(h.num_segments,
                                          WalkStore::EndReason::kReset);
-  for (uint64_t s = 0; s < num_segments; ++s) {
+  for (uint64_t s = 0; s < h.num_segments; ++s) {
     uint8_t end = 0;
     uint64_t length = 0;
-    if (!ReadPod(in, &end) || !ReadPod(in, &length)) {
-      return Status::Corruption("truncated segment header");
-    }
+    if (!r.Pod(&end) || !r.Pod(&length)) return r.ToStatus(path);
     if (end > 1) return Status::Corruption("bad end reason");
-    if (length == 0 || length > (1ULL << 32)) {
+    if (length == 0 || length > r.remaining() / sizeof(NodeId)) {
       return Status::Corruption("implausible segment length");
     }
     ends[s] = static_cast<WalkStore::EndReason>(end);
-    paths[s].resize(length);
+    paths[s].resize(static_cast<std::size_t>(length));
     for (uint64_t p = 0; p < length; ++p) {
-      if (!ReadPod(in, &paths[s][p])) {
-        return Status::Corruption("truncated segment body");
-      }
+      if (!r.Pod(&paths[s][p])) return r.ToStatus(path);
     }
   }
+  if (!r.AtEnd()) return r.ToStatus(path);
   // Derive a fresh RNG stream for post-restore updates from the snapshot
   // contents (any seed is valid; updates only need fresh randomness).
-  const uint64_t seed = magic ^ num_segments ^ (num_nodes << 17);
-  return store->InitFromSegments(g, walks_per_node, epsilon, seed, paths,
-                                 ends);
+  const uint64_t seed =
+      kWalkSnapshotMagic ^ h.num_segments ^ (h.num_nodes << 17);
+  return store->InitFromSegments(g, h.walks_per_node, h.epsilon, seed,
+                                 paths, ends);
+}
+
+Status PeekWalkStoreNodeCount(const std::string& path, uint64_t* num_nodes) {
+  std::vector<uint8_t> body;
+  FASTPPR_RETURN_IF_ERROR(ReadFramedFile(path, kWalkSnapshotMagic, &body));
+  ArenaReader r(body);
+  SnapshotHeader h;
+  if (!ReadHeader(&r, &h)) return r.ToStatus(path);
+  *num_nodes = h.num_nodes;
+  return Status::OK();
 }
 
 }  // namespace fastppr

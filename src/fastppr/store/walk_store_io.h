@@ -1,6 +1,7 @@
 #ifndef FASTPPR_STORE_WALK_STORE_IO_H_
 #define FASTPPR_STORE_WALK_STORE_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "fastppr/graph/digraph.h"
@@ -9,23 +10,34 @@
 
 namespace fastppr {
 
-/// Persistence for the PageRank Store. A production deployment snapshots
-/// the walk segments so a restart resumes incremental maintenance instead
-/// of paying the nR/eps initialization again.
+/// Logical (graph-revalidated) persistence for the PageRank store. A
+/// production deployment snapshots the walk segments so a restart
+/// resumes incremental maintenance instead of paying the nR/eps
+/// initialization again.
 ///
-/// Format (little-endian binary): magic, version, R, epsilon, n, segment
-/// count, then per segment [end reason, length, node ids]. The inverted
-/// visit index and the counters are rebuilt on load (they are derived
-/// state), and every stored hop is re-validated against the provided
-/// graph, so a snapshot can only be loaded against the graph it was taken
-/// from.
+/// The file is a framed checkpoint (store/checkpoint.h): a CRC32C over
+/// the whole body, written tmp + fsync + atomic rename, so the file at
+/// `path` is always complete and any bit flip or truncation is loud
+/// Corruption. The body is an arena-encoded logical description — R,
+/// epsilon, n, then per segment [end reason, length, node ids]. The
+/// inverted visit index and the counters are rebuilt on load (they are
+/// derived state), and every stored hop is re-validated against the
+/// provided graph, so a snapshot can only be loaded against the graph
+/// it was taken from. This differs from the raw checkpoint path
+/// (WalkStore::SaveTo/LoadFrom), which restores the slab columns
+/// bit-for-bit without a graph.
 Status SaveWalkStore(const WalkStore& store, const std::string& path);
 
 /// Loads a snapshot saved by SaveWalkStore. `g` must be the same graph
 /// the snapshot was taken against (hop validation fails with Corruption
-/// otherwise).
+/// otherwise). NotFound if `path` does not exist.
 Status LoadWalkStore(const std::string& path, const DiGraph& g,
                      WalkStore* store);
+
+/// Reads only the node count from a snapshot's header — used by engine
+/// snapshot loaders to size a graph that has isolated trailing nodes.
+/// Same error contract as LoadWalkStore.
+Status PeekWalkStoreNodeCount(const std::string& path, uint64_t* num_nodes);
 
 }  // namespace fastppr
 

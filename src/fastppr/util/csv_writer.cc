@@ -1,8 +1,17 @@
 #include "fastppr/util/csv_writer.h"
 
+#include <cstdio>
+
 #include "fastppr/util/check.h"
 
 namespace fastppr {
+
+CsvWriter::~CsvWriter() {
+  const Status s = Finish();
+  if (!s.ok()) {
+    std::fprintf(stderr, "warning: %s\n", s.ToString().c_str());
+  }
+}
 
 Status CsvWriter::Open(const std::string& path,
                        const std::vector<std::string>& header,
@@ -11,6 +20,7 @@ Status CsvWriter::Open(const std::string& path,
   if (!out->file_.is_open()) {
     return Status::IOError("cannot open " + path);
   }
+  out->path_ = path;
   out->columns_ = header.size();
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (i) out->file_ << ',';
@@ -28,6 +38,19 @@ void CsvWriter::AddRow(const std::vector<std::string>& cells) {
   }
   file_ << '\n';
   ++rows_written_;
+}
+
+Status CsvWriter::Finish() {
+  if (finished_) return result_;
+  finished_ = true;
+  if (!file_.is_open()) return result_;  // never opened: nothing to lose
+  file_.flush();
+  const bool wrote_cleanly = file_.good();
+  file_.close();
+  if (!wrote_cleanly || file_.fail()) {
+    result_ = Status::IOError("short write to " + path_);
+  }
+  return result_;
 }
 
 }  // namespace fastppr

@@ -1,0 +1,176 @@
+#include "fastppr/util/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+namespace fastppr {
+
+namespace {
+
+/// Crash budget: bytes that may still be appended process-wide before
+/// the injected _exit. Negative = disarmed.
+std::atomic<int64_t> g_crash_budget{-1};
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  const std::string msg = op + " " + path + ": " + std::strerror(errno);
+  if (errno == ENOENT) return Status::NotFound(msg);
+  return Status::IOError(msg);
+}
+
+/// Writes exactly n bytes to fd, looping over short writes and EINTR.
+Status WriteAll(int fd, const char* p, std::size_t n,
+                const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    if (w == 0) return Status::IOError("short write to " + path);
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SetCrashAfterBytesForTesting(int64_t bytes) {
+  g_crash_budget.store(bytes, std::memory_order_relaxed);
+}
+
+WritableFile::~WritableFile() {
+  if (fd_ >= 0) ::close(fd_);  // error path: caller already gave up
+}
+
+WritableFile::WritableFile(WritableFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)),
+      bytes_written_(other.bytes_written_) {
+  other.fd_ = -1;
+}
+
+WritableFile& WritableFile::operator=(WritableFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    bytes_written_ = other.bytes_written_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status WritableFile::Open(const std::string& path, WritableFile* out) {
+  Status ignored = out->Close();
+  (void)ignored;
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  out->fd_ = fd;
+  out->path_ = path;
+  out->bytes_written_ = 0;
+  return Status::OK();
+}
+
+Status WritableFile::Append(const void* data, std::size_t n) {
+  if (fd_ < 0) return Status::IOError("append to closed file " + path_);
+  const char* p = static_cast<const char*>(data);
+
+  const int64_t budget = g_crash_budget.load(std::memory_order_relaxed);
+  if (budget >= 0) {
+    if (static_cast<uint64_t>(budget) < n) {
+      // The injected kill lands inside this write: persist the prefix
+      // the kernel would have accepted, then die without unwinding.
+      const std::size_t prefix = static_cast<std::size_t>(budget);
+      if (prefix > 0) (void)WriteAll(fd_, p, prefix, path_);
+      ::_exit(kCrashInjectionExitCode);
+    }
+    g_crash_budget.store(budget - static_cast<int64_t>(n),
+                         std::memory_order_relaxed);
+  }
+
+  FASTPPR_RETURN_IF_ERROR(WriteAll(fd_, p, n, path_));
+  bytes_written_ += n;
+  return Status::OK();
+}
+
+Status WritableFile::Sync() {
+  if (fd_ < 0) return Status::IOError("sync of closed file " + path_);
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  return Status::OK();
+}
+
+Status WritableFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return ErrnoStatus("close", path_);
+  return Status::OK();
+}
+
+Status AtomicReplace(const std::string& tmp_path,
+                     const std::string& final_path) {
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return ErrnoStatus("rename", tmp_path + " -> " + final_path);
+  }
+  // Make the rename itself durable: fsync the parent directory.
+  const std::filesystem::path parent =
+      std::filesystem::path(final_path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return ErrnoStatus("open dir", dir);
+  const int rc = ::fsync(dfd);
+  const int saved_errno = errno;
+  ::close(dfd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return ErrnoStatus("fsync dir", dir);
+  }
+  return Status::OK();
+}
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open", path);
+  out->clear();
+  uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status s = ErrnoStatus("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (r == 0) break;
+    out->insert(out->end(), buf, buf + r);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create " + dir + ": " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace fastppr

@@ -1,0 +1,90 @@
+#ifndef FASTPPR_UTIL_FILE_IO_H_
+#define FASTPPR_UTIL_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fastppr/util/status.h"
+
+namespace fastppr {
+
+/// Unbuffered, Status-propagating POSIX file primitives for the
+/// durability layer (store/wal.h, store/checkpoint.h).
+///
+/// Why not iostreams: the WAL contract is "a record is durable once the
+/// phase-boundary fsync returns", which needs an fd to fsync, short
+/// writes surfaced as errors (ENOSPC must fail the ingest call, not be
+/// swallowed by a stream badbit nobody checks), and close() errors
+/// reported (NFS and thin-provisioned volumes defer ENOSPC to close).
+///
+/// Crash-fault injection: SetCrashAfterBytesForTesting(k) arms a global
+/// byte budget shared by every WritableFile in the process. The write
+/// that crosses the budget persists only its prefix and then _exit(2)s
+/// — a faithful model of a process killed mid-write (kill -9 at a
+/// randomized WAL offset, power loss mid-checkpoint): no destructors,
+/// no buffered-data flush, a torn tail on disk. Tests fork a child,
+/// arm the budget, and verify recovery in the parent.
+
+/// Arms (bytes >= 0) or disarms (bytes < 0) the crash-injection budget.
+/// The budget counts every byte passed to WritableFile::Append
+/// process-wide from this call on.
+void SetCrashAfterBytesForTesting(int64_t bytes);
+
+/// Exit code of an injected crash (distinguishes injected exits from
+/// real failures in the harness).
+inline constexpr int kCrashInjectionExitCode = 42;
+
+/// An append-only file handle. All methods return the first error
+/// encountered; after an error the file should be Close()d (further
+/// appends keep failing loudly).
+class WritableFile {
+ public:
+  WritableFile() = default;
+  ~WritableFile();
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+  WritableFile(WritableFile&& other) noexcept;
+  WritableFile& operator=(WritableFile&& other) noexcept;
+
+  /// Creates (or truncates) `path` for appending.
+  static Status Open(const std::string& path, WritableFile* out);
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+  /// Writes all `n` bytes (looping over short writes / EINTR).
+  Status Append(const void* data, std::size_t n);
+
+  /// fsync: everything appended so far is durable when this returns.
+  Status Sync();
+
+  /// Closes and reports the close error (deferred ENOSPC). Idempotent.
+  Status Close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Renames `tmp_path` over `final_path` (atomic on POSIX) and fsyncs the
+/// parent directory so the rename itself is durable.
+Status AtomicReplace(const std::string& tmp_path,
+                     const std::string& final_path);
+
+/// Reads the whole file into `out`. NotFound if it does not exist.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+bool FileExists(const std::string& path);
+
+/// Removes `path` if present (missing file is not an error).
+Status RemoveFileIfExists(const std::string& path);
+
+/// Creates `dir` (and parents) if absent.
+Status EnsureDirectory(const std::string& dir);
+
+}  // namespace fastppr
+
+#endif  // FASTPPR_UTIL_FILE_IO_H_

@@ -1,6 +1,7 @@
 #ifndef FASTPPR_UTIL_RANDOM_H_
 #define FASTPPR_UTIL_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -63,6 +64,15 @@ class Rng {
   /// Derives an independent child generator; used to give each node /
   /// each walk its own replayable stream.
   Rng Fork();
+
+  /// The raw xoshiro256++ state, for the durability layer: a recovered
+  /// engine must resume the exact random stream the crashed process
+  /// would have produced, so checkpoints persist generator state — not
+  /// seeds (the seed only determines the *initial* state).
+  std::array<uint64_t, 4> State() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void SetState(const std::array<uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = state[i];
+  }
 
  private:
   uint64_t s_[4];

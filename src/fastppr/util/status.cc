@@ -20,6 +20,8 @@ const char* CodeName(Status::Code code) {
       return "OutOfRange";
     case Status::Code::kResourceExhausted:
       return "ResourceExhausted";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

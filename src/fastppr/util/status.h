@@ -20,6 +20,11 @@ class Status {
     kIOError = 4,
     kOutOfRange = 5,
     kResourceExhausted = 6,
+    /// Durable state is internally consistent but incomplete: a WAL
+    /// segment the checkpoint depends on is missing, or the log skips a
+    /// window. Distinct from kCorruption (bytes failed their checksum):
+    /// the bytes that exist are fine, bytes that should exist are gone.
+    kDataLoss = 7,
   };
 
   /// Default-constructed status is OK.
@@ -44,6 +49,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -54,6 +62,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == Code::kResourceExhausted;
   }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,0 +1,120 @@
+// Framed checkpoint file tests (src/fastppr/store/checkpoint.{h,cc}).
+// A checkpoint reaches its final name only via atomic rename, so unlike
+// the WAL there is no torn-tail tolerance: ANY deviation — truncation,
+// wrong magic, length mismatch, any single flipped bit — must be loud
+// Corruption.
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/store/checkpoint.h"
+#include "fastppr/util/file_io.h"
+
+namespace fastppr {
+namespace {
+
+std::vector<uint8_t> MakeBody() {
+  std::vector<uint8_t> body(257);
+  std::iota(body.begin(), body.end(), 0);
+  return body;
+}
+
+TEST(CheckpointTest, RoundTrips) {
+  const std::string path = testing::TempDir() + "/ckpt_rt.fppr";
+  const std::vector<uint8_t> body = MakeBody();
+  ASSERT_TRUE(WriteFramedFile(path, kCheckpointMagic, body).ok());
+
+  std::vector<uint8_t> read;
+  const Status s = ReadFramedFile(path, kCheckpointMagic, &read);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(read, body);
+  // The tmp staging file must not survive a successful write.
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST(CheckpointTest, EmptyBodyRoundTrips) {
+  const std::string path = testing::TempDir() + "/ckpt_empty.fppr";
+  ASSERT_TRUE(WriteFramedFile(path, kCheckpointMagic, {}).ok());
+  std::vector<uint8_t> read;
+  ASSERT_TRUE(ReadFramedFile(path, kCheckpointMagic, &read).ok());
+  EXPECT_TRUE(read.empty());
+}
+
+TEST(CheckpointTest, OverwriteReplacesAtomically) {
+  const std::string path = testing::TempDir() + "/ckpt_overwrite.fppr";
+  ASSERT_TRUE(WriteFramedFile(path, kCheckpointMagic, {1, 2, 3}).ok());
+  ASSERT_TRUE(WriteFramedFile(path, kCheckpointMagic, {9, 9}).ok());
+  std::vector<uint8_t> read;
+  ASSERT_TRUE(ReadFramedFile(path, kCheckpointMagic, &read).ok());
+  EXPECT_EQ(read, (std::vector<uint8_t>{9, 9}));
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  std::vector<uint8_t> read;
+  const Status s = ReadFramedFile(testing::TempDir() + "/ckpt_nope.fppr",
+                                  kCheckpointMagic, &read);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+}
+
+TEST(CheckpointTest, WrongMagicIsCorruption) {
+  const std::string path = testing::TempDir() + "/ckpt_magic.fppr";
+  ASSERT_TRUE(WriteFramedFile(path, kCheckpointMagic, MakeBody()).ok());
+  std::vector<uint8_t> read;
+  const Status s = ReadFramedFile(path, kCheckpointMagic ^ 1, &read);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(CheckpointTest, EveryTruncationIsCorruption) {
+  const std::string path = testing::TempDir() + "/ckpt_trunc.fppr";
+  ASSERT_TRUE(WriteFramedFile(path, kCheckpointMagic, MakeBody()).ok());
+  std::vector<uint8_t> full;
+  ASSERT_TRUE(ReadFileBytes(path, &full).ok());
+
+  const std::string cut = testing::TempDir() + "/ckpt_trunc_cut.fppr";
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    {
+      WritableFile f;
+      ASSERT_TRUE(WritableFile::Open(cut, &f).ok());
+      ASSERT_TRUE(f.Append(full.data(), keep).ok());
+      ASSERT_TRUE(f.Close().ok());
+    }
+    std::vector<uint8_t> read;
+    const Status s = ReadFramedFile(cut, kCheckpointMagic, &read);
+    ASSERT_TRUE(s.IsCorruption())
+        << "truncated to " << keep << ": " << s.ToString();
+  }
+}
+
+// The satellite-c oracle for the checkpoint side: any single flipped
+// bit anywhere in the file is Corruption.
+TEST(CheckpointTest, EveryBitFlipIsCorruption) {
+  const std::string path = testing::TempDir() + "/ckpt_flip.fppr";
+  ASSERT_TRUE(WriteFramedFile(path, kCheckpointMagic, MakeBody()).ok());
+  std::vector<uint8_t> full;
+  ASSERT_TRUE(ReadFileBytes(path, &full).ok());
+
+  const std::string flipped = testing::TempDir() + "/ckpt_flip_cut.fppr";
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> copy = full;
+      copy[byte] ^= static_cast<uint8_t>(1u << bit);
+      {
+        WritableFile f;
+        ASSERT_TRUE(WritableFile::Open(flipped, &f).ok());
+        ASSERT_TRUE(f.Append(copy.data(), copy.size()).ok());
+        ASSERT_TRUE(f.Close().ok());
+      }
+      std::vector<uint8_t> read;
+      const Status s = ReadFramedFile(flipped, kCheckpointMagic, &read);
+      ASSERT_TRUE(s.IsCorruption())
+          << "bit " << bit << " of byte " << byte << ": " << s.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -23,8 +23,13 @@ TEST(StatusTest, ErrorCodesAndPredicates) {
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
   EXPECT_FALSE(Status::NotFound("x").ok());
   EXPECT_FALSE(Status::NotFound("x").IsIOError());
+  // The durability layer leans on the Corruption/DataLoss distinction
+  // (bad bytes vs missing bytes); they must never alias.
+  EXPECT_FALSE(Status::DataLoss("x").IsCorruption());
+  EXPECT_FALSE(Status::Corruption("x").IsDataLoss());
 }
 
 TEST(StatusTest, ToStringIncludesCodeAndMessage) {
@@ -35,6 +40,10 @@ TEST(StatusTest, ToStringIncludesCodeAndMessage) {
 
 TEST(StatusTest, EmptyMessageToString) {
   EXPECT_EQ(Status::Corruption("").ToString(), "Corruption");
+}
+
+TEST(StatusTest, DataLossToString) {
+  EXPECT_EQ(Status::DataLoss("wal gap").ToString(), "DataLoss: wal gap");
 }
 
 TEST(StatusTest, ReturnIfErrorMacroPropagates) {

@@ -1,0 +1,169 @@
+// WAL format tests (src/fastppr/store/wal.{h,cc}): roundtrip, and the
+// exhaustive failure taxonomy the crash harness relies on —
+//  * EVERY truncation point yields OK with the clean durable record
+//    prefix (a torn tail is a crash, not corruption);
+//  * EVERY single-bit flip in a complete file yields Corruption (never
+//    a crash, never a silently shorter log).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/store/wal.h"
+#include "fastppr/util/file_io.h"
+
+namespace fastppr {
+namespace {
+
+DurableManifest TestManifest() {
+  DurableManifest m;
+  m.num_nodes = 100;
+  m.walks_per_node = 4;
+  m.epsilon = 0.2;
+  m.seed = 1234;
+  m.update_policy = 0;
+  m.engine_tag = 1;
+  m.num_shards = 2;
+  m.next_window = 7;
+  return m;
+}
+
+std::vector<EdgeEvent> TestEvents(uint64_t window) {
+  std::vector<EdgeEvent> events;
+  for (uint32_t i = 0; i < 5; ++i) {
+    EdgeEvent ev;
+    ev.kind = (i % 2 == 0) ? EdgeEvent::Kind::kInsert
+                           : EdgeEvent::Kind::kDelete;
+    ev.edge = Edge{static_cast<NodeId>(window * 10 + i),
+                   static_cast<NodeId>(i)};
+    events.push_back(ev);
+  }
+  return events;
+}
+
+std::string WriteTestWal(const std::string& name, uint64_t num_windows) {
+  const std::string path = testing::TempDir() + "/" + name;
+  WalWriter w;
+  EXPECT_TRUE(WalWriter::Create(path, TestManifest(), &w).ok());
+  for (uint64_t win = 7; win < 7 + num_windows; ++win) {
+    const auto events = TestEvents(win);
+    EXPECT_TRUE(w.AppendBatch(win, events).ok());
+  }
+  EXPECT_TRUE(w.Sync().ok());
+  EXPECT_TRUE(w.Close().ok());
+  return path;
+}
+
+TEST(WalTest, RoundTripsManifestAndRecords) {
+  const std::string path = WriteTestWal("wal_roundtrip.log", 3);
+
+  DurableManifest m;
+  std::vector<WalRecord> records;
+  const Status s = ReadWal(path, &m, &records);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  EXPECT_TRUE(m.SameEngine(TestManifest()));
+  EXPECT_EQ(m.next_window, 7u);
+  ASSERT_EQ(records.size(), 3u);
+  for (uint64_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].window, 7 + i);
+    const auto expect = TestEvents(7 + i);
+    ASSERT_EQ(records[i].events.size(), expect.size());
+    for (std::size_t j = 0; j < expect.size(); ++j) {
+      EXPECT_EQ(records[i].events[j].kind, expect[j].kind);
+      EXPECT_EQ(records[i].events[j].edge.src, expect[j].edge.src);
+      EXPECT_EQ(records[i].events[j].edge.dst, expect[j].edge.dst);
+    }
+  }
+}
+
+TEST(WalTest, EmptyRecordListAndMissingFile) {
+  const std::string path = WriteTestWal("wal_empty.log", 0);
+  DurableManifest m;
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(ReadWal(path, &m, &records).ok());
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(m.engine_tag, 1);
+
+  const Status missing =
+      ReadWal(testing::TempDir() + "/wal_nope.log", &m, &records);
+  EXPECT_TRUE(missing.IsNotFound()) << missing.ToString();
+}
+
+TEST(WalTest, RecordWithZeroEvents) {
+  const std::string path = testing::TempDir() + "/wal_zero.log";
+  WalWriter w;
+  ASSERT_TRUE(WalWriter::Create(path, TestManifest(), &w).ok());
+  ASSERT_TRUE(w.AppendBatch(7, {}).ok());
+  ASSERT_TRUE(w.Close().ok());
+
+  DurableManifest m;
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(ReadWal(path, &m, &records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].window, 7u);
+  EXPECT_TRUE(records[0].events.empty());
+}
+
+// Every possible truncation point: the parse must succeed and return a
+// record count that only ever grows with the prefix length, reaching
+// each record exactly when its final byte is present. Truncations
+// inside the file header (a crash during WAL creation) read as an
+// empty, manifest-less log.
+TEST(WalTest, EveryTruncationYieldsCleanPrefix) {
+  const std::string path = WriteTestWal("wal_trunc.log", 3);
+  std::vector<uint8_t> full;
+  ASSERT_TRUE(ReadFileBytes(path, &full).ok());
+
+  const std::string cut = testing::TempDir() + "/wal_trunc_cut.log";
+  std::size_t prev_records = 0;
+  for (std::size_t keep = 0; keep <= full.size(); ++keep) {
+    {
+      WritableFile f;
+      ASSERT_TRUE(WritableFile::Open(cut, &f).ok());
+      ASSERT_TRUE(f.Append(full.data(), keep).ok());
+      ASSERT_TRUE(f.Close().ok());
+    }
+    DurableManifest m;
+    std::vector<WalRecord> records;
+    const Status s = ReadWal(cut, &m, &records);
+    ASSERT_TRUE(s.ok()) << "truncated to " << keep << ": " << s.ToString();
+    ASSERT_GE(records.size(), prev_records) << "at " << keep;
+    ASSERT_LE(records.size() - prev_records, 1u) << "at " << keep;
+    prev_records = records.size();
+  }
+  EXPECT_EQ(prev_records, 3u);  // the full file parses completely
+}
+
+// Every single-bit flip anywhere in a complete WAL must surface as
+// Corruption: never OK (a silently altered or shortened history) and
+// never a crash. This is the satellite-c oracle for the WAL side.
+TEST(WalTest, EveryBitFlipIsCorruption) {
+  const std::string path = WriteTestWal("wal_flip.log", 2);
+  std::vector<uint8_t> full;
+  ASSERT_TRUE(ReadFileBytes(path, &full).ok());
+
+  const std::string flipped = testing::TempDir() + "/wal_flip_cut.log";
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> copy = full;
+      copy[byte] ^= static_cast<uint8_t>(1u << bit);
+      {
+        WritableFile f;
+        ASSERT_TRUE(WritableFile::Open(flipped, &f).ok());
+        ASSERT_TRUE(f.Append(copy.data(), copy.size()).ok());
+        ASSERT_TRUE(f.Close().ok());
+      }
+      DurableManifest m;
+      std::vector<WalRecord> records;
+      const Status s = ReadWal(flipped, &m, &records);
+      ASSERT_TRUE(s.IsCorruption())
+          << "bit " << bit << " of byte " << byte << ": " << s.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -83,10 +83,63 @@ TEST(WalkStoreIoTest, LoadAgainstWrongGraphFails) {
   std::remove(path.c_str());
 }
 
-TEST(WalkStoreIoTest, MissingFileIsIOError) {
+TEST(WalkStoreIoTest, MissingFileIsNotFound) {
   DiGraph g(3);
   WalkStore loaded;
-  EXPECT_TRUE(LoadWalkStore("/no/such/file.bin", g, &loaded).IsIOError());
+  EXPECT_TRUE(LoadWalkStore("/no/such/file.bin", g, &loaded).IsNotFound());
+}
+
+TEST(WalkStoreIoTest, PeeksNodeCount) {
+  Rng rng(11);
+  auto edges = ErdosRenyi(25, 150, &rng);
+  DiGraph g = BuildGraph(25, edges);
+  WalkStore store;
+  store.Init(g, 2, 0.2, 12);
+  const std::string path = testing::TempDir() + "/walk_store_peek.bin";
+  ASSERT_TRUE(SaveWalkStore(store, path).ok());
+
+  uint64_t n = 0;
+  ASSERT_TRUE(PeekWalkStoreNodeCount(path, &n).ok());
+  EXPECT_EQ(n, 25u);
+  EXPECT_TRUE(PeekWalkStoreNodeCount("/no/such/file.bin", &n).IsNotFound());
+  std::remove(path.c_str());
+}
+
+// The snapshot now rides the framed-file machinery: any single flipped
+// bit anywhere in the file must surface as Corruption.
+TEST(WalkStoreIoTest, EveryBitFlipIsCorruption) {
+  Rng rng(13);
+  auto edges = ErdosRenyi(10, 40, &rng);
+  DiGraph g = BuildGraph(10, edges);
+  WalkStore store;
+  store.Init(g, 1, 0.3, 14);
+  const std::string path = testing::TempDir() + "/walk_store_flip.bin";
+  ASSERT_TRUE(SaveWalkStore(store, path).ok());
+
+  std::vector<char> full;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    full.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(full.data(), static_cast<std::streamsize>(full.size()));
+  }
+  const std::string flipped = testing::TempDir() + "/walk_store_flip2.bin";
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<char> copy = full;
+      copy[byte] = static_cast<char>(copy[byte] ^ (1 << bit));
+      {
+        std::ofstream out(flipped, std::ios::binary | std::ios::trunc);
+        out.write(copy.data(), static_cast<std::streamsize>(copy.size()));
+      }
+      WalkStore loaded;
+      const Status s = LoadWalkStore(flipped, g, &loaded);
+      ASSERT_TRUE(s.IsCorruption())
+          << "bit " << bit << " of byte " << byte << ": " << s.ToString();
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(flipped.c_str());
 }
 
 TEST(WalkStoreIoTest, GarbageFileIsCorruption) {
