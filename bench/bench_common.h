@@ -18,8 +18,11 @@
 #endif
 
 #include "fastppr/graph/digraph.h"
+#include "fastppr/graph/edge_stream.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/obs/latency_histogram.h"
 #include "fastppr/store/walk_store.h"
+#include "fastppr/util/check.h"
 #include "fastppr/util/csv_writer.h"
 #include "fastppr/util/random.h"
 #include "fastppr/util/timer.h"
@@ -49,6 +52,28 @@ auto BestOfTwo(const F& run, const KeyFn& key) {
   return key(a) > key(b) ? a : b;
 }
 
+/// The window-streaming loop shared by the engine-level benches: feeds
+/// `events` to `apply` (a callable taking one std::span<const EdgeEvent>
+/// window and returning Status) in `window`-sized spans and returns
+/// events/sec. When `per_window` is non-null, each window's wall
+/// duration is recorded into it (nanoseconds) — the obs-layer histogram
+/// replaces the ad-hoc per-bench timing copies, so every bench reports
+/// the same p50/p99/p999 definition.
+template <typename ApplyFn>
+double TimeWindows(const std::vector<EdgeEvent>& events, std::size_t window,
+                   const ApplyFn& apply,
+                   obs::LatencyHistogram* per_window = nullptr) {
+  WallTimer timer;
+  for (std::size_t lo = 0; lo < events.size(); lo += window) {
+    const std::size_t hi = std::min(events.size(), lo + window);
+    const uint64_t t0 = per_window != nullptr ? obs::NowNanos() : 0;
+    FASTPPR_CHECK(
+        apply(std::span<const EdgeEvent>(events.data() + lo, hi - lo)).ok());
+    if (per_window != nullptr) per_window->Record(obs::NowNanos() - t0);
+  }
+  return static_cast<double>(events.size()) / timer.ElapsedSeconds();
+}
+
 /// The ingestion-throughput loop shared by the update-path benches:
 /// streams `edges` (as insertions) through a fresh walk store over an
 /// initially empty n-node graph in `batch`-sized windows (batch <= 1 is
@@ -58,13 +83,16 @@ auto BestOfTwo(const F& run, const KeyFn& key) {
 /// bench/legacy layout (which predates the batched API: batch > 1
 /// aborts). When `stats_out` is non-null and the store reports
 /// WalkUpdateStats, the accumulated stats of the whole stream are
-/// returned through it.
+/// returned through it. When `per_batch` is non-null, each batch's
+/// wall duration is recorded into it (nanoseconds; batch > 1 only —
+/// per-event timing would dominate the one-at-a-time path it measures).
 template <typename Store>
 double MeasureIngestThroughput(std::size_t n, std::size_t R, double eps,
                                const std::vector<Edge>& edges,
                                std::size_t batch, uint64_t store_seed,
                                uint64_t rng_seed,
-                               WalkUpdateStats* stats_out = nullptr) {
+                               WalkUpdateStats* stats_out = nullptr,
+                               obs::LatencyHistogram* per_batch = nullptr) {
   DiGraph g(n);
   Store store;
   store.Init(g, R, eps, store_seed);
@@ -91,11 +119,13 @@ double MeasureIngestThroughput(std::size_t n, std::size_t R, double eps,
                        }) {
     for (std::size_t lo = 0; lo < edges.size(); lo += batch) {
       const std::size_t hi = std::min(edges.size(), lo + batch);
+      const uint64_t t0 = per_batch != nullptr ? obs::NowNanos() : 0;
       for (std::size_t i = lo; i < hi; ++i) {
         if (!g.AddEdge(edges[i].src, edges[i].dst).ok()) std::abort();
       }
       stats.Accumulate(store.OnEdgesInserted(
           g, std::span<const Edge>(edges.data() + lo, hi - lo), &rng));
+      if (per_batch != nullptr) per_batch->Record(obs::NowNanos() - t0);
     }
   } else {
     std::abort();  // frozen legacy layouts predate the batched API

@@ -57,19 +57,13 @@ std::vector<EdgeEvent> PowerLawEvents(std::size_t n, uint64_t seed) {
   return events;
 }
 
-/// Streams `events` through `engine` in `window`-sized spans, returning
-/// events/sec.
-double TimeWindows(PrEngine* engine, const std::vector<EdgeEvent>& events,
-                   std::size_t window) {
-  WallTimer timer;
-  for (std::size_t lo = 0; lo < events.size(); lo += window) {
-    const std::size_t hi = std::min(events.size(), lo + window);
-    FASTPPR_CHECK(engine
-                      ->ApplyEvents(std::span<const EdgeEvent>(
-                          events.data() + lo, hi - lo))
-                      .ok());
-  }
-  return static_cast<double>(events.size()) / timer.ElapsedSeconds();
+/// bench_common's shared window loop, bound to an engine.
+double TimeEngineWindows(PrEngine* engine,
+                         const std::vector<EdgeEvent>& events,
+                         std::size_t window) {
+  return TimeWindows(events, window, [&](std::span<const EdgeEvent> w) {
+    return engine->ApplyEvents(w);
+  });
 }
 
 std::string FreshDir(const std::string& name) {
@@ -122,7 +116,7 @@ int main(int argc, char** argv) {
   // determinism makes the reps bit-identical, so the spread is noise.
   const double base_eps_sec = BestOfTwo([&] {
     PrEngine engine(n, mc, sharding);
-    return TimeWindows(&engine, events, window);
+    return TimeEngineWindows(&engine, events, window);
   });
 
   const std::string wal_dir = FreshDir("fastppr_bench_durability_wal");
@@ -133,7 +127,7 @@ int main(int argc, char** argv) {
     dopts.directory = wal_dir;
     dopts.checkpoint_interval_windows = 0;  // log only; no mid-stream ckpt
     FASTPPR_CHECK(durable_holder->EnableDurability(dopts).ok());
-    return TimeWindows(durable_holder.get(), events, window);
+    return TimeEngineWindows(durable_holder.get(), events, window);
   });
   const double wal_overhead_pct =
       100.0 * (base_eps_sec - durable_eps_sec) / base_eps_sec;
@@ -176,7 +170,7 @@ int main(int argc, char** argv) {
     dopts.directory = replay_dir;
     dopts.checkpoint_interval_windows = 0;
     FASTPPR_CHECK(engine.EnableDurability(dopts).ok());
-    TimeWindows(&engine, events, window);
+    TimeEngineWindows(&engine, events, window);
   }
   double wal_replay_events_per_sec = 0.0;
   uint64_t replayed_events = 0;

@@ -50,6 +50,8 @@
 #include "fastppr/core/salsa_walker.h"
 #include "fastppr/engine/sharded_engine.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/obs/engine_metrics.h"
+#include "fastppr/obs/latency_histogram.h"
 #include "fastppr/store/segment_snapshot.h"
 #include "fastppr/util/shard.h"
 #include "fastppr/util/status.h"
@@ -191,6 +193,7 @@ class QueryService {
   explicit QueryService(ShardedEngine<Engine>* engine)
       : engine_(engine), graph_pool_(/*capture_in=*/kIsSalsa) {
     FASTPPR_CHECK(engine_ != nullptr);
+    om_ = engine_->metric_handles();
     engine_->EnableAppliedEdgeTracking();
     for (std::size_t s = 0; s < engine_->num_shards(); ++s) {
       engine_->shard(s).mutable_walk_store()->set_dirty_tracking(true);
@@ -324,8 +327,11 @@ class QueryService {
   /// Returns a reference to scratch->ranked. Lock-free.
   const std::vector<NodeId>& TopKInto(std::size_t k, ReadScratch* scratch,
                                       SnapshotInfo* info = nullptr) const {
+    const bool hot = engine_->metrics_enabled();
+    const uint64_t t0 = hot ? obs::NowNanos() : 0;
     SnapshotCountsInto(scratch, nullptr, info);
     TopKByCountInto(scratch->counts, k, &scratch->ranked);
+    if (hot) om_.query_topk->Record(obs::NowNanos() - t0);
     return scratch->ranked;
   }
 
@@ -340,6 +346,8 @@ class QueryService {
   /// Normalized snapshot score of one node (PageRank visit frequency /
   /// SALSA authority frequency). Lock-free and allocation-free.
   double Score(NodeId v, SnapshotInfo* info = nullptr) const {
+    const bool hot = engine_->metrics_enabled();
+    const uint64_t t0 = hot ? obs::NowNanos() : 0;
     int64_t count = 0;
     int64_t total = 0;
     SnapshotInfo si;
@@ -354,6 +362,7 @@ class QueryService {
       si.max_epoch = std::max(si.max_epoch, e);
     }
     if (info != nullptr) *info = si;
+    if (hot) om_.query_score->Record(obs::NowNanos() - t0);
     return total == 0 ? 0.0
                       : static_cast<double>(count) /
                             static_cast<double>(total);
@@ -370,6 +379,9 @@ class QueryService {
                           std::vector<ScoredNode>* ranked,
                           WalkStats* walk_stats = nullptr,
                           SnapshotInfo* info = nullptr) {
+    const bool hot = engine_->metrics_enabled();
+    const uint64_t t0 = hot ? obs::NowNanos() : 0;
+    if (hot) om_.snapshot_pins->Add(1, engine_->shard_of(seed));
     // Arm the next window boundary's frozen refresh.
     frozen_demand_.store(true, std::memory_order_relaxed);
     std::shared_ptr<const FrozenViewSet> pin;
@@ -390,6 +402,7 @@ class QueryService {
       // stale view is served as-is (stamped in `info`) and the demand
       // flag freshens the next boundary.
       std::lock_guard<std::mutex> lock(window_mu_, std::adopt_lock);
+      if (hot) om_.snapshot_refreshes->Add(1);
       PublishFrozenLocked(engine_->windows_applied(), /*full=*/false);
       // The demand flag stays armed: clearing it here could erase a
       // demand another reader raised concurrently, letting the writer
@@ -431,6 +444,7 @@ class QueryService {
       std::lock_guard<std::mutex> lock(view_mu_);
       pin.reset();
     }
+    if (hot) om_.query_personalized->Record(obs::NowNanos() - t0);
     return status;
   }
 
@@ -488,12 +502,15 @@ class QueryService {
           },
           shard.RankingTotal(), epoch);
     }
+    if (engine_->metrics_enabled()) om_.count_publishes->Add(1);
   }
 
   /// Publishes the frozen personalized-read views (the delta-copy work).
   /// Phase 1 picks recyclable buffers under the view mutex; phase 2
   /// copies outside it; phase 3 flips the pointer table under it again.
   void PublishFrozenLocked(uint64_t epoch, bool full) {
+    const bool hot = engine_->metrics_enabled();
+    const uint64_t t0 = hot ? obs::NowNanos() : 0;
     const std::size_t S = snapshots_.size();
     const uint64_t graph_epoch = engine_->social_store().epoch();
     {
@@ -506,6 +523,9 @@ class QueryService {
     std::vector<std::shared_ptr<const FrozenSegments>> fresh_segments(S);
     for (std::size_t s = 0; s < S; ++s) {
       auto* store = engine_->shard(s).mutable_walk_store();
+      if (hot) {
+        om_.segments_dirtied->Add(store->dirty_segments().size(), s);
+      }
       fresh_segments[s] = segment_pools_[s].Publish(
           *store, store->dirty_segments(), epoch,
           full || store->dirty_overflowed());
@@ -527,6 +547,17 @@ class QueryService {
       std::lock_guard<std::mutex> lock(view_mu_);
       frozen_view_ = std::move(fresh_view);
     }
+    if (hot) {
+      // "full" here means the caller forced a rebuild; per-shard
+      // overflow-forced copies still count as delta publishes (the
+      // decision was the delta path's).
+      (full ? om_.frozen_publishes_full : om_.frozen_publishes_delta)
+          ->Add(1);
+      const uint64_t t1 = obs::NowNanos();
+      om_.publish_phase->Record(t1 - t0);
+      engine_->phase_tracer()->Record(engine_->writer_track(),
+                                      obs::Phase::kPublish, epoch, t0, t1);
+    }
   }
 
   void PublishLocked(bool full) {
@@ -547,6 +578,9 @@ class QueryService {
   }
 
   ShardedEngine<Engine>* engine_;
+  /// Cached metric handles (obs/engine_metrics.h); owned by the
+  /// engine's registry, which outlives the service.
+  obs::EngineMetrics om_;
   std::size_t walks_per_node_ = 0;
   double epsilon_ = 0.0;
   std::shared_ptr<const SegmentOwnership> ownership_;

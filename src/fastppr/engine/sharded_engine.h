@@ -39,6 +39,7 @@
 // the same order).
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -48,6 +49,10 @@
 #include "fastppr/core/incremental_pagerank.h"
 #include "fastppr/core/ranking.h"
 #include "fastppr/engine/thread_pool.h"
+#include "fastppr/obs/engine_metrics.h"
+#include "fastppr/obs/latency_histogram.h"
+#include "fastppr/obs/metrics.h"
+#include "fastppr/obs/phase_tracer.h"
 #include "fastppr/graph/edge_stream.h"
 #include "fastppr/graph/types.h"
 #include "fastppr/store/arena_io.h"
@@ -250,9 +255,23 @@ class ShardedEngine {
   /// before any state changed.
   Status ApplyEvents(std::span<const EdgeEvent> events) {
     if (durable_) {
+      const bool hot = metrics_enabled();
+      const uint64_t bytes_before = wal_.bytes_written();
       FASTPPR_RETURN_IF_ERROR(wal_.AppendBatch(windows_applied_, events));
+      if (hot) {
+        om_.wal_records->Add(1);
+        om_.wal_bytes->Add(wal_.bytes_written() - bytes_before);
+      }
       if (durability_.sync_wal) {
+        const uint64_t t0 = hot ? obs::NowNanos() : 0;
         FASTPPR_RETURN_IF_ERROR(wal_.Sync());
+        if (hot) {
+          const uint64_t t1 = obs::NowNanos();
+          om_.wal_fsyncs->Add(1);
+          om_.wal_fsync->Record(t1 - t0);
+          tracer_.Record(writer_track(), obs::Phase::kFsync,
+                         windows_applied_, t0, t1);
+        }
       }
     }
     const Status result = ApplyWindow(events);
@@ -323,6 +342,35 @@ class ShardedEngine {
   void CheckConsistency() const {
     social_->graph().slab().CheckConsistency();
     for (const auto& shard : shards_) shard->CheckConsistency();
+  }
+
+  // --- observability (DESIGN.md §9) ----------------------------------
+
+  /// The engine's metrics registry (always present; shared so an
+  /// exporter can outlive the engine). Counters/histograms are listed in
+  /// obs/engine_metrics.h.
+  obs::MetricsRegistry* metrics() { return metrics_registry_.get(); }
+  std::shared_ptr<obs::MetricsRegistry> shared_metrics() const {
+    return metrics_registry_;
+  }
+  /// Raw metric handles for attached hot paths (QueryService caches a
+  /// copy; valid for the registry's lifetime).
+  const obs::EngineMetrics& metric_handles() const { return om_; }
+  /// Phase timeline: track s < num_shards() carries shard s's repair
+  /// spans, writer_track() carries ingest/publish/fsync spans.
+  obs::PhaseTracer* phase_tracer() { return &tracer_; }
+  std::size_t writer_track() const { return shards_.size(); }
+
+  /// Turns the instrumentation's clock reads and atomics on/off at
+  /// runtime (on by default). The cold path does no timing at all —
+  /// bench_observability measures hot-vs-cold ingest to enforce the
+  /// <= 2% overhead contract. Metrics are observability state, never
+  /// serialized: SerializeState() is bit-identical either way.
+  void SetMetricsEnabled(bool on) {
+    metrics_hot_.store(on, std::memory_order_relaxed);
+  }
+  bool metrics_enabled() const {
+    return metrics_hot_.load(std::memory_order_relaxed);
   }
 
   // --- durability (DESIGN.md §8) ------------------------------------
@@ -516,6 +564,7 @@ class ShardedEngine {
       shards_.push_back(std::make_unique<Engine>(
           typename Engine::ForRecovery{}, social_, ShardOptions(opts, s)));
     }
+    InitMetrics();
   }
 
   MonteCarloOptions ShardOptions(const MonteCarloOptions& opts,
@@ -534,11 +583,26 @@ class ShardedEngine {
       shards_.push_back(
           std::make_unique<Engine>(social_, ShardOptions(opts, s)));
     }
+    InitMetrics();
+  }
+
+  void InitMetrics() {
+    metrics_registry_ = std::make_shared<obs::MetricsRegistry>();
+    om_ = obs::EngineMetrics::Register(metrics_registry_.get(),
+                                       router_.num_shards());
+    tracer_.Init(router_.num_shards() + 1);
   }
 
   /// The pre-durability ApplyEvents body: one ingestion window, no
   /// logging. Shared by the durable front door and WAL replay.
   Status ApplyWindow(std::span<const EdgeEvent> events) {
+    // Instrumentation is gated on one relaxed flag read per window: the
+    // cold path takes zero clock reads, and hot-path timing never
+    // touches the RNG streams, so the determinism contract is unchanged
+    // either way.
+    const bool hot = metrics_enabled();
+    const uint64_t window_start = hot ? obs::NowNanos() : 0;
+    uint64_t phase_start = window_start;
     for (auto& shard : shards_) shard->BeginRepairWindow();
     // The shared chunk protocol (ApplyEventsInChunks) is what makes the
     // S=1 engine consume the identical RNG stream as the flat engines:
@@ -551,24 +615,50 @@ class ShardedEngine {
           return insert ? social_->AddEdge(e.src, e.dst)
                         : social_->RemoveEdge(e.src, e.dst);
         },
-        [this](std::span<const Edge> applied, bool insert) {
+        [this, hot, &phase_start](std::span<const Edge> applied,
+                                  bool insert) {
           router_.AccountWrites(applied);
           if (applied_.tracking()) {
             for (const Edge& e : applied) applied_.Record(e);
           }
+          if (hot) {
+            // The writer's mutation run for this chunk ends here.
+            const uint64_t now = obs::NowNanos();
+            om_.ingest_phase->Record(now - phase_start);
+            tracer_.Record(writer_track(), obs::Phase::kIngest,
+                           windows_applied_, phase_start, now);
+          }
           const uint64_t frozen = social_->epoch();
           pool_.ParallelFor(shards_.size(), [&](std::size_t s) {
+            const uint64_t t0 = hot ? obs::NowNanos() : 0;
             if (insert) {
               shards_[s]->RepairEdgesInserted(applied);
             } else {
               shards_[s]->RepairEdgesRemoved(applied);
             }
+            if (hot) {
+              const uint64_t t1 = obs::NowNanos();
+              om_.repair_phase->Record(t1 - t0);
+              tracer_.Record(s, obs::Phase::kRepair, windows_applied_, t0,
+                             t1);
+            }
           });
           FASTPPR_CHECK_MSG(
               social_->epoch() == frozen,
               "graph mutated during a parallel repair phase");
+          if (hot) phase_start = obs::NowNanos();
         });
     ++windows_applied_;
+    if (hot) {
+      om_.ingest_window->Record(obs::NowNanos() - window_start);
+      om_.events_ingested->Add(events.size());
+      om_.windows_applied->Set(windows_applied_);
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const WalkUpdateStats st = shards_[s]->last_event_stats();
+        om_.walks_repaired->Add(st.segments_updated, s);
+        om_.walk_steps->Add(st.walk_steps, s);
+      }
+    }
     return result;
   }
 
@@ -638,6 +728,15 @@ class ShardedEngine {
   DurabilityOptions durability_;
   WalWriter wal_;
   uint64_t last_checkpoint_window_ = 0;
+
+  // Observability state (DESIGN.md §9). Deliberately excluded from
+  // SerializeTo/RestoreFrom: metrics describe this process's execution,
+  // not the durable walk state, and serializing them would break the
+  // crash tests' bit-identity oracle.
+  std::shared_ptr<obs::MetricsRegistry> metrics_registry_;
+  obs::EngineMetrics om_;
+  obs::PhaseTracer tracer_;
+  std::atomic<bool> metrics_hot_{true};
 };
 
 }  // namespace fastppr

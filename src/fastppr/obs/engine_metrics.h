@@ -1,0 +1,77 @@
+#ifndef FASTPPR_OBS_ENGINE_METRICS_H_
+#define FASTPPR_OBS_ENGINE_METRICS_H_
+
+// The engine/serving metric schema (DESIGN.md §9): one registration
+// helper so ShardedEngine and QueryService agree on names, units and
+// striping, and hot paths hold raw handles instead of doing name
+// lookups. All handles point into the owning MetricsRegistry; the
+// struct is trivially copyable (QueryService caches a copy).
+
+#include <cstddef>
+
+#include "fastppr/obs/latency_histogram.h"
+#include "fastppr/obs/metrics.h"
+
+namespace fastppr::obs {
+
+struct EngineMetrics {
+  // --- counters (striped by shard where marked) ----------------------
+  Counter* events_ingested = nullptr;       ///< events applied or rejected
+  Counter* walks_repaired = nullptr;        ///< segments re-routed [shard]
+  Counter* walk_steps = nullptr;            ///< repair walker steps [shard]
+  Counter* segments_dirtied = nullptr;      ///< dirty-feed rows consumed
+                                            ///  by publishes [shard]
+  Counter* wal_records = nullptr;           ///< WAL records appended
+  Counter* wal_bytes = nullptr;             ///< WAL bytes appended
+  Counter* wal_fsyncs = nullptr;            ///< WAL fsync calls
+  Counter* frozen_publishes_full = nullptr; ///< full frozen-view rebuilds
+  Counter* frozen_publishes_delta = nullptr;///< delta frozen publishes
+  Counter* count_publishes = nullptr;       ///< seqlock count publishes
+  Counter* snapshot_pins = nullptr;         ///< personalized view pins
+                                            ///  [shard of seed]
+  Counter* snapshot_refreshes = nullptr;    ///< idle-writer self-refreshes
+
+  // --- gauges --------------------------------------------------------
+  Counter* windows_applied = nullptr;       ///< ingestion epoch
+
+  // --- latency histograms (nanoseconds; exported in µs) --------------
+  LatencyHistogram* ingest_phase = nullptr;   ///< per-chunk writer phase
+  LatencyHistogram* repair_phase = nullptr;   ///< per-shard repair phase
+  LatencyHistogram* publish_phase = nullptr;  ///< frozen-view publish
+  LatencyHistogram* wal_fsync = nullptr;      ///< per-window fsync
+  LatencyHistogram* ingest_window = nullptr;  ///< whole ApplyWindow
+  LatencyHistogram* query_topk = nullptr;     ///< TopK service latency
+  LatencyHistogram* query_score = nullptr;    ///< Score service latency
+  LatencyHistogram* query_personalized = nullptr;  ///< PersonalizedTopK
+
+  static EngineMetrics Register(MetricsRegistry* reg, std::size_t shards) {
+    EngineMetrics m;
+    m.events_ingested = reg->RegisterCounter("events_ingested");
+    m.walks_repaired = reg->RegisterCounter("walks_repaired", shards);
+    m.walk_steps = reg->RegisterCounter("walk_steps", shards);
+    m.segments_dirtied = reg->RegisterCounter("segments_dirtied", shards);
+    m.wal_records = reg->RegisterCounter("wal_records");
+    m.wal_bytes = reg->RegisterCounter("wal_bytes");
+    m.wal_fsyncs = reg->RegisterCounter("wal_fsyncs");
+    m.frozen_publishes_full = reg->RegisterCounter("frozen_publishes_full");
+    m.frozen_publishes_delta =
+        reg->RegisterCounter("frozen_publishes_delta");
+    m.count_publishes = reg->RegisterCounter("count_publishes");
+    m.snapshot_pins = reg->RegisterCounter("snapshot_pins", shards);
+    m.snapshot_refreshes = reg->RegisterCounter("snapshot_refreshes");
+    m.windows_applied = reg->RegisterGauge("windows_applied");
+    m.ingest_phase = reg->RegisterHistogram("ingest_phase");
+    m.repair_phase = reg->RegisterHistogram("repair_phase");
+    m.publish_phase = reg->RegisterHistogram("publish_phase");
+    m.wal_fsync = reg->RegisterHistogram("wal_fsync");
+    m.ingest_window = reg->RegisterHistogram("ingest_window");
+    m.query_topk = reg->RegisterHistogram("query_topk");
+    m.query_score = reg->RegisterHistogram("query_score");
+    m.query_personalized = reg->RegisterHistogram("query_personalized");
+    return m;
+  }
+};
+
+}  // namespace fastppr::obs
+
+#endif  // FASTPPR_OBS_ENGINE_METRICS_H_

@@ -1,0 +1,80 @@
+#include "fastppr/obs/latency_histogram.h"
+
+#include <algorithm>
+
+namespace fastppr::obs {
+
+uint64_t LatencyHistogram::BucketValue(std::size_t idx) {
+  if (idx < kSubBuckets) return static_cast<uint64_t>(idx);
+  const std::size_t rel = idx - kSubBuckets;
+  const std::size_t octave = rel >> kSubBits;   // e - kSubBits
+  const std::size_t sub = rel & (kSubBuckets - 1);
+  const uint64_t lo = (kSubBuckets + sub) << octave;
+  const uint64_t width = uint64_t{1} << octave;
+  return lo + width / 2;
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  overflow_.fetch_add(other.overflow(), std::memory_order_relaxed);
+  UpdateMin(other.min_.load(std::memory_order_relaxed));
+  if (other.count() != 0) UpdateMax(other.max());
+}
+
+uint64_t LatencyHistogram::min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~uint64_t{0} ? 0 : m;
+}
+
+uint64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil — the classic nearest-rank
+  // definition, matching the exact-percentile oracle in the tests).
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (target == 0) target = 1;
+  if (target > total) target = total;
+  uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) return BucketValue(i);
+  }
+  // The rank lands in the overflow mass (>= 2^48): report the tracked
+  // max instead of inventing a bucket value.
+  return max();
+}
+
+LatencyHistogram::Summary LatencyHistogram::Summarize() const {
+  Summary s;
+  s.count = count();
+  s.overflow = overflow();
+  s.min_ns = min();
+  s.max_ns = max();
+  if (s.count != 0) {
+    s.mean_ns = static_cast<double>(sum()) / static_cast<double>(s.count);
+  }
+  s.p50_ns = ValueAtQuantile(0.50);
+  s.p90_ns = ValueAtQuantile(0.90);
+  s.p99_ns = ValueAtQuantile(0.99);
+  s.p999_ns = ValueAtQuantile(0.999);
+  return s;
+}
+
+void LatencyHistogram::Reset() {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  min_.store(~uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fastppr::obs

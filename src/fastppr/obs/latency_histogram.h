@@ -1,0 +1,131 @@
+#ifndef FASTPPR_OBS_LATENCY_HISTOGRAM_H_
+#define FASTPPR_OBS_LATENCY_HISTOGRAM_H_
+
+// Lock-free mergeable latency histogram (HDR-style log-linear buckets).
+//
+// Values are nanoseconds. Buckets are laid out as 64 exact buckets for
+// v < 64 followed by 64 linear sub-buckets per power-of-two octave up to
+// 2^48 ns (~3.2 days): fixed memory (2752 buckets, ~22 KiB), bounded
+// relative error <= 1/128 (< 1%), O(1) recording with one relaxed
+// fetch_add — safe from any number of threads concurrently with
+// Summarize/MergeFrom readers. Values at or above 2^48 are counted
+// (count/sum/overflow) and the quantile tail reports the tracked max, so
+// out-of-range mass is never silently clamped into an edge bucket.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace fastppr::obs {
+
+/// Monotonic wall clock in nanoseconds (steady_clock, same source as
+/// util/timer.h's WallTimer).
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kSubBits = 6;      // 64 sub-buckets/octave
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  static constexpr std::size_t kMaxBits = 48;     // values < 2^48 bucketed
+  static constexpr std::size_t kNumBuckets =
+      kSubBuckets + (kMaxBits - kSubBits) * kSubBuckets;  // 2752
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one value. Wait-free; relaxed atomics only.
+  void Record(uint64_t nanos) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(nanos, std::memory_order_relaxed);
+    UpdateMin(nanos);
+    UpdateMax(nanos);
+    if (nanos >> kMaxBits != 0) {
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Maps a value to its bucket. Exact below kSubBuckets; above, the top
+  /// kSubBits bits after the leading one select the linear sub-bucket.
+  static std::size_t BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const unsigned e = 63u - static_cast<unsigned>(std::countl_zero(v));
+    return kSubBuckets + (e - kSubBits) * kSubBuckets +
+           static_cast<std::size_t>((v >> (e - kSubBits)) - kSubBuckets);
+  }
+
+  /// Midpoint of a bucket's value range (the quantile estimate).
+  static uint64_t BucketValue(std::size_t idx);
+
+  /// Adds `other`'s recorded state into this histogram. Safe under
+  /// concurrent Record on either side (the merged view is then some
+  /// valid interleaving). Associative and commutative bucket-for-bucket.
+  void MergeFrom(const LatencyHistogram& other);
+
+  /// Approximate value at quantile q in [0, 1]. Overflow mass sits above
+  /// every bucket; a quantile landing in it returns max().
+  uint64_t ValueAtQuantile(double q) const;
+
+  struct Summary {
+    uint64_t count = 0;
+    uint64_t overflow = 0;
+    double mean_ns = 0.0;
+    uint64_t min_ns = 0;
+    uint64_t max_ns = 0;
+    uint64_t p50_ns = 0;
+    uint64_t p90_ns = 0;
+    uint64_t p99_ns = 0;
+    uint64_t p999_ns = 0;
+  };
+  /// One consistent-enough pass over the buckets (readers race benignly
+  /// with writers; each bucket load is atomic).
+  Summary Summarize() const;
+
+  void Reset();
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  void UpdateMin(uint64_t v) {
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur && !min_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void UpdateMax(uint64_t v) {
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> overflow_{0};
+  std::atomic<uint64_t> min_{~uint64_t{0}};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace fastppr::obs
+
+#endif  // FASTPPR_OBS_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,77 @@
+#include "fastppr/obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace fastppr::obs {
+
+namespace {
+
+void AppendDouble(std::ostringstream* os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *os << buf;
+}
+
+void AppendCounterValue(std::ostringstream* os, const Counter& c) {
+  if (c.stripes() == 1) {
+    *os << c.Total();
+    return;
+  }
+  *os << "{\"total\": " << c.Total() << ", \"per_stripe\": [";
+  for (std::size_t s = 0; s < c.stripes(); ++s) {
+    if (s != 0) *os << ", ";
+    *os << c.Value(s);
+  }
+  *os << "]}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const NamedCounter& nc : counters_) {
+    if (nc.gauge) continue;
+    os << (first ? "\n" : ",\n") << "    \"" << nc.name << "\": ";
+    AppendCounterValue(&os, *nc.counter);
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const NamedCounter& nc : counters_) {
+    if (!nc.gauge) continue;
+    os << (first ? "\n" : ",\n") << "    \"" << nc.name << "\": ";
+    AppendCounterValue(&os, *nc.counter);
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const NamedHistogram& nh : histograms_) {
+    const LatencyHistogram::Summary s = nh.hist.Summarize();
+    os << (first ? "\n" : ",\n") << "    \"" << nh.name << "\": {"
+       << "\"count\": " << s.count << ", \"overflow\": " << s.overflow
+       << ", \"mean_us\": ";
+    AppendDouble(&os, s.mean_ns / 1e3);
+    os << ", \"min_us\": ";
+    AppendDouble(&os, static_cast<double>(s.min_ns) / 1e3);
+    os << ", \"max_us\": ";
+    AppendDouble(&os, static_cast<double>(s.max_ns) / 1e3);
+    os << ", \"p50_us\": ";
+    AppendDouble(&os, static_cast<double>(s.p50_ns) / 1e3);
+    os << ", \"p90_us\": ";
+    AppendDouble(&os, static_cast<double>(s.p90_ns) / 1e3);
+    os << ", \"p99_us\": ";
+    AppendDouble(&os, static_cast<double>(s.p99_ns) / 1e3);
+    os << ", \"p999_us\": ";
+    AppendDouble(&os, static_cast<double>(s.p999_ns) / 1e3);
+    os << "}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+}  // namespace fastppr::obs

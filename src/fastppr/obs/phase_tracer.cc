@@ -1,0 +1,126 @@
+#include "fastppr/obs/phase_tracer.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "fastppr/util/check.h"
+
+namespace fastppr::obs {
+
+const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kIngest: return "ingest";
+    case Phase::kRepair: return "repair";
+    case Phase::kPublish: return "publish";
+    case Phase::kFsync: return "fsync";
+  }
+  return "unknown";
+}
+
+void PhaseTracer::Init(std::size_t tracks,
+                       std::size_t max_spans_per_track) {
+  FASTPPR_CHECK(max_spans_per_track >= 1);
+  max_spans_per_track_ = max_spans_per_track;
+  tracks_.clear();
+  tracks_.reserve(tracks);
+  for (std::size_t t = 0; t < tracks; ++t) {
+    tracks_.push_back(std::make_unique<Track>());
+  }
+}
+
+void PhaseTracer::Record(std::size_t track, Phase phase, uint64_t epoch,
+                         uint64_t start_ns, uint64_t end_ns) {
+  FASTPPR_CHECK(track < tracks_.size());
+  FASTPPR_CHECK(end_ns >= start_ns);
+  Track& t = *tracks_[track];
+  std::lock_guard<std::mutex> lock(t.mu);
+  const std::size_t p = static_cast<std::size_t>(phase);
+  t.busy_ns[p] += end_ns - start_ns;
+  ++t.span_count[p];
+  t.min_start_ns = std::min(t.min_start_ns, start_ns);
+  t.max_end_ns = std::max(t.max_end_ns, end_ns);
+  if (t.spans.size() >= max_spans_per_track_) {
+    ++t.dropped;
+    return;
+  }
+  t.spans.push_back(Span{start_ns, end_ns, epoch, phase});
+}
+
+std::vector<Span> PhaseTracer::SpansForTrack(std::size_t track) const {
+  FASTPPR_CHECK(track < tracks_.size());
+  const Track& t = *tracks_[track];
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.spans;
+}
+
+uint64_t PhaseTracer::dropped(std::size_t track) const {
+  FASTPPR_CHECK(track < tracks_.size());
+  const Track& t = *tracks_[track];
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.dropped;
+}
+
+PhaseTracer::Totals PhaseTracer::ComputeTotals() const {
+  Totals out;
+  uint64_t min_start = ~uint64_t{0};
+  for (const auto& tp : tracks_) {
+    const Track& t = *tp;
+    std::lock_guard<std::mutex> lock(t.mu);
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      out.phase[p].busy_ns += t.busy_ns[p];
+      out.phase[p].span_count += t.span_count[p];
+    }
+    min_start = std::min(min_start, t.min_start_ns);
+    out.max_end_ns = std::max(out.max_end_ns, t.max_end_ns);
+  }
+  out.min_start_ns = min_start == ~uint64_t{0} ? 0 : min_start;
+  return out;
+}
+
+Status PhaseTracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  // Timestamps are microseconds relative to the earliest span, so the
+  // viewer's timeline starts at ~0 instead of hours of steady_clock.
+  const uint64_t base_ns = ComputeTotals().min_start_ns;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (std::size_t track = 0; track < tracks_.size(); ++track) {
+    for (const Span& s : SpansForTrack(track)) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "{\"name\": \"" << PhaseName(s.phase)
+          << "\", \"cat\": \"phase\", \"ph\": \"X\", \"ts\": "
+          << static_cast<double>(s.start_ns - base_ns) / 1e3
+          << ", \"dur\": "
+          << static_cast<double>(s.end_ns - s.start_ns) / 1e3
+          << ", \"pid\": 0, \"tid\": " << track
+          << ", \"args\": {\"epoch\": " << s.epoch << "}}";
+    }
+  }
+  out << "\n]}\n";
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+void PhaseTracer::Clear() {
+  for (auto& tp : tracks_) {
+    Track& t = *tp;
+    std::lock_guard<std::mutex> lock(t.mu);
+    t.spans.clear();
+    t.dropped = 0;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      t.busy_ns[p] = 0;
+      t.span_count[p] = 0;
+    }
+    t.min_start_ns = ~uint64_t{0};
+    t.max_end_ns = 0;
+  }
+}
+
+}  // namespace fastppr::obs

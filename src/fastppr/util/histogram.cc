@@ -44,17 +44,18 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::Add(double x) {
-  std::size_t idx;
-  if (x < lo_) {
-    idx = 0;
-  } else if (x >= hi_) {
-    idx = counts_.size() - 1;
-  } else {
-    idx = static_cast<std::size_t>((x - lo_) / width_);
-    idx = std::min(idx, counts_.size() - 1);
-  }
-  ++counts_[idx];
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  std::size_t idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
 }
 
 double Histogram::bin_lo(std::size_t i) const {
@@ -65,11 +66,15 @@ double Histogram::Quantile(double q) const {
   if (total_ == 0) return lo_;
   q = std::clamp(q, 0.0, 1.0);
   uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total_));
-  uint64_t seen = 0;
+  // Underflow mass sits below every bin: a quantile inside it is only
+  // known to be < lo.
+  uint64_t seen = underflow_;
+  if (seen >= target) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];
     if (seen >= target) return bin_lo(i) + width_ * 0.5;
   }
+  // The quantile lands in the overflow mass (>= hi).
   return hi_;
 }
 

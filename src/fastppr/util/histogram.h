@@ -35,8 +35,11 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Fixed-bin histogram over [lo, hi) with linear bins; values outside the
-/// range are clamped to the first/last bin.
+/// Fixed-bin histogram over [lo, hi) with linear bins. Out-of-range
+/// values are NOT clamped into the edge bins (which would silently skew
+/// a CDF): they are tallied in explicit underflow()/overflow() counters,
+/// still contribute to total(), and Quantile() treats them as mass below
+/// the first / above the last bin (reported as lo / hi respectively).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -46,9 +49,13 @@ class Histogram {
   std::size_t bins() const { return counts_.size(); }
   uint64_t bin_count(std::size_t i) const { return counts_[i]; }
   double bin_lo(std::size_t i) const;
+  /// All samples ever added, in- and out-of-range.
   uint64_t total() const { return total_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
 
-  /// Approximate quantile q in [0,1] from the binned data.
+  /// Approximate quantile q in [0,1] from the binned data (out-of-range
+  /// mass included: a quantile landing in it returns lo/hi).
   double Quantile(double q) const;
 
  private:
@@ -57,6 +64,8 @@ class Histogram {
   double width_;
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
 };
 
 }  // namespace fastppr

@@ -44,18 +44,37 @@ TEST(RunningStatsTest, ToStringMentionsFields) {
   EXPECT_NE(str.find("mean=2"), std::string::npos);
 }
 
-TEST(HistogramTest, BinningAndClamping) {
+TEST(HistogramTest, BinningAndOutOfRangeAccounting) {
   Histogram h(0.0, 10.0, 10);
   h.Add(0.5);    // bin 0
   h.Add(9.99);   // bin 9
-  h.Add(-5.0);   // clamped to bin 0
-  h.Add(100.0);  // clamped to bin 9
+  h.Add(-5.0);   // underflow, NOT bin 0
+  h.Add(100.0);  // overflow, NOT bin 9
   h.Add(5.0);    // bin 5
   EXPECT_EQ(h.total(), 5u);
-  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
   EXPECT_EQ(h.bin_count(5), 1u);
-  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
   EXPECT_EQ(h.bin_count(3), 0u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(HistogramTest, QuantileCoversOutOfRangeMass) {
+  Histogram h(0.0, 10.0, 10);
+  // 40% underflow, 20% in-range (bin 5), 40% overflow.
+  h.Add(-1.0);
+  h.Add(-2.0);
+  h.Add(5.5);
+  h.Add(50.0);
+  h.Add(60.0);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  // A quantile in the underflow mass reports lo; in the overflow, hi.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.2), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.6), 5.5);  // bin 5 midpoint
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
 }
 
 TEST(HistogramTest, BinBoundaries) {

@@ -1,0 +1,214 @@
+#include "fastppr/obs/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/util/random.h"
+
+namespace fastppr {
+namespace {
+
+using obs::LatencyHistogram;
+
+TEST(LatencyHistogramTest, EmptyState) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    h.Record(v);
+    EXPECT_EQ(h.bucket_count(LatencyHistogram::BucketIndex(v)), 1u);
+    EXPECT_EQ(LatencyHistogram::BucketValue(LatencyHistogram::BucketIndex(v)),
+              v);
+  }
+  EXPECT_EQ(h.count(), LatencyHistogram::kSubBuckets);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), LatencyHistogram::kSubBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotoneAndInRange) {
+  uint64_t prev_idx = 0;
+  for (uint64_t v = 0; v < (uint64_t{1} << 20); v += 97) {
+    const std::size_t idx = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(idx, LatencyHistogram::kNumBuckets);
+    ASSERT_GE(idx, prev_idx);
+    prev_idx = idx;
+  }
+  // The largest bucketable value maps to the last bucket.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(
+                (uint64_t{1} << LatencyHistogram::kMaxBits) - 1),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, BucketValueBoundedRelativeError) {
+  // Every value's bucket representative is within 1/128 relative error
+  // (half a sub-bucket width at 64 sub-buckets per octave).
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t v =
+        1 + rng.UniformUint64(
+                (uint64_t{1} << LatencyHistogram::kMaxBits) - 1);
+    const uint64_t rep =
+        LatencyHistogram::BucketValue(LatencyHistogram::BucketIndex(v));
+    const double rel =
+        std::abs(static_cast<double>(rep) - static_cast<double>(v)) /
+        static_cast<double>(v);
+    ASSERT_LE(rel, 1.0 / 128.0) << "v=" << v << " rep=" << rep;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesTrackExactPercentiles) {
+  // Log-uniform samples (the shape service latencies actually have):
+  // the histogram's quantiles must stay within its ~1% relative-error
+  // contract of the exact sorted percentiles.
+  Rng rng(42);
+  LatencyHistogram h;
+  std::vector<uint64_t> exact;
+  const std::size_t kN = 100000;
+  exact.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double log_v = rng.NextDouble() * 30.0;  // 2^0 .. 2^30 ns
+    const uint64_t v = static_cast<uint64_t>(std::exp2(log_v));
+    exact.push_back(v);
+    h.Record(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    // Nearest-rank percentile, matching ValueAtQuantile's definition.
+    std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(kN));
+    if (rank == 0) rank = 1;
+    const uint64_t truth = exact[rank - 1];
+    const uint64_t est = h.ValueAtQuantile(q);
+    const double rel =
+        std::abs(static_cast<double>(est) - static_cast<double>(truth)) /
+        static_cast<double>(truth);
+    EXPECT_LE(rel, 1.0 / 100.0)
+        << "q=" << q << " truth=" << truth << " est=" << est;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociative) {
+  // (A + B) + C == A + (B + C), bucket for bucket and in every scalar.
+  Rng rng(99);
+  auto a = std::make_unique<LatencyHistogram>();
+  auto b = std::make_unique<LatencyHistogram>();
+  auto c = std::make_unique<LatencyHistogram>();
+  LatencyHistogram* parts[3] = {a.get(), b.get(), c.get()};
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 5000; ++i) {
+      parts[p]->Record(rng.UniformUint64(uint64_t{1} << 40));
+    }
+  }
+  auto left = std::make_unique<LatencyHistogram>();   // (A + B) + C
+  left->MergeFrom(*a);
+  left->MergeFrom(*b);
+  left->MergeFrom(*c);
+  auto bc = std::make_unique<LatencyHistogram>();     // B + C
+  bc->MergeFrom(*b);
+  bc->MergeFrom(*c);
+  auto right = std::make_unique<LatencyHistogram>();  // A + (B + C)
+  right->MergeFrom(*a);
+  right->MergeFrom(*bc);
+  EXPECT_EQ(left->count(), right->count());
+  EXPECT_EQ(left->sum(), right->sum());
+  EXPECT_EQ(left->overflow(), right->overflow());
+  EXPECT_EQ(left->min(), right->min());
+  EXPECT_EQ(left->max(), right->max());
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    ASSERT_EQ(left->bucket_count(i), right->bucket_count(i)) << "bucket " << i;
+  }
+  // And the merged view equals recording everything into one histogram.
+  auto all = std::make_unique<LatencyHistogram>();
+  Rng rng2(99);
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 5000; ++i) {
+      all->Record(rng2.UniformUint64(uint64_t{1} << 40));
+    }
+  }
+  EXPECT_EQ(all->count(), left->count());
+  EXPECT_EQ(all->sum(), left->sum());
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    ASSERT_EQ(all->bucket_count(i), left->bucket_count(i));
+  }
+}
+
+TEST(LatencyHistogramTest, OverflowIsTrackedNotClamped) {
+  LatencyHistogram h;
+  const uint64_t big = uint64_t{1} << 50;  // >= 2^48: out of bucket range
+  h.Record(100);
+  h.Record(big);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.max(), big);
+  // No bucket holds the overflow sample (the last bucket in particular).
+  uint64_t bucketed = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    bucketed += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucketed, 1u);
+  // The top quantile lands in the overflow mass: reported as max().
+  EXPECT_EQ(h.ValueAtQuantile(1.0), big);
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Record(12345);
+  h.Record(uint64_t{1} << 50);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 0u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordersAndReaders) {
+  // 4 writers record while 2 readers summarize: totals must come out
+  // exact, and no read may tear (TSan hunts the races in CI).
+  auto h = std::make_unique<LatencyHistogram>();
+  const int kWriters = 4;
+  const int kPerWriter = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(1000 + static_cast<uint64_t>(w));
+      for (int i = 0; i < kPerWriter; ++i) {
+        h->Record(rng.UniformUint64(uint64_t{1} << 32));
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        const auto s = h->Summarize();
+        ASSERT_LE(s.count,
+                  static_cast<uint64_t>(kWriters) * kPerWriter);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kWriters) * kPerWriter);
+  uint64_t bucketed = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    bucketed += h->bucket_count(i);
+  }
+  EXPECT_EQ(bucketed + h->overflow(), h->count());
+}
+
+}  // namespace
+}  // namespace fastppr

@@ -1,0 +1,187 @@
+#include "fastppr/obs/phase_tracer.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fastppr/obs/latency_histogram.h"
+
+namespace fastppr {
+namespace {
+
+using obs::Phase;
+using obs::PhaseTracer;
+using obs::Span;
+
+TEST(PhaseTracerTest, RecordsSpansPerTrack) {
+  PhaseTracer tracer;
+  tracer.Init(3);
+  tracer.Record(0, Phase::kRepair, 1, 100, 250);
+  tracer.Record(2, Phase::kIngest, 1, 50, 100);
+  tracer.Record(2, Phase::kPublish, 1, 260, 300);
+  EXPECT_EQ(tracer.SpansForTrack(0).size(), 1u);
+  EXPECT_TRUE(tracer.SpansForTrack(1).empty());
+  const auto spans = tracer.SpansForTrack(2);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].phase, Phase::kIngest);
+  EXPECT_EQ(spans[1].phase, Phase::kPublish);
+}
+
+TEST(PhaseTracerTest, WriterTrackSpansNestAndNeverOverlap) {
+  // The engine's single-writer contract in trace form: the writer
+  // track's ingest/publish/fsync spans are recorded in completion
+  // order, each span ends no earlier than it starts, and consecutive
+  // spans never overlap (phase k+1 begins after phase k ended).
+  PhaseTracer tracer;
+  tracer.Init(1);
+  uint64_t t = 1000;
+  for (uint64_t epoch = 0; epoch < 50; ++epoch) {
+    const uint64_t ingest_end = t + 10;
+    tracer.Record(0, Phase::kIngest, epoch, t, ingest_end);
+    const uint64_t publish_end = ingest_end + 5;
+    tracer.Record(0, Phase::kPublish, epoch, ingest_end, publish_end);
+    t = publish_end + 3;
+  }
+  const auto spans = tracer.SpansForTrack(0);
+  ASSERT_EQ(spans.size(), 100u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    ASSERT_LE(spans[i].start_ns, spans[i].end_ns);
+    if (i > 0) {
+      ASSERT_GE(spans[i].start_ns, spans[i - 1].end_ns)
+          << "span " << i << " overlaps its predecessor";
+    }
+  }
+}
+
+TEST(PhaseTracerTest, EpochsAreMonotonePerTrack) {
+  PhaseTracer tracer;
+  tracer.Init(2);
+  uint64_t t = 0;
+  for (uint64_t epoch = 0; epoch < 20; ++epoch) {
+    tracer.Record(0, Phase::kIngest, epoch, t, t + 1);
+    tracer.Record(1, Phase::kRepair, epoch, t + 1, t + 2);
+    t += 2;
+  }
+  for (std::size_t track = 0; track < 2; ++track) {
+    const auto spans = tracer.SpansForTrack(track);
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      ASSERT_LE(spans[i - 1].epoch, spans[i].epoch);
+    }
+  }
+}
+
+TEST(PhaseTracerTest, TotalsAndUtilization) {
+  PhaseTracer tracer;
+  tracer.Init(3);  // 2 repair tracks + 1 writer track
+  // Wall time 0..1000; writer ingests 0..400, shards repair 400..900 in
+  // parallel, publish 900..1000.
+  tracer.Record(2, Phase::kIngest, 0, 0, 400);
+  tracer.Record(0, Phase::kRepair, 0, 400, 900);
+  tracer.Record(1, Phase::kRepair, 0, 400, 900);
+  tracer.Record(2, Phase::kPublish, 0, 900, 1000);
+  const auto totals = tracer.ComputeTotals();
+  EXPECT_EQ(totals.min_start_ns, 0u);
+  EXPECT_EQ(totals.max_end_ns, 1000u);
+  EXPECT_EQ(totals.wall_ns(), 1000u);
+  EXPECT_EQ(totals.phase[static_cast<std::size_t>(Phase::kIngest)].busy_ns,
+            400u);
+  EXPECT_EQ(totals.phase[static_cast<std::size_t>(Phase::kRepair)].busy_ns,
+            1000u);
+  EXPECT_DOUBLE_EQ(totals.Utilization(Phase::kIngest), 0.4);
+  // Two repair executors: 1000 busy-ns over 2 * 1000 wall-ns = 0.5.
+  EXPECT_DOUBLE_EQ(totals.Utilization(Phase::kRepair, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(totals.Utilization(Phase::kPublish), 0.1);
+}
+
+TEST(PhaseTracerTest, CapDropsButKeepsCounting) {
+  PhaseTracer tracer;
+  tracer.Init(1, /*max_spans_per_track=*/4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    tracer.Record(0, Phase::kRepair, i, i * 10, i * 10 + 5);
+  }
+  EXPECT_EQ(tracer.SpansForTrack(0).size(), 4u);
+  EXPECT_EQ(tracer.dropped(0), 6u);
+  // Busy time still counts all 10 spans.
+  const auto totals = tracer.ComputeTotals();
+  EXPECT_EQ(totals.phase[static_cast<std::size_t>(Phase::kRepair)].busy_ns,
+            50u);
+  EXPECT_EQ(
+      totals.phase[static_cast<std::size_t>(Phase::kRepair)].span_count,
+      10u);
+}
+
+TEST(PhaseTracerTest, ConcurrentRecordingAcrossTracks) {
+  PhaseTracer tracer;
+  tracer.Init(4);
+  std::vector<std::thread> threads;
+  for (std::size_t track = 0; track < 4; ++track) {
+    threads.emplace_back([&tracer, track] {
+      for (uint64_t i = 0; i < 5000; ++i) {
+        tracer.Record(track, Phase::kRepair, i, i * 2, i * 2 + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto totals = tracer.ComputeTotals();
+  EXPECT_EQ(
+      totals.phase[static_cast<std::size_t>(Phase::kRepair)].span_count,
+      4u * 5000u);
+}
+
+TEST(PhaseTracerTest, ChromeTraceJsonIsWellFormed) {
+  PhaseTracer tracer;
+  tracer.Init(2);
+  tracer.Record(1, Phase::kIngest, 7, 1000, 2500);
+  tracer.Record(0, Phase::kRepair, 7, 2500, 4000);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fastppr_trace_test.json")
+          .string();
+  ASSERT_TRUE(tracer.WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  // Structural spot checks of the chrome://tracing event format.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"ingest\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"repair\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"epoch\": 7}"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness audit; the bench
+  // writes the real artifact a viewer loads).
+  int braces = 0;
+  int brackets = 0;
+  for (char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  std::filesystem::remove(path);
+}
+
+TEST(PhaseTracerTest, ClearKeepsShape) {
+  PhaseTracer tracer;
+  tracer.Init(2);
+  tracer.Record(0, Phase::kIngest, 1, 10, 20);
+  tracer.Clear();
+  EXPECT_EQ(tracer.num_tracks(), 2u);
+  EXPECT_TRUE(tracer.SpansForTrack(0).empty());
+  EXPECT_EQ(tracer.ComputeTotals().wall_ns(), 0u);
+  tracer.Record(0, Phase::kIngest, 2, 30, 40);
+  EXPECT_EQ(tracer.SpansForTrack(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace fastppr
