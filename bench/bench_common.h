@@ -3,6 +3,7 @@
 
 // Shared plumbing for the figure/table reproduction harnesses.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -72,6 +73,32 @@ double TimeWindows(const std::vector<EdgeEvent>& events, std::size_t window,
     if (per_window != nullptr) per_window->Record(obs::NowNanos() - t0);
   }
   return static_cast<double>(events.size()) / timer.ElapsedSeconds();
+}
+
+/// Open-loop arrival schedule: `count` Poisson arrival instants (ns
+/// offsets from t=0, non-decreasing) at `rate_per_sec`, exponential
+/// gaps drawn by inversion from the caller's seeded Rng. The schedule
+/// is fixed BEFORE the run and latency is measured from the scheduled
+/// instant — arrivals never wait on completions, so a slow service
+/// shows up as queueing delay instead of silently throttling the
+/// offered load (the coordinated-omission trap TimeWindows-style
+/// closed loops cannot avoid). Shared by bench_serving and any future
+/// open-loop harness.
+inline std::vector<uint64_t> PoissonArrivalScheduleNs(std::size_t count,
+                                                      double rate_per_sec,
+                                                      Rng* rng) {
+  FASTPPR_CHECK(rate_per_sec > 0.0);
+  std::vector<uint64_t> arrivals;
+  arrivals.reserve(count);
+  double t_ns = 0.0;
+  const double mean_gap_ns = 1e9 / rate_per_sec;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Inversion: gap = -ln(1-U) * mean. NextDouble() is in [0, 1), so
+    // 1-U is in (0, 1] and the log is finite.
+    t_ns += -std::log(1.0 - rng->NextDouble()) * mean_gap_ns;
+    arrivals.push_back(static_cast<uint64_t>(t_ns));
+  }
+  return arrivals;
 }
 
 /// The ingestion-throughput loop shared by the update-path benches:

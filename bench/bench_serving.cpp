@@ -1,0 +1,383 @@
+// Overload behavior of the serving tier (DESIGN.md §10) under
+// coordinated-omission-free open-loop load.
+//
+// A fixed Poisson arrival schedule (bench_common.h's
+// PoissonArrivalScheduleNs) is generated BEFORE each run and every
+// latency is measured from the scheduled arrival instant — a slow
+// service shows up as queueing delay on the requests behind it instead
+// of silently throttling the offered load the way a closed loop would.
+// Mixed traffic (40% Score / 30% TopK / 30% PersonalizedTopK, drawn
+// deterministically) sweeps 0.25x–2x of the tier's measured saturation
+// throughput, one fresh ServingTier per point so outcome tallies and
+// queue high-water marks are per-point. The personalized-heavy mix
+// keeps the mean request cost high enough that the load generator —
+// which shares the box with the tier — is never the bottleneck.
+//
+//   * saturation_qps          — closed-loop tier throughput (the 1x).
+//   * goodput_qps_<pt>        — OK answers (full or degraded) per sec.
+//   * shed_rate_<pt>          — fraction rejected (ResourceExhausted).
+//   * degraded_rate_<pt>      — fraction served down the ladder.
+//   * admitted_p{50,99,999}_ms_<pt> — admitted latency from the
+//                               scheduled arrival instant.
+//
+// Contracts asserted here and grepped in CI:
+//   * at 2x saturation, goodput stays >= 80% of saturation (the tier
+//     sheds the excess instead of collapsing);
+//   * admitted p99 at 2x stays within 5x of the half-load p99 (adaptive
+//     LIFO serves fresh requests; the doomed backlog is shed, not
+//     served late);
+//   * queues never exceed their configured bound.
+//
+//   bench_serving [--smoke] [--json <path>]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "fastppr/core/incremental_pagerank.h"
+#include "fastppr/engine/query_service.h"
+#include "fastppr/engine/sharded_engine.h"
+#include "fastppr/graph/generators.h"
+#include "fastppr/obs/latency_histogram.h"
+#include "fastppr/serve/serving_tier.h"
+#include "fastppr/util/check.h"
+#include "fastppr/util/table_printer.h"
+
+using namespace fastppr;
+using namespace fastppr::bench;
+
+namespace {
+
+using PrEngine = ShardedEngine<IncrementalPageRank>;
+using PrService = QueryService<IncrementalPageRank>;
+using PrTier = serve::ServingTier<IncrementalPageRank>;
+
+std::vector<EdgeEvent> PowerLawEvents(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  PreferentialAttachmentOptions gen;
+  gen.num_nodes = n;
+  gen.out_per_node = 10;
+  auto edges = PreferentialAttachment(gen, &rng);
+  rng.Shuffle(&edges);
+  std::vector<EdgeEvent> events;
+  events.reserve(edges.size());
+  for (const Edge& e : edges) {
+    events.push_back(EdgeEvent{EdgeEvent::Kind::kInsert, e});
+  }
+  return events;
+}
+
+/// One pre-drawn request of the traffic mix.
+struct MixedQuery {
+  serve::QueryClass cls;
+  NodeId node;
+  uint64_t rng_seed;
+};
+
+/// 40% Score / 30% TopK / 30% Personalized, deterministic in the seed.
+std::vector<MixedQuery> DrawTraffic(std::size_t count, std::size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MixedQuery> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = rng.NextDouble();
+    MixedQuery q;
+    q.cls = u < 0.40   ? serve::QueryClass::kScore
+            : u < 0.70 ? serve::QueryClass::kTopK
+                       : serve::QueryClass::kPersonalized;
+    q.node = static_cast<NodeId>(rng.NextUint64() % n);
+    q.rng_seed = rng.NextUint64();
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+serve::Request MakeRequest(const MixedQuery& q, uint64_t walk_length) {
+  serve::Request req;
+  req.cls = q.cls;
+  req.node = q.node;
+  req.k = 10;
+  req.walk_length = walk_length;
+  req.rng_seed = q.rng_seed;
+  return req;
+}
+
+/// Shared per-point accounting; on_done callbacks run on tier workers.
+struct SweepPoint {
+  std::atomic<uint64_t> resolved{0};
+  obs::LatencyHistogram admitted;  ///< scheduled-arrival -> response
+};
+
+struct SweepResult {
+  double offered_qps = 0.0;
+  double goodput_qps = 0.0;
+  double shed_rate = 0.0;
+  double degraded_rate = 0.0;
+  double deadline_rate = 0.0;
+  obs::LatencyHistogram::Summary admitted;
+  std::size_t queue_hw = 0;
+  std::size_t queue_capacity = 0;
+};
+
+serve::ServingTierOptions TierOptions(std::size_t workers) {
+  serve::ServingTierOptions topt;
+  topt.num_workers = workers;
+  topt.queue.capacity = 128;
+  // Tighter than the serving defaults: the bench's admitted-p99 contract
+  // is measured against the CoDel horizon (an admitted request never
+  // waited longer than target+interval), so a 4 ms horizon keeps the
+  // overload tail within 5x of the half-load service time.
+  topt.queue.target_delay_ns = 1'000'000;   // 1 ms pressure target
+  topt.queue.shed_interval_ns = 3'000'000;  // 4 ms controlled-delay horizon
+  return topt;
+}
+
+/// Closed-loop saturation: a fixed in-flight window through the tier.
+/// Keeping the window well under the queue capacity (and the ladder's
+/// depth rungs) means nothing sheds or degrades — this measures the
+/// tier's full-fidelity service rate, the 1x of the open-loop sweep.
+double MeasureSaturationQps(PrService* service, std::size_t workers,
+                            const std::vector<MixedQuery>& traffic,
+                            uint64_t walk_length) {
+  PrTier tier(service, TierOptions(workers));
+  constexpr std::size_t kInFlight = 16;
+  std::atomic<uint64_t> done{0};
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> next{0};
+  WallTimer timer;
+  // A burst of slow personalized walks can age the short backlog past
+  // the controlled-delay horizon, so rare sheds are legitimate even in
+  // this gentle closed loop: only OK answers count toward saturation.
+  std::function<void()> submit_one = [&] {
+    const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= traffic.size()) return;
+    serve::Request req = MakeRequest(traffic[i], walk_length);
+    req.on_done = [&](const serve::Response& resp) {
+      FASTPPR_CHECK_MSG(resp.status.ok() || resp.status.IsResourceExhausted(),
+                        "unexpected closed-loop outcome");
+      if (resp.status.ok()) served.fetch_add(1, std::memory_order_relaxed);
+      done.fetch_add(1, std::memory_order_relaxed);
+      submit_one();  // closed loop: a completion funds the next arrival
+    };
+    tier.Submit(std::move(req));
+  };
+  for (std::size_t i = 0; i < kInFlight; ++i) submit_one();
+  while (done.load(std::memory_order_relaxed) < traffic.size()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  tier.Shutdown();
+  return static_cast<double>(served.load(std::memory_order_relaxed)) /
+         elapsed;
+}
+
+/// One open-loop point: dispatch `traffic` on the pre-drawn Poisson
+/// schedule, wait for every request to resolve, report rates.
+SweepResult RunOpenLoopPoint(PrService* service, std::size_t workers,
+                             const std::vector<MixedQuery>& traffic,
+                             const std::vector<uint64_t>& arrivals_ns,
+                             uint64_t walk_length, double offered_qps) {
+  PrTier tier(service, TierOptions(workers));
+  SweepPoint point;
+  WallTimer timer;
+  const uint64_t t0 = obs::NowNanos();
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    const uint64_t scheduled_ns = t0 + arrivals_ns[i];
+    // Pace to the schedule in coarse ticks: one sleep covers every
+    // arrival due within the next ~200 µs and the batch is submitted on
+    // wake-up. Per-arrival sleeps would mean one syscall + context
+    // switch per request — at 2x saturation that preempts the workers
+    // tens of thousands of times a second, and the generator (which
+    // shares the box with the tier) becomes the bottleneck. The
+    // coalescing lag is charged to the request via arrival_ns, so the
+    // measurement stays coordinated-omission-free; spinning for
+    // precision would steal the very cores the tier is measured on.
+    for (;;) {
+      const uint64_t now = obs::NowNanos();
+      if (now >= scheduled_ns) break;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
+          std::max<uint64_t>(scheduled_ns - now, 200'000)));
+    }
+    serve::Request req = MakeRequest(traffic[i], walk_length);
+    req.deadline = serve::Deadline::AfterMillis(100);
+    req.arrival_ns = scheduled_ns;
+    req.on_done = [&point, scheduled_ns](const serve::Response& resp) {
+      if (resp.status.ok()) {
+        point.admitted.Record(obs::NowNanos() - scheduled_ns);
+      }
+      point.resolved.fetch_add(1, std::memory_order_release);
+    };
+    tier.Submit(std::move(req));
+  }
+  while (point.resolved.load(std::memory_order_acquire) < traffic.size()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const double elapsed = timer.ElapsedSeconds();
+
+  SweepResult r;
+  const auto outcomes = tier.outcomes();
+  FASTPPR_CHECK_MSG(outcomes.resolved() == tier.submitted(),
+                    "serving tier lost a request");
+  const double total = static_cast<double>(traffic.size());
+  r.offered_qps = offered_qps;
+  r.goodput_qps =
+      static_cast<double>(outcomes.admitted_full + outcomes.admitted_degraded) /
+      elapsed;
+  r.shed_rate = static_cast<double>(outcomes.shed) / total;
+  r.degraded_rate = static_cast<double>(outcomes.admitted_degraded) / total;
+  r.deadline_rate = static_cast<double>(outcomes.deadline_expired) / total;
+  r.admitted = point.admitted.Summarize();
+  r.queue_capacity = tier.queue_capacity();
+  for (auto cls : {serve::QueryClass::kTopK, serve::QueryClass::kScore,
+                   serve::QueryClass::kPersonalized}) {
+    r.queue_hw = std::max(r.queue_hw, tier.queue_high_water(cls));
+  }
+  tier.Shutdown();
+  return r;
+}
+
+double Ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  Banner("Serving tier under open-loop overload: admission control, "
+         "shedding, degradation",
+         "the serving side of Bahmani et al., VLDB 2010 — stored-walk "
+         "queries under real-time arrival pressure");
+
+  const std::size_t n = smoke ? 2000 : 10000;
+  const std::size_t R = 5;
+  const double eps = 0.2;
+  const std::size_t window = smoke ? 512 : 4096;
+  const std::size_t S = 4;
+  const std::size_t workers = 2;
+  const uint64_t walk_length = 8000;
+
+  const auto events = PowerLawEvents(n, 77);
+  std::printf("corpus: n=%zu, m=%zu insertions, R=%zu, eps=%.2f, "
+              "shards=%zu, tier workers=%zu%s\n\n",
+              n, events.size(), R, eps, S, workers, smoke ? " (smoke)" : "");
+
+  MonteCarloOptions mc;
+  mc.walks_per_node = R;
+  mc.epsilon = eps;
+  mc.seed = 90;
+  const ShardedOptions sharding{S, S};
+  auto engine = std::make_unique<PrEngine>(n, mc, sharding);
+  auto service = std::make_unique<PrService>(engine.get());
+  const double ingest_eps_sec =
+      TimeWindows(events, window, [&](std::span<const EdgeEvent> w) {
+        return service->Ingest(w);
+      });
+  std::printf("corpus ingested at %.0f events/sec, epoch %llu\n\n",
+              ingest_eps_sec,
+              static_cast<unsigned long long>(service->published_epoch()));
+
+  JsonReport report("serving");
+  report.Add("num_nodes", static_cast<double>(n));
+  report.Add("num_shards", static_cast<double>(S));
+  report.Add("tier_workers", static_cast<double>(workers));
+  report.Add("smoke", smoke ? 1.0 : 0.0);
+
+  // --- 1x: closed-loop saturation throughput of the tier itself.
+  const std::size_t sat_requests = smoke ? 5000 : 20000;
+  const double saturation_qps = BestOfTwo([&] {
+    return MeasureSaturationQps(service.get(), workers,
+                                DrawTraffic(sat_requests, n, 1234),
+                                walk_length);
+  });
+  std::printf("saturation (closed loop): %.0f QPS\n\n", saturation_qps);
+  report.Add("saturation_qps", saturation_qps);
+
+  // --- The open-loop sweep. A fixed wall-clock budget per point keeps
+  // the request count proportional to the offered rate (the schedule,
+  // not the service, decides when arrivals happen).
+  struct PointSpec {
+    double multiplier;
+    const char* label;
+  };
+  const PointSpec specs[] = {{0.25, "quarter"},
+                             {0.50, "half"},
+                             {1.00, "1x"},
+                             {1.50, "1p5x"},
+                             {2.00, "2x"}};
+  const double seconds_per_point = smoke ? 0.5 : 2.0;
+
+  TablePrinter table({"offered", "offered QPS", "goodput QPS", "shed %",
+                      "degraded %", "adm p50 ms", "adm p99 ms"});
+  SweepResult at_half, at_2x;
+  for (const PointSpec& spec : specs) {
+    const double rate = spec.multiplier * saturation_qps;
+    const std::size_t count = static_cast<std::size_t>(rate *
+                                                       seconds_per_point);
+    FASTPPR_CHECK(count > 0);
+    Rng sched_rng(5000 + static_cast<uint64_t>(spec.multiplier * 100));
+    const auto arrivals = PoissonArrivalScheduleNs(count, rate, &sched_rng);
+    const auto traffic = DrawTraffic(
+        count, n, 9000 + static_cast<uint64_t>(spec.multiplier * 100));
+    const SweepResult r = RunOpenLoopPoint(service.get(), workers, traffic,
+                                           arrivals, walk_length, rate);
+    FASTPPR_CHECK_MSG(r.queue_hw <= r.queue_capacity,
+                      "admission queue exceeded its bound");
+    const std::string label = spec.label;
+    report.Add("offered_qps_" + label, r.offered_qps);
+    report.Add("goodput_qps_" + label, r.goodput_qps);
+    report.Add("shed_rate_" + label, r.shed_rate);
+    report.Add("degraded_rate_" + label, r.degraded_rate);
+    report.Add("deadline_rate_" + label, r.deadline_rate);
+    report.Add("admitted_p50_ms_" + label, Ms(r.admitted.p50_ns));
+    report.Add("admitted_p99_ms_" + label, Ms(r.admitted.p99_ns));
+    report.Add("admitted_p999_ms_" + label, Ms(r.admitted.p999_ns));
+    report.Add("queue_high_water_" + label,
+               static_cast<double>(r.queue_hw));
+    table.AddRow({label, TablePrinter::Fmt(r.offered_qps, 0),
+                  TablePrinter::Fmt(r.goodput_qps, 0),
+                  TablePrinter::Fmt(100.0 * r.shed_rate, 1),
+                  TablePrinter::Fmt(100.0 * r.degraded_rate, 1),
+                  TablePrinter::Fmt(Ms(r.admitted.p50_ns), 2),
+                  TablePrinter::Fmt(Ms(r.admitted.p99_ns), 2)});
+    if (std::strcmp(spec.label, "half") == 0) at_half = r;
+    if (std::strcmp(spec.label, "2x") == 0) at_2x = r;
+  }
+  table.Print();
+
+  // The CI-grepped contract keys.
+  report.Add("goodput_at_2x_saturation", at_2x.goodput_qps);
+  report.Add("shed_rate_2x", at_2x.shed_rate);
+  report.Add("admitted_p99_ms_2x", Ms(at_2x.admitted.p99_ns));
+  report.Add("admitted_p99_ms_half", Ms(at_half.admitted.p99_ns));
+
+  // Overload contracts. At 2x the excess MUST be shed (not served late,
+  // not queued forever): goodput holds near saturation and the admitted
+  // tail stays flat relative to half load.
+  FASTPPR_CHECK_MSG(at_2x.goodput_qps >= 0.80 * saturation_qps,
+                    "goodput collapsed under 2x overload");
+  FASTPPR_CHECK_MSG(at_2x.shed_rate > 0.0,
+                    "2x overload shed nothing — admission control inert");
+  FASTPPR_CHECK_MSG(
+      Ms(at_2x.admitted.p99_ns) <=
+          5.0 * std::max(Ms(at_half.admitted.p99_ns), 0.2),
+      "admitted p99 blew up under overload");
+
+  std::printf("\n2x overload: goodput %.0f/%.0f QPS, shed %.1f%%, "
+              "admitted p99 %.2f ms (half-load %.2f ms)\n",
+              at_2x.goodput_qps, saturation_qps, 100.0 * at_2x.shed_rate,
+              Ms(at_2x.admitted.p99_ns), Ms(at_half.admitted.p99_ns));
+
+  report.WriteTo(
+      JsonPathFromArgs(argc, argv, ResultsDir() + "/BENCH_serving.json"));
+  return 0;
+}

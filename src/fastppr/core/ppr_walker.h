@@ -10,6 +10,7 @@
 
 #include "fastppr/core/theory.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/serve/deadline.h"
 #include "fastppr/store/social_store.h"
 #include "fastppr/store/walk_store.h"
 #include "fastppr/util/check.h"
@@ -34,6 +35,16 @@ struct WalkerOptions {
   /// 0 = unlimited. Otherwise the walk aborts with ResourceExhausted once
   /// the fetch budget is spent (failure-injection hook for tests).
   uint64_t max_fetches = 0;
+  /// Cooperative cancellation: the accumulation loop polls
+  /// `deadline.expired()` and aborts with DeadlineExceeded instead of
+  /// burning budget on a request nobody is waiting for. Default:
+  /// infinite (no clock reads on the unexpiring fast path's polls are
+  /// avoided entirely — has_deadline() is a plain compare).
+  serve::Deadline deadline = serve::Deadline::Infinite();
+  /// Appended positions between deadline polls (amortizes the clock
+  /// read; must be >= 1). The default bounds overrun to ~a few µs of
+  /// walk work past expiry.
+  uint64_t deadline_check_stride = 256;
 };
 
 /// Outcome of one stitched personalized walk.
@@ -106,6 +117,16 @@ class BasicPersonalizedPageRankWalker {
       return Status::InvalidArgument("seed node out of range");
     }
     *out = PersonalizedWalkResult{};
+    // A request that arrives already expired does zero accumulation:
+    // the serving tier counts it as deadline-expired, not served.
+    const serve::Deadline& deadline = options_.deadline;
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("walk deadline expired");
+    }
+    const uint64_t stride =
+        options_.deadline_check_stride == 0 ? 1
+                                            : options_.deadline_check_stride;
+    uint64_t next_deadline_poll = stride;
     Rng rng(rng_seed);
     const std::size_t R = store_->walks_per_node();
     const double eps = store_->epsilon();
@@ -128,6 +149,15 @@ class BasicPersonalizedPageRankWalker {
     NodeId cur = seed;
     visit(seed);
     while (out->length < length) {
+      // Cooperative cancellation, polled every `stride` appended
+      // positions (segment tails advance length in bulk, so the poll
+      // keys on length, not loop iterations).
+      if (deadline.has_deadline() && out->length >= next_deadline_poll) {
+        if (deadline.expired()) {
+          return Status::DeadlineExceeded("walk deadline expired");
+        }
+        next_deadline_poll = out->length + stride;
+      }
       auto it = used.find(cur);
       if (it == used.end()) {
         // First arrival: fetch the node (its segments + adjacency).

@@ -66,6 +66,17 @@ class BasicPersonalizedSalsaWalker {
       return Status::InvalidArgument("seed node out of range");
     }
     *out = SalsaWalkResult{};
+    // Deadline contract identical to the PageRank walker: zero
+    // accumulation when already expired, cooperative poll every
+    // `deadline_check_stride` appended positions afterwards.
+    const serve::Deadline& deadline = options_.deadline;
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("walk deadline expired");
+    }
+    const uint64_t stride =
+        options_.deadline_check_stride == 0 ? 1
+                                            : options_.deadline_check_stride;
+    uint64_t next_deadline_poll = stride;
     Rng rng(rng_seed);
     const std::size_t R = store_->walks_per_node();
     const double eps = store_->epsilon();
@@ -103,6 +114,12 @@ class BasicPersonalizedSalsaWalker {
 
     visit(seed, /*hub=*/true);
     while (out->length < length) {
+      if (deadline.has_deadline() && out->length >= next_deadline_poll) {
+        if (deadline.expired()) {
+          return Status::DeadlineExceeded("walk deadline expired");
+        }
+        next_deadline_poll = out->length + stride;
+      }
       if (!fetched.count(cur)) {
         if (!charge_fetch()) {
           return Status::ResourceExhausted("fetch budget exhausted");

@@ -379,6 +379,26 @@ class QueryService {
                           std::vector<ScoredNode>* ranked,
                           WalkStats* walk_stats = nullptr,
                           SnapshotInfo* info = nullptr) {
+    return PersonalizedTopK(seed, k, length, exclude_friends, rng_seed,
+                            WalkerOptions(), ranked, walk_stats, info);
+  }
+
+  /// PersonalizedTopK with explicit walker options — the serving tier's
+  /// entry point: `options.deadline` is polled inside the walk
+  /// accumulation loop (cooperative cancellation), so an expired
+  /// request returns DeadlineExceeded instead of burning walk budget;
+  /// `options.max_fetches` remains the fetch-budget fault hook.
+  Status PersonalizedTopK(NodeId seed, std::size_t k, uint64_t length,
+                          bool exclude_friends, uint64_t rng_seed,
+                          const WalkerOptions& options,
+                          std::vector<ScoredNode>* ranked,
+                          WalkStats* walk_stats = nullptr,
+                          SnapshotInfo* info = nullptr) {
+    // Fail fast before pinning views or arming a frozen refresh: a
+    // request that is already dead must cost the service nothing.
+    if (options.deadline.expired()) {
+      return Status::DeadlineExceeded("deadline expired before walk start");
+    }
     const bool hot = engine_->metrics_enabled();
     const uint64_t t0 = hot ? obs::NowNanos() : 0;
     if (hot) om_.snapshot_pins->Add(1, engine_->shard_of(seed));
@@ -428,12 +448,12 @@ class QueryService {
     Status status;
     if constexpr (kIsSalsa) {
       BasicPersonalizedSalsaWalker<FrozenSegmentView, FrozenAdjacency>
-          walker(&view, pin->graph.get());
+          walker(&view, pin->graph.get(), options);
       status = walker.TopKAuthorities(seed, k, length, exclude_friends,
                                       rng_seed, ranked, walk_stats);
     } else {
       BasicPersonalizedPageRankWalker<FrozenSegmentView, FrozenAdjacency>
-          walker(&view, pin->graph.get());
+          walker(&view, pin->graph.get(), options);
       status = walker.TopK(seed, k, length, exclude_friends, rng_seed,
                            ranked, walk_stats);
     }

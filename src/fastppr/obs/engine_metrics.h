@@ -31,8 +31,19 @@ struct EngineMetrics {
                                             ///  [shard of seed]
   Counter* snapshot_refreshes = nullptr;    ///< idle-writer self-refreshes
 
+  // --- serving-tier counters (striped by query class: the stripe
+  // index is serve::QueryClass — 0 TopK, 1 Score, 2 Personalized) ----
+  Counter* serve_admitted = nullptr;        ///< served at full fidelity
+  Counter* serve_degraded = nullptr;        ///< served degraded (reduced
+                                            ///  walk or stale fallback)
+  Counter* serve_shed = nullptr;            ///< rejected (enqueue-full or
+                                            ///  controlled-delay shed)
+  Counter* serve_deadline_expired = nullptr;///< cancelled by deadline
+
   // --- gauges --------------------------------------------------------
   Counter* windows_applied = nullptr;       ///< ingestion epoch
+  Counter* serve_queue_depth_hw = nullptr;  ///< per-class admission-queue
+                                            ///  high-water depth [class]
 
   // --- latency histograms (nanoseconds; exported in µs) --------------
   LatencyHistogram* ingest_phase = nullptr;   ///< per-chunk writer phase
@@ -43,6 +54,9 @@ struct EngineMetrics {
   LatencyHistogram* query_topk = nullptr;     ///< TopK service latency
   LatencyHistogram* query_score = nullptr;    ///< Score service latency
   LatencyHistogram* query_personalized = nullptr;  ///< PersonalizedTopK
+  LatencyHistogram* serve_queue_wait = nullptr;    ///< admitted sojourn
+  LatencyHistogram* serve_admitted_latency = nullptr;  ///< queue+service,
+                                                       ///  admitted only
 
   static EngineMetrics Register(MetricsRegistry* reg, std::size_t shards) {
     EngineMetrics m;
@@ -59,7 +73,16 @@ struct EngineMetrics {
     m.count_publishes = reg->RegisterCounter("count_publishes");
     m.snapshot_pins = reg->RegisterCounter("snapshot_pins", shards);
     m.snapshot_refreshes = reg->RegisterCounter("snapshot_refreshes");
+    // Serving-tier outcome counters: one stripe per query class (3 =
+    // serve::kNumQueryClasses; literal to keep obs/ free of serve/
+    // includes — a static_assert in serve/serving_tier.h pins them).
+    m.serve_admitted = reg->RegisterCounter("serve_admitted", 3);
+    m.serve_degraded = reg->RegisterCounter("serve_degraded", 3);
+    m.serve_shed = reg->RegisterCounter("serve_shed", 3);
+    m.serve_deadline_expired =
+        reg->RegisterCounter("serve_deadline_expired", 3);
     m.windows_applied = reg->RegisterGauge("windows_applied");
+    m.serve_queue_depth_hw = reg->RegisterGauge("serve_queue_depth_hw", 3);
     m.ingest_phase = reg->RegisterHistogram("ingest_phase");
     m.repair_phase = reg->RegisterHistogram("repair_phase");
     m.publish_phase = reg->RegisterHistogram("publish_phase");
@@ -68,6 +91,9 @@ struct EngineMetrics {
     m.query_topk = reg->RegisterHistogram("query_topk");
     m.query_score = reg->RegisterHistogram("query_score");
     m.query_personalized = reg->RegisterHistogram("query_personalized");
+    m.serve_queue_wait = reg->RegisterHistogram("serve_queue_wait");
+    m.serve_admitted_latency =
+        reg->RegisterHistogram("serve_admitted_latency");
     return m;
   }
 };

@@ -1,0 +1,79 @@
+#ifndef FASTPPR_SERVE_RETRY_H_
+#define FASTPPR_SERVE_RETRY_H_
+
+// Client-side jittered backoff for shed requests (DESIGN.md §10).
+//
+// A shed response (ResourceExhausted) carries the server's retry-after
+// hint; the client sleeps max(hint, jittered backoff) before retrying.
+// Full jitter (uniform in [0, min(cap, base·2^attempt)]) decorrelates
+// the retry storm an overload would otherwise synchronize — the classic
+// AWS "exponential backoff and jitter" result. All randomness comes
+// from the caller's seeded Rng, so a retry schedule is replayable in
+// unit tests; no wall clock is read here.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "fastppr/util/check.h"
+#include "fastppr/util/random.h"
+
+namespace fastppr::serve {
+
+struct RetryPolicy {
+  uint64_t base_delay_ns = 1'000'000;    ///< first-attempt backoff scale
+  uint64_t max_delay_ns = 100'000'000;   ///< cap on the jitter window
+  std::size_t max_attempts = 5;          ///< total tries (first included)
+};
+
+/// One request's retry state. Usage:
+///   JitteredBackoff backoff(policy, seed);
+///   while (send() was shed && backoff.ShouldRetry())
+///     sleep(backoff.NextDelayNanos(response.retry_after_ns));
+class JitteredBackoff {
+ public:
+  JitteredBackoff(const RetryPolicy& policy, uint64_t rng_seed)
+      : policy_(policy), rng_(rng_seed) {
+    FASTPPR_CHECK(policy_.base_delay_ns >= 1);
+    FASTPPR_CHECK(policy_.max_attempts >= 1);
+  }
+
+  /// True while another attempt is allowed (the first attempt itself
+  /// consumed one of max_attempts).
+  bool ShouldRetry() const { return attempt_ + 1 < policy_.max_attempts; }
+
+  /// Consumes one attempt and returns how long to wait before it:
+  /// max(server hint, uniform[0, min(cap, base·2^attempt)]). The server
+  /// hint is a floor, never ignored — retrying into a queue that has
+  /// not drained just feeds the shed counter.
+  uint64_t NextDelayNanos(uint64_t server_hint_ns = 0) {
+    const uint64_t window = JitterWindowNanos(attempt_);
+    ++attempt_;
+    // +1: UniformUint64 excludes the bound; the window is inclusive.
+    const uint64_t jittered = rng_.UniformUint64(window + 1);
+    return std::max(server_hint_ns, jittered);
+  }
+
+  /// The jitter window for a given attempt: min(cap, base·2^attempt),
+  /// overflow-saturated. Exposed for the unit tests' exact bounds.
+  uint64_t JitterWindowNanos(std::size_t attempt) const {
+    uint64_t w = policy_.base_delay_ns;
+    for (std::size_t i = 0; i < attempt; ++i) {
+      if (w >= policy_.max_delay_ns || w > (~uint64_t{0}) / 2) {
+        return policy_.max_delay_ns;
+      }
+      w *= 2;
+    }
+    return std::min(w, policy_.max_delay_ns);
+  }
+
+  std::size_t attempts_consumed() const { return attempt_; }
+
+ private:
+  const RetryPolicy policy_;
+  Rng rng_;
+  std::size_t attempt_ = 0;
+};
+
+}  // namespace fastppr::serve
+
+#endif  // FASTPPR_SERVE_RETRY_H_

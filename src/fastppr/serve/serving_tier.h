@@ -1,0 +1,509 @@
+#ifndef FASTPPR_SERVE_SERVING_TIER_H_
+#define FASTPPR_SERVE_SERVING_TIER_H_
+
+// Overload-safe serving tier over a QueryService (DESIGN.md §10).
+//
+// The query service's reads are lock-free against ingestion (PR 4) but
+// arrivals used to be closed-loop: offered load past saturation grew
+// caller queues without bound and destroyed every percentile. This tier
+// makes the service degrade gracefully instead of collapsing:
+//
+//  * Admission control — one bounded AdmissionQueue per query class
+//    (TopK / Score / PersonalizedTopK). Enqueue past capacity sheds
+//    immediately with ResourceExhausted + a retry-after hint; queued
+//    requests that age past the controlled-delay horizon are shed at
+//    dequeue; under pressure admitted dequeues go LIFO so the served
+//    requests are fresh and the admitted p99 stays flat.
+//  * Deadlines — every Request carries a serve::Deadline. An expired
+//    request is answered DeadlineExceeded without touching the engine;
+//    a deadline expiring mid-walk cancels the walk cooperatively
+//    (WalkerOptions::deadline, polled in the accumulation loops).
+//  * Degradation ladder — keyed on queue depth and deadline slack:
+//    full walk budget → reduced walk budget (length / divisor) →
+//    stale-epoch cheap-TopK fallback served from the seqlock count
+//    snapshots. Every degraded answer is labelled in the Response
+//    (degrade + snapshot epochs vs fresh_epoch), so correctness stays
+//    auditable: a degraded answer is never silently passed off as full
+//    fidelity.
+//
+// Terminal-outcome contract: every Submit() resolves its on_done
+// exactly once with one of {admitted (possibly degraded), shed,
+// deadline-expired, unavailable} — no silent hangs, even when a shard
+// stalls (the stalled worker wedges ONE request; the queue bounds and
+// the controlled-delay shed keep resolving the rest) or the tier shuts
+// down mid-backlog (Close + drain answers Unavailable).
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fastppr/engine/query_service.h"
+#include "fastppr/serve/admission_queue.h"
+#include "fastppr/serve/deadline.h"
+#include "fastppr/util/check.h"
+#include "fastppr/util/status.h"
+
+namespace fastppr::serve {
+
+enum class QueryClass : std::size_t {
+  kTopK = 0,
+  kScore = 1,
+  kPersonalized = 2,
+};
+inline constexpr std::size_t kNumQueryClasses = 3;
+
+/// How far down the degradation ladder an answer was served.
+enum class DegradeLevel : std::size_t {
+  kFull = 0,         ///< full walk budget / exact snapshot read
+  kReducedWalk = 1,  ///< personalized walk at a fraction of the budget
+  kStaleFallback = 2,///< cheap global-TopK answer from the (possibly
+                     ///  stale-epoch) count snapshots, no walk at all
+};
+
+inline const char* DegradeLevelName(DegradeLevel d) {
+  switch (d) {
+    case DegradeLevel::kFull: return "full";
+    case DegradeLevel::kReducedWalk: return "reduced_walk";
+    case DegradeLevel::kStaleFallback: return "stale_fallback";
+  }
+  return "unknown";
+}
+
+/// The tier's answer. Exactly one Response per Submit, always.
+struct Response {
+  Status status;                       ///< OK, ResourceExhausted (shed),
+                                       ///  DeadlineExceeded, Unavailable
+  DegradeLevel degrade = DegradeLevel::kFull;
+  bool degraded() const { return degrade != DegradeLevel::kFull; }
+
+  /// Shed only: wait at least this long before retrying (the
+  /// admission queue's backlog-drain estimate; serve/retry.h treats it
+  /// as a floor under the jittered backoff).
+  uint64_t retry_after_ns = 0;
+
+  /// Which snapshot epochs the answer was computed from, and where the
+  /// service's published epoch stood at execution time — the staleness
+  /// of a degraded answer is auditable, never hidden.
+  SnapshotInfo snapshot;
+  uint64_t fresh_epoch = 0;
+
+  uint64_t queue_ns = 0;    ///< admission-queue sojourn
+  uint64_t service_ns = 0;  ///< execution time (0 when shed/expired)
+
+  // Per-class payloads (only the requested class's field is filled).
+  std::vector<ScoredNode> ranked;  ///< kPersonalized (walk or fallback)
+  std::vector<NodeId> topk;        ///< kTopK
+  double score = 0.0;              ///< kScore
+};
+
+struct Request {
+  QueryClass cls = QueryClass::kScore;
+  NodeId node = 0;            ///< seed (personalized / score)
+  std::size_t k = 10;         ///< result count (topk / personalized)
+  uint64_t walk_length = 0;   ///< full walk budget (personalized)
+  bool exclude_friends = true;
+  uint64_t rng_seed = 0;
+  Deadline deadline = Deadline::Infinite();
+  /// Open-loop accounting: the scheduled arrival instant (ns on the
+  /// tier's clock). 0 = stamped at Submit. Latency owed to dispatcher
+  /// lag is charged to the request, never silently dropped — the
+  /// coordinated-omission-free measurement the bench relies on.
+  uint64_t arrival_ns = 0;
+  /// Invoked exactly once, from a worker thread (or from Submit for an
+  /// immediate shed). Must be set.
+  std::function<void(const Response&)> on_done;
+};
+
+struct ServingTierOptions {
+  std::size_t num_workers = 2;
+  /// Per-class admission queues (same defaults unless overridden).
+  AdmissionQueueOptions queue;
+  /// Ladder rung 1: queue depth (fraction of capacity) or deadline
+  /// slack below which a personalized walk runs at reduced budget.
+  double reduce_depth_frac = 0.50;
+  uint64_t reduce_slack_ns = 2'000'000;    // < 2 ms slack: don't go full
+  uint64_t reduced_walk_divisor = 4;
+  /// Ladder rung 2: depth/slack past which the walk is skipped entirely
+  /// for the cheap stale-fallback answer.
+  double fallback_depth_frac = 0.85;
+  uint64_t fallback_slack_ns = 300'000;    // < 300 µs slack: no walk
+  /// Time quantum of one class's turn in the worker rotation. Serving
+  /// one entry per class per turn would ration by COUNT — the class
+  /// with the highest arrival rate overflows first even when its
+  /// queries are 100x cheaper than everyone else's. A time slice is
+  /// cost-aware for free: a turn drains hundreds of cheap queries or a
+  /// couple of expensive walks, and no class can hold a worker longer
+  /// than slice + one query.
+  uint64_t class_slice_ns = 500'000;       // 500 µs per class turn
+  ClockFn clock = &obs::NowNanos;
+};
+
+/// Outcome tallies, readable at any time (relaxed atomics). The
+/// fault-injection tests assert resolved() == submitted().
+struct OutcomeCounts {
+  uint64_t admitted_full = 0;
+  uint64_t admitted_degraded = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t unavailable = 0;
+  uint64_t failed = 0;  ///< any other non-OK execution status
+  uint64_t resolved() const {
+    return admitted_full + admitted_degraded + shed + deadline_expired +
+           unavailable + failed;
+  }
+};
+
+template <typename Engine>
+class ServingTier {
+  // The class-striped counters in obs/engine_metrics.h are registered
+  // with a literal stripe count; pin it to the enum here.
+  static_assert(kNumQueryClasses == 3,
+                "obs/engine_metrics.h stripes serve_* counters by 3 "
+                "query classes");
+
+ public:
+  using Service = QueryService<Engine>;
+
+  ServingTier(Service* service, const ServingTierOptions& options)
+      : service_(service),
+        options_(options),
+        queues_{options.queue, options.queue, options.queue} {
+    FASTPPR_CHECK(service_ != nullptr);
+    FASTPPR_CHECK(options_.num_workers >= 1);
+    FASTPPR_CHECK(options_.reduced_walk_divisor >= 1);
+    om_ = service_->engine()->metric_handles();
+    workers_.reserve(options_.num_workers);
+    for (std::size_t w = 0; w < options_.num_workers; ++w) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ServingTier() { Shutdown(); }
+
+  ServingTier(const ServingTier&) = delete;
+  ServingTier& operator=(const ServingTier&) = delete;
+
+  /// Submits one request. Never blocks on the engine: the request is
+  /// either queued (a worker resolves it) or resolved right here (shed
+  /// on a full queue, unavailable after shutdown). on_done fires
+  /// exactly once either way.
+  void Submit(Request req) {
+    FASTPPR_CHECK(req.on_done != nullptr);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (req.arrival_ns == 0) req.arrival_ns = options_.clock();
+    const std::size_t cls = static_cast<std::size_t>(req.cls);
+    FASTPPR_CHECK(cls < kNumQueryClasses);
+    if (stopping_.load(std::memory_order_acquire)) {
+      RespondUnavailable(req);
+      return;
+    }
+    uint64_t retry_after = 0;
+    if (!queues_[cls].TryEnqueue(&req, &retry_after)) {
+      // TryEnqueue moves from `req` only on success; on the shed path
+      // the request is still intact here.
+      RespondShed(req, retry_after);
+      return;
+    }
+    queued_.fetch_add(1, std::memory_order_relaxed);
+    // Skip the lock+notify when every worker is already busy draining —
+    // at overload rates Submit runs hot and the condvar handshake is
+    // pure contention. A worker that races into its wait re-checks
+    // queued_ under the lock, and the wait is timed (1 ms) anyway, so a
+    // missed wakeup costs bounded latency, never liveness.
+    if (idle_workers_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      wake_.notify_one();
+    }
+  }
+
+  /// Stops the workers and resolves every still-queued request with
+  /// Unavailable. Idempotent; also run by the destructor.
+  void Shutdown() {
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      for (std::thread& t : workers_) {
+        if (t.joinable()) t.join();
+      }
+      return;
+    }
+    for (auto& q : queues_) q.Close();
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      wake_.notify_all();
+    }
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+    // Drain after join: single-threaded, every leftover resolves.
+    for (auto& q : queues_) {
+      Request req;
+      while (q.DrainClosed(&req)) RespondUnavailable(req);
+    }
+  }
+
+  OutcomeCounts outcomes() const {
+    OutcomeCounts c;
+    c.admitted_full = tally_[0].load(std::memory_order_relaxed);
+    c.admitted_degraded = tally_[1].load(std::memory_order_relaxed);
+    c.shed = tally_[2].load(std::memory_order_relaxed);
+    c.deadline_expired = tally_[3].load(std::memory_order_relaxed);
+    c.unavailable = tally_[4].load(std::memory_order_relaxed);
+    c.failed = tally_[5].load(std::memory_order_relaxed);
+    return c;
+  }
+  uint64_t submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t queue_depth(QueryClass cls) const {
+    return queues_[static_cast<std::size_t>(cls)].size();
+  }
+  std::size_t queue_high_water(QueryClass cls) const {
+    return queues_[static_cast<std::size_t>(cls)].high_water();
+  }
+  std::size_t queue_capacity() const { return queues_[0].capacity(); }
+
+  /// Test-only fault injection (slow shard, stalled dependency): when
+  /// armed, runs at the start of every executed request — a hook that
+  /// sleeps models a stalled shard under the walker. Not for
+  /// production paths; guarded by one relaxed atomic load when unset.
+  void SetFaultHook(std::function<void(QueryClass)> hook) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    fault_hook_ = std::move(hook);
+    fault_armed_.store(fault_hook_ != nullptr, std::memory_order_release);
+  }
+
+ private:
+  static constexpr std::size_t kTallyAdmittedFull = 0;
+  static constexpr std::size_t kTallyAdmittedDegraded = 1;
+  static constexpr std::size_t kTallyShed = 2;
+  static constexpr std::size_t kTallyDeadline = 3;
+  static constexpr std::size_t kTallyUnavailable = 4;
+  static constexpr std::size_t kTallyFailed = 5;
+
+  void Tally(std::size_t slot) {
+    tally_[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Status messages on the overload paths stay within the small-string
+  // buffer: at 2x saturation the shed path runs at the offered rate,
+  // and a heap allocation per rejection is exactly the kind of work an
+  // overloaded tier must not do.
+  void RespondShed(const Request& req, uint64_t retry_after_ns) {
+    Response resp;
+    resp.status = Status::ResourceExhausted("overloaded");
+    resp.retry_after_ns =
+        retry_after_ns != 0
+            ? retry_after_ns
+            : queues_[static_cast<std::size_t>(req.cls)].RetryAfterHint();
+    Tally(kTallyShed);
+    if (service_->engine()->metrics_enabled()) {
+      om_.serve_shed->Add(1, static_cast<std::size_t>(req.cls));
+    }
+    req.on_done(resp);
+  }
+
+  void RespondUnavailable(const Request& req) {
+    Response resp;
+    resp.status = Status::Unavailable("shutting down");
+    resp.retry_after_ns = options_.queue.target_delay_ns;
+    Tally(kTallyUnavailable);
+    req.on_done(resp);
+  }
+
+  void WorkerLoop() {
+    ReadScratch scratch;
+    std::size_t rotate = 0;
+    for (;;) {
+      bool did_work = false;
+      // Time-sliced rotating scan: each non-empty class gets one timed
+      // turn, so a flooded class cannot starve the rest and a cheap
+      // flooded class is drained at its own (fast) rate instead of
+      // being rationed to one query per rotation.
+      for (std::size_t i = 0; i < kNumQueryClasses; ++i) {
+        const std::size_t cls = (rotate + i) % kNumQueryClasses;
+        const uint64_t slice_end =
+            options_.clock() + options_.class_slice_ns;
+        for (;;) {
+          Request req;
+          uint64_t queue_ns = 0;
+          const DequeueOutcome out = queues_[cls].TryDequeue(&req, &queue_ns);
+          if (out == DequeueOutcome::kEmpty) break;
+          did_work = true;
+          queued_.fetch_sub(1, std::memory_order_relaxed);
+          if (out == DequeueOutcome::kShed) {
+            RespondShed(req, 0);
+          } else {
+            Execute(req, queue_ns, &scratch);
+          }
+          if (options_.clock() >= slice_end) break;
+        }
+        if (did_work) break;  // re-scan from the next class
+      }
+      ++rotate;
+      if (did_work) continue;
+      if (stopping_.load(std::memory_order_acquire)) return;
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      idle_workers_.fetch_add(1, std::memory_order_acq_rel);
+      // Timed wait: queued entries age toward the controlled-delay
+      // horizon even when no new submission fires the condvar.
+      wake_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+        return queued_.load(std::memory_order_relaxed) > 0 ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      idle_workers_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  /// The degradation ladder: queue depth (how far behind the tier is)
+  /// and deadline slack (how much time this request has left) each
+  /// push the answer down a rung; the worse of the two wins.
+  DegradeLevel Ladder(const Request& req, std::size_t depth) const {
+    const double cap = static_cast<double>(queues_[0].capacity());
+    const uint64_t slack = req.deadline.remaining_nanos();
+    if (static_cast<double>(depth) >= options_.fallback_depth_frac * cap ||
+        slack < options_.fallback_slack_ns) {
+      return DegradeLevel::kStaleFallback;
+    }
+    if (static_cast<double>(depth) >= options_.reduce_depth_frac * cap ||
+        slack < options_.reduce_slack_ns) {
+      return DegradeLevel::kReducedWalk;
+    }
+    return DegradeLevel::kFull;
+  }
+
+  void Execute(const Request& req, uint64_t queue_ns, ReadScratch* scratch) {
+    const std::size_t cls = static_cast<std::size_t>(req.cls);
+    Response resp;
+    resp.queue_ns = queue_ns;
+    // Expired while queued (or before): answer without touching the
+    // engine. The walkers re-check cooperatively mid-walk, so a
+    // deadline expiring during execution lands here too, via status.
+    if (req.deadline.expired()) {
+      RespondDeadline(req, &resp);
+      return;
+    }
+    if (fault_armed_.load(std::memory_order_acquire)) {
+      std::function<void(QueryClass)> hook;
+      {
+        std::lock_guard<std::mutex> lock(fault_mu_);
+        hook = fault_hook_;
+      }
+      if (hook) hook(req.cls);
+    }
+    const uint64_t t0 = options_.clock();
+    resp.fresh_epoch = service_->published_epoch();
+    resp.degrade = req.cls == QueryClass::kPersonalized
+                       ? Ladder(req, queues_[cls].size())
+                       : DegradeLevel::kFull;
+    Status status;
+    switch (req.cls) {
+      case QueryClass::kTopK: {
+        resp.topk = service_->TopKInto(req.k, scratch, &resp.snapshot);
+        status = Status::OK();
+        break;
+      }
+      case QueryClass::kScore: {
+        resp.score = service_->Score(req.node, &resp.snapshot);
+        status = Status::OK();
+        break;
+      }
+      case QueryClass::kPersonalized: {
+        status = ExecutePersonalized(req, scratch, &resp);
+        break;
+      }
+    }
+    resp.service_ns = options_.clock() - t0;
+    if (status.IsDeadlineExceeded()) {
+      RespondDeadline(req, &resp);
+      return;
+    }
+    resp.status = status;
+    const bool hot = service_->engine()->metrics_enabled();
+    if (status.ok()) {
+      Tally(resp.degraded() ? kTallyAdmittedDegraded : kTallyAdmittedFull);
+      if (hot) {
+        (resp.degraded() ? om_.serve_degraded : om_.serve_admitted)
+            ->Add(1, cls);
+        om_.serve_queue_wait->Record(resp.queue_ns);
+        om_.serve_admitted_latency->Record(resp.queue_ns + resp.service_ns);
+        om_.serve_queue_depth_hw->Set(queues_[cls].high_water(), cls);
+      }
+    } else {
+      Tally(kTallyFailed);
+    }
+    req.on_done(resp);
+  }
+
+  /// Personalized walk at the ladder-chosen budget. The stale fallback
+  /// serves a global TopK from the seqlock count snapshots: no walk, no
+  /// frozen-view pin — the answer an overloaded recommender can still
+  /// afford, labelled (degrade + epochs) so it is never mistaken for a
+  /// personalized result.
+  Status ExecutePersonalized(const Request& req, ReadScratch* scratch,
+                             Response* resp) {
+    if (resp->degrade == DegradeLevel::kStaleFallback) {
+      int64_t total = 0;
+      service_->SnapshotCountsInto(scratch, &total, &resp->snapshot);
+      TopKByCountInto(scratch->counts, req.k, &scratch->ranked);
+      resp->ranked.clear();
+      resp->ranked.reserve(scratch->ranked.size());
+      for (NodeId v : scratch->ranked) {
+        const int64_t visits = scratch->counts[v];
+        resp->ranked.push_back(ScoredNode{
+            v, visits,
+            total == 0 ? 0.0
+                       : static_cast<double>(visits) /
+                             static_cast<double>(total)});
+      }
+      return Status::OK();
+    }
+    uint64_t length = req.walk_length;
+    if (resp->degrade == DegradeLevel::kReducedWalk) {
+      length = std::max<uint64_t>(1, length / options_.reduced_walk_divisor);
+    }
+    WalkerOptions wopts;
+    wopts.deadline = req.deadline;
+    return service_->PersonalizedTopK(req.node, req.k, length,
+                                      req.exclude_friends, req.rng_seed,
+                                      wopts, &resp->ranked,
+                                      /*walk_stats=*/nullptr,
+                                      &resp->snapshot);
+  }
+
+  void RespondDeadline(const Request& req, Response* resp) {
+    resp->status = Status::DeadlineExceeded("past deadline");
+    Tally(kTallyDeadline);
+    if (service_->engine()->metrics_enabled()) {
+      om_.serve_deadline_expired->Add(1, static_cast<std::size_t>(req.cls));
+    }
+    req.on_done(*resp);
+  }
+
+  Service* service_;
+  const ServingTierOptions options_;
+  obs::EngineMetrics om_;
+  AdmissionQueue<Request> queues_[kNumQueryClasses];
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> queued_{0};
+  std::atomic<int> idle_workers_{0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> tally_[6] = {};
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+  std::mutex fault_mu_;
+  std::function<void(QueryClass)> fault_hook_;
+  std::atomic<bool> fault_armed_{false};
+};
+
+}  // namespace fastppr::serve
+
+#endif  // FASTPPR_SERVE_SERVING_TIER_H_

@@ -22,6 +22,10 @@ const char* CodeName(Status::Code code) {
       return "ResourceExhausted";
     case Status::Code::kDataLoss:
       return "DataLoss";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -25,6 +25,16 @@ class Status {
     /// window. Distinct from kCorruption (bytes failed their checksum):
     /// the bytes that exist are fine, bytes that should exist are gone.
     kDataLoss = 7,
+    /// The request's deadline expired before the work completed; any
+    /// partial result was abandoned. Distinct from kResourceExhausted
+    /// (the service refused to start the work): here the work started
+    /// and was cooperatively cancelled.
+    kDeadlineExceeded = 8,
+    /// The service cannot take the request right now but a retry may
+    /// succeed (shutting down, dependency stalled). Transient by
+    /// contract, unlike kResourceExhausted which carries a retry-after
+    /// hint tied to queue drain.
+    kUnavailable = 9,
   };
 
   /// Default-constructed status is OK.
@@ -52,6 +62,12 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(Code::kDataLoss, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -63,6 +79,10 @@ class Status {
     return code_ == Code::kResourceExhausted;
   }
   bool IsDataLoss() const { return code_ == Code::kDataLoss; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -24,12 +24,24 @@ TEST(StatusTest, ErrorCodesAndPredicates) {
   EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
   EXPECT_FALSE(Status::NotFound("x").ok());
   EXPECT_FALSE(Status::NotFound("x").IsIOError());
   // The durability layer leans on the Corruption/DataLoss distinction
   // (bad bytes vs missing bytes); they must never alias.
   EXPECT_FALSE(Status::DataLoss("x").IsCorruption());
   EXPECT_FALSE(Status::Corruption("x").IsDataLoss());
+  // The serving tier leans on the shed/expired/unavailable distinction
+  // (refused up front vs cancelled mid-flight vs transient outage);
+  // none of the three may alias another.
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsResourceExhausted());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsUnavailable());
+  EXPECT_FALSE(Status::ResourceExhausted("x").IsDeadlineExceeded());
+  EXPECT_FALSE(Status::Unavailable("x").IsDeadlineExceeded());
+  EXPECT_FALSE(Status::Unavailable("x").IsResourceExhausted());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").ok());
+  EXPECT_FALSE(Status::Unavailable("x").ok());
 }
 
 TEST(StatusTest, ToStringIncludesCodeAndMessage) {
@@ -44,6 +56,18 @@ TEST(StatusTest, EmptyMessageToString) {
 
 TEST(StatusTest, DataLossToString) {
   EXPECT_EQ(Status::DataLoss("wal gap").ToString(), "DataLoss: wal gap");
+}
+
+TEST(StatusTest, DeadlineExceededToString) {
+  EXPECT_EQ(Status::DeadlineExceeded("walk cancelled").ToString(),
+            "DeadlineExceeded: walk cancelled");
+  EXPECT_EQ(Status::DeadlineExceeded("").ToString(), "DeadlineExceeded");
+}
+
+TEST(StatusTest, UnavailableToString) {
+  EXPECT_EQ(Status::Unavailable("shutting down").ToString(),
+            "Unavailable: shutting down");
+  EXPECT_EQ(Status::Unavailable("").ToString(), "Unavailable");
 }
 
 TEST(StatusTest, ReturnIfErrorMacroPropagates) {
