@@ -2,10 +2,10 @@
 #define FASTPPR_ENGINE_QUERY_SERVICE_H_
 
 // Concurrent serving layer over a ShardedEngine (see DESIGN.md
-// sections 4 and 6).
+// sections 4, 6 and 11).
 //
 // Ranking reads (TopK / Score) are served from epoch-stamped visit-count
-// snapshots, double-buffered per shard behind a seqlock: the ingestion
+// snapshots, double-buffered per shard behind a seqlock: the boundary
 // thread publishes into the inactive buffer and flips a sequence counter
 // (release); readers validate the counter around their (relaxed, atomic)
 // loads and retry on a concurrent flip. Readers therefore never block
@@ -14,17 +14,24 @@
 // each window boundary touches the shared buffers.
 //
 // Personalized reads (PersonalizedTopK) are served from *frozen
-// segment-snapshot views* (store/segment_snapshot.h): at every window
-// boundary the writer publishes an immutable copy of each shard's walk
-// segments plus the adjacency — brought up to date by delta, pooled
-// RCU-style — and flips one pointer table under the view mutex. A
-// reader pins the whole table with S+1 shared_ptr copies (mutex held
-// only across the pointer copies, never across a walk) and stitches its
-// walk with plain loads. In steady state readers never stall the
-// writer: a version pinned by a slow walk is simply skipped at recycle
-// time. The one exception is the idle-writer self-refresh (below),
-// which holds the window mutex for one rebuild — a writer arriving
-// exactly then waits once.
+// segment-snapshot views* (store/segment_snapshot.h): structurally
+// shared immutable copies of each shard's walk segments plus the
+// adjacency, flipped as one pointer table under the view mutex. A
+// reader pins the whole table with one shared_ptr copy (mutex held only
+// across the pointer copy, never across a walk) and stitches its walk
+// with plain loads. Each publish allocates only the window's delta;
+// clean chunks are shared with the previous view and freed by their
+// refcounts when the last pin drops.
+//
+// Publish pipelining: the service implements the engine's BoundarySink,
+// so snapshot publishing is driven by window-boundary callbacks instead
+// of the Ingest caller. In pipelined engine mode the callback runs on
+// the pipeline thread; it captures the boundary-frozen state (counts +
+// delta payloads) and hands assembly to a dedicated PUBLISHER thread —
+// publish of window k-1 overlaps repair of window k and ingest of
+// window k+1. In lockstep mode the callback runs inline on the caller
+// and frozen refreshes stay demand-gated (a writer with no personalized
+// readers skips them).
 //
 // Consistency model:
 //  * Merged count reads: every per-shard read is torn-free and stamped
@@ -34,13 +41,16 @@
 //  * Personalized reads: the segment views and the adjacency view are
 //    flipped together, so one walk observes ONE epoch throughout
 //    (SnapshotInfo reports min_epoch == max_epoch). Reads lag live
-//    ingestion by at most the in-flight window.
+//    ingestion by at most the pipeline depth (lockstep: the in-flight
+//    window); Quiesce() is the freshness barrier.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -48,11 +58,13 @@
 #include "fastppr/core/ppr_walker.h"
 #include "fastppr/core/ranking.h"
 #include "fastppr/core/salsa_walker.h"
+#include "fastppr/engine/ingest_pipeline.h"
 #include "fastppr/engine/sharded_engine.h"
 #include "fastppr/graph/types.h"
 #include "fastppr/obs/engine_metrics.h"
 #include "fastppr/obs/latency_histogram.h"
 #include "fastppr/store/segment_snapshot.h"
+#include "fastppr/store/shared_snapshot.h"
 #include "fastppr/util/shard.h"
 #include "fastppr/util/status.h"
 
@@ -76,7 +88,8 @@ struct ReadScratch {
 };
 
 /// One shard's double-buffered, epoch-stamped count snapshot (seqlock).
-/// Single writer (the ingestion thread), any number of lock-free readers.
+/// Single writer (the window-boundary thread), any number of lock-free
+/// readers.
 class SnapshotBuffer {
  public:
   void Init(std::size_t num_nodes) {
@@ -176,14 +189,19 @@ class SnapshotBuffer {
 /// counts / personalized SALSA).
 ///
 /// Single-service contract: a QueryService owns its engine's snapshot
-/// delta feeds (dirty segments, applied edges); attach at most one
-/// service per engine, and route mutations through Ingest() — callers
-/// that mutate the engine directly must call Publish() (full snapshot
-/// rebuild) before the next read.
+/// delta feeds (dirty segments, applied edges) and its window-boundary
+/// sink; attach at most one service per engine, and route mutations
+/// through Ingest() — callers that mutate the engine directly must call
+/// Publish() (full snapshot rebuild) before the next read.
 template <typename Engine>
-class QueryService {
+class QueryService : private ShardedEngine<Engine>::BoundarySink {
   static constexpr bool kIsSalsa =
       requires(const Engine& e) { e.AuthorityEstimate(NodeId{0}); };
+  using Ctx = typename ShardedEngine<Engine>::BoundaryContext;
+  /// Boundary→publisher queue depth (pipelined engine mode): how many
+  /// captured-but-unassembled windows may stack up before window
+  /// boundaries backpressure on the publisher.
+  static constexpr std::size_t kPublishQueueCap = 4;
 
  public:
   /// Per-query walk statistics type (differs between the two engines).
@@ -191,7 +209,7 @@ class QueryService {
       std::conditional_t<kIsSalsa, SalsaWalkResult, PersonalizedWalkResult>;
 
   explicit QueryService(ShardedEngine<Engine>* engine)
-      : engine_(engine), graph_pool_(/*capture_in=*/kIsSalsa) {
+      : engine_(engine), adj_builder_(/*capture_in=*/kIsSalsa) {
     FASTPPR_CHECK(engine_ != nullptr);
     om_ = engine_->metric_handles();
     engine_->EnableAppliedEdgeTracking();
@@ -204,19 +222,34 @@ class QueryService {
     snapshots_ = std::vector<SnapshotBuffer>(engine_->num_shards());
     for (SnapshotBuffer& s : snapshots_) s.Init(engine_->num_nodes());
     // The dense global->local segment map (immutable for the service's
-    // lifetime; shared by the per-shard publishers and every reader).
+    // lifetime; shared by the per-shard builders and every reader).
     ownership_ = engine_->MakeSegmentOwnership();
-    segment_pools_.reserve(engine_->num_shards());
+    seg_builders_.reserve(engine_->num_shards());
     for (std::size_t s = 0; s < engine_->num_shards(); ++s) {
-      segment_pools_.emplace_back(ownership_, s);
+      seg_builders_.emplace_back(ownership_, s);
     }
-    std::lock_guard<std::mutex> lock(window_mu_);
-    PublishLocked(/*full=*/true);
+    if (!engine_->lockstep()) {
+      publisher_ = std::thread([this] { PublisherLoop(); });
+    }
+    engine_->SetBoundarySink(this);
+    {
+      std::lock_guard<std::mutex> lock(window_mu_);
+      const Ctx ctx = engine_->QuiescentBoundaryContext();
+      PublishBoundary(ctx, /*full=*/true);
+    }
+    // The ctor returns with a published view in place (readers CHECK
+    // one exists).
+    WaitPublisherIdle();
   }
 
-  /// The engine outlives the service: hand its delta feeds back so it
-  /// stops paying for a serving layer that no longer exists.
-  ~QueryService() {
+  /// The engine outlives the service: detach the boundary sink and hand
+  /// the delta feeds back so it stops paying for a serving layer that
+  /// no longer exists.
+  ~QueryService() override {
+    Quiesce();
+    engine_->SetBoundarySink(nullptr);
+    publish_q_.Close();
+    if (publisher_.joinable()) publisher_.join();
     engine_->DisableAppliedEdgeTracking();
     for (std::size_t s = 0; s < engine_->num_shards(); ++s) {
       auto* store = engine_->shard(s).mutable_walk_store();
@@ -230,26 +263,56 @@ class QueryService {
 
   ShardedEngine<Engine>* engine() { return engine_; }
 
-  /// Applies one ingestion window and publishes fresh snapshots. On a
-  /// failed event the applied prefix is still repaired and published.
+  /// Applies one ingestion window; snapshots publish at the window
+  /// boundary (inline in lockstep, downstream of the pipeline
+  /// otherwise). On a failed event the applied prefix is still
+  /// repaired and published.
   Status Ingest(std::span<const EdgeEvent> window) {
     std::lock_guard<std::mutex> lock(window_mu_);
-    Status s = engine_->ApplyEvents(window);
-    PublishLocked(/*full=*/false);
-    return s;
+    return engine_->ApplyEvents(window);
   }
 
   /// Re-publishes snapshots of the engine's current state (for callers
   /// that mutated the engine directly — the delta feeds may have missed
-  /// those mutations, so the frozen views are fully rebuilt).
+  /// those mutations, so the frozen views are fully rebuilt). Blocks
+  /// until the rebuilt view is live.
   void Publish() {
     std::lock_guard<std::mutex> lock(window_mu_);
-    PublishLocked(/*full=*/true);
+    const Ctx ctx = engine_->QuiescentBoundaryContext();
+    PublishBoundary(ctx, /*full=*/true);
+    WaitPublisherIdle();
   }
 
-  /// Epoch of the most recent publish (= windows applied at that point).
+  /// The freshness barrier: blocks until every window submitted through
+  /// Ingest() is fully applied AND its snapshot publishes are live.
+  /// No-op cost in lockstep mode. (Differential tests compare states
+  /// across engines at quiesced boundaries.)
+  void Quiesce() {
+    engine_->Drain();
+    WaitPublisherIdle();
+  }
+
+  /// Epoch of the most recent window boundary's count publish (frozen
+  /// views may trail by the publish queue depth in pipelined mode).
   uint64_t published_epoch() const {
     return published_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Aggregate structural-sharing publish accounting across every
+  /// builder (all shards' segments + both adjacency sides). Read at a
+  /// quiescent point (Quiesce()) for a consistent total;
+  /// publish_delta_bytes() / presented_bytes is the
+  /// publish_bytes_per_delta_byte contract bench_sharded enforces.
+  snap::SharedPublishStats::Snapshot publish_volume() const {
+    snap::SharedPublishStats::Snapshot total;
+    for (const SegmentSnapshotBuilder& b : seg_builders_) {
+      total.Accumulate(b.stats().Read());
+    }
+    total.Accumulate(adj_builder_.out_stats().Read());
+    if (adj_builder_.capture_in()) {
+      total.Accumulate(adj_builder_.in_stats().Read());
+    }
+    return total;
   }
 
   /// Memory accounting of the currently published frozen views (pins
@@ -286,7 +349,7 @@ class QueryService {
         out.adjacency_bytes = pin->graph->MemoryBytes();
       }
     }
-    // Drop the pin under the view mutex (the recycle contract).
+    // Drop the pin under the view mutex (the unpin contract).
     std::lock_guard<std::mutex> lock(view_mu_);
     pin.reset();
     return out;
@@ -370,10 +433,10 @@ class QueryService {
 
   /// Personalized top-k (Algorithm 1 stitched walk; authority-ranked for
   /// SALSA), served from the frozen segment + adjacency views published
-  /// at the last window boundary. Runs concurrently with ingestion: the
-  /// view mutex is held only across the shared_ptr pins, never across
-  /// the walk, so readers never stall the writer and vice versa. The
-  /// whole walk observes one epoch (`info`: min_epoch == max_epoch).
+  /// at a window boundary. Runs concurrently with ingestion: the view
+  /// mutex is held only across the shared_ptr pins, never across the
+  /// walk, so readers never stall the writer and vice versa. The whole
+  /// walk observes one epoch (`info`: min_epoch == max_epoch).
   Status PersonalizedTopK(NodeId seed, std::size_t k, uint64_t length,
                           bool exclude_friends, uint64_t rng_seed,
                           std::vector<ScoredNode>* ranked,
@@ -402,7 +465,8 @@ class QueryService {
     const bool hot = engine_->metrics_enabled();
     const uint64_t t0 = hot ? obs::NowNanos() : 0;
     if (hot) om_.snapshot_pins->Add(1, engine_->shard_of(seed));
-    // Arm the next window boundary's frozen refresh.
+    // Arm the next window boundary's frozen refresh (lockstep's demand
+    // gate; pipelined publishes unconditionally, so the flag is inert).
     frozen_demand_.store(true, std::memory_order_relaxed);
     std::shared_ptr<const FrozenViewSet> pin;
     {
@@ -411,19 +475,28 @@ class QueryService {
     }
     FASTPPR_CHECK_MSG(pin != nullptr && pin->graph != nullptr,
                       "no published snapshot to serve from");
-    if (pin->graph->epoch() != published_epoch() && window_mu_.try_lock()) {
-      // The view lags the engine (frozen publishes were skipped while no
-      // personalized reads were in flight) and the writer is idle: this
-      // reader pays the refresh itself, then re-pins — holding the
-      // window mutex across the rebuild, so a writer arriving exactly
-      // now waits for it (the one reader-stalls-writer exception; it
-      // needs an idle writer to trigger, so it cannot recur under
-      // steady ingestion). If the writer is mid-window instead, the
-      // stale view is served as-is (stamped in `info`) and the demand
-      // flag freshens the next boundary.
+    if (engine_->lockstep() && pin->graph->epoch() != published_epoch() &&
+        window_mu_.try_lock()) {
+      // Lockstep only: the view lags the engine (frozen publishes were
+      // skipped while no personalized reads were in flight) and the
+      // writer is idle, so this reader pays the refresh itself, then
+      // re-pins — holding the window mutex across the rebuild, so a
+      // writer arriving exactly now waits for it (the one
+      // reader-stalls-writer exception; it needs an idle writer to
+      // trigger, so it cannot recur under steady ingestion). If the
+      // writer is mid-window instead, the stale view is served as-is
+      // (stamped in `info`) and the demand flag freshens the next
+      // boundary. The pipelined mode never takes this branch: views
+      // refresh at every boundary, and transient lag is just the
+      // pipeline depth.
       std::lock_guard<std::mutex> lock(window_mu_, std::adopt_lock);
       if (hot) om_.snapshot_refreshes->Add(1);
-      PublishFrozenLocked(engine_->windows_applied(), /*full=*/false);
+      const Ctx ctx = engine_->QuiescentBoundaryContext();
+      PublishJob job;
+      job.epoch = ctx.epoch;
+      job.full = false;
+      CaptureJob(ctx, /*full=*/false, &job);
+      AssembleAndFlip(std::move(job));
       // The demand flag stays armed: clearing it here could erase a
       // demand another reader raised concurrently, letting the writer
       // skip a boundary it owed — the cost of leaving it set is at most
@@ -457,9 +530,11 @@ class QueryService {
       status = walker.TopK(seed, k, length, exclude_friends, rng_seed,
                            ranked, walk_stats);
     }
-    // Drop the pin under the view mutex: the writer's recycle check
-    // (use_count under the same mutex) is then ordered after this
-    // walk's last read of the buffers — no fences, no TSan gymnastics.
+    // Drop the pin under the view mutex: the flip and the last unpin
+    // stay mutually ordered, so the chunk refcounts a dropped view
+    // releases (freeing unshared chunks) fall at deterministic points —
+    // the memory tests rely on that, and readers pay one uncontended
+    // lock per query for it.
     {
       std::lock_guard<std::mutex> lock(view_mu_);
       pin.reset();
@@ -478,6 +553,15 @@ class QueryService {
     std::vector<std::shared_ptr<const FrozenSegments>> segments;
     std::shared_ptr<const SegmentOwnership> ownership;
     std::shared_ptr<const FrozenAdjacency> graph;
+  };
+
+  /// One window's captured-but-unassembled publish payload, moved from
+  /// the boundary thread to the publisher thread.
+  struct PublishJob {
+    uint64_t epoch = 0;
+    bool full = false;
+    std::vector<snap::CapturedRows<uint64_t>> segments;
+    AdjacencyCapture adjacency;
   };
 
   /// StoreView over the pinned frozen copies, routing each node's
@@ -508,93 +592,156 @@ class QueryService {
     double epsilon_;
   };
 
-  /// Publishes the seqlock count snapshots (cheap, every window).
-  void PublishCountsLocked(uint64_t epoch) {
+  /// The engine's window-boundary callback (BoundarySink): pipeline
+  /// thread in pipelined mode, the Ingest caller in lockstep.
+  void OnWindowBoundary(const Ctx& ctx) override {
+    PublishBoundary(ctx, /*full=*/false);
+  }
+
+  /// One boundary's publish work on the boundary thread: seqlock count
+  /// flips (cheap, every window), then the frozen-view delta capture —
+  /// assembled inline in lockstep (demand-gated), handed to the
+  /// publisher thread otherwise.
+  void PublishBoundary(const Ctx& ctx, bool full) {
+    PublishCounts(ctx);
+    // Advance the published epoch BEFORE the frozen flip: a reader that
+    // pins a view must never observe its epoch ahead of
+    // published_epoch() (the staleness invariant the tests assert).
+    published_epoch_.store(ctx.epoch, std::memory_order_release);
+    const bool lockstep = engine_->lockstep();
+    if (lockstep && !full &&
+        !frozen_demand_.exchange(false, std::memory_order_relaxed)) {
+      // Demand-driven frozen refresh: the delta copies are paid only
+      // when a personalized read happened since the last frozen publish
+      // — a lockstep writer with no personalized readers ingests at
+      // full speed while the dirty feeds accumulate (bounded by their
+      // overflow caps). The pipelined mode publishes every boundary
+      // instead: the work rides the publisher thread, off the ingest
+      // critical path.
+      return;
+    }
+    PublishJob job;
+    job.epoch = ctx.epoch;
+    job.full = full;
+    CaptureJob(ctx, full, &job);
+    if (lockstep) {
+      AssembleAndFlip(std::move(job));
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      ++inflight_;
+    }
+    if (!publish_q_.Push(std::move(job))) {
+      // Closed queue (service teardown) — the boundary is already past
+      // the sink detach, so the job is dropped, not owed.
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      --inflight_;
+      idle_cv_.notify_all();
+      return;
+    }
+    if (engine_->metrics_enabled()) {
+      om_.pipeline_publish_queue_hw->Set(publish_q_.high_water());
+    }
+  }
+
+  /// Publishes the seqlock count snapshots from the boundary context.
+  void PublishCounts(const Ctx& ctx) {
     const std::size_t n = engine_->num_nodes();
     const std::size_t S = snapshots_.size();
-    FASTPPR_CHECK_MSG(S == engine_->num_shards(),
+    FASTPPR_CHECK_MSG(S == ctx.shards.size(),
                       "snapshot set no longer matches the engine");
     for (std::size_t s = 0; s < S; ++s) {
-      const Engine& shard = engine_->shard(s);
+      const Engine& shard = *ctx.shards[s];
       snapshots_[s].Publish(
-          n, [&shard](std::size_t v) {
+          n,
+          [&shard](std::size_t v) {
             return shard.RankingCount(static_cast<NodeId>(v));
           },
-          shard.RankingTotal(), epoch);
+          shard.RankingTotal(), ctx.epoch);
     }
     if (engine_->metrics_enabled()) om_.count_publishes->Add(1);
   }
 
-  /// Publishes the frozen personalized-read views (the delta-copy work).
-  /// Phase 1 picks recyclable buffers under the view mutex; phase 2
-  /// copies outside it; phase 3 flips the pointer table under it again.
-  void PublishFrozenLocked(uint64_t epoch, bool full) {
+  /// Boundary-thread half of a frozen publish: reads the
+  /// boundary-frozen stores and graph into a self-contained job and
+  /// clears the delta feeds. Everything live is read HERE; the
+  /// assembly half touches only builder/publish state.
+  void CaptureJob(const Ctx& ctx, bool full, PublishJob* job) {
     const bool hot = engine_->metrics_enabled();
-    const uint64_t t0 = hot ? obs::NowNanos() : 0;
-    const std::size_t S = snapshots_.size();
-    const uint64_t graph_epoch = engine_->social_store().epoch();
-    {
-      std::lock_guard<std::mutex> lock(view_mu_);
-      for (SegmentSnapshotPool& pool : segment_pools_) {
-        pool.SelectForPublish();
-      }
-      graph_pool_.SelectForPublish();
-    }
-    std::vector<std::shared_ptr<const FrozenSegments>> fresh_segments(S);
-    for (std::size_t s = 0; s < S; ++s) {
-      auto* store = engine_->shard(s).mutable_walk_store();
+    const uint64_t graph_epoch = ctx.graph->epoch();
+    job->segments.resize(snapshots_.size());
+    for (std::size_t s = 0; s < snapshots_.size(); ++s) {
+      auto* store = ctx.shards[s]->mutable_walk_store();
       if (hot) {
         om_.segments_dirtied->Add(store->dirty_segments().size(), s);
       }
-      fresh_segments[s] = segment_pools_[s].Publish(
-          *store, store->dirty_segments(), epoch,
-          full || store->dirty_overflowed());
+      seg_builders_[s].Capture(*store, store->dirty_segments(),
+                               full || store->dirty_overflowed(),
+                               &job->segments[s]);
       store->ClearDirtySegments();
     }
-    std::shared_ptr<const FrozenAdjacency> fresh_graph = graph_pool_.Publish(
-        engine_->graph(), engine_->applied_edges(), epoch,
-        full || engine_->applied_edges_overflowed());
-    engine_->ClearAppliedEdges();
+    adj_builder_.Capture(*ctx.graph, ctx.applied->entries(),
+                         full || ctx.applied->overflowed(),
+                         &job->adjacency);
+    ctx.applied->Clear();
     // The single-writer contract, checked like the engine's repair
-    // phases: the graph must not have moved while we copied from it.
-    FASTPPR_CHECK_MSG(engine_->social_store().epoch() == graph_epoch,
-                      "graph mutated during a snapshot publish");
-    auto fresh_view = std::make_shared<FrozenViewSet>();
-    fresh_view->segments = std::move(fresh_segments);
-    fresh_view->ownership = ownership_;
-    fresh_view->graph = std::move(fresh_graph);
+    // phases: the boundary graph must not have moved while we copied
+    // from it (in pipelined mode the PRIMARY may move freely — the
+    // capture reads the repair replica).
+    FASTPPR_CHECK_MSG(ctx.graph->epoch() == graph_epoch,
+                      "graph mutated during a snapshot capture");
+  }
+
+  /// Publisher half: fold the capture into the shared chains and flip
+  /// the view pointer. Runs on the publisher thread in pipelined mode
+  /// (overlapping the next windows' ingest and repair), inline on the
+  /// boundary thread in lockstep.
+  void AssembleAndFlip(PublishJob&& job) {
+    const bool hot = engine_->metrics_enabled();
+    const uint64_t t0 = hot ? obs::NowNanos() : 0;
+    auto fresh = std::make_shared<FrozenViewSet>();
+    fresh->segments.resize(job.segments.size());
+    for (std::size_t s = 0; s < job.segments.size(); ++s) {
+      fresh->segments[s] =
+          seg_builders_[s].Assemble(std::move(job.segments[s]), job.epoch);
+    }
+    fresh->ownership = ownership_;
+    fresh->graph = adj_builder_.Assemble(std::move(job.adjacency),
+                                         job.epoch);
     {
       std::lock_guard<std::mutex> lock(view_mu_);
-      frozen_view_ = std::move(fresh_view);
+      frozen_view_ = std::move(fresh);
     }
     if (hot) {
       // "full" here means the caller forced a rebuild; per-shard
       // overflow-forced copies still count as delta publishes (the
       // decision was the delta path's).
-      (full ? om_.frozen_publishes_full : om_.frozen_publishes_delta)
+      (job.full ? om_.frozen_publishes_full : om_.frozen_publishes_delta)
           ->Add(1);
       const uint64_t t1 = obs::NowNanos();
       om_.publish_phase->Record(t1 - t0);
-      engine_->phase_tracer()->Record(engine_->writer_track(),
-                                      obs::Phase::kPublish, epoch, t0, t1);
+      engine_->phase_tracer()->Record(engine_->publish_track(),
+                                      obs::Phase::kPublish, job.epoch, t0,
+                                      t1);
     }
   }
 
-  void PublishLocked(bool full) {
-    const uint64_t epoch = engine_->windows_applied();
-    PublishCountsLocked(epoch);
-    // Advance the published epoch BEFORE flipping the frozen views: a
-    // reader that pins the new view must never observe its epoch ahead
-    // of published_epoch() (the staleness invariant the tests assert).
-    published_epoch_.store(epoch, std::memory_order_release);
-    // Demand-driven frozen refresh: the delta copies are paid only when
-    // a personalized read actually happened since the last frozen
-    // publish (or on a forced full rebuild) — a writer with no
-    // personalized readers ingests at full speed while the dirty feeds
-    // accumulate (bounded by their overflow caps).
-    if (full || frozen_demand_.exchange(false, std::memory_order_relaxed)) {
-      PublishFrozenLocked(epoch, full);
+  void PublisherLoop() {
+    PublishJob job;
+    while (publish_q_.Pop(&job)) {
+      AssembleAndFlip(std::move(job));
+      {
+        std::lock_guard<std::mutex> lock(idle_mu_);
+        --inflight_;
+      }
+      idle_cv_.notify_all();
     }
+  }
+
+  void WaitPublisherIdle() {
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [&] { return inflight_ == 0; });
   }
 
   ShardedEngine<Engine>* engine_;
@@ -609,13 +756,23 @@ class QueryService {
   std::atomic<uint64_t> published_epoch_{0};
 
   /// Personalized-read state. `view_mu_` orders only pointer pins,
-  /// unpins and flips (see PersonalizedTopK / PublishLocked); the pools
-  /// are writer-only.
+  /// unpins and flips; the builders are touched only by the boundary
+  /// thread (Capture) and the publisher thread (Assemble), whose member
+  /// footprints are disjoint.
   mutable std::mutex view_mu_;
   std::atomic<bool> frozen_demand_{false};
   std::shared_ptr<const FrozenViewSet> frozen_view_;
-  std::vector<SegmentSnapshotPool> segment_pools_;
-  AdjacencySnapshotPool graph_pool_;
+  std::vector<SegmentSnapshotBuilder> seg_builders_;
+  AdjacencySnapshotBuilder adj_builder_;
+
+  /// Publisher-thread state (pipelined engine mode only; the thread is
+  /// never started in lockstep). `inflight_` counts enqueued jobs not
+  /// yet flipped, guarded by `idle_mu_`.
+  pipe::BoundedQueue<PublishJob> publish_q_{kPublishQueueCap};
+  std::thread publisher_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::size_t inflight_ = 0;
 };
 
 }  // namespace fastppr

@@ -1,5 +1,7 @@
 #include "fastppr/engine/thread_pool.h"
 
+#include "fastppr/util/check.h"
+
 namespace fastppr {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -50,6 +52,15 @@ void ThreadPool::WorkerLoop(std::size_t lane) {
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  // One dispatcher at a time: a second concurrent (or reentrant) call
+  // would corrupt the generation protocol, so it aborts loudly instead.
+  FASTPPR_CHECK_MSG(!dispatching_.exchange(true, std::memory_order_acquire),
+                    "ThreadPool::ParallelFor is not reentrant — one "
+                    "dispatching thread at a time");
+  struct DispatchGuard {
+    std::atomic<bool>* flag;
+    ~DispatchGuard() { flag->store(false, std::memory_order_release); }
+  } guard{&dispatching_};
   if (workers_.empty()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;

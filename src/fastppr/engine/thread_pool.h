@@ -1,6 +1,7 @@
 #ifndef FASTPPR_ENGINE_THREAD_POOL_H_
 #define FASTPPR_ENGINE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -24,7 +25,11 @@ namespace fastppr {
 /// results are bit-identical for any thread count, including 1.
 ///
 /// ParallelFor is not reentrant and must only be called from one thread
-/// at a time (the sharded engine serializes ingestion windows).
+/// at a time. The sharded engine honors this structurally: in lockstep
+/// mode only the ingesting caller dispatches, in pipelined mode only the
+/// pipeline thread does — never both. A violation (two dispatchers, or
+/// a task calling back into the pool) is FASTPPR_CHECKed instead of
+/// corrupting the generation protocol silently.
 class ThreadPool {
  public:
   /// `num_threads` is the total parallelism: the calling thread plus
@@ -56,6 +61,7 @@ class ThreadPool {
   uint64_t generation_ = 0;
   std::size_t lanes_running_ = 0;
   bool shutdown_ = false;
+  std::atomic<bool> dispatching_{false};  ///< reentrancy guard
 };
 
 }  // namespace fastppr

@@ -2,43 +2,33 @@
 #define FASTPPR_STORE_SEGMENT_SNAPSHOT_H_
 
 // Frozen, reader-safe views of the walk segments and the adjacency for
-// concurrent personalized serving (see DESIGN.md section 6).
+// concurrent personalized serving (see DESIGN.md sections 6 and 11).
 //
 // PersonalizedTopK stitches a walk through the stored segments and takes
 // manual steps on the social graph — both of which the single-writer
 // ingest/repair machinery mutates in place (slab rows relocate, arenas
 // compact), so walking them live would race with ingestion. This header
-// gives the segments the same epoch-versioned treatment PR 3 gave the
-// adjacency slab, one level up: immutable *copies* published at window
-// boundaries, pooled RCU-style so the writer never waits for a reader
-// and a reader never blocks the writer.
+// publishes immutable views at window boundaries; readers pin a view
+// with a shared_ptr copy and walk it with plain loads.
 //
-// Version lifecycle. Each pool owns a small set of buffers. At every
-// publish the writer (a) picks a retired buffer — one whose only
-// remaining reference is the pool's own — or allocates a fresh one,
-// (b) brings it up to date, and (c) swaps it in as the current version.
-// Readers pin the current version with a shared_ptr copy and walk it
-// with plain loads: the buffer is immutable while anyone can reach it.
-// A buffer pinned by a slow reader is simply skipped; the pool grows by
-// one instead of stalling the writer, and shrinks back once readers
-// drain.
+// Since the pipelined-publish refactor the views are STRUCTURALLY SHARED
+// (store/shared_snapshot.h): a frozen table is an extent chain over
+// refcounted root chunks, each publish allocates only the rows the
+// window's dirty feeds reported (~1× the delta), and clean chunks are
+// shared with the previous frozen epoch — freed by their refcount when
+// the last reader unpins. The pooled full-copy buffers this header used
+// to rotate (PR 4) are gone.
 //
-// Synchronization contract (how the use_count check is made safe and
-// TSan-provable without fences): readers copy AND release their
-// shared_ptr pins under the caller's flip mutex, and the writer runs
-// SelectForPublish() under the same mutex. A buffer observed retired
-// under that lock therefore happens-after every read of its data, so
-// the writer may overwrite it outside the lock. Only the pointer swap
-// and the pin/unpin take the mutex — never a walk, never a copy.
-//
-// Publish cost. Buffers are brought up to date by *delta*: every pooled
-// buffer carries the list of rows that changed since the epoch its
-// content represents (the walk stores' dirty-segment feed, the window's
-// applied edges for the adjacency), so a publish copies only what the
-// window actually touched — the same order of work as the repairs
-// themselves — never the whole store. Content is full-copied only when
-// a buffer is first allocated or after an untracked mutation (the
-// force_full parameter of Publish).
+// Publish is split into two halves so the pipelined engine can overlap
+// them with ingestion:
+//   * Capture (boundary thread): reads the store/graph at a frozen
+//     window boundary into a self-contained CapturedRows payload — the
+//     only half that touches live engine state.
+//   * Assemble (publisher thread): folds the capture into the builder's
+//     shared chain and yields the immutable frozen view. Touches only
+//     builder state, so it runs concurrently with the next window's
+//     ingest and repair.
+// The lockstep engine simply calls both back to back on the writer.
 
 #include <algorithm>
 #include <cstdint>
@@ -48,17 +38,13 @@
 
 #include "fastppr/graph/digraph.h"
 #include "fastppr/graph/types.h"
+#include "fastppr/store/shared_snapshot.h"
 #include "fastppr/store/walk_slab.h"
 #include "fastppr/util/check.h"
 #include "fastppr/util/random.h"
 #include "fastppr/util/shard.h"
 
 namespace fastppr {
-
-namespace snapshot_internal {
-template <typename Buffer>
-class PoolBase;
-}  // namespace snapshot_internal
 
 /// The dense owned-segment addressing of the frozen row tables (see
 /// DESIGN.md section 7). The live stores keep GLOBAL segment ids
@@ -129,11 +115,11 @@ class SegmentOwnership {
   std::vector<std::vector<NodeId>> owned_;
 };
 
-/// Immutable copy of one walk store's segment node-paths at one publish
-/// epoch. Rows hold ONLY the owning shard's segments, densely indexed by
+/// Immutable view of one walk store's segment node-paths at one publish
+/// epoch, backed by a structurally shared row table. Rows hold ONLY the
+/// owning shard's segments, densely indexed by
 /// SegmentOwnership::LocalRow — a reader routes (u, k) to the owner
-/// shard's view and translates through the shared map, so the frozen
-/// metadata footprint is owned_rows per shard, not n * spn.
+/// shard's view and translates through the shared map.
 class FrozenSegments {
  public:
   /// One frozen segment: a span over the packed path words. Readers use
@@ -152,59 +138,64 @@ class FrozenSegments {
     std::span<const uint64_t> words_;
   };
 
-  /// Ingestion epoch (windows applied) this copy was published at.
-  uint64_t epoch() const { return epoch_; }
+  /// Ingestion epoch (windows applied) this view was published at.
+  uint64_t epoch() const { return rows_->epoch(); }
   /// DENSE row count: the owning shard's rows only (owned * spn).
-  std::size_t num_segments() const { return paths_.num_rows(); }
+  std::size_t num_segments() const { return rows_->num_rows(); }
 
   /// `seg` is a DENSE local row (SegmentOwnership::LocalRow).
   SegmentRef Segment(uint64_t seg) const {
-    return SegmentRef(paths_.RowSpan(seg));
+    return SegmentRef(rows_->Row(seg));
   }
 
-  /// Heap bytes of this frozen copy (path arena + row table).
-  std::size_t MemoryBytes() const { return paths_.MemoryBytes(); }
-  /// Row-table bytes alone — the term the dense addressing shrinks
+  /// Heap bytes reachable from this view (shared chunks counted in
+  /// full; see SharedRows::MemoryBytes).
+  std::size_t MemoryBytes() const { return rows_->MemoryBytes(); }
+  /// Row-metadata bytes alone — the term the dense addressing shrinks
   /// S-fold versus a global n * spn table per shard.
-  std::size_t row_table_bytes() const { return paths_.row_table_bytes(); }
+  std::size_t row_table_bytes() const { return rows_->row_table_bytes(); }
+
+  /// Test hook: the underlying shared table (chunk refcount audits).
+  const snap::SharedRows<uint64_t>& shared_rows() const { return *rows_; }
 
  private:
-  friend class SegmentSnapshotPool;
-  template <typename>
-  friend class snapshot_internal::PoolBase;
-  slab::SlabPool paths_;
-  uint64_t epoch_ = 0;
+  friend class SegmentSnapshotBuilder;
+  explicit FrozenSegments(
+      std::shared_ptr<const snap::SharedRows<uint64_t>> rows)
+      : rows_(std::move(rows)) {}
+
+  std::shared_ptr<const snap::SharedRows<uint64_t>> rows_;
 };
 
-/// Immutable copy of the graph's adjacency at one publish epoch: the
+/// Immutable view of the graph's adjacency at one publish epoch: the
 /// out-side always, the in-side only when requested (SALSA walks step
 /// backwards; PageRank walks never do). Mirrors the DiGraph read API the
 /// walkers use, including bit-identical neighbour sampling: rows are
-/// copied in canonical slot order, so the same RNG stream draws the same
-/// neighbours as a live walk at the same epoch.
+/// captured in canonical slot order, so the same RNG stream draws the
+/// same neighbours as a live walk at the same epoch.
 class FrozenAdjacency {
  public:
-  uint64_t epoch() const { return epoch_; }
-  std::size_t num_nodes() const { return out_.num_rows(); }
-  bool has_in_side() const { return has_in_; }
+  uint64_t epoch() const { return out_->epoch(); }
+  std::size_t num_nodes() const { return out_->num_rows(); }
+  bool has_in_side() const { return in_ != nullptr; }
 
-  std::size_t OutDegree(NodeId v) const { return out_.Size(v); }
+  std::size_t OutDegree(NodeId v) const { return out_->Row(v).size(); }
   std::span<const NodeId> OutNeighbors(NodeId v) const {
-    return out_.RowSpan(v);
+    return out_->Row(v);
   }
   NodeId RandomOutNeighbor(NodeId v, Rng* rng) const {
-    const auto outs = out_.RowSpan(v);
+    const auto outs = out_->Row(v);
     if (outs.empty()) return kInvalidNode;
     return outs[rng->UniformIndex(outs.size())];
   }
 
   std::size_t InDegree(NodeId v) const {
-    FASTPPR_CHECK(has_in_);
-    return in_.Size(v);
+    FASTPPR_CHECK(in_ != nullptr);
+    return in_->Row(v).size();
   }
   std::span<const NodeId> InNeighbors(NodeId v) const {
-    FASTPPR_CHECK(has_in_);
-    return in_.RowSpan(v);
+    FASTPPR_CHECK(in_ != nullptr);
+    return in_->Row(v);
   }
   NodeId RandomInNeighbor(NodeId v, Rng* rng) const {
     const auto ins = InNeighbors(v);
@@ -212,246 +203,219 @@ class FrozenAdjacency {
     return ins[rng->UniformIndex(ins.size())];
   }
 
-  /// Heap bytes of this frozen copy (both sides' arenas + row tables).
+  /// Heap bytes reachable from this view (both sides).
   std::size_t MemoryBytes() const {
-    return out_.MemoryBytes() + in_.MemoryBytes();
+    return out_->MemoryBytes() + (in_ != nullptr ? in_->MemoryBytes() : 0);
   }
+
+  /// Test hooks (chunk refcount audits).
+  const snap::SharedRows<NodeId>& shared_out() const { return *out_; }
 
  private:
-  friend class AdjacencySnapshotPool;
-  template <typename>
-  friend class snapshot_internal::PoolBase;
-  slab::BasicSlabPool<NodeId> out_;
-  slab::BasicSlabPool<NodeId> in_;
-  bool has_in_ = false;
-  uint64_t epoch_ = 0;
+  friend class AdjacencySnapshotBuilder;
+  FrozenAdjacency() = default;
+
+  std::shared_ptr<const snap::SharedRows<NodeId>> out_;
+  std::shared_ptr<const snap::SharedRows<NodeId>> in_;
 };
 
-namespace snapshot_internal {
-
-/// Shared pool mechanics for both snapshot kinds. `Buffer` is the frozen
-/// view type; the derived pool supplies the copy routines. Writer-only
-/// except SelectForPublish (see the header comment's contract).
-template <typename Buffer>
-class PoolBase {
+/// Capture/assemble pair for ONE shard's frozen segment table. The
+/// dirty feed passed to Capture carries GLOBAL segment ids (the store's
+/// native addressing); the builder translates through the shared
+/// SegmentOwnership map. Thread contract: Capture on the boundary
+/// thread, Assemble on the publisher thread, never concurrently with
+/// each other for the same window (the publish queue orders them).
+class SegmentSnapshotBuilder {
  public:
-  /// Phase 1 — MUST be called under the caller's flip mutex. Picks the
-  /// buffer the next publish will fill: a retired one (only the pool
-  /// still references it) or none (the publish phase then allocates).
-  /// Also frees retired buffers beyond one spare, so a burst of slow
-  /// readers does not pin pool memory forever. Stable compaction: kept
-  /// buffers never change relative order, so the selected index stays
-  /// valid.
-  void SelectForPublish() {
-    selected_ = kNone;
-    std::size_t retired_kept = 0;
-    std::size_t w = 0;
-    for (std::size_t r = 0; r < pool_.size(); ++r) {
-      const bool retired = pool_[r].buf.use_count() == 1;
-      if (retired && retired_kept == 2) continue;  // dropped by resize
-      if (retired) {
-        ++retired_kept;
-        if (selected_ == kNone) selected_ = w;
-      }
-      if (w != r) pool_[w] = std::move(pool_[r]);
-      ++w;
-    }
-    pool_.resize(w);
-  }
-
- protected:
-  struct Pooled {
-    std::shared_ptr<Buffer> buf;
-    /// Dirty rows accumulated since `buf`'s content epoch. May repeat
-    /// across windows; re-copying a row is idempotent.
-    std::vector<uint64_t> pending;
-    bool needs_full = true;
-  };
-
-  /// Phase 2 core — outside the mutex. Appends `dirty` to every pooled
-  /// buffer's pending delta, then brings the selected (or a freshly
-  /// allocated) buffer up to date via `full_copy` / `apply_row` and
-  /// stamps it. Returns the publishable reference.
-  /// `pending_cap` bounds each buffer's accumulated delta, mirroring the
-  /// store-side feeds' overflow rule: past it a full copy is cheaper
-  /// (and a buffer pinned across many windows must not grow without
-  /// bound), so the buffer flips to needs_full and drops its delta.
-  template <typename FullCopyFn, typename ApplyRowFn>
-  std::shared_ptr<const Buffer> PublishWith(std::span<const uint64_t> dirty,
-                                            uint64_t epoch, bool force_full,
-                                            std::size_t pending_cap,
-                                            const FullCopyFn& full_copy,
-                                            const ApplyRowFn& apply_row) {
-    for (Pooled& p : pool_) {
-      if (force_full) p.needs_full = true;
-      if (!p.needs_full &&
-          p.pending.size() + dirty.size() > pending_cap) {
-        p.needs_full = true;
-      }
-      if (p.needs_full) {
-        p.pending.clear();
-      } else {
-        p.pending.insert(p.pending.end(), dirty.begin(), dirty.end());
-      }
-    }
-    if (selected_ == kNone) {
-      pool_.push_back(Pooled{std::make_shared<Buffer>(), {}, true});
-      selected_ = pool_.size() - 1;
-    }
-    Pooled& slot = pool_[selected_];
-    selected_ = kNone;
-    if (slot.needs_full) {
-      full_copy(slot.buf.get());
-      slot.needs_full = false;
-    } else {
-      for (uint64_t row : slot.pending) apply_row(slot.buf.get(), row);
-    }
-    slot.pending.clear();
-    FASTPPR_CHECK_MSG(slot.buf->epoch_ <= epoch,
-                      "snapshot publish epoch moved backwards");
-    slot.buf->epoch_ = epoch;
-    return slot.buf;
-  }
-
- private:
-  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-
-  std::vector<Pooled> pool_;
-  std::size_t selected_ = kNone;
-};
-
-}  // namespace snapshot_internal
-
-/// Version pool of FrozenSegments for ONE shard's walk store, publishing
-/// into that shard's dense owned-row table. `Store` is WalkStore or
-/// SalsaWalkStore (anything exposing SegmentWords(global_seg)). The
-/// dirty feed passed to Publish carries GLOBAL segment ids (the store's
-/// native addressing); the pool translates through the shared
-/// SegmentOwnership map.
-class SegmentSnapshotPool
-    : public snapshot_internal::PoolBase<FrozenSegments> {
- public:
-  SegmentSnapshotPool(std::shared_ptr<const SegmentOwnership> ownership,
-                      std::size_t shard)
-      : ownership_(std::move(ownership)), shard_(shard) {
+  SegmentSnapshotBuilder(
+      std::shared_ptr<const SegmentOwnership> ownership, std::size_t shard,
+      snap::SharedRowBuilder<uint64_t>::Options opts = {})
+      : ownership_(std::move(ownership)), shard_(shard), builder_(opts) {
     FASTPPR_CHECK(ownership_ != nullptr &&
                   shard_ < ownership_->num_shards());
   }
 
-  /// Phase 2 — outside the mutex. `dirty` is the store's dirty-segment
-  /// feed since the last publish (global ids; the caller clears it
-  /// afterwards); `force_full` discards the delta optimization for this
-  /// and every pooled buffer (untracked mutations).
+  /// Boundary-thread half: reads the store at a frozen window boundary.
+  /// `dirty` is the store's dirty-segment feed since the last capture
+  /// (global ids, duplicate-inclusive; the caller clears it afterwards);
+  /// `force_full` captures the whole table (first publish, untracked
+  /// mutations, feed overflow). `Store` is WalkStore or SalsaWalkStore
+  /// (anything exposing SegmentWords(global_seg)).
   template <typename Store>
-  std::shared_ptr<const FrozenSegments> Publish(
-      const Store& store, std::span<const uint64_t> dirty, uint64_t epoch,
-      bool force_full) {
+  void Capture(const Store& store, std::span<const uint64_t> dirty,
+               bool force_full, snap::CapturedRows<uint64_t>* out) {
     const SegmentOwnership& own = *ownership_;
-    const std::size_t shard = shard_;
-    const std::size_t rows = own.owned_rows(shard);
-    return PublishWith(
-        dirty, epoch, force_full, /*pending_cap=*/rows + 64,
-        [&store, &own, shard, rows](FrozenSegments* out) {
-          std::vector<uint32_t> sizes(rows);
-          for (std::size_t row = 0; row < rows; ++row) {
-            sizes[row] = static_cast<uint32_t>(
-                store.SegmentWords(own.GlobalRowOf(shard, row)).size());
-          }
-          out->paths_.ResetWithCapacities(sizes);
-          for (std::size_t row = 0; row < rows; ++row) {
-            out->paths_.AssignRow(
-                row, store.SegmentWords(own.GlobalRowOf(shard, row)));
-          }
-        },
-        [&store, &own, shard, rows](FrozenSegments* out, uint64_t seg) {
-          // A future growable-node engine must fail loudly, not read a
-          // stale row table out of bounds.
-          FASTPPR_CHECK_MSG(out->paths_.num_rows() == rows,
-                            "frozen segment row count no longer matches "
-                            "the store — publish a full rebuild");
-          // The stores only repair their own walks, so every dirty id
-          // must already be owned here; a foreign id means the feeds
-          // got crossed, which must not silently corrupt a dense row.
-          FASTPPR_CHECK_MSG(
-              own.OwnerOf(static_cast<NodeId>(
-                  seg / own.segments_per_node())) == shard,
-              "dirty segment not owned by this shard's snapshot");
-          out->paths_.AssignRow(own.LocalRowOfGlobal(seg),
-                                store.SegmentWords(seg));
-        });
+    const std::size_t rows = own.owned_rows(shard_);
+    out->Clear();
+    if (force_full) {
+      out->full = true;
+      out->offsets.reserve(rows + 1);
+      out->offsets.push_back(0);
+      for (std::size_t row = 0; row < rows; ++row) {
+        const auto words = store.SegmentWords(own.GlobalRowOf(shard_, row));
+        out->arena.insert(out->arena.end(), words.begin(), words.end());
+        out->offsets.push_back(out->arena.size());
+      }
+      return;
+    }
+    // Presented volume (the delta-byte denominator): per feed ENTRY,
+    // duplicates included — that is the replay work a feed-driven copy
+    // model performs.
+    auto& st = *builder_.stats();
+    uint64_t presented = 0;
+    scratch_.clear();
+    for (uint64_t seg : dirty) {
+      // The stores only repair their own walks, so every dirty id must
+      // already be owned here; a foreign id means the feeds got
+      // crossed, which must not silently corrupt a dense row.
+      FASTPPR_CHECK_MSG(
+          own.OwnerOf(static_cast<NodeId>(
+              seg / own.segments_per_node())) == shard_,
+          "dirty segment not owned by this shard's snapshot");
+      presented += sizeof(uint64_t) +
+                   store.SegmentWords(seg).size() * sizeof(uint64_t);
+      scratch_.push_back(own.LocalRowOfGlobal(seg));
+    }
+    st.presented_entries.fetch_add(dirty.size(),
+                                   std::memory_order_relaxed);
+    st.presented_bytes.fetch_add(presented, std::memory_order_relaxed);
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+    out->rows = scratch_;
+    out->offsets.reserve(scratch_.size() + 1);
+    out->offsets.push_back(0);
+    for (uint64_t local : scratch_) {
+      const auto words =
+          store.SegmentWords(own.GlobalRowOf(shard_, local));
+      out->arena.insert(out->arena.end(), words.begin(), words.end());
+      out->offsets.push_back(out->arena.size());
+    }
   }
+
+  /// Publisher-thread half: folds the capture into the shared chain.
+  std::shared_ptr<const FrozenSegments> Assemble(
+      snap::CapturedRows<uint64_t>&& cap, uint64_t epoch) {
+    return std::shared_ptr<const FrozenSegments>(
+        new FrozenSegments(builder_.Publish(std::move(cap), epoch)));
+  }
+
+  const snap::SharedPublishStats& stats() const { return builder_.stats(); }
 
  private:
   std::shared_ptr<const SegmentOwnership> ownership_;
   std::size_t shard_;
+  snap::SharedRowBuilder<uint64_t> builder_;
+  std::vector<uint64_t> scratch_;
 };
 
-/// Version pool of FrozenAdjacency over the shared social graph.
-class AdjacencySnapshotPool
-    : public snapshot_internal::PoolBase<FrozenAdjacency> {
- public:
-  /// `capture_in` fixes whether copies carry the in-side (decided once
-  /// by the serving engine: SALSA yes, PageRank no).
-  explicit AdjacencySnapshotPool(bool capture_in)
-      : capture_in_(capture_in) {}
+/// The capture payload of one adjacency publish (both sides).
+struct AdjacencyCapture {
+  snap::CapturedRows<NodeId> out;
+  snap::CapturedRows<NodeId> in;
+};
 
-  /// Phase 2 — outside the mutex. `applied` are the graph mutations
-  /// since the last publish: edge (u, v) dirties u's out-row and (when
-  /// captured) v's in-row. The packed dirty words are built into a
-  /// reusable scratch, so the steady-state publish is allocation-free.
-  std::shared_ptr<const FrozenAdjacency> Publish(
-      const DiGraph& g, std::span<const Edge> applied, uint64_t epoch,
-      bool force_full) {
-    dirty_scratch_.clear();
-    dirty_scratch_.reserve(applied.size() * (capture_in_ ? 2 : 1));
+/// Capture/assemble pair for the frozen adjacency. `capture_in` fixes
+/// whether views carry the in-side (decided once by the serving engine:
+/// SALSA yes, PageRank no). Same thread contract as
+/// SegmentSnapshotBuilder.
+class AdjacencySnapshotBuilder {
+ public:
+  explicit AdjacencySnapshotBuilder(
+      bool capture_in, snap::SharedRowBuilder<NodeId>::Options opts = {})
+      : capture_in_(capture_in), out_b_(opts), in_b_(opts) {}
+
+  /// `applied` are the graph mutations since the last capture: edge
+  /// (u, v) dirties u's out-row and (when captured) v's in-row. `g`
+  /// must be the graph frozen at the capture's window boundary — in the
+  /// pipelined engine that is the repair replica, NOT the primary the
+  /// caller keeps mutating.
+  void Capture(const DiGraph& g, std::span<const Edge> applied,
+               bool force_full, AdjacencyCapture* out) {
+    if (force_full) {
+      FullSide(g, /*in_side=*/false, &out->out);
+      if (capture_in_) FullSide(g, /*in_side=*/true, &out->in);
+      return;
+    }
+    out_scratch_.clear();
+    in_scratch_.clear();
+    uint64_t out_presented = 0;
+    uint64_t in_presented = 0;
     for (const Edge& e : applied) {
-      dirty_scratch_.push_back(PackRow(/*in_side=*/false, e.src));
+      out_scratch_.push_back(e.src);
+      out_presented += sizeof(uint64_t) +
+                       g.OutDegree(e.src) * sizeof(NodeId);
       if (capture_in_) {
-        dirty_scratch_.push_back(PackRow(/*in_side=*/true, e.dst));
+        in_scratch_.push_back(e.dst);
+        in_presented += sizeof(uint64_t) +
+                        g.InDegree(e.dst) * sizeof(NodeId);
       }
     }
-    return PublishWith(
-        dirty_scratch_, epoch, force_full,
-        /*pending_cap=*/8 * g.num_nodes(),
-        [this, &g](FrozenAdjacency* out) {
-          out->has_in_ = capture_in_;
-          FullCopySide(g, /*in_side=*/false, out);
-          if (capture_in_) FullCopySide(g, /*in_side=*/true, out);
-        },
-        [&g](FrozenAdjacency* out, uint64_t row) {
-          const bool in_side = (row & 1) != 0;
-          const NodeId v = static_cast<NodeId>(row >> 1);
-          auto& side = in_side ? out->in_ : out->out_;
-          FASTPPR_CHECK_MSG(side.num_rows() == g.num_nodes(),
-                            "frozen adjacency row count no longer "
-                            "matches the graph — publish a full rebuild");
-          side.AssignRow(v, in_side ? g.InNeighbors(v)
-                                    : g.OutNeighbors(v));
-        });
+    auto& so = *out_b_.stats();
+    so.presented_entries.fetch_add(applied.size(),
+                                   std::memory_order_relaxed);
+    so.presented_bytes.fetch_add(out_presented, std::memory_order_relaxed);
+    DeltaSide(g, /*in_side=*/false, &out_scratch_, &out->out);
+    if (capture_in_) {
+      auto& si = *in_b_.stats();
+      si.presented_entries.fetch_add(applied.size(),
+                                     std::memory_order_relaxed);
+      si.presented_bytes.fetch_add(in_presented,
+                                   std::memory_order_relaxed);
+      DeltaSide(g, /*in_side=*/true, &in_scratch_, &out->in);
+    }
   }
+
+  std::shared_ptr<const FrozenAdjacency> Assemble(AdjacencyCapture&& cap,
+                                                  uint64_t epoch) {
+    auto view = std::shared_ptr<FrozenAdjacency>(new FrozenAdjacency());
+    view->out_ = out_b_.Publish(std::move(cap.out), epoch);
+    if (capture_in_) view->in_ = in_b_.Publish(std::move(cap.in), epoch);
+    return view;
+  }
+
+  bool capture_in() const { return capture_in_; }
+  const snap::SharedPublishStats& out_stats() const {
+    return out_b_.stats();
+  }
+  const snap::SharedPublishStats& in_stats() const { return in_b_.stats(); }
 
  private:
-  static uint64_t PackRow(bool in_side, NodeId v) {
-    return (static_cast<uint64_t>(v) << 1) | (in_side ? 1 : 0);
+  static void FullSide(const DiGraph& g, bool in_side,
+                       snap::CapturedRows<NodeId>* out) {
+    const std::size_t n = g.num_nodes();
+    out->Clear();
+    out->full = true;
+    out->offsets.reserve(n + 1);
+    out->offsets.push_back(0);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto row = in_side ? g.InNeighbors(v) : g.OutNeighbors(v);
+      out->arena.insert(out->arena.end(), row.begin(), row.end());
+      out->offsets.push_back(out->arena.size());
+    }
   }
 
-  static void FullCopySide(const DiGraph& g, bool in_side,
-                           FrozenAdjacency* out) {
-    const std::size_t n = g.num_nodes();
-    std::vector<uint32_t> sizes(n);
-    for (NodeId v = 0; v < n; ++v) {
-      sizes[v] = static_cast<uint32_t>(in_side ? g.InDegree(v)
-                                               : g.OutDegree(v));
-    }
-    auto& side = in_side ? out->in_ : out->out_;
-    side.ResetWithCapacities(sizes);
-    for (NodeId v = 0; v < n; ++v) {
-      side.AssignRow(v, in_side ? g.InNeighbors(v) : g.OutNeighbors(v));
+  static void DeltaSide(const DiGraph& g, bool in_side,
+                        std::vector<NodeId>* dirty,
+                        snap::CapturedRows<NodeId>* out) {
+    std::sort(dirty->begin(), dirty->end());
+    dirty->erase(std::unique(dirty->begin(), dirty->end()), dirty->end());
+    out->Clear();
+    out->rows.assign(dirty->begin(), dirty->end());
+    out->offsets.reserve(dirty->size() + 1);
+    out->offsets.push_back(0);
+    for (NodeId v : *dirty) {
+      const auto row = in_side ? g.InNeighbors(v) : g.OutNeighbors(v);
+      out->arena.insert(out->arena.end(), row.begin(), row.end());
+      out->offsets.push_back(out->arena.size());
     }
   }
 
   bool capture_in_;
-  std::vector<uint64_t> dirty_scratch_;
+  snap::SharedRowBuilder<NodeId> out_b_;
+  snap::SharedRowBuilder<NodeId> in_b_;
+  std::vector<NodeId> out_scratch_;
+  std::vector<NodeId> in_scratch_;
 };
 
 }  // namespace fastppr

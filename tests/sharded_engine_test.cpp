@@ -12,10 +12,18 @@
 //    flat walker bit for bit at every frozen epoch, and run concurrently
 //    with live ingestion (the PR 4 segment-snapshot serving path; this
 //    file is the TSan CI job's target, so those stress tests run under
-//    ThreadSanitizer on every push).
+//    ThreadSanitizer on every push);
+//  * the pipelined execution model (PR 9) is bit-identical to the
+//    --lockstep escape hatch at EVERY published epoch (SerializeState
+//    differential at S in {1, 4}), and the three overlapped stages
+//    survive a TSan stress run against PersonalizedTopK readers with a
+//    mid-pipeline durability quiesce + bit-identical Recover (the
+//    `*Pipelined*` filter the CI TSan job runs at FASTPPR_STRESS_THREADS).
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <span>
 #include <thread>
 #include <vector>
@@ -196,15 +204,31 @@ TEST(ShardedEngineTest, FourShardsInvariantAcrossThreadCounts) {
 }
 
 TEST(ShardedEngineTest, ShardsShareOneSocialStore) {
-  // PR 3: the per-shard graph replicas are gone — every shard reads the
-  // same epoch-versioned Social Store, so graph memory is paid once.
+  // PR 3: the per-shard graph replicas are gone — all S shards read ONE
+  // epoch-versioned Social Store, so repair-side graph memory is paid
+  // once. In the default pipelined mode that shared store is the repair
+  // replica (distinct from the caller-owned primary); in lockstep mode
+  // it is the primary itself.
   const std::size_t n = 120;
   const std::size_t S = 4;
   ShardedEngine<IncrementalPageRank> engine(n, Opts(2, 0.2, 3),
                                             ShardedOptions{S, 2});
+  ASSERT_FALSE(engine.lockstep());
   for (std::size_t s = 0; s < S; ++s) {
-    EXPECT_EQ(&engine.shard(s).social_store(), &engine.social_store());
-    EXPECT_EQ(&engine.shard(s).graph(), &engine.graph());
+    EXPECT_EQ(&engine.shard(s).social_store(),
+              &engine.shard(0).social_store());
+    EXPECT_EQ(&engine.shard(s).graph(), &engine.shard(0).graph());
+  }
+  EXPECT_NE(&engine.shard(0).social_store(), &engine.social_store());
+
+  ShardedOptions lopts{S, 2};
+  lopts.lockstep = true;
+  ShardedEngine<IncrementalPageRank> lockstep(n, Opts(2, 0.2, 3), lopts);
+  ASSERT_TRUE(lockstep.lockstep());
+  for (std::size_t s = 0; s < S; ++s) {
+    EXPECT_EQ(&lockstep.shard(s).social_store(),
+              &lockstep.social_store());
+    EXPECT_EQ(&lockstep.shard(s).graph(), &lockstep.graph());
   }
   EXPECT_GT(engine.GraphMemoryBytes(), 0u);
 
@@ -213,12 +237,49 @@ TEST(ShardedEngineTest, ShardsShareOneSocialStore) {
   StreamWindows(events, [&](std::span<const EdgeEvent> w) {
     ASSERT_TRUE(engine.ApplyEvents(w).ok());
   });
-  // Every successful mutation bumped the shared epoch exactly once —
+  // Every successful mutation bumped the primary's epoch exactly once —
   // the single-writer contract's freeze token moved only in ingest
   // phases (a mutation during parallel repair would have aborted).
   EXPECT_EQ(engine.social_store().epoch(), epoch_before + events.size());
   EXPECT_EQ(engine.social_store().writes(), events.size());
+  // CheckConsistency drains the pipeline and proves the repair replica
+  // converged to the primary's exact edge set and epoch.
   engine.CheckConsistency();
+}
+
+TEST(ShardedEngineTest, PipelinedMatchesLockstepBitForBitPerEpoch) {
+  // The tentpole oracle: the pipelined engine (ingest k+1 overlapping
+  // repair k overlapping publish k-1) is bit-identical to the
+  // --lockstep escape hatch at EVERY published epoch — same serialized
+  // graph slabs, walk slabs, RNG streams, counters and ledgers — for
+  // S in {1, 4} and differing worker thread counts.
+  const std::size_t n = 150;
+  const auto events = MixedStream(n, 131, 0.2);
+  const MonteCarloOptions mc = Opts(3, 0.2, 71);
+  for (std::size_t S : {1ul, 4ul}) {
+    ShardedOptions popts{S, 4};
+    ShardedOptions lopts{S, 2};
+    lopts.lockstep = true;
+    ShardedEngine<IncrementalPageRank> pipelined(n, mc, popts);
+    ShardedEngine<IncrementalPageRank> lockstep(n, mc, lopts);
+    ASSERT_FALSE(pipelined.lockstep());
+    ASSERT_TRUE(lockstep.lockstep());
+
+    uint64_t epoch = 0;
+    StreamWindows(events, [&](std::span<const EdgeEvent> w) {
+      ASSERT_TRUE(pipelined.ApplyEvents(w).ok());
+      ASSERT_TRUE(lockstep.ApplyEvents(w).ok());
+      ++epoch;
+      // SerializeState drains the pipeline: the comparison is defined
+      // at the window boundary the lockstep engine is already at.
+      ASSERT_EQ(pipelined.SerializeState(), lockstep.SerializeState())
+          << "S=" << S << " epoch=" << epoch;
+      ASSERT_EQ(pipelined.windows_applied(), epoch);
+    });
+    pipelined.CheckConsistency();
+    lockstep.CheckConsistency();
+    EXPECT_EQ(pipelined.TopK(10), lockstep.TopK(10));
+  }
 }
 
 TEST(ShardedEngineTest, SharedGraphEquivalenceOnMixedStream) {
@@ -376,6 +437,7 @@ TEST(QueryServiceTest, PersonalizedTopKMatchesFlatWalkerAtOneShard) {
   }
   ASSERT_TRUE(flat.ApplyEvents(events).ok());
   ASSERT_TRUE(service.Ingest(events).ok());
+  service.Quiesce();  // pipelined publishes are async; wait for the flip
 
   PersonalizedPageRankWalker walker(&flat.walk_store(),
                                     &flat.social_store());
@@ -451,6 +513,7 @@ TEST(QueryServiceTest, PersonalizedReadAtFrozenEpochMatchesFlatEngine) {
     const std::span<const EdgeEvent> w(events.data() + i, hi - i);
     ASSERT_TRUE(flat.ApplyEvents(w).ok());
     ASSERT_TRUE(service.Ingest(w).ok());
+    service.Quiesce();
     ++epoch;
 
     const NodeId seed = static_cast<NodeId>((epoch * 37) % n);
@@ -540,6 +603,7 @@ TEST(QueryServiceTest, DenseFrozenReadsMatchLiveShardedWalkerAtSOneAndFour) {
               .Ingest(std::span<const EdgeEvent>(events.data() + i,
                                                  hi - i))
               .ok());
+      service.Quiesce();
       ++epoch;
 
       const NodeId seed = static_cast<NodeId>((epoch * 31 + S) % n);
@@ -632,6 +696,7 @@ TEST(QueryServiceTest, DenseMapResolutionDuringPublishRotation) {
   r1.join();
   r2.join();
   EXPECT_GT(reads.load(), 0u);
+  service.Quiesce();
   engine.CheckConsistency();
 
   // Quiescent: the dense frozen tables hold exactly one global table's
@@ -767,6 +832,7 @@ TEST(QueryServiceTest, PersonalizedSalsaServesAcrossShards) {
     events.push_back(EdgeEvent{EdgeEvent::Kind::kInsert, e});
   }
   ASSERT_TRUE(service.Ingest(events).ok());
+  service.Quiesce();
 
   std::vector<ScoredNode> ranked;
   SalsaWalkResult walk;
@@ -784,6 +850,87 @@ TEST(QueryServiceTest, PersonalizedSalsaServesAcrossShards) {
       EXPECT_NE(s.node, friend_node);
     }
   }
+}
+
+TEST(QueryServiceTest, PipelinedStressReadersAndMidPipelineRecovery) {
+  // TSan target for the pipeline itself: the three overlapped stages
+  // (caller ingest, pool repair, publisher assemble) race against
+  // PersonalizedTopK readers on the frozen views while the WAL logs
+  // every window; a Checkpoint mid-stream quiesces the pipeline with
+  // windows still in flight, and a post-hoc Recover must reproduce the
+  // engine bit for bit (the crash-recovery oracle composed with the
+  // pipeline). Reader count scales with FASTPPR_STRESS_THREADS (the CI
+  // TSan job runs this filter at 4).
+  const std::size_t n = 120;
+  const auto events = MixedStream(n, 143, 0.2);
+  std::size_t readers = 2;
+  if (const char* env = std::getenv("FASTPPR_STRESS_THREADS")) {
+    readers = std::max<std::size_t>(1, std::atoi(env));
+  }
+  const std::string dir =
+      ::testing::TempDir() + "fastppr_pipelined_stress_ckpt";
+  std::filesystem::remove_all(dir);
+
+  ShardedEngine<IncrementalPageRank> engine(n, Opts(2, 0.25, 83),
+                                            ShardedOptions{4, 2});
+  DurabilityOptions dopts;
+  dopts.directory = dir;
+  dopts.checkpoint_interval_windows = 0;  // explicit Checkpoint() only
+  ASSERT_TRUE(engine.EnableDurability(dopts).ok());
+  QueryService<IncrementalPageRank> service(&engine);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+  auto reader = [&](uint64_t salt) {
+    uint64_t q = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<ScoredNode> ranked;
+      SnapshotInfo info;
+      const Status s = service.PersonalizedTopK(
+          static_cast<NodeId>((salt + q * 19) % n), 5, 600,
+          /*exclude_friends=*/q % 2 == 0, /*rng_seed=*/q ^ salt, &ranked,
+          nullptr, &info);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(info.min_epoch, info.max_epoch);
+      EXPECT_LE(info.max_epoch, service.published_epoch());
+      ++q;
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(readers);
+  for (std::size_t r = 0; r < readers; ++r) {
+    pool.emplace_back(reader, 7 + 31 * r);
+  }
+
+  std::size_t i = 0;
+  std::size_t window_idx = 0;
+  while (i < events.size()) {
+    const std::size_t hi = std::min(events.size(), i + 12);
+    ASSERT_TRUE(service
+                    .Ingest(std::span<const EdgeEvent>(events.data() + i,
+                                                       hi - i))
+                    .ok());
+    if (++window_idx == 7) {
+      // Mid-pipeline quiesce: windows may still be in repair/publish
+      // flight; Checkpoint must drain them and snapshot a boundary.
+      ASSERT_TRUE(engine.Checkpoint().ok());
+    }
+    i = hi;
+  }
+  ASSERT_TRUE(engine.Checkpoint().ok());
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : pool) t.join();
+  EXPECT_GT(reads.load(), 0u);
+  service.Quiesce();
+  engine.CheckConsistency();
+
+  std::unique_ptr<ShardedEngine<IncrementalPageRank>> recovered;
+  ASSERT_TRUE(ShardedEngine<IncrementalPageRank>::Recover(dir, 2,
+                                                          &recovered)
+                  .ok());
+  EXPECT_EQ(recovered->SerializeState(), engine.SerializeState());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
