@@ -70,6 +70,61 @@ std::vector<ScoredNode> RankVisits(
     const std::unordered_map<NodeId, int64_t>& counts, std::size_t k,
     uint64_t walk_length, const std::vector<NodeId>& exclude);
 
+/// Dense-array variant of RankVisits for the reusable walk scratch:
+/// `touched` lists the nodes whose `counts` slot is live (in first-visit
+/// order), `excluded` is a dense flag array. The ranking it produces is
+/// bit-identical to RankVisits over the equivalent map — the partial_sort
+/// comparator (visits desc, node asc) is a strict total order over
+/// distinct nodes, so insertion order cannot leak into the output.
+/// `tmp` is caller-owned scratch whose capacity is retained across calls.
+void RankVisitsDenseInto(const std::vector<int64_t>& counts,
+                         const std::vector<NodeId>& touched,
+                         const std::vector<uint8_t>& excluded, std::size_t k,
+                         uint64_t walk_length, std::vector<ScoredNode>* tmp,
+                         std::vector<ScoredNode>* ranked);
+
+/// Reusable per-thread scratch for batched PersonalizedTopK execution.
+/// Replaces the per-walk unordered_map accumulation with O(num_nodes)
+/// dense arrays that are allocated once (amortized across a batch) and
+/// reset in O(nodes touched) between walks. A walk that aborts mid-way
+/// (deadline, fetch budget) leaves the arrays dirty; Prepare() runs at
+/// the start of every use and self-heals from the touched lists.
+struct PersonalizedWalkScratch {
+  /// used[v] == kNotFetched means v has not been fetched this walk;
+  /// otherwise it holds the number of stored segments consumed at v.
+  static constexpr uint32_t kNotFetched = 0xFFFFFFFFu;
+
+  std::vector<int64_t> counts;     ///< live iff the node is in `visited`
+  std::vector<NodeId> visited;     ///< first-visit order
+  std::vector<uint32_t> used;      ///< consumed segments, kNotFetched gate
+  std::vector<NodeId> fetched;     ///< nodes with used[v] != kNotFetched
+  std::vector<uint8_t> excluded;   ///< dense exclusion flags for ranking
+  std::vector<NodeId> excluded_nodes;
+  std::vector<ScoredNode> ranked_tmp;
+
+  void Prepare(std::size_t num_nodes) {
+    if (counts.size() != num_nodes) {
+      counts.assign(num_nodes, 0);
+      used.assign(num_nodes, kNotFetched);
+      excluded.assign(num_nodes, 0);
+    } else {
+      for (NodeId v : visited) counts[v] = 0;
+      for (NodeId v : fetched) used[v] = kNotFetched;
+      for (NodeId v : excluded_nodes) excluded[v] = 0;
+    }
+    visited.clear();
+    fetched.clear();
+    excluded_nodes.clear();
+  }
+
+  void MarkExcluded(NodeId v) {
+    if (!excluded[v]) {
+      excluded[v] = 1;
+      excluded_nodes.push_back(v);
+    }
+  }
+};
+
 /// Algorithm 1 of the paper: a personalized PageRank walk from a seed that
 /// opportunistically consumes the stored walk segments (one use each) and
 /// falls back to manual steps on the fetched adjacency afterwards.
@@ -117,6 +172,131 @@ class BasicPersonalizedPageRankWalker {
       return Status::InvalidArgument("seed node out of range");
     }
     *out = PersonalizedWalkResult{};
+    MapWalkState state{out, {}};
+    return WalkCore(seed, length, rng_seed, state, out);
+  }
+
+  /// Returns the k most-visited nodes of a stitched walk of the given
+  /// length, excluding the seed itself and (optionally) the seed's direct
+  /// out-neighbours — a recommender never recommends existing friends
+  /// (Remark 3 of the paper).
+  Status TopK(NodeId seed, std::size_t k, uint64_t length,
+              bool exclude_friends, uint64_t rng_seed,
+              std::vector<ScoredNode>* ranked,
+              PersonalizedWalkResult* walk_stats = nullptr) const {
+    PersonalizedWalkResult walk;
+    FASTPPR_RETURN_IF_ERROR(Walk(seed, length, rng_seed, &walk));
+    std::vector<NodeId> exclude{seed};
+    if (exclude_friends) {
+      for (NodeId v : graph_->OutNeighbors(seed)) {
+        exclude.push_back(v);
+      }
+    }
+    *ranked = RankVisits(walk.visit_counts, k, walk.length, exclude);
+    if (walk_stats != nullptr) *walk_stats = std::move(walk);
+    return Status::OK();
+  }
+
+  /// TopK accumulating into a reusable dense scratch instead of per-walk
+  /// hash maps. The walk logic, RNG stream, deadline polls and fetch
+  /// accounting are shared with Walk() via WalkCore, and the ranking is
+  /// produced by the total-order comparator, so the output is
+  /// bit-identical to TopK() at the same (seed, length, rng_seed) —
+  /// asserted by the batched-vs-unbatched differential test. On return,
+  /// `walk_stats` (when provided) carries the counters but leaves
+  /// `visit_counts` empty: the dense scratch replaces the map.
+  Status TopKInto(NodeId seed, std::size_t k, uint64_t length,
+                  bool exclude_friends, uint64_t rng_seed,
+                  PersonalizedWalkScratch* scratch,
+                  std::vector<ScoredNode>* ranked,
+                  PersonalizedWalkResult* walk_stats = nullptr) const {
+    FASTPPR_CHECK(scratch != nullptr && ranked != nullptr);
+    if (seed >= graph_->num_nodes()) {
+      return Status::InvalidArgument("seed node out of range");
+    }
+    scratch->Prepare(graph_->num_nodes());
+    PersonalizedWalkResult local;
+    PersonalizedWalkResult* stats =
+        walk_stats != nullptr ? walk_stats : &local;
+    *stats = PersonalizedWalkResult{};
+    DenseWalkState state{scratch};
+    FASTPPR_RETURN_IF_ERROR(WalkCore(seed, length, rng_seed, state, stats));
+    scratch->MarkExcluded(seed);
+    if (exclude_friends) {
+      for (NodeId v : graph_->OutNeighbors(seed)) {
+        scratch->MarkExcluded(v);
+      }
+    }
+    RankVisitsDenseInto(scratch->counts, scratch->visited, scratch->excluded,
+                        k, stats->length, &scratch->ranked_tmp, ranked);
+    return Status::OK();
+  }
+
+  /// TopK with the walk length chosen by equation (4) of the paper:
+  /// s_k = (c/(1-alpha)) * k * (n/k)^{1-alpha}, the length at which each
+  /// of the true top-k nodes is expected to be visited `c` times under
+  /// the power-law score model with exponent `alpha`.
+  Status TopKWithTheoryLength(NodeId seed, std::size_t k, double alpha,
+                              double c, bool exclude_friends,
+                              uint64_t rng_seed,
+                              std::vector<ScoredNode>* ranked,
+                              PersonalizedWalkResult* walk_stats =
+                                  nullptr) const {
+    if (!(alpha > 0.0 && alpha < 1.0)) {
+      return Status::InvalidArgument("alpha must be in (0, 1)");
+    }
+    if (k == 0) return Status::InvalidArgument("k must be positive");
+    const double s = WalkLengthForTopK(k, graph_->num_nodes(), alpha, c);
+    const uint64_t length =
+        static_cast<uint64_t>(std::llround(std::max(1.0, s)));
+    return TopK(seed, k, length, exclude_friends, rng_seed, ranked,
+                walk_stats);
+  }
+
+ private:
+  /// Accumulation policies for WalkCore. The map state reproduces the
+  /// original per-walk containers; the dense state writes into a
+  /// PersonalizedWalkScratch. Both expose:
+  ///   Visit(v)        — count one appended position at v
+  ///   FindUsed(v)     — consumed-segment slot, nullptr if not fetched
+  ///   MarkFetched(v)  — create the slot at 0 (after the fetch charge)
+  struct MapWalkState {
+    PersonalizedWalkResult* out;
+    std::unordered_map<NodeId, uint32_t> used;
+    void Visit(NodeId v) { ++out->visit_counts[v]; }
+    uint32_t* FindUsed(NodeId v) {
+      auto it = used.find(v);
+      return it == used.end() ? nullptr : &it->second;
+    }
+    uint32_t* MarkFetched(NodeId v) {
+      return &used.emplace(v, 0u).first->second;
+    }
+  };
+
+  struct DenseWalkState {
+    PersonalizedWalkScratch* s;
+    void Visit(NodeId v) {
+      if (s->counts[v] == 0) s->visited.push_back(v);
+      ++s->counts[v];
+    }
+    uint32_t* FindUsed(NodeId v) {
+      uint32_t& slot = s->used[v];
+      return slot == PersonalizedWalkScratch::kNotFetched ? nullptr : &slot;
+    }
+    uint32_t* MarkFetched(NodeId v) {
+      s->used[v] = 0;
+      s->fetched.push_back(v);
+      return &s->used[v];
+    }
+  };
+
+  /// The walk loop shared by the map-based and dense paths. Callers have
+  /// already validated the seed and reset `out`'s counters; only the
+  /// accumulation containers differ between the two states, so the RNG
+  /// stream and every counter are identical across them by construction.
+  template <typename State>
+  Status WalkCore(NodeId seed, uint64_t length, uint64_t rng_seed,
+                  State& state, PersonalizedWalkResult* out) const {
     // A request that arrives already expired does zero accumulation:
     // the serving tier counts it as deadline-expired, not served.
     const serve::Deadline& deadline = options_.deadline;
@@ -132,12 +312,8 @@ class BasicPersonalizedPageRankWalker {
     const double eps = store_->epsilon();
     const GraphView& g = *graph_;
 
-    // Per-node query state: how many stored segments we have consumed.
-    // Presence in the map == the node has been fetched.
-    std::unordered_map<NodeId, uint32_t> used;
-
-    auto visit = [out](NodeId v) {
-      ++out->visit_counts[v];
+    auto visit = [&state, out](NodeId v) {
+      state.Visit(v);
       ++out->length;
     };
     auto charge_fetch = [this, out]() -> bool {
@@ -158,19 +334,19 @@ class BasicPersonalizedPageRankWalker {
         }
         next_deadline_poll = out->length + stride;
       }
-      auto it = used.find(cur);
-      if (it == used.end()) {
+      uint32_t* consumed = state.FindUsed(cur);
+      if (consumed == nullptr) {
         // First arrival: fetch the node (its segments + adjacency).
         if (!charge_fetch()) {
           return Status::ResourceExhausted("fetch budget exhausted");
         }
-        it = used.emplace(cur, 0).first;
+        consumed = state.MarkFetched(cur);
       }
-      if (it->second < R) {
+      if (*consumed < R) {
         // Consume one stored segment: append its tail, then the session
         // is over and the walk resets to the seed.
-        const auto seg = store_->GetSegment(cur, it->second);
-        ++it->second;
+        const auto seg = store_->GetSegment(cur, *consumed);
+        ++*consumed;
         ++out->segments_used;
         for (std::size_t p = 1; p < seg.size() && out->length < length;
              ++p) {
@@ -210,49 +386,6 @@ class BasicPersonalizedPageRankWalker {
     return Status::OK();
   }
 
-  /// Returns the k most-visited nodes of a stitched walk of the given
-  /// length, excluding the seed itself and (optionally) the seed's direct
-  /// out-neighbours — a recommender never recommends existing friends
-  /// (Remark 3 of the paper).
-  Status TopK(NodeId seed, std::size_t k, uint64_t length,
-              bool exclude_friends, uint64_t rng_seed,
-              std::vector<ScoredNode>* ranked,
-              PersonalizedWalkResult* walk_stats = nullptr) const {
-    PersonalizedWalkResult walk;
-    FASTPPR_RETURN_IF_ERROR(Walk(seed, length, rng_seed, &walk));
-    std::vector<NodeId> exclude{seed};
-    if (exclude_friends) {
-      for (NodeId v : graph_->OutNeighbors(seed)) {
-        exclude.push_back(v);
-      }
-    }
-    *ranked = RankVisits(walk.visit_counts, k, walk.length, exclude);
-    if (walk_stats != nullptr) *walk_stats = std::move(walk);
-    return Status::OK();
-  }
-
-  /// TopK with the walk length chosen by equation (4) of the paper:
-  /// s_k = (c/(1-alpha)) * k * (n/k)^{1-alpha}, the length at which each
-  /// of the true top-k nodes is expected to be visited `c` times under
-  /// the power-law score model with exponent `alpha`.
-  Status TopKWithTheoryLength(NodeId seed, std::size_t k, double alpha,
-                              double c, bool exclude_friends,
-                              uint64_t rng_seed,
-                              std::vector<ScoredNode>* ranked,
-                              PersonalizedWalkResult* walk_stats =
-                                  nullptr) const {
-    if (!(alpha > 0.0 && alpha < 1.0)) {
-      return Status::InvalidArgument("alpha must be in (0, 1)");
-    }
-    if (k == 0) return Status::InvalidArgument("k must be positive");
-    const double s = WalkLengthForTopK(k, graph_->num_nodes(), alpha, c);
-    const uint64_t length =
-        static_cast<uint64_t>(std::llround(std::max(1.0, s)));
-    return TopK(seed, k, length, exclude_friends, rng_seed, ranked,
-                walk_stats);
-  }
-
- private:
   /// Aborts (instead of dereferencing) on a null social store.
   static const DiGraph* CheckedGraph(const SocialStore* social) {
     FASTPPR_CHECK(social != nullptr);

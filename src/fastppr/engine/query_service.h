@@ -543,6 +543,106 @@ class QueryService : private ShardedEngine<Engine>::BoundarySink {
     return status;
   }
 
+  /// One request of a batched PersonalizedTopK execution: the inputs a
+  /// caller fills plus the per-item outputs the batch run writes back.
+  struct PersonalizedBatchQuery {
+    // Inputs.
+    NodeId seed = 0;
+    std::size_t k = 10;
+    uint64_t walk_length = 0;
+    bool exclude_friends = true;
+    uint64_t rng_seed = 0;
+    WalkerOptions options;
+    // Outputs.
+    Status status = Status::OK();
+    std::vector<ScoredNode> ranked;
+    SnapshotInfo snapshot;
+    uint64_t service_ns = 0;  ///< this item's walk+rank wall time
+  };
+
+  /// The reusable walker scratch batched execution shares across items
+  /// (serve/batcher.h owns one per worker thread).
+  using PersonalizedScratch =
+      std::conditional_t<kIsSalsa, SalsaWalkScratch, PersonalizedWalkScratch>;
+
+  /// Batched PersonalizedTopK: pins the frozen view ONCE for the whole
+  /// batch — one shared_ptr copy and one audited SnapshotInfo instead of
+  /// per-request pins — and accumulates every walk into `scratch`'s
+  /// dense arrays. Each item keeps its own RNG seed, walk length and
+  /// deadline, and the walk core + ranking are shared with the unbatched
+  /// path, so every item's answer is bit-identical to an unbatched
+  /// PersonalizedTopK at the same epoch (the differential test's
+  /// contract). Item statuses are reported per item; the call itself
+  /// cannot fail. The lockstep self-refresh branch is intentionally
+  /// skipped: batching is a serving-tier feature and the tier runs
+  /// pipelined, where views refresh at every boundary anyway.
+  void PersonalizedTopKInto(std::span<PersonalizedBatchQuery> batch,
+                            PersonalizedScratch* scratch,
+                            serve::ClockFn clock = &obs::NowNanos) {
+    if (batch.empty()) return;
+    const bool hot = engine_->metrics_enabled();
+    frozen_demand_.store(true, std::memory_order_relaxed);
+    std::shared_ptr<const FrozenViewSet> pin;
+    {
+      std::lock_guard<std::mutex> lock(view_mu_);
+      pin = frozen_view_;
+    }
+    FASTPPR_CHECK_MSG(pin != nullptr && pin->graph != nullptr,
+                      "no published snapshot to serve from");
+    SnapshotInfo si;
+    si.min_epoch = pin->graph->epoch();
+    si.max_epoch = pin->graph->epoch();
+    for (const auto& segs : pin->segments) {
+      si.min_epoch = std::min(si.min_epoch, segs->epoch());
+      si.max_epoch = std::max(si.max_epoch, segs->epoch());
+    }
+    const FrozenSegmentView view(&pin->segments, pin->ownership.get(),
+                                 walks_per_node_, epsilon_);
+    for (PersonalizedBatchQuery& q : batch) {
+      q.snapshot = si;
+      const uint64_t t0 = clock();
+      if (q.options.deadline.expired()) {
+        q.status =
+            Status::DeadlineExceeded("deadline expired before walk start");
+        q.service_ns = clock() - t0;
+        continue;
+      }
+      if constexpr (kIsSalsa) {
+        BasicPersonalizedSalsaWalker<FrozenSegmentView, FrozenAdjacency>
+            walker(&view, pin->graph.get(), q.options);
+        q.status = walker.TopKAuthoritiesInto(q.seed, q.k, q.walk_length,
+                                              q.exclude_friends, q.rng_seed,
+                                              scratch, &q.ranked);
+      } else {
+        BasicPersonalizedPageRankWalker<FrozenSegmentView, FrozenAdjacency>
+            walker(&view, pin->graph.get(), q.options);
+        q.status = walker.TopKInto(q.seed, q.k, q.walk_length,
+                                   q.exclude_friends, q.rng_seed, scratch,
+                                   &q.ranked);
+      }
+      q.service_ns = clock() - t0;
+      if (hot) om_.query_personalized->Record(q.service_ns);
+    }
+    // One pin for the whole batch: account it to the first item's shard.
+    if (hot) om_.snapshot_pins->Add(1, engine_->shard_of(batch[0].seed));
+    {
+      std::lock_guard<std::mutex> lock(view_mu_);
+      pin.reset();
+    }
+  }
+
+  /// Epoch of the currently published frozen view — the result cache's
+  /// key component. Read under the pin mutex, so it is exactly the epoch
+  /// a PersonalizedTopK pinning "now" would serve (modulo a concurrent
+  /// rotation, which only turns a would-be hit into a miss or a
+  /// same-epoch insert — never a stale hit).
+  uint64_t frozen_epoch() const {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    return frozen_view_ != nullptr && frozen_view_->graph != nullptr
+               ? frozen_view_->graph->epoch()
+               : 0;
+  }
+
  private:
   /// One published view set: per-shard frozen segments (dense owned
   /// rows), the shared global->local map, plus the frozen adjacency —

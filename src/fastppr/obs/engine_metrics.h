@@ -39,6 +39,16 @@ struct EngineMetrics {
   Counter* serve_shed = nullptr;            ///< rejected (enqueue-full or
                                             ///  controlled-delay shed)
   Counter* serve_deadline_expired = nullptr;///< cancelled by deadline
+  Counter* serve_batches = nullptr;         ///< personalized batch
+                                            ///  executions (one pin each)
+  Counter* serve_batched_requests = nullptr;///< requests served inside
+                                            ///  those batches
+
+  // --- result-cache counters (striped by cache shard: the stripe
+  // index is serve::ResultCache's shard of the key) ------------------
+  Counter* serve_cache_hit = nullptr;       ///< admission bypassed
+  Counter* serve_cache_miss = nullptr;      ///< probed, absent or retired
+  Counter* serve_cache_evict = nullptr;     ///< LRU evictions on insert
 
   // --- gauges --------------------------------------------------------
   Counter* windows_applied = nullptr;       ///< ingestion epoch
@@ -60,7 +70,9 @@ struct EngineMetrics {
   LatencyHistogram* query_topk = nullptr;     ///< TopK service latency
   LatencyHistogram* query_score = nullptr;    ///< Score service latency
   LatencyHistogram* query_personalized = nullptr;  ///< PersonalizedTopK
-  LatencyHistogram* serve_queue_wait = nullptr;    ///< admitted sojourn
+  LatencyHistogram* serve_queue_wait = nullptr;    ///< measured sojourn
+                                                   ///  (admitted + CoDel
+                                                   ///  dequeue sheds)
   LatencyHistogram* serve_admitted_latency = nullptr;  ///< queue+service,
                                                        ///  admitted only
 
@@ -87,6 +99,15 @@ struct EngineMetrics {
     m.serve_shed = reg->RegisterCounter("serve_shed", 3);
     m.serve_deadline_expired =
         reg->RegisterCounter("serve_deadline_expired", 3);
+    m.serve_batches = reg->RegisterCounter("serve_batches", 3);
+    m.serve_batched_requests =
+        reg->RegisterCounter("serve_batched_requests", 3);
+    // Result-cache counters: one stripe per cache shard (8 =
+    // serve::kResultCacheShards; literal for the same reason, pinned by
+    // a static_assert in serve/result_cache.h).
+    m.serve_cache_hit = reg->RegisterCounter("serve_cache_hit", 8);
+    m.serve_cache_miss = reg->RegisterCounter("serve_cache_miss", 8);
+    m.serve_cache_evict = reg->RegisterCounter("serve_cache_evict", 8);
     m.windows_applied = reg->RegisterGauge("windows_applied");
     m.serve_queue_depth_hw = reg->RegisterGauge("serve_queue_depth_hw", 3);
     m.pipeline_ingest_queue_hw =

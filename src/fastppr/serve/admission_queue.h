@@ -54,6 +54,17 @@ enum class DequeueOutcome {
   kShed,     ///< entry aged past target+interval: reject it, don't serve
 };
 
+/// What one TryEnqueue did. Closed and full are distinct on purpose:
+/// a full queue is overload (shed + retry hint — backing off helps),
+/// a closed queue is shutdown (Unavailable — retrying this server is
+/// pointless). Conflating them mislabelled the race where a Submit
+/// passes the tier's stopping_ check just as Close() lands.
+enum class EnqueueOutcome {
+  kQueued,  ///< admitted; the item was moved from
+  kFull,    ///< at capacity: shed with the retry-after hint
+  kClosed,  ///< shut down: respond Unavailable, no retry hint
+};
+
 template <typename T>
 class AdmissionQueue {
  public:
@@ -69,23 +80,24 @@ class AdmissionQueue {
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
-  /// Admits `*item` (moved from only on success — a shed caller still
-  /// holds the request to answer) unless the queue is full or closed.
-  /// On a shed returns false and sets `*retry_after_ns` to the
-  /// backlog's estimated drain time — the client-side backoff helper
-  /// (serve/retry.h) treats it as a floor.
-  bool TryEnqueue(T* item, uint64_t* retry_after_ns = nullptr) {
+  /// Admits `*item` (moved from only on kQueued — a rejected caller
+  /// still holds the request to answer) unless the queue is full or
+  /// closed. On kFull sets `*retry_after_ns` to the backlog's estimated
+  /// drain time — the client-side backoff helper (serve/retry.h) treats
+  /// it as a floor. kClosed sets no hint: shutdown is not overload.
+  EnqueueOutcome TryEnqueue(T* item, uint64_t* retry_after_ns = nullptr) {
     const uint64_t now = options_.clock();
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || entries_.size() >= options_.capacity) {
+    if (closed_) return EnqueueOutcome::kClosed;
+    if (entries_.size() >= options_.capacity) {
       if (retry_after_ns != nullptr) {
         *retry_after_ns = RetryAfterLocked(now);
       }
-      return false;
+      return EnqueueOutcome::kFull;
     }
     entries_.push_back(Entry{std::move(*item), now});
     if (entries_.size() > high_water_) high_water_ = entries_.size();
-    return true;
+    return EnqueueOutcome::kQueued;
   }
 
   /// Non-blocking. kAdmitted/kShed move the entry into `*out` and its

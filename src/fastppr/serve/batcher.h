@@ -1,0 +1,80 @@
+#ifndef FASTPPR_SERVE_BATCHER_H_
+#define FASTPPR_SERVE_BATCHER_H_
+
+// Personalized-query batcher (DESIGN.md §10).
+//
+// A ServingTier worker coalesces the PersonalizedTopK requests it
+// dequeues within one class slice into a batch and executes them
+// through QueryService::PersonalizedTopKInto, which pins the frozen
+// view ONCE for the whole batch (one shared_ptr copy, one audited
+// SnapshotInfo) and accumulates every walk into one reusable dense
+// scratch arena instead of per-walk hash maps. Each collected item
+// keeps its own RNG seed, walk budget and deadline, and the walk core
+// is shared with the unbatched path, so batching changes throughput,
+// never answers: every item is bit-identical to its unbatched
+// execution at the same epoch (the differential test's contract).
+//
+// The batcher is deliberately dumb: it owns the item/aux buffers (their
+// capacity is retained across flushes) and the walker scratch, while
+// the tier decides what enters a batch (degradation ladder, deadline
+// fail-fast, fault hooks all run at collect time) and how results turn
+// into Responses (the Flush sink). `Aux` is whatever per-item context
+// the tier wants carried alongside — the batcher never inspects it.
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fastppr/serve/deadline.h"
+#include "fastppr/util/check.h"
+
+namespace fastppr::serve {
+
+template <typename Service, typename Aux>
+class PersonalizedBatcher {
+ public:
+  using Item = typename Service::PersonalizedBatchQuery;
+  using Scratch = typename Service::PersonalizedScratch;
+
+  explicit PersonalizedBatcher(std::size_t max_batch)
+      : max_batch_(max_batch == 0 ? 1 : max_batch) {}
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= max_batch_; }
+  std::size_t max_batch() const { return max_batch_; }
+
+  /// Stages one request for the next Flush. The caller flushes when
+  /// full() (and at the end of its class slice, so nothing lingers).
+  void Add(Item item, Aux aux) {
+    FASTPPR_CHECK(!full());
+    items_.push_back(std::move(item));
+    aux_.push_back(std::move(aux));
+  }
+
+  /// Executes every staged item against ONE pinned frozen view, then
+  /// invokes `sink(aux, item)` per item in collection order and clears
+  /// the stage (buffer capacity retained).
+  template <typename Sink>
+  void Flush(Service* service, ClockFn clock, Sink&& sink) {
+    if (items_.empty()) return;
+    service->PersonalizedTopKInto(std::span<Item>(items_), &scratch_,
+                                  clock);
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      sink(aux_[i], items_[i]);
+    }
+    items_.clear();
+    aux_.clear();
+  }
+
+ private:
+  const std::size_t max_batch_;
+  std::vector<Item> items_;
+  std::vector<Aux> aux_;
+  Scratch scratch_;
+};
+
+}  // namespace fastppr::serve
+
+#endif  // FASTPPR_SERVE_BATCHER_H_

@@ -1,0 +1,200 @@
+#ifndef FASTPPR_SERVE_RESULT_CACHE_H_
+#define FASTPPR_SERVE_RESULT_CACHE_H_
+
+// Epoch-keyed PersonalizedTopK result cache (DESIGN.md §10).
+//
+// Entries are keyed by (frozen_epoch, seed, k, walk_length,
+// exclude_friends). Because the epoch of the published frozen view is
+// part of the key, invalidation is *by construction*: a publish rotation
+// bumps the frozen epoch, every lookup is made with the current frozen
+// epoch, and entries written against retired epochs simply become
+// unreachable — aged out by the bounded LRU without any feed wiring or
+// explicit invalidation pass. A hit can therefore never serve a retired
+// epoch's entry as fresh; what it serves is exactly what an admitted
+// walk against the same pinned view would have computed (same key, same
+// frozen inputs — only the RNG stream differs, and any same-epoch walk
+// is an equally valid estimate of the same stationary quantity).
+//
+// The RNG seed is deliberately NOT part of the key: callers asking the
+// same question of the same snapshot share one answer. The serving tier
+// labels such responses (`Response::cache_hit`) and stamps the entry's
+// audited SnapshotInfo epochs, keeping the auditability contract of the
+// degradation ladder.
+//
+// Sharded (kResultCacheShards ways) to keep the admission-path probe
+// off a single mutex; per-shard bounded LRU. Hit/miss/evict totals are
+// exported as striped counters via obs/engine_metrics.h — the stripe is
+// the cache shard, and the tier owns the metric handles (ShardOf() maps
+// a key to its stripe).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fastppr/core/ppr_walker.h"
+#include "fastppr/graph/types.h"
+#include "fastppr/util/check.h"
+
+namespace fastppr::serve {
+
+/// Shard count — literal-pinned in obs/engine_metrics.h (the
+/// serve_cache_* counters register 8 stripes without including serve/).
+inline constexpr std::size_t kResultCacheShards = 8;
+
+struct ResultCacheOptions {
+  /// Total entry bound across all shards (rounded up to one per shard).
+  /// 0 disables insertion entirely (every lookup misses).
+  std::size_t capacity = 4096;
+};
+
+struct ResultCacheKey {
+  uint64_t frozen_epoch = 0;
+  NodeId seed = kInvalidNode;
+  uint64_t k = 0;
+  uint64_t walk_length = 0;
+  bool exclude_friends = true;
+
+  bool operator==(const ResultCacheKey& o) const {
+    return frozen_epoch == o.frozen_epoch && seed == o.seed && k == o.k &&
+           walk_length == o.walk_length &&
+           exclude_friends == o.exclude_friends;
+  }
+};
+
+/// A cached full-fidelity answer plus the audited epochs of the frozen
+/// view it was computed against (min == max: single-epoch entries only).
+struct ResultCacheEntry {
+  std::vector<ScoredNode> ranked;
+  uint64_t min_epoch = 0;
+  uint64_t max_epoch = 0;
+};
+
+class ResultCache {
+ public:
+  /// Lifetime totals (relaxed; exact only when quiescent).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit ResultCache(const ResultCacheOptions& options = {})
+      : per_shard_capacity_(
+            options.capacity == 0
+                ? 0
+                : (options.capacity + kResultCacheShards - 1) /
+                      kResultCacheShards) {}
+
+  /// The metric stripe (and internal shard) of a key.
+  static std::size_t ShardOf(const ResultCacheKey& key) {
+    return Hash{}(key) % kResultCacheShards;
+  }
+
+  /// Copies the entry into `*out` and front-promotes it on a hit.
+  bool Lookup(const ResultCacheKey& key, ResultCacheEntry* out) {
+    Shard& shard = shards_[ShardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+      return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    *out = it->second->second;
+    ++shard.hits;
+    return true;
+  }
+
+  /// Inserts (or refreshes) an entry; returns the number of entries
+  /// evicted to make room (0 or 1 — the caller feeds the evict counter).
+  std::size_t Insert(const ResultCacheKey& key, ResultCacheEntry entry) {
+    if (per_shard_capacity_ == 0) return 0;
+    Shard& shard = shards_[ShardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Two workers computed the same miss concurrently: keep one, the
+      // answers are interchangeable (same key, same frozen inputs).
+      it->second->second = std::move(entry);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return 0;
+    }
+    std::size_t evicted = 0;
+    if (shard.lru.size() >= per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      ++shard.evictions;
+      evicted = 1;
+    }
+    shard.lru.emplace_front(key, std::move(entry));
+    shard.index.emplace(key, shard.lru.begin());
+    ++shard.insertions;
+    return evicted;
+  }
+
+  Stats stats() const {
+    Stats total;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total.hits += shard.hits;
+      total.misses += shard.misses;
+      total.insertions += shard.insertions;
+      total.evictions += shard.evictions;
+    }
+    return total;
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.lru.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Hash {
+    std::size_t operator()(const ResultCacheKey& key) const {
+      // splitmix64-style finalization over the packed fields.
+      auto mix = [](uint64_t x) {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+      };
+      uint64_t h = mix(key.frozen_epoch);
+      h = mix(h ^ static_cast<uint64_t>(key.seed));
+      h = mix(h ^ key.k);
+      h = mix(h ^ key.walk_length);
+      h = mix(h ^ (key.exclude_friends ? 1ull : 0ull));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<ResultCacheKey, ResultCacheEntry>> lru;
+    std::unordered_map<ResultCacheKey,
+                       std::list<std::pair<ResultCacheKey,
+                                           ResultCacheEntry>>::iterator,
+                       Hash>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  const std::size_t per_shard_capacity_;
+  Shard shards_[kResultCacheShards];
+};
+
+}  // namespace fastppr::serve
+
+#endif  // FASTPPR_SERVE_RESULT_CACHE_H_

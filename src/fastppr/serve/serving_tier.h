@@ -26,13 +26,27 @@
 //    auditable: a degraded answer is never silently passed off as full
 //    fidelity.
 //
+//  * Batching — within one personalized class slice a worker coalesces
+//    the requests it dequeues into a batch (serve/batcher.h) executed
+//    through QueryService::PersonalizedTopKInto: one frozen-view pin
+//    and one reusable dense walker scratch for the whole batch, with
+//    per-request deadlines/RNG seeds preserved so every answer is
+//    bit-identical to its unbatched execution.
+//  * Result cache — an epoch-keyed sharded LRU (serve/result_cache.h)
+//    consulted before admission: a hit bypasses the queue entirely and
+//    is labelled (`Response::cache_hit` + the entry's audited epochs).
+//    Entries are keyed by frozen epoch, so publish rotation invalidates
+//    by construction.
+//
 // Terminal-outcome contract: every Submit() resolves its on_done
-// exactly once with one of {admitted (possibly degraded), shed,
-// deadline-expired, unavailable} — no silent hangs, even when a shard
-// stalls (the stalled worker wedges ONE request; the queue bounds and
-// the controlled-delay shed keep resolving the rest) or the tier shuts
-// down mid-backlog (Close + drain answers Unavailable).
+// exactly once with one of {admitted (possibly degraded or from
+// cache), shed, deadline-expired, unavailable} — no silent hangs, even
+// when a shard stalls (the stalled worker wedges ONE request; the
+// queue bounds and the controlled-delay shed keep resolving the rest)
+// or the tier shuts down mid-backlog (Close + drain answers
+// Unavailable).
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <chrono>
@@ -45,7 +59,9 @@
 
 #include "fastppr/engine/query_service.h"
 #include "fastppr/serve/admission_queue.h"
+#include "fastppr/serve/batcher.h"
 #include "fastppr/serve/deadline.h"
+#include "fastppr/serve/result_cache.h"
 #include "fastppr/util/check.h"
 #include "fastppr/util/status.h"
 
@@ -93,7 +109,15 @@ struct Response {
   SnapshotInfo snapshot;
   uint64_t fresh_epoch = 0;
 
-  uint64_t queue_ns = 0;    ///< admission-queue sojourn
+  /// Served from the epoch-keyed result cache: the queue was bypassed
+  /// (queue_ns == service_ns == 0) and `snapshot` carries the audited
+  /// epochs of the frozen view the cached walk was computed against —
+  /// a hit is labelled, never passed off as a freshly executed walk.
+  bool cache_hit = false;
+
+  uint64_t queue_ns = 0;    ///< measured sojourn (admitted AND
+                            ///  dequeue-side sheds — a CoDel shed
+                            ///  reports the delay that doomed it)
   uint64_t service_ns = 0;  ///< execution time (0 when shed/expired)
 
   // Per-class payloads (only the requested class's field is filled).
@@ -124,6 +148,21 @@ struct ServingTierOptions {
   std::size_t num_workers = 2;
   /// Per-class admission queues (same defaults unless overridden).
   AdmissionQueueOptions queue;
+  /// Per-class capacity overrides, indexed by QueryClass (0 = use
+  /// `queue.capacity`). Batched personalized serving typically wants a
+  /// deeper walk queue than the cheap snapshot classes; the degradation
+  /// ladder reads each request's OWN class capacity, so the fractions
+  /// stay meaningful under asymmetric configs.
+  std::array<std::size_t, kNumQueryClasses> queue_capacity = {0, 0, 0};
+  /// Upper bound on requests coalesced into one personalized batch
+  /// (one frozen-view pin + one walker scratch per batch). 1 disables
+  /// batching: every request executes on the unbatched path.
+  std::size_t max_batch = 8;
+  /// Epoch-keyed PersonalizedTopK result cache, consulted before
+  /// admission. Invalidation is by construction (entries keyed by
+  /// frozen epoch); disable for traffic with no seed repetition.
+  bool enable_result_cache = true;
+  ResultCacheOptions cache;
   /// Ladder rung 1: queue depth (fraction of capacity) or deadline
   /// slack below which a personalized walk runs at reduced budget.
   double reduce_depth_frac = 0.50;
@@ -166,6 +205,10 @@ class ServingTier {
   static_assert(kNumQueryClasses == 3,
                 "obs/engine_metrics.h stripes serve_* counters by 3 "
                 "query classes");
+  // Same deal for the cache-shard-striped serve_cache_* counters.
+  static_assert(kResultCacheShards == 8,
+                "obs/engine_metrics.h stripes serve_cache_* counters by "
+                "8 cache shards");
 
  public:
   using Service = QueryService<Engine>;
@@ -173,10 +216,13 @@ class ServingTier {
   ServingTier(Service* service, const ServingTierOptions& options)
       : service_(service),
         options_(options),
-        queues_{options.queue, options.queue, options.queue} {
+        queues_{ClassQueueOptions(options, 0), ClassQueueOptions(options, 1),
+                ClassQueueOptions(options, 2)},
+        cache_(options.cache) {
     FASTPPR_CHECK(service_ != nullptr);
     FASTPPR_CHECK(options_.num_workers >= 1);
     FASTPPR_CHECK(options_.reduced_walk_divisor >= 1);
+    FASTPPR_CHECK(options_.max_batch >= 1);
     om_ = service_->engine()->metric_handles();
     workers_.reserve(options_.num_workers);
     for (std::size_t w = 0; w < options_.num_workers; ++w) {
@@ -190,9 +236,9 @@ class ServingTier {
   ServingTier& operator=(const ServingTier&) = delete;
 
   /// Submits one request. Never blocks on the engine: the request is
-  /// either queued (a worker resolves it) or resolved right here (shed
-  /// on a full queue, unavailable after shutdown). on_done fires
-  /// exactly once either way.
+  /// either answered from the result cache, queued (a worker resolves
+  /// it), or resolved right here (shed on a full queue, unavailable
+  /// after shutdown). on_done fires exactly once either way.
   void Submit(Request req) {
     FASTPPR_CHECK(req.on_done != nullptr);
     submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -203,12 +249,36 @@ class ServingTier {
       RespondUnavailable(req);
       return;
     }
-    uint64_t retry_after = 0;
-    if (!queues_[cls].TryEnqueue(&req, &retry_after)) {
-      // TryEnqueue moves from `req` only on success; on the shed path
-      // the request is still intact here.
-      RespondShed(req, retry_after);
+    if (req.cls == QueryClass::kPersonalized &&
+        options_.enable_result_cache && TryServeFromCache(req)) {
       return;
+    }
+    // Test-only: exercises the Submit/Close race deterministically (the
+    // shutdown-mislabel regression test arms it to land Close() between
+    // the stopping_ check above and TryEnqueue below).
+    if (submit_race_armed_.load(std::memory_order_acquire)) {
+      std::function<void(QueryClass)> hook;
+      {
+        std::lock_guard<std::mutex> lock(fault_mu_);
+        hook = submit_race_hook_;
+      }
+      if (hook) hook(req.cls);
+    }
+    uint64_t retry_after = 0;
+    // TryEnqueue moves from `req` only on kQueued; on the rejection
+    // paths the request is still intact here. Closed and full are
+    // distinct outcomes: a Submit racing Close() must be answered
+    // Unavailable (shutdown), not ResourceExhausted + retry hint
+    // (overload) — clients must not back off and retry a dying server.
+    switch (queues_[cls].TryEnqueue(&req, &retry_after)) {
+      case EnqueueOutcome::kClosed:
+        RespondUnavailable(req);
+        return;
+      case EnqueueOutcome::kFull:
+        RespondShed(req, retry_after);
+        return;
+      case EnqueueOutcome::kQueued:
+        break;
     }
     queued_.fetch_add(1, std::memory_order_relaxed);
     // Skip the lock+notify when every worker is already busy draining —
@@ -268,7 +338,21 @@ class ServingTier {
   std::size_t queue_high_water(QueryClass cls) const {
     return queues_[static_cast<std::size_t>(cls)].high_water();
   }
-  std::size_t queue_capacity() const { return queues_[0].capacity(); }
+  std::size_t queue_capacity(QueryClass cls) const {
+    return queues_[static_cast<std::size_t>(cls)].capacity();
+  }
+
+  /// Result-cache lifetime totals (hits/misses/insertions/evictions).
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Personalized batch executions (each = one frozen-view pin) and the
+  /// requests served inside them. A batch of one still counts.
+  uint64_t batches_executed() const {
+    return batches_executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t batched_requests() const {
+    return batched_requests_.load(std::memory_order_relaxed);
+  }
 
   /// Test-only fault injection (slow shard, stalled dependency): when
   /// armed, runs at the start of every executed request — a hook that
@@ -278,6 +362,15 @@ class ServingTier {
     std::lock_guard<std::mutex> lock(fault_mu_);
     fault_hook_ = std::move(hook);
     fault_armed_.store(fault_hook_ != nullptr, std::memory_order_release);
+  }
+
+  /// Test-only: runs inside Submit between the stopping_ check and
+  /// TryEnqueue — the window of the shutdown-mislabel race.
+  void SetSubmitRaceHook(std::function<void(QueryClass)> hook) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    submit_race_hook_ = std::move(hook);
+    submit_race_armed_.store(submit_race_hook_ != nullptr,
+                             std::memory_order_release);
   }
 
  private:
@@ -292,13 +385,31 @@ class ServingTier {
     tally_[slot].fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Builds one class's queue options: shared knobs + the per-class
+  /// capacity override.
+  static AdmissionQueueOptions ClassQueueOptions(
+      const ServingTierOptions& options, std::size_t cls) {
+    AdmissionQueueOptions q = options.queue;
+    if (options.queue_capacity[cls] != 0) {
+      q.capacity = options.queue_capacity[cls];
+    }
+    return q;
+  }
+
   // Status messages on the overload paths stay within the small-string
   // buffer: at 2x saturation the shed path runs at the offered rate,
   // and a heap allocation per rejection is exactly the kind of work an
   // overloaded tier must not do.
-  void RespondShed(const Request& req, uint64_t retry_after_ns) {
+  //
+  // `queue_ns` is the measured sojourn for dequeue-side (CoDel) sheds —
+  // threaded into the Response and the serve_queue_wait histogram so
+  // the delay that doomed a request is observable, not discarded.
+  // Enqueue-side sheds never queued and pass 0.
+  void RespondShed(const Request& req, uint64_t retry_after_ns,
+                   uint64_t queue_ns = 0) {
     Response resp;
     resp.status = Status::ResourceExhausted("overloaded");
+    resp.queue_ns = queue_ns;
     resp.retry_after_ns =
         retry_after_ns != 0
             ? retry_after_ns
@@ -306,8 +417,73 @@ class ServingTier {
     Tally(kTallyShed);
     if (service_->engine()->metrics_enabled()) {
       om_.serve_shed->Add(1, static_cast<std::size_t>(req.cls));
+      if (queue_ns != 0) om_.serve_queue_wait->Record(queue_ns);
     }
     req.on_done(resp);
+  }
+
+  /// The admission-bypass probe: answers `req` from the cache and
+  /// returns true on a hit. The key's epoch is the CURRENT frozen
+  /// epoch, so entries computed against retired views are unreachable
+  /// by construction — a concurrent rotation can only turn a would-be
+  /// hit into a miss, never serve a stale entry as fresh.
+  bool TryServeFromCache(const Request& req) {
+    ResultCacheKey key;
+    key.frozen_epoch = service_->frozen_epoch();
+    key.seed = req.node;
+    key.k = req.k;
+    key.walk_length = req.walk_length;
+    key.exclude_friends = req.exclude_friends;
+    const std::size_t stripe = ResultCache::ShardOf(key);
+    const bool hot = service_->engine()->metrics_enabled();
+    ResultCacheEntry entry;
+    if (!cache_.Lookup(key, &entry)) {
+      if (hot) om_.serve_cache_miss->Add(1, stripe);
+      return false;
+    }
+    Response resp;
+    resp.status = Status::OK();
+    resp.cache_hit = true;
+    resp.snapshot.min_epoch = entry.min_epoch;
+    resp.snapshot.max_epoch = entry.max_epoch;
+    resp.fresh_epoch = service_->published_epoch();
+    resp.ranked = std::move(entry.ranked);
+    Tally(kTallyAdmittedFull);
+    if (hot) {
+      om_.serve_cache_hit->Add(1, stripe);
+      om_.serve_admitted->Add(1, static_cast<std::size_t>(req.cls));
+    }
+    req.on_done(resp);
+    return true;
+  }
+
+  /// Inserts a freshly executed answer. Only full-fidelity, single-
+  /// epoch, non-cached personalized answers are cacheable: a degraded
+  /// answer must never be replayed as full fidelity, and a mixed-epoch
+  /// snapshot has no single frozen epoch to key by.
+  void MaybeCacheInsert(const Request& req, const Response& resp) {
+    if (!options_.enable_result_cache ||
+        req.cls != QueryClass::kPersonalized) {
+      return;
+    }
+    if (resp.cache_hit || resp.degrade != DegradeLevel::kFull ||
+        resp.snapshot.min_epoch != resp.snapshot.max_epoch) {
+      return;
+    }
+    ResultCacheKey key;
+    key.frozen_epoch = resp.snapshot.min_epoch;
+    key.seed = req.node;
+    key.k = req.k;
+    key.walk_length = req.walk_length;
+    key.exclude_friends = req.exclude_friends;
+    ResultCacheEntry entry;
+    entry.ranked = resp.ranked;
+    entry.min_epoch = resp.snapshot.min_epoch;
+    entry.max_epoch = resp.snapshot.max_epoch;
+    const std::size_t evicted = cache_.Insert(key, std::move(entry));
+    if (evicted != 0 && service_->engine()->metrics_enabled()) {
+      om_.serve_cache_evict->Add(evicted, ResultCache::ShardOf(key));
+    }
   }
 
   void RespondUnavailable(const Request& req) {
@@ -318,8 +494,18 @@ class ServingTier {
     req.on_done(resp);
   }
 
+  /// Per-item context the batcher carries alongside each staged query.
+  struct BatchAux {
+    Request req;
+    uint64_t queue_ns = 0;
+    DegradeLevel degrade = DegradeLevel::kFull;
+    uint64_t fresh_epoch = 0;
+  };
+  using Batcher = PersonalizedBatcher<Service, BatchAux>;
+
   void WorkerLoop() {
     ReadScratch scratch;
+    Batcher batcher(options_.max_batch);
     std::size_t rotate = 0;
     for (;;) {
       bool did_work = false;
@@ -331,6 +517,9 @@ class ServingTier {
         const std::size_t cls = (rotate + i) % kNumQueryClasses;
         const uint64_t slice_end =
             options_.clock() + options_.class_slice_ns;
+        const bool batch_this_class =
+            cls == static_cast<std::size_t>(QueryClass::kPersonalized) &&
+            options_.max_batch > 1;
         for (;;) {
           Request req;
           uint64_t queue_ns = 0;
@@ -339,12 +528,19 @@ class ServingTier {
           did_work = true;
           queued_.fetch_sub(1, std::memory_order_relaxed);
           if (out == DequeueOutcome::kShed) {
-            RespondShed(req, 0);
+            RespondShed(req, 0, queue_ns);
+          } else if (batch_this_class) {
+            CollectPersonalized(std::move(req), queue_ns, &scratch,
+                                &batcher);
+            if (batcher.full()) FlushBatch(&batcher);
           } else {
             Execute(req, queue_ns, &scratch);
           }
           if (options_.clock() >= slice_end) break;
         }
+        // Nothing staged outlives the class turn: whatever the slice
+        // collected executes now, against one pinned view.
+        if (batch_this_class) FlushBatch(&batcher);
         if (did_work) break;  // re-scan from the next class
       }
       ++rotate;
@@ -362,11 +558,93 @@ class ServingTier {
     }
   }
 
+  /// Batched-path admission of one dequeued personalized request. The
+  /// per-request decisions run at collect time, exactly as the
+  /// unbatched path runs them at execute time: deadline fail-fast, the
+  /// fault hook, and the degradation ladder (evaluated against the live
+  /// queue depth). Fallback-rung requests execute immediately — they
+  /// don't walk, so there is nothing to batch; the rest stage their
+  /// ladder-chosen budget for the next flush.
+  void CollectPersonalized(Request req, uint64_t queue_ns,
+                           ReadScratch* scratch, Batcher* batcher) {
+    Response resp;
+    resp.queue_ns = queue_ns;
+    if (req.deadline.expired()) {
+      RespondDeadline(req, &resp);
+      return;
+    }
+    if (fault_armed_.load(std::memory_order_acquire)) {
+      std::function<void(QueryClass)> hook;
+      {
+        std::lock_guard<std::mutex> lock(fault_mu_);
+        hook = fault_hook_;
+      }
+      if (hook) hook(req.cls);
+    }
+    resp.fresh_epoch = service_->published_epoch();
+    const std::size_t cls = static_cast<std::size_t>(req.cls);
+    resp.degrade = Ladder(req, queues_[cls].size());
+    if (resp.degrade == DegradeLevel::kStaleFallback) {
+      const uint64_t t0 = options_.clock();
+      const Status status = ExecutePersonalized(req, scratch, &resp);
+      resp.service_ns = options_.clock() - t0;
+      FinishExecuted(req, status, &resp);
+      return;
+    }
+    typename Batcher::Item item;
+    item.seed = req.node;
+    item.k = req.k;
+    item.walk_length =
+        resp.degrade == DegradeLevel::kReducedWalk
+            ? std::max<uint64_t>(
+                  1, req.walk_length / options_.reduced_walk_divisor)
+            : req.walk_length;
+    item.exclude_friends = req.exclude_friends;
+    item.rng_seed = req.rng_seed;
+    item.options.deadline = req.deadline;
+    BatchAux aux;
+    aux.queue_ns = queue_ns;
+    aux.degrade = resp.degrade;
+    aux.fresh_epoch = resp.fresh_epoch;
+    aux.req = std::move(req);
+    batcher->Add(std::move(item), std::move(aux));
+  }
+
+  /// Executes the staged batch through one pinned frozen view and turns
+  /// each item back into a Response on the shared finish path — the
+  /// same tallies, metrics and cache insert the unbatched path takes.
+  void FlushBatch(Batcher* batcher) {
+    if (batcher->empty()) return;
+    const std::size_t cls =
+        static_cast<std::size_t>(QueryClass::kPersonalized);
+    batches_executed_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(batcher->size(), std::memory_order_relaxed);
+    if (service_->engine()->metrics_enabled()) {
+      om_.serve_batches->Add(1, cls);
+      om_.serve_batched_requests->Add(batcher->size(), cls);
+    }
+    batcher->Flush(service_, options_.clock,
+                   [this](BatchAux& aux, typename Batcher::Item& item) {
+                     Response resp;
+                     resp.queue_ns = aux.queue_ns;
+                     resp.degrade = aux.degrade;
+                     resp.fresh_epoch = aux.fresh_epoch;
+                     resp.snapshot = item.snapshot;
+                     resp.service_ns = item.service_ns;
+                     resp.ranked = std::move(item.ranked);
+                     FinishExecuted(aux.req, item.status, &resp);
+                   });
+  }
+
   /// The degradation ladder: queue depth (how far behind the tier is)
   /// and deadline slack (how much time this request has left) each
-  /// push the answer down a rung; the worse of the two wins.
+  /// push the answer down a rung; the worse of the two wins. The depth
+  /// fractions are of the REQUEST'S OWN class queue capacity — reading
+  /// queues_[0] here silently skewed every rung once per-class
+  /// capacities diverged.
   DegradeLevel Ladder(const Request& req, std::size_t depth) const {
-    const double cap = static_cast<double>(queues_[0].capacity());
+    const double cap = static_cast<double>(
+        queues_[static_cast<std::size_t>(req.cls)].capacity());
     const uint64_t slack = req.deadline.remaining_nanos();
     if (static_cast<double>(depth) >= options_.fallback_depth_frac * cap ||
         slack < options_.fallback_slack_ns) {
@@ -421,25 +699,36 @@ class ServingTier {
       }
     }
     resp.service_ns = options_.clock() - t0;
+    FinishExecuted(req, status, &resp);
+  }
+
+  /// The shared post-execution path (unbatched Execute AND the batch
+  /// flush sink): status routing, tallies, metrics, the cache insert,
+  /// and the single on_done.
+  void FinishExecuted(const Request& req, const Status& status,
+                      Response* resp) {
+    const std::size_t cls = static_cast<std::size_t>(req.cls);
     if (status.IsDeadlineExceeded()) {
-      RespondDeadline(req, &resp);
+      RespondDeadline(req, resp);
       return;
     }
-    resp.status = status;
+    resp->status = status;
     const bool hot = service_->engine()->metrics_enabled();
     if (status.ok()) {
-      Tally(resp.degraded() ? kTallyAdmittedDegraded : kTallyAdmittedFull);
+      Tally(resp->degraded() ? kTallyAdmittedDegraded : kTallyAdmittedFull);
       if (hot) {
-        (resp.degraded() ? om_.serve_degraded : om_.serve_admitted)
+        (resp->degraded() ? om_.serve_degraded : om_.serve_admitted)
             ->Add(1, cls);
-        om_.serve_queue_wait->Record(resp.queue_ns);
-        om_.serve_admitted_latency->Record(resp.queue_ns + resp.service_ns);
+        om_.serve_queue_wait->Record(resp->queue_ns);
+        om_.serve_admitted_latency->Record(resp->queue_ns +
+                                           resp->service_ns);
         om_.serve_queue_depth_hw->Set(queues_[cls].high_water(), cls);
       }
+      MaybeCacheInsert(req, *resp);
     } else {
       Tally(kTallyFailed);
     }
-    req.on_done(resp);
+    req.on_done(*resp);
   }
 
   /// Personalized walk at the ladder-chosen budget. The stale fallback
@@ -491,17 +780,22 @@ class ServingTier {
   const ServingTierOptions options_;
   obs::EngineMetrics om_;
   AdmissionQueue<Request> queues_[kNumQueryClasses];
+  ResultCache cache_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> queued_{0};
   std::atomic<int> idle_workers_{0};
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> tally_[6] = {};
+  std::atomic<uint64_t> batches_executed_{0};
+  std::atomic<uint64_t> batched_requests_{0};
   std::mutex wake_mu_;
   std::condition_variable wake_;
   std::mutex fault_mu_;
   std::function<void(QueryClass)> fault_hook_;
   std::atomic<bool> fault_armed_{false};
+  std::function<void(QueryClass)> submit_race_hook_;
+  std::atomic<bool> submit_race_armed_{false};
 };
 
 }  // namespace fastppr::serve

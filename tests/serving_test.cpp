@@ -35,6 +35,7 @@ using serve::AdmissionQueueOptions;
 using serve::Deadline;
 using serve::DegradeLevel;
 using serve::DequeueOutcome;
+using serve::EnqueueOutcome;
 using serve::JitteredBackoff;
 using serve::QueryClass;
 using serve::Request;
@@ -101,8 +102,8 @@ TEST(AdmissionQueueTest, FifoWhenFresh) {
   g_fake_now.store(0);
   AdmissionQueue<int> q(FakeClockQueueOptions(8));
   int a = 1, b = 2;
-  EXPECT_TRUE(q.TryEnqueue(&a));
-  EXPECT_TRUE(q.TryEnqueue(&b));
+  EXPECT_EQ(q.TryEnqueue(&a), EnqueueOutcome::kQueued);
+  EXPECT_EQ(q.TryEnqueue(&b), EnqueueOutcome::kQueued);
   int out = 0;
   uint64_t wait = 123;
   EXPECT_EQ(q.TryDequeue(&out, &wait), DequeueOutcome::kAdmitted);
@@ -117,14 +118,14 @@ TEST(AdmissionQueueTest, ShedsAtCapacityWithRetryAfterHint) {
   g_fake_now.store(0);
   AdmissionQueue<int> q(FakeClockQueueOptions(2));
   int v = 7;
-  EXPECT_TRUE(q.TryEnqueue(&v));
-  EXPECT_TRUE(q.TryEnqueue(&v));
+  EXPECT_EQ(q.TryEnqueue(&v), EnqueueOutcome::kQueued);
+  EXPECT_EQ(q.TryEnqueue(&v), EnqueueOutcome::kQueued);
   uint64_t retry_after = 0;
-  EXPECT_FALSE(q.TryEnqueue(&v, &retry_after));
+  EXPECT_EQ(q.TryEnqueue(&v, &retry_after), EnqueueOutcome::kFull);
   // Full fresh queue: hint is the whole controlled-delay horizon.
   EXPECT_EQ(retry_after, 5000u);
   g_fake_now.store(3000);  // backlog has aged 3µs toward the horizon
-  EXPECT_FALSE(q.TryEnqueue(&v, &retry_after));
+  EXPECT_EQ(q.TryEnqueue(&v, &retry_after), EnqueueOutcome::kFull);
   EXPECT_EQ(retry_after, 2000u);
   EXPECT_EQ(q.size(), 2u);
   EXPECT_EQ(q.high_water(), 2u);
@@ -134,9 +135,9 @@ TEST(AdmissionQueueTest, LifoUnderPressure) {
   g_fake_now.store(0);
   AdmissionQueue<int> q(FakeClockQueueOptions(8));
   int a = 1, b = 2;
-  EXPECT_TRUE(q.TryEnqueue(&a));
+  EXPECT_EQ(q.TryEnqueue(&a), EnqueueOutcome::kQueued);
   g_fake_now.store(1500);  // oldest sojourn 1500 >= target 1000
-  EXPECT_TRUE(q.TryEnqueue(&b));
+  EXPECT_EQ(q.TryEnqueue(&b), EnqueueOutcome::kQueued);
   int out = 0;
   uint64_t wait = 0;
   // Pressure: the NEWEST entry is served (flat admitted latency) while
@@ -150,9 +151,9 @@ TEST(AdmissionQueueTest, ControlledDelayShedsHopelessEntries) {
   g_fake_now.store(0);
   AdmissionQueue<int> q(FakeClockQueueOptions(8));
   int a = 1, b = 2;
-  EXPECT_TRUE(q.TryEnqueue(&a));
+  EXPECT_EQ(q.TryEnqueue(&a), EnqueueOutcome::kQueued);
   g_fake_now.store(100);
-  EXPECT_TRUE(q.TryEnqueue(&b));
+  EXPECT_EQ(q.TryEnqueue(&b), EnqueueOutcome::kQueued);
   g_fake_now.store(5000);  // a's sojourn 5000 >= target+interval 5000
   int out = 0;
   uint64_t wait = 0;
@@ -168,13 +169,26 @@ TEST(AdmissionQueueTest, CloseShedsNewAndDrainsOld) {
   g_fake_now.store(0);
   AdmissionQueue<int> q(FakeClockQueueOptions(4));
   int a = 1, b = 2;
-  EXPECT_TRUE(q.TryEnqueue(&a));
+  EXPECT_EQ(q.TryEnqueue(&a), EnqueueOutcome::kQueued);
   q.Close();
-  EXPECT_FALSE(q.TryEnqueue(&b));
+  EXPECT_EQ(q.TryEnqueue(&b), EnqueueOutcome::kClosed);
   int out = 0;
   EXPECT_TRUE(q.DrainClosed(&out));
   EXPECT_EQ(out, 1);
   EXPECT_FALSE(q.DrainClosed(&out));
+}
+
+// Closed vs full are DISTINCT enqueue outcomes — the shutdown/shed
+// mislabel regression: a closed queue at capacity must still report
+// kClosed (shutdown), never kFull (overload + retry hint).
+TEST(AdmissionQueueTest, ClosedReportsClosedEvenWhenFull) {
+  g_fake_now.store(0);
+  AdmissionQueue<int> q(FakeClockQueueOptions(1));
+  int a = 1, b = 2;
+  EXPECT_EQ(q.TryEnqueue(&a), EnqueueOutcome::kQueued);
+  EXPECT_EQ(q.TryEnqueue(&b), EnqueueOutcome::kFull);
+  q.Close();
+  EXPECT_EQ(q.TryEnqueue(&b), EnqueueOutcome::kClosed);
 }
 
 // ---- retry backoff --------------------------------------------------
@@ -514,7 +528,7 @@ TEST(ServingTierTest, OverloadBurstShedsLabelsAndStaysBounded) {
   EXPECT_GT(ok_degraded, 0u);
   // The boundedness proof: the queue never grew past its capacity.
   EXPECT_LE(f.tier.queue_high_water(QueryClass::kPersonalized),
-            f.tier.queue_capacity());
+            f.tier.queue_capacity(QueryClass::kPersonalized));
   EXPECT_EQ(f.tier.outcomes().resolved(), f.tier.submitted());
 }
 
@@ -563,7 +577,7 @@ TEST(ServingTierTest, SlowShardFaultInjectionNeverWedges) {
   EXPECT_GT(cheap_served, 0u);
   for (QueryClass cls : {QueryClass::kTopK, QueryClass::kScore,
                          QueryClass::kPersonalized}) {
-    EXPECT_LE(f.tier.queue_high_water(cls), f.tier.queue_capacity());
+    EXPECT_LE(f.tier.queue_high_water(cls), f.tier.queue_capacity(cls));
   }
   EXPECT_EQ(f.tier.outcomes().resolved(), f.tier.submitted());
 }
@@ -603,6 +617,162 @@ TEST(ServingTierTest, ShutdownResolvesBacklogAsUnavailable) {
   ASSERT_TRUE(col.WaitFor(9, 10'000));
   bool saw_unavailable_late = col.responses.back().status.IsUnavailable();
   EXPECT_TRUE(saw_unavailable_late);
+}
+
+// The shutdown-mislabel race, pinned deterministically: a Submit that
+// passes the stopping_ check just before Close() lands must resolve
+// Unavailable (shutdown — don't retry this server), not
+// ResourceExhausted + retry hint (overload — back off and retry). The
+// submit-race hook runs Shutdown() inside the exact window, so
+// TryEnqueue sees a closed queue and the kClosed/kFull distinction is
+// what routes the answer.
+TEST(ServingTierTest, SubmitRacingCloseIsUnavailableNotOverloaded) {
+  TierFixture f(200, SmallTierOptions());
+  std::atomic<bool> fired{false};
+  f.tier.SetSubmitRaceHook([&](QueryClass) {
+    if (!fired.exchange(true)) f.tier.Shutdown();
+  });
+  Collector col;
+  Request req;
+  req.cls = QueryClass::kScore;
+  req.node = 3;
+  req.on_done = col.Callback();
+  f.tier.Submit(std::move(req));
+  ASSERT_TRUE(col.WaitFor(1, 10'000));
+  const Response& r = col.responses[0];
+  EXPECT_TRUE(r.status.IsUnavailable()) << r.status.ToString();
+  EXPECT_FALSE(r.status.IsResourceExhausted());
+  EXPECT_EQ(f.tier.outcomes().unavailable, 1u);
+  EXPECT_EQ(f.tier.outcomes().shed, 0u);
+}
+
+// The degradation ladder must read the REQUEST'S OWN class queue
+// capacity. With a small personalized queue next to huge cheap-class
+// queues, a backlog that fills the personalized queue is deep relative
+// to ITS capacity — under the old queues_[0] bug the fractions were
+// computed against the 256-entry TopK capacity and no request ever
+// degraded.
+TEST(ServingTierTest, LadderUsesOwnClassCapacity) {
+  ServingTierOptions topt = SmallTierOptions();
+  topt.num_workers = 1;
+  topt.queue.capacity = 256;  // kTopK / kScore (and the buggy divisor)
+  topt.queue_capacity[static_cast<std::size_t>(QueryClass::kPersonalized)] =
+      8;
+  // Generous CoDel horizon so nothing sheds while the worker is gated.
+  topt.queue.target_delay_ns = 50'000'000;
+  topt.queue.shed_interval_ns = 200'000'000;
+  TierFixture f(200, topt);
+
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool hook_entered = false;
+  bool gate_open = false;
+  f.tier.SetFaultHook([&](QueryClass) {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    hook_entered = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return gate_open; });
+  });
+
+  Collector col;
+  auto submit_one = [&](std::size_t i) {
+    Request req;
+    req.cls = QueryClass::kPersonalized;
+    req.node = static_cast<NodeId>(i);
+    req.walk_length = 2000;
+    req.rng_seed = i;
+    req.on_done = col.Callback();
+    f.tier.Submit(std::move(req));
+  };
+  submit_one(0);
+  {
+    // The worker is inside the hook: request 0 is dequeued, so the
+    // remaining 8 fill the personalized queue to exactly its capacity.
+    std::unique_lock<std::mutex> lock(gate_mu);
+    ASSERT_TRUE(gate_cv.wait_for(lock, std::chrono::seconds(10),
+                                 [&] { return hook_entered; }));
+  }
+  for (std::size_t i = 1; i < 9; ++i) submit_one(i);
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+    gate_cv.notify_all();
+  }
+  ASSERT_TRUE(col.WaitFor(9, 20'000));
+  std::size_t degraded = 0;
+  for (const Response& r : col.responses) {
+    if (r.status.ok() && r.degraded()) ++degraded;
+  }
+  // Depth 8 of capacity 8 is past both rungs (0.5 / 0.85); against the
+  // buggy 256-entry capacity it is past neither.
+  EXPECT_GT(degraded, 0u);
+  EXPECT_EQ(f.tier.outcomes().resolved(), f.tier.submitted());
+}
+
+// A dequeue-side (CoDel) shed must report the sojourn that doomed the
+// request — the old worker loop dropped queue_ns on the kShed path and
+// the response claimed zero queueing. Fake clocks end to end make the
+// expected sojourn exact.
+TEST(ServingTierTest, DequeueShedRecordsMeasuredSojourn) {
+  g_fake_now.store(0);
+  ServingTierOptions topt;
+  topt.num_workers = 1;
+  topt.queue.capacity = 16;
+  topt.queue.target_delay_ns = 2'000'000;
+  topt.queue.shed_interval_ns = 10'000'000;
+  topt.queue.clock = &FakeNow;
+  topt.clock = &FakeNow;
+  TierFixture f(200, topt);
+
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool hook_entered = false;
+  bool gate_open = false;
+  f.tier.SetFaultHook([&](QueryClass) {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    hook_entered = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return gate_open; });
+  });
+
+  Collector col;
+  Request a;
+  a.cls = QueryClass::kScore;
+  a.node = 1;
+  a.on_done = col.Callback();
+  f.tier.Submit(std::move(a));
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    ASSERT_TRUE(gate_cv.wait_for(lock, std::chrono::seconds(10),
+                                 [&] { return hook_entered; }));
+  }
+  // B enqueues at fake t=0 while the worker is wedged in A, then the
+  // clock jumps past target + interval: B's next dequeue is a shed
+  // carrying exactly that sojourn.
+  Request b;
+  b.cls = QueryClass::kScore;
+  b.node = 2;
+  b.on_done = col.Callback();
+  f.tier.Submit(std::move(b));
+  g_fake_now.store(13'000'000);
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+    gate_cv.notify_all();
+  }
+  ASSERT_TRUE(col.WaitFor(2, 10'000));
+  std::size_t ok = 0, shed = 0;
+  for (const Response& r : col.responses) {
+    if (r.status.ok()) {
+      ++ok;
+    } else if (r.status.IsResourceExhausted()) {
+      ++shed;
+      EXPECT_EQ(r.queue_ns, 13'000'000u);
+      EXPECT_GT(r.retry_after_ns, 0u);
+    }
+  }
+  EXPECT_EQ(ok, 1u);
+  EXPECT_EQ(shed, 1u);
 }
 
 // The TSan stress (runs in the TSan CI job): concurrent admission,
